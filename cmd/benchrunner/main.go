@@ -1,0 +1,83 @@
+// Command benchrunner regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md's per-experiment index). Each
+// subcommand prints the corresponding rows/series; `all` runs everything.
+//
+// Usage:
+//
+//	benchrunner [-quick] [-workers N] [-budget BYTES] table1 fig2 fig10 …
+//	benchrunner all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"recstep/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrunner: ")
+	var (
+		quick   = flag.Bool("quick", false, "shrink datasets for a fast pass")
+		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		budget  = flag.Int64("budget", 0, "simulated memory budget in bytes (0 = 1 GiB)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick, Workers: *workers, MemBudgetBytes: *budget}
+
+	type runner func(experiments.Config) experiments.Table
+	table := map[string]runner{
+		"table1": func(experiments.Config) experiments.Table { return experiments.Table1() },
+		"table3": func(experiments.Config) experiments.Table { return experiments.Table3() },
+		"table4": experiments.Table4,
+		"fig2":   experiments.Fig2,
+		"fig3":   experiments.Fig3,
+		"fig6":   experiments.Fig6,
+		"fig7":   experiments.Fig7,
+		"fig8":   experiments.Fig8,
+		"fig9":   experiments.Fig9,
+		"fig10":  experiments.Fig10,
+		"fig11":  experiments.Fig11,
+		"fig12":  experiments.Fig12,
+		"fig13":  experiments.Fig13,
+		"fig14":  experiments.Fig14,
+		"fig15":  experiments.Fig15,
+		"fig16":  experiments.Fig16,
+	}
+	order := []string{
+		"table1", "table3", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table4",
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] %v|all\n", order)
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	for _, name := range args {
+		if name == "fig4" {
+			unified, individual, err := experiments.Fig4()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Figure 4 — UIE vs individual IDB evaluation (Andersen, recursive phase)")
+			fmt.Println("\n-- Unified IDB Evaluation:")
+			fmt.Println(unified)
+			fmt.Println("\n-- Individual IDB Evaluation:")
+			fmt.Println(individual)
+			fmt.Println()
+			continue
+		}
+		fn, ok := table[name]
+		if !ok {
+			log.Fatalf("unknown experiment %q", name)
+		}
+		fmt.Println(fn(cfg))
+	}
+}

@@ -1,0 +1,113 @@
+// Command datagen generates the benchmark datasets of Table 3 as .tsv
+// files: Gn-p graphs, RMAT graphs, power-law "real-world-like" graphs,
+// chains, and the program-analysis fact bases (Andersen, CSPA, CSDA).
+//
+// Usage examples:
+//
+//	datagen -kind gnp -n 1000 -p 0.01 -o arc.tsv
+//	datagen -kind rmat -n 16384 -m 163840 -o arc.tsv
+//	datagen -kind realworld -name livejournal -o arc.tsv
+//	datagen -kind weighted -n 1024 -m 10240 -o arc.tsv      (RMAT + weights)
+//	datagen -kind andersen -dataset 4 -dir facts/
+//	datagen -kind cspa -name httpd -dir facts/
+//	datagen -kind csda -name linux -dir facts/
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+
+	"recstep/internal/graphs"
+	"recstep/internal/pa"
+	"recstep/internal/quickstep/storage"
+	"recstep/internal/relio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	var (
+		kind    = flag.String("kind", "", "gnp|rmat|powerlaw|chain|realworld|weighted|andersen|cspa|csda")
+		n       = flag.Int("n", 1000, "vertex count")
+		m       = flag.Int("m", 0, "edge count (rmat/weighted; 0 = 10n)")
+		p       = flag.Float64("p", graphs.DefaultGnpP, "edge probability (gnp)")
+		deg     = flag.Int("deg", 8, "out degree (powerlaw)")
+		name    = flag.String("name", "livejournal", "dataset name (realworld/cspa/csda)")
+		dataset = flag.Int("dataset", 1, "Andersen dataset index 1..7")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output .tsv (single-relation kinds)")
+		dir     = flag.String("dir", "", "output directory (multi-relation kinds)")
+	)
+	flag.Parse()
+
+	writeOne := func(rel *storage.Relation) {
+		if *out == "" {
+			log.Fatal("-o required for this kind")
+		}
+		if err := relio.WriteTSVFile(*out, rel); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s: %d tuples", *out, rel.NumTuples())
+	}
+	writeMany := func(edbs map[string]*storage.Relation) {
+		if *dir == "" {
+			log.Fatal("-dir required for this kind")
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for pred, rel := range edbs {
+			path := filepath.Join(*dir, pred+".tsv")
+			if err := relio.WriteTSVFile(path, rel); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s: %d tuples", path, rel.NumTuples())
+		}
+	}
+	edges := *m
+	if edges == 0 {
+		edges = 10 * *n
+	}
+
+	switch *kind {
+	case "gnp":
+		writeOne(graphs.GnP(*n, *p, *seed))
+	case "rmat":
+		writeOne(graphs.RMAT(*n, edges, *seed))
+	case "powerlaw":
+		writeOne(graphs.PowerLaw(*n, *deg, *seed))
+	case "chain":
+		writeOne(graphs.Chain(*n))
+	case "realworld":
+		rel, err := graphs.RealWorld(*name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeOne(rel)
+	case "weighted":
+		writeOne(graphs.Weighted(graphs.RMAT(*n, edges, *seed), 100, *seed))
+	case "andersen":
+		edbs, err := pa.Andersen(*dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeMany(edbs)
+	case "cspa":
+		edbs, err := pa.CSPA(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeMany(edbs)
+	case "csda":
+		edbs, err := pa.CSDA(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeMany(edbs)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

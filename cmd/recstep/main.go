@@ -1,0 +1,147 @@
+// Command recstep evaluates a Datalog program from a .datalog file, with
+// EDB facts supplied as whitespace-separated integer files, and writes every
+// IDB relation as a .tsv file — the end-to-end flow of Figure 1.
+//
+// Usage:
+//
+//	recstep -program tc.datalog -facts arc=arc.tsv -out results/ \
+//	        [-workers N] [-naive] [-no-uie] [-oof selective|none|full] \
+//	        [-dsd dynamic|opsd|tpsd] [-dedup gscht|lockmap|sort] [-no-eost]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"recstep/internal/core"
+	"recstep/internal/datalog/parser"
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/stats"
+	"recstep/internal/quickstep/storage"
+	"recstep/internal/relio"
+)
+
+type factFlags map[string]string
+
+func (f factFlags) String() string { return fmt.Sprint(map[string]string(f)) }
+
+func (f factFlags) Set(v string) error {
+	pred, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want pred=path, got %q", v)
+	}
+	f[pred] = path
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recstep: ")
+
+	var (
+		programPath = flag.String("program", "", "path to the .datalog program (required)")
+		outDir      = flag.String("out", "", "directory for IDB .tsv output (omit to only print counts)")
+		workers     = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		naive       = flag.Bool("naive", false, "disable semi-naive evaluation")
+		noUIE       = flag.Bool("no-uie", false, "disable unified IDB evaluation")
+		oofMode     = flag.String("oof", "selective", "statistics mode: selective|none|full")
+		dsdMode     = flag.String("dsd", "dynamic", "set-difference policy: dynamic|opsd|tpsd")
+		dedup       = flag.String("dedup", "gscht", "dedup strategy: gscht|lockmap|sort")
+		noEOST      = flag.Bool("no-eost", false, "commit after every query (spills to a temp dir)")
+		verbose     = flag.Bool("v", false, "log per-iteration deltas")
+	)
+	facts := factFlags{}
+	flag.Var(facts, "facts", "EDB input as pred=path (repeatable)")
+	flag.Parse()
+
+	if *programPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	edbs := make(map[string]*storage.Relation)
+	for pred, path := range facts {
+		rel, err := relio.ReadTSVFile(path, pred)
+		if err != nil {
+			log.Fatalf("loading %s: %v", pred, err)
+		}
+		edbs[pred] = rel
+		log.Printf("loaded %s: %d tuples", pred, rel.NumTuples())
+	}
+
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+	opts.Naive = *naive
+	opts.UIE = !*noUIE
+	switch *oofMode {
+	case "selective":
+		opts.OOF = stats.ModeSelective
+	case "none":
+		opts.OOF = stats.ModeNone
+	case "full":
+		opts.OOF = stats.ModeFull
+	default:
+		log.Fatalf("unknown -oof mode %q", *oofMode)
+	}
+	switch *dsdMode {
+	case "dynamic":
+		opts.DSD = core.DSDDynamic
+	case "opsd":
+		opts.DSD = core.DSDAlwaysOPSD
+	case "tpsd":
+		opts.DSD = core.DSDAlwaysTPSD
+	default:
+		log.Fatalf("unknown -dsd mode %q", *dsdMode)
+	}
+	switch *dedup {
+	case "gscht":
+		opts.Dedup = exec.DedupGSCHT
+	case "lockmap":
+		opts.Dedup = exec.DedupLockMap
+	case "sort":
+		opts.Dedup = exec.DedupSort
+	default:
+		log.Fatalf("unknown -dedup strategy %q", *dedup)
+	}
+	if *noEOST {
+		opts.EOST = false
+		opts.DisableIO = false
+	}
+	if *verbose {
+		opts.IterHook = func(ii core.IterInfo) {
+			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s)",
+				ii.Stratum, ii.Iteration, ii.Pred, ii.TmpTuples, ii.Delta, ii.Algo)
+		}
+	}
+
+	res, err := core.New(opts).Run(prog, edbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fixpoint in %v (%d iterations, %d SQL queries)",
+		res.Stats.Duration.Round(1e6), res.Stats.Iterations, res.Stats.Queries)
+	for name, rel := range res.Relations {
+		log.Printf("%s: %d tuples", name, rel.NumTuples())
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*outDir, name+".tsv")
+			if err := relio.WriteTSVFile(path, rel); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

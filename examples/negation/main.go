@@ -1,0 +1,41 @@
+// Command negation demonstrates the two language extensions of Section 3.3:
+// stratified negation (the complement of transitive closure, Example 2) and
+// non-recursive aggregation (reachable-vertex counts).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recstep"
+)
+
+func main() {
+	res, err := recstep.RunSource(`
+		arc(1, 2). arc(2, 3). arc(4, 1).
+
+		% Example 2: complement of transitive closure, via stratified negation.
+		tc(x, y) :- arc(x, y).
+		tc(x, y) :- tc(x, z), arc(z, y).
+		node(x) :- arc(x, y).
+		node(y) :- arc(x, y).
+		ntc(x, y) :- node(x), node(y), !tc(x, y).
+
+		% Section 3.3: COUNT aggregation on top of the closure.
+		gtc(x, COUNT(y)) :- tc(x, y).
+	`, nil, recstep.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tc: %d tuples, ntc (complement): %d tuples\n",
+		res.Relations["tc"].NumTuples(), res.Relations["ntc"].NumTuples())
+	fmt.Println("vertices reachable from each vertex:")
+	res.Relations["gtc"].ForEach(func(t []int32) {
+		fmt.Printf("  gtc(%d) = %d\n", t[0], t[1])
+	})
+	fmt.Println("pairs NOT in the closure:")
+	res.Relations["ntc"].ForEach(func(t []int32) {
+		fmt.Printf("  ntc(%d, %d)\n", t[0], t[1])
+	})
+}

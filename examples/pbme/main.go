@@ -1,0 +1,63 @@
+// Command pbme demonstrates the Parallel Bit-Matrix Evaluation fast path
+// (Section 5.3) on a dense graph and cross-checks it against the general
+// engine — the case where the paper reports hash-based evaluation running
+// out of memory while the bit matrix stays tiny.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"recstep"
+)
+
+const (
+	n    = 600
+	prob = 0.02
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	arc := recstep.NewRelation("arc", 2)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < prob {
+				arc.Append([]int32{int32(i), int32(j)})
+			}
+		}
+	}
+	fmt.Printf("dense G%d: %d arcs; bit matrix needs %d KiB, fits budget: %t\n",
+		n, arc.NumTuples(), n*((n+63)/64)*8/1024, recstep.PBMEFits(n, 1<<30))
+
+	t0 := time.Now()
+	tcPBME, err := recstep.TransitiveClosurePBME(arc, n, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PBME   TC: %8d tuples in %v\n", tcPBME.NumTuples(), time.Since(t0).Round(time.Millisecond))
+
+	t1 := time.Now()
+	res, err := recstep.RunSource(`
+		tc(x, y) :- arc(x, y).
+		tc(x, y) :- tc(x, z), arc(z, y).
+	`, map[string]*recstep.Relation{"arc": arc}, recstep.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine TC: %8d tuples in %v\n", res.Relations["tc"].NumTuples(), time.Since(t1).Round(time.Millisecond))
+
+	if !reflect.DeepEqual(tcPBME.SortedRows(), res.Relations["tc"].SortedRows()) {
+		log.Fatal("PBME and engine disagree!")
+	}
+	fmt.Println("results identical ✓")
+
+	t2 := time.Now()
+	sg, err := recstep.SameGenerationPBME(arc, n, 0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PBME   SG: %8d tuples in %v (coordinated)\n", sg.NumTuples(), time.Since(t2).Round(time.Millisecond))
+}

@@ -1,0 +1,94 @@
+// Command programanalysis evaluates the paper's two pointer analyses —
+// Andersen's analysis and Graspan's context-sensitive points-to analysis
+// (CSPA) — over a small synthetic program built through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"recstep"
+)
+
+const vars = 400
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	v := func() int32 { return int32(rng.Intn(vars)) }
+
+	// Andersen facts: p = &a / p = q / p = *q / *p = q.
+	addressOf := recstep.NewRelation("addressOf", 2)
+	assign := recstep.NewRelation("assign", 2)
+	load := recstep.NewRelation("load", 2)
+	store := recstep.NewRelation("store", 2)
+	for i := 0; i < vars/6; i++ {
+		addressOf.Append([]int32{v(), int32(rng.Intn(vars / 4))})
+	}
+	for i := 0; i < vars; i++ {
+		assign.Append([]int32{v(), v()})
+	}
+	for i := 0; i < vars/12; i++ {
+		load.Append([]int32{v(), v()})
+		store.Append([]int32{v(), v()})
+	}
+
+	aa, err := recstep.RunSource(`
+		pointsTo(y, x) :- addressOf(y, x).
+		pointsTo(y, x) :- assign(y, z), pointsTo(z, x).
+		pointsTo(y, w) :- load(y, x), pointsTo(x, z), pointsTo(z, w).
+		pointsTo(z, w) :- store(y, x), pointsTo(y, z), pointsTo(x, w).
+	`, map[string]*recstep.Relation{
+		"addressOf": addressOf, "assign": assign, "load": load, "store": store,
+	}, recstep.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Andersen: %d points-to facts from %d variables (%d iterations, %v)\n",
+		aa.Relations["pointsTo"].NumTuples(), vars, aa.Stats.Iterations,
+		aa.Stats.Duration.Round(1e6))
+
+	// CSPA facts: clustered forward assignments (function-local dataflow)
+	// plus pointer dereferences. Value flow stays locally bounded, as in
+	// real extracted programs — a cyclic assign graph would make the
+	// closure all-pairs.
+	const cluster = 20
+	assign2 := recstep.NewRelation("assign", 2)
+	deref := recstep.NewRelation("dereference", 2)
+	for i := 0; i < vars; i++ {
+		src := rng.Intn(vars - 1)
+		end := src - src%cluster + cluster
+		if end > vars {
+			end = vars
+		}
+		if src+1 >= end {
+			continue
+		}
+		assign2.Append([]int32{int32(src), int32(src + 1 + rng.Intn(end-src-1))})
+	}
+	for i := 0; i < vars/3; i++ {
+		deref.Append([]int32{int32(rng.Intn(vars / 4)), v()})
+	}
+
+	cspa, err := recstep.RunSource(`
+		valueFlow(y, x) :- assign(y, x).
+		valueFlow(x, y) :- assign(x, z), memoryAlias(z, y).
+		valueFlow(x, y) :- valueFlow(x, z), valueFlow(z, y).
+		memoryAlias(x, w) :- dereference(y, x), valueAlias(y, z), dereference(z, w).
+		valueAlias(x, y) :- valueFlow(z, x), valueFlow(z, y).
+		valueAlias(x, y) :- valueFlow(z, x), memoryAlias(z, w), valueFlow(w, y).
+		valueFlow(x, x) :- assign(x, y).
+		valueFlow(x, x) :- assign(y, x).
+		memoryAlias(x, x) :- assign(y, x).
+		memoryAlias(x, x) :- assign(x, y).
+	`, map[string]*recstep.Relation{"assign": assign2, "dereference": deref},
+		recstep.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CSPA: valueFlow=%d memoryAlias=%d valueAlias=%d (%d iterations, %v)\n",
+		cspa.Relations["valueFlow"].NumTuples(),
+		cspa.Relations["memoryAlias"].NumTuples(),
+		cspa.Relations["valueAlias"].NumTuples(),
+		cspa.Stats.Iterations, cspa.Stats.Duration.Round(1e6))
+}

@@ -1,0 +1,31 @@
+// Command quickstart is the smallest possible RecStep program: transitive
+// closure over a few inline facts, printed to stdout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recstep"
+)
+
+func main() {
+	res, err := recstep.RunSource(`
+		% A little directed graph, as inline facts.
+		arc(1, 2). arc(2, 3). arc(3, 4). arc(4, 2).
+
+		% Example 1 from the paper: transitive closure.
+		tc(x, y) :- arc(x, y).
+		tc(x, y) :- tc(x, z), arc(z, y).
+	`, nil, recstep.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tc := res.Relations["tc"]
+	fmt.Printf("tc has %d tuples (computed in %d iterations, %v):\n",
+		tc.NumTuples(), res.Stats.Iterations, res.Stats.Duration.Round(1e6))
+	tc.ForEach(func(t []int32) {
+		fmt.Printf("  tc(%d, %d)\n", t[0], t[1])
+	})
+}

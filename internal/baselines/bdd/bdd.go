@@ -1,0 +1,419 @@
+// Package bdd is the "bddbddb-like" comparator: a Datalog evaluator whose
+// relations are binary decision diagrams (BDDs), the representation
+// pioneered for program analysis by Whaley & Lam's bddbddb solver (the
+// paper's fourth comparison system). Redundancy in over-approximated
+// analysis results compresses exponentially well in BDD form, but
+// performance is extremely sensitive to variable ordering and to the size
+// of the active domain — the behaviour Section 6 observes (competitive on
+// small variable universes, orders of magnitude slower on large graphs).
+//
+// The package implements a reduced ordered BDD store with an apply cache,
+// the standard relational operations (union, intersect, relational product,
+// variable replacement) and bit-level encodings of binary int relations.
+package bdd
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// nodeRef indexes into the store's node table. Terminals are 0 (false) and
+// 1 (true).
+type nodeRef int32
+
+const (
+	falseRef nodeRef = 0
+	trueRef  nodeRef = 1
+)
+
+type node struct {
+	level  int32 // variable level; terminals use maxLevel
+	lo, hi nodeRef
+}
+
+// Store is a shared BDD node store with hash-consing and an operation
+// cache. All BDDs built against one store share structure.
+type Store struct {
+	nodes    []node
+	unique   map[node]nodeRef
+	maxLevel int32
+
+	applyCache map[applyKey]nodeRef
+}
+
+type applyKey struct {
+	op   byte // '|', '&', '-'
+	a, b nodeRef
+}
+
+// NewStore creates a store for the given number of boolean variables
+// (levels 0 … numVars-1).
+func NewStore(numVars int) *Store {
+	s := &Store{
+		unique:     make(map[node]nodeRef),
+		maxLevel:   int32(numVars),
+		applyCache: make(map[applyKey]nodeRef),
+	}
+	// Terminal nodes occupy slots 0 and 1.
+	s.nodes = append(s.nodes,
+		node{level: s.maxLevel}, node{level: s.maxLevel})
+	return s
+}
+
+// NumNodes reports the node count (BDD memory proxy).
+func (s *Store) NumNodes() int { return len(s.nodes) }
+
+func (s *Store) level(r nodeRef) int32 { return s.nodes[r].level }
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rule lo==hi ⇒ lo.
+func (s *Store) mk(level int32, lo, hi nodeRef) nodeRef {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := s.unique[key]; ok {
+		return r
+	}
+	r := nodeRef(len(s.nodes))
+	s.nodes = append(s.nodes, key)
+	s.unique[key] = r
+	return r
+}
+
+// BDD is a boolean function over the store's variables.
+type BDD struct {
+	store *Store
+	root  nodeRef
+}
+
+// False returns the empty relation.
+func (s *Store) False() BDD { return BDD{s, falseRef} }
+
+// True returns the universal relation.
+func (s *Store) True() BDD { return BDD{s, trueRef} }
+
+// IsFalse reports whether the BDD is the constant false.
+func (b BDD) IsFalse() bool { return b.root == falseRef }
+
+// Equal reports structural (= semantic, BDDs are canonical) equality.
+func (b BDD) Equal(o BDD) bool { return b.root == o.root }
+
+// apply computes a binary boolean operation with memoization.
+func (s *Store) apply(op byte, a, b nodeRef) nodeRef {
+	switch op {
+	case '|':
+		if a == trueRef || b == trueRef {
+			return trueRef
+		}
+		if a == falseRef {
+			return b
+		}
+		if b == falseRef {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case '&':
+		if a == falseRef || b == falseRef {
+			return falseRef
+		}
+		if a == trueRef {
+			return b
+		}
+		if b == trueRef {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case '-': // a ∧ ¬b
+		if a == falseRef || b == trueRef {
+			return falseRef
+		}
+		if b == falseRef {
+			return a
+		}
+		if a == b {
+			return falseRef
+		}
+	}
+	key := applyKey{op, a, b}
+	if r, ok := s.applyCache[key]; ok {
+		return r
+	}
+	la, lb := s.level(a), s.level(b)
+	top := la
+	if lb < top {
+		top = lb
+	}
+	var a0, a1, b0, b1 nodeRef
+	if la == top {
+		a0, a1 = s.nodes[a].lo, s.nodes[a].hi
+	} else {
+		a0, a1 = a, a
+	}
+	if lb == top {
+		b0, b1 = s.nodes[b].lo, s.nodes[b].hi
+	} else {
+		b0, b1 = b, b
+	}
+	r := s.mk(top, s.apply(op, a0, b0), s.apply(op, a1, b1))
+	s.applyCache[key] = r
+	return r
+}
+
+// Or returns b ∨ o.
+func (b BDD) Or(o BDD) BDD { return BDD{b.store, b.store.apply('|', b.root, o.root)} }
+
+// And returns b ∧ o.
+func (b BDD) And(o BDD) BDD { return BDD{b.store, b.store.apply('&', b.root, o.root)} }
+
+// Diff returns b ∧ ¬o (set difference).
+func (b BDD) Diff(o BDD) BDD { return BDD{b.store, b.store.apply('-', b.root, o.root)} }
+
+// exists quantifies away every level for which keep[level] is false.
+func (s *Store) exists(r nodeRef, drop []bool, cache map[nodeRef]nodeRef) nodeRef {
+	if r == falseRef || r == trueRef {
+		return r
+	}
+	if v, ok := cache[r]; ok {
+		return v
+	}
+	n := s.nodes[r]
+	lo := s.exists(n.lo, drop, cache)
+	hi := s.exists(n.hi, drop, cache)
+	var out nodeRef
+	if drop[n.level] {
+		out = s.apply('|', lo, hi)
+	} else {
+		out = s.mk(n.level, lo, hi)
+	}
+	cache[r] = out
+	return out
+}
+
+// Exists existentially quantifies the given levels away.
+func (b BDD) Exists(levels []int32) BDD {
+	drop := make([]bool, b.store.maxLevel)
+	for _, l := range levels {
+		drop[l] = true
+	}
+	return BDD{b.store, b.store.exists(b.root, drop, make(map[nodeRef]nodeRef))}
+}
+
+// Count enumerates the number of satisfying assignments over the given
+// level set size (i.e. tuples of a relation over those variables).
+func (b BDD) Count(levels []int32) int64 {
+	present := make([]bool, b.store.maxLevel+1)
+	for _, l := range levels {
+		present[l] = true
+	}
+	type key struct {
+		r nodeRef
+		l int32
+	}
+	memo := make(map[key]int64)
+	var rec func(r nodeRef, from int32) int64
+	rec = func(r nodeRef, from int32) int64 {
+		// Count free levels in [from, level(r)) that belong to the set.
+		lvl := b.store.level(r)
+		mult := int64(1)
+		for l := from; l < lvl && l < b.store.maxLevel; l++ {
+			if present[l] {
+				mult *= 2
+			}
+		}
+		if r == falseRef {
+			return 0
+		}
+		if r == trueRef {
+			return mult
+		}
+		k := key{r, from}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		n := b.store.nodes[r]
+		v := mult * (rec(n.lo, lvl+1) + rec(n.hi, lvl+1))
+		memo[k] = v
+		return v
+	}
+	return rec(b.root, 0)
+}
+
+// Domain describes the bit encoding of one attribute: Bits boolean
+// variables at the given interleaved positions.
+type Domain struct {
+	store  *Store
+	levels []int32 // most significant bit first
+}
+
+// bitsFor returns the number of bits needed for values in [0, n).
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Encoding lays out k attribute domains of the same width with interleaved
+// bits (x0 y0 z0 x1 y1 z1 …), bddbddb's default strategy for relation
+// attributes that are joined against each other — the variable-ordering
+// choice its performance depends on.
+type Encoding struct {
+	Store   *Store
+	Domains []Domain
+	width   int
+	eqCache map[[2]int]BDD
+}
+
+// NewEncoding creates an interleaved encoding of `attrs` attribute domains,
+// each covering values [0, n).
+func NewEncoding(attrs, n int) *Encoding {
+	w := bitsFor(n)
+	store := NewStore(attrs * w)
+	enc := &Encoding{Store: store, width: w}
+	for a := 0; a < attrs; a++ {
+		levels := make([]int32, w)
+		for b := 0; b < w; b++ {
+			levels[b] = int32(b*attrs + a)
+		}
+		enc.Domains = append(enc.Domains, Domain{store: store, levels: levels})
+	}
+	return enc
+}
+
+// ValueBDD encodes domain[attr] == v.
+func (e *Encoding) ValueBDD(attr int, v int32) BDD {
+	d := e.Domains[attr]
+	root := trueRef
+	// Build bottom-up (deepest level first) for canonical construction.
+	for i := len(d.levels) - 1; i >= 0; i-- {
+		bit := (v >> (len(d.levels) - 1 - i)) & 1
+		if bit == 1 {
+			root = e.Store.mk(d.levels[i], falseRef, root)
+		} else {
+			root = e.Store.mk(d.levels[i], root, falseRef)
+		}
+	}
+	return BDD{e.Store, root}
+}
+
+// TupleBDD encodes the conjunction attr0==v0 ∧ attr1==v1 ∧ ….
+func (e *Encoding) TupleBDD(vals ...int32) BDD {
+	if len(vals) > len(e.Domains) {
+		panic(fmt.Sprintf("bdd: %d values for %d domains", len(vals), len(e.Domains)))
+	}
+	out := e.Store.True()
+	for i, v := range vals {
+		out = out.And(e.ValueBDD(i, v))
+	}
+	return out
+}
+
+// Levels returns the variable levels of one attribute.
+func (e *Encoding) Levels(attr int) []int32 {
+	return e.Domains[attr].levels
+}
+
+// eqBDD returns the equality relation domain[i] == domain[j], built
+// bottom-up (linear size under the interleaved ordering) and cached. It is
+// the workhorse of attribute renaming via relational product.
+func (e *Encoding) eqBDD(i, j int) BDD {
+	if i > j {
+		i, j = j, i
+	}
+	key := [2]int{i, j}
+	if e.eqCache == nil {
+		e.eqCache = make(map[[2]int]BDD)
+	}
+	if b, ok := e.eqCache[key]; ok {
+		return b
+	}
+	li, lj := e.Domains[i].levels, e.Domains[j].levels
+	root := trueRef
+	for b := len(li) - 1; b >= 0; b-- {
+		// Per-bit: (x_b=0 ∧ y_b=0) ∨ (x_b=1 ∧ y_b=1), chained below root.
+		lo, hi := li[b], lj[b]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		zero := e.Store.mk(hi, root, falseRef)
+		one := e.Store.mk(hi, falseRef, root)
+		root = e.Store.mk(lo, zero, one)
+	}
+	out := BDD{e.Store, root}
+	e.eqCache[key] = out
+	return out
+}
+
+// Rename moves attribute `from` to attribute `to` by relational product:
+// ∃from (b ∧ (from == to)). The input must not already constrain `to`.
+// Unlike a level-substitution replace, this works for arbitrary (including
+// order-reversing) renamings.
+func (e *Encoding) Rename(b BDD, from, to int) BDD {
+	joined := b.And(e.eqBDD(from, to))
+	return joined.Exists(e.Domains[from].levels)
+}
+
+// Enumerate calls fn for every satisfying tuple over the given attributes.
+func (e *Encoding) Enumerate(b BDD, attrs []int, fn func(vals []int32)) {
+	levelAttr := make([]int, e.Store.maxLevel) // level → position in attrs, or -1
+	levelBit := make([]int, e.Store.maxLevel)  // level → bit index (msb=0)
+	for i := range levelAttr {
+		levelAttr[i] = -1
+	}
+	for ai, a := range attrs {
+		for bi, l := range e.Domains[a].levels {
+			levelAttr[l] = ai
+			levelBit[l] = bi
+		}
+	}
+	vals := make([]int32, len(attrs))
+	var rec func(r nodeRef, level int32)
+	rec = func(r nodeRef, level int32) {
+		if r == falseRef {
+			return
+		}
+		if level == e.Store.maxLevel {
+			if r == trueRef {
+				out := make([]int32, len(vals))
+				copy(out, vals)
+				fn(out)
+			}
+			return
+		}
+		ai := levelAttr[level]
+		nodeLevel := e.Store.level(r)
+		if nodeLevel > level {
+			// Free variable at this level: branch both ways if it belongs
+			// to an enumerated attribute, else skip.
+			if ai < 0 {
+				rec(r, level+1)
+				return
+			}
+			shift := len(e.Domains[attrs[ai]].levels) - 1 - levelBit[level]
+			vals[ai] &^= 1 << shift
+			rec(r, level+1)
+			vals[ai] |= 1 << shift
+			rec(r, level+1)
+			vals[ai] &^= 1 << shift
+			return
+		}
+		n := e.Store.nodes[r]
+		if ai < 0 {
+			rec(n.lo, level+1)
+			rec(n.hi, level+1)
+			return
+		}
+		shift := len(e.Domains[attrs[ai]].levels) - 1 - levelBit[level]
+		vals[ai] &^= 1 << shift
+		rec(n.lo, level+1)
+		vals[ai] |= 1 << shift
+		rec(n.hi, level+1)
+		vals[ai] &^= 1 << shift
+	}
+	rec(b.root, 0)
+}

@@ -1,0 +1,186 @@
+package bdd
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"recstep/internal/core"
+	"recstep/internal/graphs"
+	"recstep/internal/pa"
+	"recstep/internal/programs"
+	"recstep/internal/quickstep/storage"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore(4)
+	if !s.False().IsFalse() || s.True().IsFalse() {
+		t.Fatal("terminal misbehaviour")
+	}
+	if !s.False().Or(s.True()).Equal(s.True()) {
+		t.Fatal("false ∨ true ≠ true")
+	}
+	if !s.True().And(s.False()).IsFalse() {
+		t.Fatal("true ∧ false ≠ false")
+	}
+	if !s.True().Diff(s.True()).IsFalse() {
+		t.Fatal("true − true ≠ false")
+	}
+}
+
+func TestValueBDDDistinct(t *testing.T) {
+	e := NewEncoding(2, 8)
+	a := e.ValueBDD(0, 3)
+	b := e.ValueBDD(0, 5)
+	if a.Equal(b) {
+		t.Fatal("different values encode equal")
+	}
+	if !a.And(b).IsFalse() {
+		t.Fatal("x=3 ∧ x=5 should be unsatisfiable")
+	}
+	if a.Or(b).IsFalse() {
+		t.Fatal("union lost values")
+	}
+}
+
+func TestTupleBDDAndCount(t *testing.T) {
+	e := NewEncoding(2, 8)
+	r := e.TupleBDD(1, 2).Or(e.TupleBDD(3, 4)).Or(e.TupleBDD(1, 2))
+	levels := append(append([]int32{}, e.Levels(0)...), e.Levels(1)...)
+	if got := r.Count(levels); got != 2 {
+		t.Fatalf("Count = %d, want 2 (set semantics)", got)
+	}
+}
+
+func TestEnumerateRoundTrip(t *testing.T) {
+	e := NewEncoding(2, 16)
+	want := [][2]int32{{0, 1}, {5, 9}, {15, 15}}
+	r := e.Store.False()
+	for _, p := range want {
+		r = r.Or(e.TupleBDD(p[0], p[1]))
+	}
+	var got [][2]int32
+	e.Enumerate(r, []int{0, 1}, func(vals []int32) {
+		got = append(got, [2]int32{vals[0], vals[1]})
+	})
+	sort.Slice(got, func(i, j int) bool {
+		if got[i][0] != got[j][0] {
+			return got[i][0] < got[j][0]
+		}
+		return got[i][1] < got[j][1]
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("enumerate = %v, want %v", got, want)
+	}
+}
+
+func TestExistsProjectsAttribute(t *testing.T) {
+	e := NewEncoding(2, 8)
+	r := e.TupleBDD(1, 2).Or(e.TupleBDD(1, 5))
+	proj := r.Exists(e.Levels(1)) // ∃y r(x,y) → x=1
+	if !proj.Equal(e.ValueBDD(0, 1)) {
+		t.Fatal("projection should collapse to x=1")
+	}
+}
+
+func TestRenameMovesAttribute(t *testing.T) {
+	e := NewEncoding(3, 8)
+	r := e.TupleBDD2(0, 3, 1, 6)
+	moved := e.Rename(r, 1, 2) // (x=3, t=6)
+	want := e.TupleBDD2(0, 3, 2, 6)
+	if !moved.Equal(want) {
+		t.Fatal("rename attr1→attr2 failed")
+	}
+	// Order-reversing rename: attr2 → attr0 (after clearing attr0).
+	s := e.TupleBDD2(1, 4, 2, 7)
+	back := e.Rename(s, 2, 0) // (a=7, b=4)? attr2→attr0: (attr0=7, attr1=4)
+	want2 := e.TupleBDD2(0, 7, 1, 4)
+	if !back.Equal(want2) {
+		t.Fatal("order-reversing rename failed")
+	}
+}
+
+func TestTCMatchesEngine(t *testing.T) {
+	arc := graphs.GnP(24, 0.08, 3)
+	n := 24
+	got, err := TC(arc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New(core.DefaultOptions()).Run(programs.MustParse(programs.TC),
+		map[string]*storage.Relation{"arc": arc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.SortedRows(), res.Relations["tc"].SortedRows()) {
+		t.Fatalf("bdd tc = %d tuples, engine = %d", got.NumTuples(), res.Relations["tc"].NumTuples())
+	}
+}
+
+func TestTCOnCycle(t *testing.T) {
+	arc := storage.NewRelation("arc", storage.NumberedColumns(2))
+	arc.Append([]int32{0, 1})
+	arc.Append([]int32{1, 2})
+	arc.Append([]int32{2, 0})
+	got, err := TC(arc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTuples() != 9 {
+		t.Fatalf("cycle closure = %d tuples, want 9", got.NumTuples())
+	}
+}
+
+func TestAndersenMatchesEngine(t *testing.T) {
+	edbs := pa.AndersenSized(48, 5)
+	got, err := Andersen(edbs, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New(core.DefaultOptions()).Run(programs.MustParse(programs.Andersen), edbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.SortedRows(), res.Relations["pointsTo"].SortedRows()) {
+		t.Fatalf("bdd pointsTo = %d tuples, engine = %d",
+			got.NumTuples(), res.Relations["pointsTo"].NumTuples())
+	}
+}
+
+func TestDomainErrors(t *testing.T) {
+	arc := storage.NewRelation("arc", storage.NumberedColumns(2))
+	if _, err := TC(arc, 0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := Andersen(nil, -1); err == nil {
+		t.Fatal("negative domain should error")
+	}
+}
+
+func TestNodeSharing(t *testing.T) {
+	e := NewEncoding(2, 64)
+	before := e.Store.NumNodes()
+	// Identical tuples must not allocate new nodes the second time.
+	a := e.TupleBDD(10, 20)
+	mid := e.Store.NumNodes()
+	b := e.TupleBDD(10, 20)
+	after := e.Store.NumNodes()
+	if !a.Equal(b) {
+		t.Fatal("hash consing broken: identical functions differ")
+	}
+	if after != mid {
+		t.Fatalf("second construction allocated %d nodes", after-mid)
+	}
+	if mid == before {
+		t.Fatal("first construction allocated nothing")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 256: 8, 257: 9}
+	for n, want := range cases {
+		if got := bitsFor(n); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

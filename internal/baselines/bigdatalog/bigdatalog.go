@@ -1,0 +1,450 @@
+// Package bigdatalog is the "BigDatalog-like" comparator: a miniature
+// shared-nothing dataflow engine in the mold of BigDatalog-on-Spark
+// (Shkapsky et al., SIGMOD'16), the paper's distributed baseline. Relations
+// are hash-partitioned across P simulated workers; every semi-naive
+// iteration is a pair of synchronous stages separated by shuffles (join
+// stage keyed by the join column, dedup stage keyed by the tuple), exactly
+// the set-semantic RDD recursion BigDatalog builds on. The engine counts
+// shuffled bytes so experiments can report communication volume.
+//
+// Like the real system, it evaluates linear recursion and recursive
+// monotone aggregation but not mutual recursion (Table 1).
+package bigdatalog
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// Cluster is a set of simulated shared-nothing workers.
+type Cluster struct {
+	workers      int
+	shuffleBytes atomic.Int64
+	shuffles     atomic.Int64
+}
+
+// NewCluster creates a cluster with p workers (p ≤ 0 selects 4, a small
+// "cluster" by default).
+func NewCluster(p int) *Cluster {
+	if p <= 0 {
+		p = 4
+	}
+	return &Cluster{workers: p}
+}
+
+// Workers returns the cluster size.
+func (c *Cluster) Workers() int { return c.workers }
+
+// ShuffleBytes reports the total bytes exchanged between partitions.
+func (c *Cluster) ShuffleBytes() int64 { return c.shuffleBytes.Load() }
+
+// Shuffles reports how many all-to-all exchanges ran.
+func (c *Cluster) Shuffles() int64 { return c.shuffles.Load() }
+
+func (c *Cluster) part(v int32) int {
+	return int(uint32(v)*2654435761) % c.workers
+}
+
+// parallel runs fn once per worker and waits (a synchronous Spark stage).
+func (c *Cluster) parallel(fn func(w int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < c.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// exchange routes per-worker output buffers to their destination partitions
+// (the shuffle barrier), charging the shuffle byte counter.
+func (c *Cluster) exchange(outs [][][]int32) [][]int32 {
+	in := make([][]int32, c.workers)
+	var bytes int64
+	for src := 0; src < c.workers; src++ {
+		for dst := 0; dst < c.workers; dst++ {
+			rows := outs[src][dst]
+			if len(rows) == 0 {
+				continue
+			}
+			if src != dst {
+				bytes += int64(4 * len(rows))
+			}
+			in[dst] = append(in[dst], rows...)
+		}
+	}
+	c.shuffleBytes.Add(bytes)
+	c.shuffles.Add(1)
+	return in
+}
+
+// partitionByCol splits a relation's rows by the hash of one column.
+func (c *Cluster) partitionByCol(rel *storage.Relation, col int) [][]int32 {
+	parts := make([][]int32, c.workers)
+	rel.ForEach(func(t []int32) {
+		w := c.part(t[col])
+		parts[w] = append(parts[w], t...)
+	})
+	return parts
+}
+
+// TC evaluates transitive closure: arc is partitioned once by source
+// vertex (the broadcast-free join layout BigDatalog caches); each iteration
+// shuffles the delta by its join key, joins per partition, shuffles the
+// derived tuples by tuple hash, and dedups against the closure shard.
+func (c *Cluster) TC(arc *storage.Relation) *storage.Relation {
+	// adjacency per worker: z → ys for arcs whose source z lives here.
+	adj := make([]map[int32][]int32, c.workers)
+	arcParts := c.partitionByCol(arc, 0)
+	c.parallel(func(w int) {
+		m := make(map[int32][]int32)
+		rows := arcParts[w]
+		for i := 0; i+1 < len(rows); i += 2 {
+			m[rows[i]] = append(m[rows[i]], rows[i+1])
+		}
+		adj[w] = m
+	})
+
+	// tc shards keyed by tuple hash; delta starts as arc itself.
+	shard := make([]map[uint64]struct{}, c.workers)
+	for w := range shard {
+		shard[w] = make(map[uint64]struct{})
+	}
+	key := func(x, y int32) uint64 { return uint64(uint32(x))<<32 | uint64(uint32(y)) }
+
+	// Seed: dedup arc into the shards and produce the first delta, keyed by
+	// join column (y).
+	seedOuts := make([][][]int32, c.workers)
+	tupleParts := make([][][]int32, c.workers)
+	for w := range tupleParts {
+		tupleParts[w] = make([][]int32, c.workers)
+	}
+	arc.ForEach(func(t []int32) {
+		dst := c.part(t[0] ^ t[1]*31)
+		tupleParts[0][dst] = append(tupleParts[0][dst], t[0], t[1])
+	})
+	seedIn := c.exchange(tupleParts)
+	deltaOut := make([][][]int32, c.workers)
+	c.parallel(func(w int) {
+		outs := make([][]int32, c.workers)
+		rows := seedIn[w]
+		for i := 0; i+1 < len(rows); i += 2 {
+			x, y := rows[i], rows[i+1]
+			k := key(x, y)
+			if _, ok := shard[w][k]; ok {
+				continue
+			}
+			shard[w][k] = struct{}{}
+			jw := c.part(y) // next join is on y
+			outs[jw] = append(outs[jw], x, y)
+		}
+		deltaOut[w] = outs
+	})
+	delta := c.exchange(deltaOut)
+	_ = seedOuts
+
+	for {
+		empty := true
+		for _, rows := range delta {
+			if len(rows) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			break
+		}
+		// Stage 1: join ∆tc(x, z) ⋈ arc(z, y) per partition, emitting to
+		// the dedup owner of each derived tuple.
+		joinOut := make([][][]int32, c.workers)
+		c.parallel(func(w int) {
+			outs := make([][]int32, c.workers)
+			rows := delta[w]
+			for i := 0; i+1 < len(rows); i += 2 {
+				x, z := rows[i], rows[i+1]
+				for _, y := range adj[w][z] {
+					dst := c.part(x ^ y*31)
+					outs[dst] = append(outs[dst], x, y)
+				}
+			}
+			joinOut[w] = outs
+		})
+		derived := c.exchange(joinOut)
+
+		// Stage 2: dedup against the closure shard; survivors become the
+		// next delta, shuffled by join key.
+		nextOut := make([][][]int32, c.workers)
+		c.parallel(func(w int) {
+			outs := make([][]int32, c.workers)
+			rows := derived[w]
+			for i := 0; i+1 < len(rows); i += 2 {
+				x, y := rows[i], rows[i+1]
+				k := key(x, y)
+				if _, ok := shard[w][k]; ok {
+					continue
+				}
+				shard[w][k] = struct{}{}
+				jw := c.part(y)
+				outs[jw] = append(outs[jw], x, y)
+			}
+			nextOut[w] = outs
+		})
+		delta = c.exchange(nextOut)
+	}
+
+	out := storage.NewRelation("tc", storage.NumberedColumns(2))
+	for w := 0; w < c.workers; w++ {
+		rows := make([]int32, 0, 2*len(shard[w]))
+		for k := range shard[w] {
+			rows = append(rows, int32(uint32(k>>32)), int32(uint32(k)))
+		}
+		out.AppendRows(rows)
+	}
+	return out
+}
+
+// Reach evaluates single-source reachability with a partitioned frontier.
+func (c *Cluster) Reach(arc *storage.Relation, src int32) *storage.Relation {
+	adj := make([]map[int32][]int32, c.workers)
+	arcParts := c.partitionByCol(arc, 0)
+	c.parallel(func(w int) {
+		m := make(map[int32][]int32)
+		rows := arcParts[w]
+		for i := 0; i+1 < len(rows); i += 2 {
+			m[rows[i]] = append(m[rows[i]], rows[i+1])
+		}
+		adj[w] = m
+	})
+	visited := make([]map[int32]struct{}, c.workers)
+	for w := range visited {
+		visited[w] = make(map[int32]struct{})
+	}
+	visited[c.part(src)][src] = struct{}{}
+	delta := make([][]int32, c.workers)
+	delta[c.part(src)] = []int32{src}
+	for {
+		empty := true
+		for _, d := range delta {
+			if len(d) > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			break
+		}
+		joinOut := make([][][]int32, c.workers)
+		c.parallel(func(w int) {
+			outs := make([][]int32, c.workers)
+			for _, x := range delta[w] {
+				for _, y := range adj[w][x] {
+					outs[c.part(y)] = append(outs[c.part(y)], y)
+				}
+			}
+			joinOut[w] = outs
+		})
+		derived := c.exchange(joinOut)
+		next := make([][]int32, c.workers)
+		c.parallel(func(w int) {
+			var local []int32
+			for _, y := range derived[w] {
+				if _, ok := visited[w][y]; !ok {
+					visited[w][y] = struct{}{}
+					local = append(local, y)
+				}
+			}
+			next[w] = local
+		})
+		delta = next
+	}
+	out := storage.NewRelation("reach", storage.NumberedColumns(1))
+	for w := 0; w < c.workers; w++ {
+		for v := range visited[w] {
+			out.Append([]int32{v})
+		}
+	}
+	return out
+}
+
+// SSSP evaluates single-source shortest paths with per-partition distance
+// shards and monotone min-merge — BigDatalog's recursive aggregation.
+// arc has arity 3 (x, y, weight).
+func (c *Cluster) SSSP(arc *storage.Relation, src int32) *storage.Relation {
+	type edge struct{ to, w int32 }
+	adj := make([]map[int32][]edge, c.workers)
+	arcParts := c.partitionByCol(arc, 0)
+	c.parallel(func(w int) {
+		m := make(map[int32][]edge)
+		rows := arcParts[w]
+		for i := 0; i+2 < len(rows); i += 3 {
+			m[rows[i]] = append(m[rows[i]], edge{rows[i+1], rows[i+2]})
+		}
+		adj[w] = m
+	})
+	dist := make([]map[int32]int32, c.workers)
+	for w := range dist {
+		dist[w] = make(map[int32]int32)
+	}
+	dist[c.part(src)][src] = 0
+	delta := make([][]int32, c.workers) // (vertex, dist) pairs
+	delta[c.part(src)] = []int32{src, 0}
+	for {
+		empty := true
+		for _, d := range delta {
+			if len(d) > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			break
+		}
+		joinOut := make([][][]int32, c.workers)
+		c.parallel(func(w int) {
+			outs := make([][]int32, c.workers)
+			rows := delta[w]
+			for i := 0; i+1 < len(rows); i += 2 {
+				x, dx := rows[i], rows[i+1]
+				for _, e := range adj[w][x] {
+					dst := c.part(e.to)
+					outs[dst] = append(outs[dst], e.to, dx+e.w)
+				}
+			}
+			joinOut[w] = outs
+		})
+		derived := c.exchange(joinOut)
+		next := make([][]int32, c.workers)
+		c.parallel(func(w int) {
+			// Monotone aggregate merge: keep improvements only.
+			best := make(map[int32]int32)
+			rows := derived[w]
+			for i := 0; i+1 < len(rows); i += 2 {
+				v, d := rows[i], rows[i+1]
+				if cur, ok := best[v]; !ok || d < cur {
+					best[v] = d
+				}
+			}
+			var local []int32
+			for v, d := range best {
+				if cur, ok := dist[w][v]; !ok || d < cur {
+					dist[w][v] = d
+					local = append(local, v, d)
+				}
+			}
+			next[w] = local
+		})
+		delta = next
+	}
+	out := storage.NewRelation("sssp", storage.NumberedColumns(2))
+	for w := 0; w < c.workers; w++ {
+		for v, d := range dist[w] {
+			out.Append([]int32{v, d})
+		}
+	}
+	return out
+}
+
+// CC evaluates connected components by min-label propagation over a
+// partitioned vertex set (arc must contain both directions).
+func (c *Cluster) CC(arc *storage.Relation) *storage.Relation {
+	adj := make([]map[int32][]int32, c.workers)
+	arcParts := c.partitionByCol(arc, 0)
+	c.parallel(func(w int) {
+		m := make(map[int32][]int32)
+		rows := arcParts[w]
+		for i := 0; i+1 < len(rows); i += 2 {
+			m[rows[i]] = append(m[rows[i]], rows[i+1])
+		}
+		adj[w] = m
+	})
+	label := make([]map[int32]int32, c.workers)
+	for w := range label {
+		label[w] = make(map[int32]int32)
+	}
+	var seed [][]int32
+	seed = make([][]int32, c.workers)
+	arc.ForEach(func(t []int32) {
+		w := c.part(t[0])
+		if _, ok := label[w][t[0]]; !ok {
+			label[w][t[0]] = t[0]
+			seed[w] = append(seed[w], t[0], t[0])
+		}
+	})
+	delta := seed
+	for {
+		empty := true
+		for _, d := range delta {
+			if len(d) > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			break
+		}
+		joinOut := make([][][]int32, c.workers)
+		c.parallel(func(w int) {
+			outs := make([][]int32, c.workers)
+			rows := delta[w]
+			for i := 0; i+1 < len(rows); i += 2 {
+				x, lx := rows[i], rows[i+1]
+				for _, y := range adj[w][x] {
+					outs[c.part(y)] = append(outs[c.part(y)], y, lx)
+				}
+			}
+			joinOut[w] = outs
+		})
+		derived := c.exchange(joinOut)
+		next := make([][]int32, c.workers)
+		c.parallel(func(w int) {
+			best := make(map[int32]int32)
+			rows := derived[w]
+			for i := 0; i+1 < len(rows); i += 2 {
+				v, l := rows[i], rows[i+1]
+				if cur, ok := best[v]; !ok || l < cur {
+					best[v] = l
+				}
+			}
+			var local []int32
+			for v, l := range best {
+				if cur, ok := label[w][v]; !ok || l < cur {
+					label[w][v] = l
+					local = append(local, v, l)
+				}
+			}
+			next[w] = local
+		})
+		delta = next
+	}
+	out := storage.NewRelation("cc2", storage.NumberedColumns(2))
+	for w := 0; w < c.workers; w++ {
+		for v, l := range label[w] {
+			out.Append([]int32{v, l})
+		}
+	}
+	return out
+}
+
+// MaxSkew reports the load imbalance of a partitioned relation (max
+// partition size over mean) — the quantity user-provided sharding
+// annotations tune in Socialite/BigDatalog deployments.
+func (c *Cluster) MaxSkew(rel *storage.Relation, col int) float64 {
+	parts := c.partitionByCol(rel, col)
+	maxLen, total := 0, 0
+	for _, p := range parts {
+		total += len(p)
+		if len(p) > maxLen {
+			maxLen = len(p)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(c.workers)
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	return float64(maxLen) / mean
+}

@@ -1,0 +1,97 @@
+package bigdatalog
+
+import (
+	"reflect"
+	"testing"
+
+	"recstep/internal/core"
+	"recstep/internal/graphs"
+	"recstep/internal/programs"
+	"recstep/internal/quickstep/storage"
+)
+
+func recstep(t *testing.T, name string, edbs map[string]*storage.Relation) map[string]*storage.Relation {
+	t.Helper()
+	prog, err := programs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New(core.DefaultOptions()).Run(prog, edbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Relations
+}
+
+func sameRows(t *testing.T, what string, a, b *storage.Relation) {
+	t.Helper()
+	if !reflect.DeepEqual(a.SortedRows(), b.SortedRows()) {
+		t.Fatalf("%s: bigdatalog (%d tuples) disagrees with RecStep (%d tuples)",
+			what, a.NumTuples(), b.NumTuples())
+	}
+}
+
+func TestTCMatchesRecStep(t *testing.T) {
+	arc := graphs.GnP(60, 0.05, 1)
+	want := recstep(t, "tc", map[string]*storage.Relation{"arc": arc})["tc"]
+	c := NewCluster(4)
+	sameRows(t, "tc", c.TC(arc), want)
+	if c.ShuffleBytes() == 0 || c.Shuffles() == 0 {
+		t.Fatal("distributed evaluation must shuffle")
+	}
+}
+
+func TestTCWorkerCountIrrelevant(t *testing.T) {
+	arc := graphs.GnP(40, 0.08, 2)
+	base := NewCluster(1).TC(arc)
+	for _, p := range []int{2, 5, 8} {
+		sameRows(t, "tc partitions", NewCluster(p).TC(arc), base)
+	}
+}
+
+func TestReachMatchesRecStep(t *testing.T) {
+	arc := graphs.RMAT(256, 1024, 4)
+	want := recstep(t, "reach", map[string]*storage.Relation{
+		"arc": arc, "id": graphs.SingleSource(0),
+	})["reach"]
+	sameRows(t, "reach", NewCluster(4).Reach(arc, 0), want)
+}
+
+func TestSSSPMatchesRecStep(t *testing.T) {
+	arc := graphs.Weighted(graphs.RMAT(128, 512, 6), 50, 6)
+	want := recstep(t, "sssp", map[string]*storage.Relation{
+		"arc": arc, "id": graphs.SingleSource(0),
+	})["sssp"]
+	sameRows(t, "sssp", NewCluster(4).SSSP(arc, 0), want)
+}
+
+func TestCCMatchesRecStep(t *testing.T) {
+	arc := graphs.Undirected(graphs.RMAT(128, 300, 5))
+	want := recstep(t, "cc", map[string]*storage.Relation{"arc": arc})["cc2"]
+	sameRows(t, "cc2", NewCluster(4).CC(arc), want)
+}
+
+func TestClusterDefaults(t *testing.T) {
+	if NewCluster(0).Workers() != 4 {
+		t.Fatal("default cluster size should be 4")
+	}
+}
+
+func TestMaxSkew(t *testing.T) {
+	// A star graph partitioned by source is maximally skewed.
+	star := storage.NewRelation("arc", storage.NumberedColumns(2))
+	for i := int32(1); i <= 64; i++ {
+		star.Append([]int32{0, i})
+	}
+	c := NewCluster(4)
+	if skew := c.MaxSkew(star, 0); skew < 3.5 {
+		t.Fatalf("star skew = %f, want ≈ workers (4)", skew)
+	}
+	// Partitioning by destination is balanced.
+	if skew := c.MaxSkew(star, 1); skew > 2 {
+		t.Fatalf("balanced skew = %f, want near 1", skew)
+	}
+	if NewCluster(2).MaxSkew(storage.NewRelation("e", storage.NumberedColumns(2)), 0) != 0 {
+		t.Fatal("empty relation skew should be 0")
+	}
+}

@@ -1,0 +1,246 @@
+package native
+
+import (
+	"sort"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// rel2 is an indexed binary relation: membership set plus forward and
+// reverse adjacency, the index layout Soufflé's synthesized code maintains
+// per relation.
+type rel2 struct {
+	set map[uint64]struct{}
+	fwd map[int32][]int32
+	rev map[int32][]int32
+}
+
+func newRel2() *rel2 {
+	return &rel2{set: make(map[uint64]struct{}), fwd: make(map[int32][]int32), rev: make(map[int32][]int32)}
+}
+
+func key2(x, y int32) uint64 { return uint64(uint32(x))<<32 | uint64(uint32(y)) }
+
+// insert adds (x, y), reporting whether it is new.
+func (r *rel2) insert(x, y int32) bool {
+	k := key2(x, y)
+	if _, ok := r.set[k]; ok {
+		return false
+	}
+	r.set[k] = struct{}{}
+	r.fwd[x] = append(r.fwd[x], y)
+	r.rev[y] = append(r.rev[y], x)
+	return true
+}
+
+func (r *rel2) has(x, y int32) bool {
+	_, ok := r.set[key2(x, y)]
+	return ok
+}
+
+func (r *rel2) relation(name string) *storage.Relation {
+	keys := make([]uint64, 0, len(r.set))
+	for k := range r.set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := storage.NewRelation(name, []string{"c0", "c1"})
+	for _, k := range keys {
+		out.Append([]int32{int32(uint32(k >> 32)), int32(uint32(k))})
+	}
+	return out
+}
+
+type edge struct{ x, y int32 }
+
+// Andersen runs Andersen's points-to analysis with a tuple worklist over
+// indexed relations — the standard specialized inclusion-based solver.
+func Andersen(edbs map[string]*storage.Relation, workers int) *storage.Relation {
+	assignBySrc := make(map[int32][]int32) // z → [y] with assign(y, z)
+	edbs["assign"].ForEach(func(t []int32) { assignBySrc[t[1]] = append(assignBySrc[t[1]], t[0]) })
+	loadFwd := make(map[int32][]int32) // x → [y] with load(y, x)
+	edbs["load"].ForEach(func(t []int32) { loadFwd[t[1]] = append(loadFwd[t[1]], t[0]) })
+	storeFwd := make(map[int32][]int32) // y → [x] with store(y, x)
+	edbs["store"].ForEach(func(t []int32) { storeFwd[t[0]] = append(storeFwd[t[0]], t[1]) })
+	storeRev := make(map[int32][]int32) // x → [y] with store(y, x)
+	edbs["store"].ForEach(func(t []int32) { storeRev[t[1]] = append(storeRev[t[1]], t[0]) })
+
+	pt := newRel2() // pointsTo
+	var work []edge
+	push := func(y, x int32) {
+		if pt.insert(y, x) {
+			work = append(work, edge{y, x})
+		}
+	}
+	edbs["addressOf"].ForEach(func(t []int32) { push(t[0], t[1]) })
+	for len(work) > 0 {
+		e := work[len(work)-1]
+		work = work[:len(work)-1]
+		z, x := e.x, e.y // pointsTo(z, x)
+		// pointsTo(y,x) :- assign(y,z), pointsTo(z,x).
+		for _, y := range assignBySrc[z] {
+			push(y, x)
+		}
+		// pointsTo(y,w) :- load(y,x'), pointsTo(x',z'), pointsTo(z',w).
+		// New fact as pointsTo(x',z') with x'=z, z'=x:
+		for _, y := range loadFwd[z] {
+			for _, w := range pt.fwd[x] {
+				push(y, w)
+			}
+		}
+		// New fact as pointsTo(z',w) with z'=z, w=x:
+		for _, xp := range pt.rev[z] {
+			for _, y := range loadFwd[xp] {
+				push(y, x)
+			}
+		}
+		// pointsTo(z',w) :- store(y,x'), pointsTo(y,z'), pointsTo(x',w).
+		// New fact as pointsTo(y,z') with y=z, z'=x:
+		for _, xp := range storeFwd[z] {
+			for _, w := range pt.fwd[xp] {
+				push(x, w)
+			}
+		}
+		// New fact as pointsTo(x',w) with x'=z, w=x:
+		for _, y := range storeRev[z] {
+			for _, zp := range pt.fwd[y] {
+				push(zp, x)
+			}
+		}
+	}
+	return pt.relation("pointsTo")
+}
+
+// CSPAResult holds the three mutually recursive CSPA relations.
+type CSPAResult struct {
+	ValueFlow, MemoryAlias, ValueAlias *storage.Relation
+}
+
+// CSPA runs the context-sensitive points-to analysis with a worklist over
+// the three mutually recursive relations, using per-relation indexes.
+func CSPA(edbs map[string]*storage.Relation, workers int) CSPAResult {
+	assignRev := make(map[int32][]int32) // x → y for assign(y, x)
+	edbs["assign"].ForEach(func(t []int32) {
+		assignRev[t[1]] = append(assignRev[t[1]], t[0])
+	})
+	derefFwd := make(map[int32][]int32) // y → x for dereference(y, x)
+	edbs["dereference"].ForEach(func(t []int32) {
+		derefFwd[t[0]] = append(derefFwd[t[0]], t[1])
+	})
+
+	vf, ma, va := newRel2(), newRel2(), newRel2()
+	type tagged struct {
+		rel  byte // 'v' = valueFlow, 'm' = memoryAlias, 'a' = valueAlias
+		x, y int32
+	}
+	var work []tagged
+	pushVF := func(x, y int32) {
+		if vf.insert(x, y) {
+			work = append(work, tagged{'v', x, y})
+		}
+	}
+	pushMA := func(x, y int32) {
+		if ma.insert(x, y) {
+			work = append(work, tagged{'m', x, y})
+		}
+	}
+	pushVA := func(x, y int32) {
+		if va.insert(x, y) {
+			work = append(work, tagged{'a', x, y})
+		}
+	}
+
+	// Base rules.
+	edbs["assign"].ForEach(func(t []int32) {
+		y, x := t[0], t[1]
+		pushVF(y, x)
+		pushVF(y, y)
+		pushVF(x, x)
+		pushMA(y, y)
+		pushMA(x, x)
+	})
+
+	for len(work) > 0 {
+		e := work[len(work)-1]
+		work = work[:len(work)-1]
+		switch e.rel {
+		case 'v': // new valueFlow(x, y)
+			x, y := e.x, e.y
+			// valueFlow(x,y) :- valueFlow(x,z), valueFlow(z,y).
+			for _, y2 := range vf.fwd[y] {
+				pushVF(x, y2)
+			}
+			for _, x0 := range vf.rev[x] {
+				pushVF(x0, y)
+			}
+			// valueAlias(a,b) :- valueFlow(z,a), valueFlow(z,b), here z=x.
+			for _, b := range vf.fwd[x] {
+				pushVA(y, b)
+				pushVA(b, y)
+			}
+			// valueAlias(a,b) :- valueFlow(z,a), memoryAlias(z,w), valueFlow(w,b).
+			// New fact as first valueFlow (z=x, a=y):
+			for _, w := range ma.fwd[x] {
+				for _, b := range vf.fwd[w] {
+					pushVA(y, b)
+				}
+			}
+			// New fact as second valueFlow (w=x, b=y):
+			for _, z := range ma.rev[x] {
+				for _, a := range vf.fwd[z] {
+					pushVA(a, y)
+				}
+			}
+		case 'm': // new memoryAlias(z, w)
+			z, w := e.x, e.y
+			// valueFlow(x,y) :- assign(x,z), memoryAlias(z,y).
+			for _, x := range assignRev[z] {
+				pushVF(x, w)
+			}
+			// valueAlias(a,b) :- valueFlow(z',a), memoryAlias(z',w'), valueFlow(w',b), new as MA:
+			for _, a := range vf.fwd[z] {
+				for _, b := range vf.fwd[w] {
+					pushVA(a, b)
+				}
+			}
+		case 'a': // new valueAlias(y, z)
+			y, z := e.x, e.y
+			// memoryAlias(x,w) :- dereference(y,x), valueAlias(y,z), dereference(z,w).
+			for _, x := range derefFwd[y] {
+				for _, w := range derefFwd[z] {
+					pushMA(x, w)
+				}
+			}
+		}
+	}
+	return CSPAResult{
+		ValueFlow:   vf.relation("valueFlow"),
+		MemoryAlias: ma.relation("memoryAlias"),
+		ValueAlias:  va.relation("valueAlias"),
+	}
+}
+
+// CSDA runs the dataflow analysis: null(x,y) :- nullEdge(x,y);
+// null(x,y) :- null(x,w), arc(w,y) — a frontier BFS per null source.
+func CSDA(edbs map[string]*storage.Relation, workers int) *storage.Relation {
+	adj := adjacency(edbs["arc"])
+	null := newRel2()
+	var frontier []edge
+	edbs["nullEdge"].ForEach(func(t []int32) {
+		if null.insert(t[0], t[1]) {
+			frontier = append(frontier, edge{t[0], t[1]})
+		}
+	})
+	for len(frontier) > 0 {
+		var next []edge
+		for _, e := range frontier {
+			for _, y := range adj[e.y] {
+				if null.insert(e.x, y) {
+					next = append(next, edge{e.x, y})
+				}
+			}
+		}
+		frontier = next
+	}
+	return null.relation("null")
+}

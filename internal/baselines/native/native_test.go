@@ -1,0 +1,107 @@
+package native
+
+import (
+	"reflect"
+	"testing"
+
+	"recstep/internal/core"
+	"recstep/internal/graphs"
+	"recstep/internal/pa"
+	"recstep/internal/programs"
+	"recstep/internal/quickstep/storage"
+)
+
+// recstep evaluates a benchmark program on the core engine for
+// cross-checking the specialized evaluators.
+func recstep(t *testing.T, name string, edbs map[string]*storage.Relation) map[string]*storage.Relation {
+	t.Helper()
+	prog, err := programs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New(core.DefaultOptions()).Run(prog, edbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Relations
+}
+
+func sameRows(t *testing.T, what string, a, b *storage.Relation) {
+	t.Helper()
+	if !reflect.DeepEqual(a.SortedRows(), b.SortedRows()) {
+		t.Fatalf("%s: native (%d tuples) disagrees with RecStep (%d tuples)",
+			what, a.NumTuples(), b.NumTuples())
+	}
+}
+
+func TestTCMatchesRecStep(t *testing.T) {
+	arc := graphs.GnP(60, 0.05, 1)
+	want := recstep(t, "tc", map[string]*storage.Relation{"arc": arc})["tc"]
+	sameRows(t, "tc", TC(arc, 4), want)
+}
+
+func TestTCWorkerCounts(t *testing.T) {
+	arc := graphs.GnP(40, 0.08, 2)
+	base := TC(arc, 1)
+	for _, k := range []int{2, 8} {
+		sameRows(t, "tc workers", TC(arc, k), base)
+	}
+}
+
+func TestSGMatchesRecStep(t *testing.T) {
+	arc := graphs.GnP(30, 0.08, 3)
+	want := recstep(t, "sg", map[string]*storage.Relation{"arc": arc})["sg"]
+	sameRows(t, "sg", SG(arc, 4), want)
+}
+
+func TestReachMatchesRecStep(t *testing.T) {
+	arc := graphs.RMAT(256, 1024, 4)
+	want := recstep(t, "reach", map[string]*storage.Relation{
+		"arc": arc, "id": graphs.SingleSource(0),
+	})["reach"]
+	sameRows(t, "reach", Reach(arc, 0, 4), want)
+}
+
+func TestCCMatchesRecStep(t *testing.T) {
+	arc := graphs.Undirected(graphs.RMAT(128, 300, 5))
+	want := recstep(t, "cc", map[string]*storage.Relation{"arc": arc})["cc2"]
+	sameRows(t, "cc2", CC(arc, 4), want)
+}
+
+func TestSSSPMatchesRecStep(t *testing.T) {
+	arc := graphs.Weighted(graphs.RMAT(128, 512, 6), 50, 6)
+	want := recstep(t, "sssp", map[string]*storage.Relation{
+		"arc": arc, "id": graphs.SingleSource(0),
+	})["sssp"]
+	sameRows(t, "sssp", SSSP(arc, 0, 4), want)
+}
+
+func TestAndersenMatchesRecStep(t *testing.T) {
+	edbs := pa.AndersenSized(150, 7)
+	want := recstep(t, "aa", edbs)["pointsTo"]
+	sameRows(t, "pointsTo", Andersen(edbs, 4), want)
+}
+
+func TestAndersenLargerDataset(t *testing.T) {
+	edbs, err := pa.Andersen(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := recstep(t, "aa", edbs)["pointsTo"]
+	sameRows(t, "pointsTo d3", Andersen(edbs, 4), want)
+}
+
+func TestCSPAMatchesRecStep(t *testing.T) {
+	edbs := pa.CSPASized(pa.CSPAConfig{Vars: 120, AssignPer: 13, DerefRatio: 3, Seed: 9})
+	want := recstep(t, "cspa", edbs)
+	got := CSPA(edbs, 4)
+	sameRows(t, "valueFlow", got.ValueFlow, want["valueFlow"])
+	sameRows(t, "memoryAlias", got.MemoryAlias, want["memoryAlias"])
+	sameRows(t, "valueAlias", got.ValueAlias, want["valueAlias"])
+}
+
+func TestCSDAMatchesRecStep(t *testing.T) {
+	edbs := pa.CSDASized(4, 60, 4, 8)
+	want := recstep(t, "csda", edbs)["null"]
+	sameRows(t, "null", CSDA(edbs, 4), want)
+}

@@ -1,0 +1,104 @@
+package worklist
+
+import "recstep/internal/quickstep/storage"
+
+// Prebuilt grammars for the binary-relation benchmarks Graspan can express.
+
+// TC labels.
+const (
+	tcArc Label = iota
+	tcTC
+	tcLabels
+)
+
+// TC evaluates transitive closure: tc ⊇ arc, tc ⊇ tc∘arc.
+func TC(arc *storage.Relation) *storage.Relation {
+	e := New(Grammar{
+		NumLabels: int(tcLabels),
+		Unary:     []UnaryProd{{Head: tcTC, Body: tcArc}},
+		Binary:    []BinaryProd{{Head: tcTC, B: tcTC, C: tcArc}},
+	})
+	if err := e.AddRelation(tcArc, arc); err != nil {
+		panic(err)
+	}
+	e.Run()
+	return e.Relation(tcTC, "tc")
+}
+
+// CSDA labels.
+const (
+	csdaArc Label = iota
+	csdaNullEdge
+	csdaNull
+	csdaLabels
+)
+
+// CSDA evaluates the dataflow analysis: null ⊇ nullEdge, null ⊇ null∘arc.
+func CSDA(edbs map[string]*storage.Relation) *storage.Relation {
+	e := New(Grammar{
+		NumLabels: int(csdaLabels),
+		Unary:     []UnaryProd{{Head: csdaNull, Body: csdaNullEdge}},
+		Binary:    []BinaryProd{{Head: csdaNull, B: csdaNull, C: csdaArc}},
+	})
+	if err := e.AddRelation(csdaArc, edbs["arc"]); err != nil {
+		panic(err)
+	}
+	if err := e.AddRelation(csdaNullEdge, edbs["nullEdge"]); err != nil {
+		panic(err)
+	}
+	e.Run()
+	return e.Relation(csdaNull, "null")
+}
+
+// CSPA labels. The ternary Datalog rules factor into binary compositions
+// through intermediate labels, exactly as Graspan's grammar formulation
+// does:
+//
+//	vf  ⊇ assign | assign∘ma | vf∘vf | id(assign endpoints)
+//	va  ⊇ vfᵀ∘vf | vfᵀ∘mvf            (mvf = ma∘vf)
+//	ma  ⊇ dᵀva∘d (via dva = dᵀ∘va)    | id(assign endpoints)
+const (
+	cspaAssign Label = iota
+	cspaDeref
+	cspaVF
+	cspaMA
+	cspaVA
+	cspaMVF // ma ∘ vf
+	cspaDVA // derefᵀ ∘ va
+	cspaLabels
+)
+
+// CSPA evaluates the context-sensitive points-to analysis grammar.
+func CSPA(edbs map[string]*storage.Relation) (vf, ma, va *storage.Relation) {
+	e := New(Grammar{
+		NumLabels: int(cspaLabels),
+		Unary: []UnaryProd{
+			{Head: cspaVF, Body: cspaAssign},
+		},
+		Binary: []BinaryProd{
+			{Head: cspaVF, B: cspaAssign, C: cspaMA},
+			{Head: cspaVF, B: cspaVF, C: cspaVF},
+			{Head: cspaVA, B: cspaVF, C: cspaVF, TB: true},
+			{Head: cspaMVF, B: cspaMA, C: cspaVF},
+			{Head: cspaVA, B: cspaVF, C: cspaMVF, TB: true},
+			{Head: cspaDVA, B: cspaDeref, C: cspaVA, TB: true},
+			{Head: cspaMA, B: cspaDVA, C: cspaDeref},
+		},
+	})
+	if err := e.AddRelation(cspaAssign, edbs["assign"]); err != nil {
+		panic(err)
+	}
+	if err := e.AddRelation(cspaDeref, edbs["dereference"]); err != nil {
+		panic(err)
+	}
+	// Reflexive base facts: valueFlow(x,x) and memoryAlias(x,x) for every
+	// assign endpoint.
+	edbs["assign"].ForEach(func(t []int32) {
+		for _, v := range t {
+			e.Add(cspaVF, v, v)
+			e.Add(cspaMA, v, v)
+		}
+	})
+	e.Run()
+	return e.Relation(cspaVF, "valueFlow"), e.Relation(cspaMA, "memoryAlias"), e.Relation(cspaVA, "valueAlias")
+}

@@ -1,0 +1,235 @@
+// Package worklist is the "Graspan-like" comparator: a single-machine
+// edge-pair worklist engine over binary relations described by a
+// context-free grammar (Graspan's model — it cannot express general
+// Datalog, only binary-relation grammars). True to the system it stands in
+// for, it processes one edge at a time from a global worklist, keeps
+// adjacency lists sorted for binary-search membership (paying Graspan's
+// "frequent use of sorting"), and coordinates through one big lock, which
+// limits multi-core utilization — the weaknesses Section 6.3 observes.
+package worklist
+
+import (
+	"fmt"
+	"sort"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// Label identifies a relation (terminal or nonterminal) in the grammar.
+type Label int
+
+// UnaryProd is A ⊇ B (or A ⊇ Bᵀ with Transpose).
+type UnaryProd struct {
+	Head, Body Label
+	Transpose  bool
+}
+
+// BinaryProd is A ⊇ B∘C, with optional transposition of either operand:
+// (x,y) ∈ A when (x,z) ∈ B' and (z,y) ∈ C' where X' = Xᵀ if flagged.
+type BinaryProd struct {
+	Head, B, C Label
+	TB, TC     bool
+}
+
+// Grammar is a set of productions over labels [0, NumLabels).
+type Grammar struct {
+	NumLabels int
+	Unary     []UnaryProd
+	Binary    []BinaryProd
+}
+
+// edgeList is a sorted adjacency structure with a lazily sorted tail: new
+// targets append unsorted and the list re-sorts when the tail grows past a
+// bound, imitating Graspan's sort-merge maintenance.
+type edgeList struct {
+	sorted   []int32
+	unsorted []int32
+}
+
+const resortThreshold = 64
+
+func (l *edgeList) has(v int32) bool {
+	i := sort.Search(len(l.sorted), func(i int) bool { return l.sorted[i] >= v })
+	if i < len(l.sorted) && l.sorted[i] == v {
+		return true
+	}
+	for _, u := range l.unsorted {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *edgeList) add(v int32) {
+	l.unsorted = append(l.unsorted, v)
+	if len(l.unsorted) > resortThreshold {
+		l.sorted = append(l.sorted, l.unsorted...)
+		l.unsorted = l.unsorted[:0]
+		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
+	}
+}
+
+func (l *edgeList) all(fn func(v int32)) {
+	for _, v := range l.sorted {
+		fn(v)
+	}
+	for _, v := range l.unsorted {
+		fn(v)
+	}
+}
+
+// Engine evaluates one grammar to fixpoint.
+type Engine struct {
+	g   Grammar
+	out []map[int32]*edgeList // out[label][src]
+	in  []map[int32]*edgeList // in[label][dst]
+	// Production indexes: which productions consume a given label.
+	unaryByBody   map[Label][]UnaryProd
+	binaryByB     map[Label][]BinaryProd
+	binaryByC     map[Label][]BinaryProd
+	queue         []labeledEdge
+	edges         int64
+	membershipOps int64
+}
+
+type labeledEdge struct {
+	label Label
+	x, y  int32
+}
+
+// New creates an engine for a grammar.
+func New(g Grammar) *Engine {
+	e := &Engine{
+		g:           g,
+		out:         make([]map[int32]*edgeList, g.NumLabels),
+		in:          make([]map[int32]*edgeList, g.NumLabels),
+		unaryByBody: make(map[Label][]UnaryProd),
+		binaryByB:   make(map[Label][]BinaryProd),
+		binaryByC:   make(map[Label][]BinaryProd),
+	}
+	for i := range e.out {
+		e.out[i] = make(map[int32]*edgeList)
+		e.in[i] = make(map[int32]*edgeList)
+	}
+	for _, p := range g.Unary {
+		e.unaryByBody[p.Body] = append(e.unaryByBody[p.Body], p)
+	}
+	for _, p := range g.Binary {
+		e.binaryByB[p.B] = append(e.binaryByB[p.B], p)
+		e.binaryByC[p.C] = append(e.binaryByC[p.C], p)
+	}
+	return e
+}
+
+// Add inserts an edge (enqueuing it when new).
+func (e *Engine) Add(label Label, x, y int32) {
+	if e.insert(label, x, y) {
+		e.queue = append(e.queue, labeledEdge{label, x, y})
+	}
+}
+
+// AddRelation bulk-loads a binary relation under a label.
+func (e *Engine) AddRelation(label Label, rel *storage.Relation) error {
+	if rel.Arity() != 2 {
+		return fmt.Errorf("worklist: relation %q has arity %d, want 2", rel.Name(), rel.Arity())
+	}
+	rel.ForEach(func(t []int32) { e.Add(label, t[0], t[1]) })
+	return nil
+}
+
+func (e *Engine) insert(label Label, x, y int32) bool {
+	e.membershipOps++
+	lst := e.out[label][x]
+	if lst == nil {
+		lst = &edgeList{}
+		e.out[label][x] = lst
+	} else if lst.has(y) {
+		return false
+	}
+	lst.add(y)
+	rl := e.in[label][y]
+	if rl == nil {
+		rl = &edgeList{}
+		e.in[label][y] = rl
+	}
+	rl.add(x)
+	e.edges++
+	return true
+}
+
+// Run processes the worklist to fixpoint.
+func (e *Engine) Run() {
+	for len(e.queue) > 0 {
+		ed := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.process(ed)
+	}
+}
+
+func (e *Engine) process(ed labeledEdge) {
+	// Unary productions.
+	for _, p := range e.unaryByBody[ed.label] {
+		if p.Transpose {
+			e.Add(p.Head, ed.y, ed.x)
+		} else {
+			e.Add(p.Head, ed.x, ed.y)
+		}
+	}
+	// Binary productions with this edge as B.
+	for _, p := range e.binaryByB[ed.label] {
+		bx, bz := ed.x, ed.y
+		if p.TB {
+			bx, bz = ed.y, ed.x
+		}
+		// Need (bz, y) in C'.
+		if p.TC {
+			if lst := e.in[p.C][bz]; lst != nil {
+				lst.all(func(y int32) { e.Add(p.Head, bx, y) })
+			}
+		} else {
+			if lst := e.out[p.C][bz]; lst != nil {
+				lst.all(func(y int32) { e.Add(p.Head, bx, y) })
+			}
+		}
+	}
+	// Binary productions with this edge as C.
+	for _, p := range e.binaryByC[ed.label] {
+		cz, cy := ed.x, ed.y
+		if p.TC {
+			cz, cy = ed.y, ed.x
+		}
+		// Need (x, cz) in B'.
+		if p.TB {
+			if lst := e.out[p.B][cz]; lst != nil {
+				lst.all(func(x int32) { e.Add(p.Head, x, cy) })
+			}
+		} else {
+			if lst := e.in[p.B][cz]; lst != nil {
+				lst.all(func(x int32) { e.Add(p.Head, x, cy) })
+			}
+		}
+	}
+}
+
+// Relation materializes one label as a relation.
+func (e *Engine) Relation(label Label, name string) *storage.Relation {
+	out := storage.NewRelation(name, []string{"c0", "c1"})
+	srcs := make([]int32, 0, len(e.out[label]))
+	for s := range e.out[label] {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, s := range srcs {
+		var ys []int32
+		e.out[label][s].all(func(y int32) { ys = append(ys, y) })
+		sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+		for _, y := range ys {
+			out.Append([]int32{s, y})
+		}
+	}
+	return out
+}
+
+// Edges returns the total number of distinct edges across labels.
+func (e *Engine) Edges() int64 { return e.edges }

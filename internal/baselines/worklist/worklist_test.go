@@ -1,0 +1,124 @@
+package worklist
+
+import (
+	"reflect"
+	"testing"
+
+	"recstep/internal/core"
+	"recstep/internal/graphs"
+	"recstep/internal/pa"
+	"recstep/internal/programs"
+	"recstep/internal/quickstep/storage"
+)
+
+func recstep(t *testing.T, name string, edbs map[string]*storage.Relation) map[string]*storage.Relation {
+	t.Helper()
+	prog, err := programs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New(core.DefaultOptions()).Run(prog, edbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Relations
+}
+
+func sameRows(t *testing.T, what string, a, b *storage.Relation) {
+	t.Helper()
+	if !reflect.DeepEqual(a.SortedRows(), b.SortedRows()) {
+		t.Fatalf("%s: worklist (%d tuples) disagrees with RecStep (%d tuples)",
+			what, a.NumTuples(), b.NumTuples())
+	}
+}
+
+func TestEdgeListSortedMembership(t *testing.T) {
+	l := &edgeList{}
+	for i := int32(0); i < 200; i++ {
+		l.add(i * 3)
+	}
+	if !l.has(33) || l.has(34) {
+		t.Fatal("membership broken")
+	}
+	if len(l.unsorted) > resortThreshold {
+		t.Fatal("resort never triggered")
+	}
+	var count int
+	l.all(func(int32) { count++ })
+	if count != 200 {
+		t.Fatalf("all visited %d, want 200", count)
+	}
+}
+
+func TestTCMatchesRecStep(t *testing.T) {
+	arc := graphs.GnP(50, 0.05, 1)
+	want := recstep(t, "tc", map[string]*storage.Relation{"arc": arc})["tc"]
+	sameRows(t, "tc", TC(arc), want)
+}
+
+func TestCSDAMatchesRecStep(t *testing.T) {
+	edbs := pa.CSDASized(4, 50, 4, 2)
+	want := recstep(t, "csda", edbs)["null"]
+	sameRows(t, "null", CSDA(edbs), want)
+}
+
+func TestCSPAMatchesRecStep(t *testing.T) {
+	edbs := pa.CSPASized(pa.CSPAConfig{Vars: 100, AssignPer: 13, DerefRatio: 3, Seed: 5})
+	want := recstep(t, "cspa", edbs)
+	vf, ma, va := CSPA(edbs)
+	sameRows(t, "valueFlow", vf, want["valueFlow"])
+	sameRows(t, "memoryAlias", ma, want["memoryAlias"])
+	sameRows(t, "valueAlias", va, want["valueAlias"])
+}
+
+func TestTransposedProductions(t *testing.T) {
+	// A ⊇ Bᵀ: edge (1,2) in B must yield (2,1) in A.
+	const (
+		lB Label = iota
+		lA
+		n
+	)
+	e := New(Grammar{NumLabels: int(n), Unary: []UnaryProd{{Head: lA, Body: lB, Transpose: true}}})
+	e.Add(lB, 1, 2)
+	e.Run()
+	rel := e.Relation(lA, "a")
+	if !reflect.DeepEqual(rel.SortedRows(), []int32{2, 1}) {
+		t.Fatalf("rows = %v", rel.SortedRows())
+	}
+}
+
+func TestBinaryTransposeBothSides(t *testing.T) {
+	// A ⊇ Bᵀ∘Cᵀ: B(2,1), C(3,2) → Bᵀ(1,2), Cᵀ(2,3) → A(1,3).
+	const (
+		lB Label = iota
+		lC
+		lA
+		n
+	)
+	e := New(Grammar{NumLabels: int(n), Binary: []BinaryProd{{Head: lA, B: lB, C: lC, TB: true, TC: true}}})
+	e.Add(lB, 2, 1)
+	e.Add(lC, 3, 2)
+	e.Run()
+	rel := e.Relation(lA, "a")
+	if !reflect.DeepEqual(rel.SortedRows(), []int32{1, 3}) {
+		t.Fatalf("rows = %v", rel.SortedRows())
+	}
+}
+
+func TestAddRelationArityCheck(t *testing.T) {
+	e := New(Grammar{NumLabels: 1})
+	bad := storage.NewRelation("x", []string{"c0"})
+	if err := e.AddRelation(0, bad); err == nil {
+		t.Fatal("arity 1 should be rejected")
+	}
+}
+
+func TestEdgesCounter(t *testing.T) {
+	e := New(Grammar{NumLabels: 1})
+	e.Add(0, 1, 2)
+	e.Add(0, 1, 2) // duplicate
+	e.Add(0, 2, 3)
+	if e.Edges() != 2 {
+		t.Fatalf("Edges = %d, want 2", e.Edges())
+	}
+}

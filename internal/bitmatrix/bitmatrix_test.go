@@ -1,0 +1,302 @@
+package bitmatrix
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"recstep/internal/quickstep/storage"
+)
+
+func TestSetGetCount(t *testing.T) {
+	m := New(100)
+	m.Set(0, 0)
+	m.Set(99, 99)
+	m.Set(5, 64) // crosses the word boundary
+	if !m.Get(0, 0) || !m.Get(99, 99) || !m.Get(5, 64) {
+		t.Fatal("set bits not readable")
+	}
+	if m.Get(0, 1) || m.Get(64, 5) {
+		t.Fatal("unset bits read as set")
+	}
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", m.Count())
+	}
+}
+
+func TestSetAtomicReportsFirstSetter(t *testing.T) {
+	m := New(64)
+	if !m.SetAtomic(1, 2) {
+		t.Fatal("first SetAtomic should return true")
+	}
+	if m.SetAtomic(1, 2) {
+		t.Fatal("second SetAtomic should return false")
+	}
+}
+
+func TestSetAtomicConcurrentExactlyOnce(t *testing.T) {
+	m := New(256)
+	const workers = 8
+	var wins [workers]int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				for j := 0; j < 256; j++ {
+					if m.SetAtomic(i, j) {
+						wins[w]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range wins {
+		total += c
+	}
+	if total != 256*256 {
+		t.Fatalf("total wins = %d, want %d (each bit claimed exactly once)", total, 256*256)
+	}
+}
+
+func TestFromEdgesToRelationRoundTrip(t *testing.T) {
+	rel := storage.NewRelation("arc", []string{"c0", "c1"})
+	rel.Append([]int32{0, 1})
+	rel.Append([]int32{2, 3})
+	m, err := FromEdges(rel, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := m.ToRelation("arc2")
+	if !reflect.DeepEqual(back.SortedRows(), rel.SortedRows()) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	bad := storage.NewRelation("t", []string{"c0"})
+	if _, err := FromEdges(bad, 4); err == nil {
+		t.Fatal("arity 1 should be rejected")
+	}
+	oob := storage.NewRelation("arc", []string{"c0", "c1"})
+	oob.Append([]int32{0, 9})
+	if _, err := FromEdges(oob, 4); err == nil {
+		t.Fatal("out-of-domain edge should be rejected")
+	}
+}
+
+func TestFitsMemory(t *testing.T) {
+	if !FitsMemory(1024, 1<<20) {
+		t.Fatal("1k×1k matrix is 128KiB, fits in 1MiB")
+	}
+	if FitsMemory(100000, 1<<20) {
+		t.Fatal("100k×100k matrix cannot fit in 1MiB")
+	}
+}
+
+// refTCBits computes closure on the bit matrix by Floyd-Warshall-style
+// saturation for cross-checking.
+func refTCBits(arc *Matrix) map[[2]int]bool {
+	n := arc.N()
+	reach := make(map[[2]int]bool)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if arc.Get(i, j) {
+				reach[[2]int{i, j}] = true
+			}
+		}
+	}
+	for {
+		added := false
+		for p := range reach {
+			for j := 0; j < n; j++ {
+				if arc.Get(p[1], j) && !reach[[2]int{p[0], j}] {
+					reach[[2]int{p[0], j}] = true
+					added = true
+				}
+			}
+		}
+		if !added {
+			return reach
+		}
+	}
+}
+
+func TestTransitiveClosureMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arc := New(40)
+	for i := 0; i < 80; i++ {
+		arc.Set(rng.Intn(40), rng.Intn(40))
+	}
+	tc := TransitiveClosure(arc, 4)
+	want := refTCBits(arc)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if tc.Get(i, j) != want[[2]int{i, j}] {
+				t.Fatalf("tc(%d,%d) = %t, want %t", i, j, tc.Get(i, j), want[[2]int{i, j}])
+			}
+		}
+	}
+}
+
+func TestTransitiveClosureThreadCountIrrelevant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	arc := New(64)
+	for i := 0; i < 200; i++ {
+		arc.Set(rng.Intn(64), rng.Intn(64))
+	}
+	base := TransitiveClosure(arc, 1)
+	for _, k := range []int{2, 4, 8} {
+		got := TransitiveClosure(arc, k)
+		if !reflect.DeepEqual(got.bits, base.bits) {
+			t.Fatalf("k=%d disagrees with serial closure", k)
+		}
+	}
+}
+
+// refSG computes same-generation by brute-force fixpoint.
+func refSG(arc *Matrix) map[[2]int]bool {
+	n := arc.N()
+	sg := make(map[[2]int]bool)
+	var parents [][2]int
+	for p := 0; p < n; p++ {
+		for x := 0; x < n; x++ {
+			if arc.Get(p, x) {
+				parents = append(parents, [2]int{p, x})
+			}
+		}
+	}
+	for _, a := range parents {
+		for _, b := range parents {
+			if a[0] == b[0] && a[1] != b[1] {
+				sg[[2]int{a[1], b[1]}] = true
+			}
+		}
+	}
+	for {
+		added := false
+		// The recursive rule has no x != y guard, so diagonal pairs may
+		// appear through expansion.
+		for p := range sg {
+			for _, a := range parents {
+				for _, b := range parents {
+					if a[0] == p[0] && b[0] == p[1] {
+						if !sg[[2]int{a[1], b[1]}] {
+							sg[[2]int{a[1], b[1]}] = true
+							added = true
+						}
+					}
+				}
+			}
+		}
+		if !added {
+			return sg
+		}
+	}
+}
+
+func sgPairsOf(m *Matrix) [][2]int {
+	var out [][2]int
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if m.Get(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+func TestSameGenerationMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	arc := New(24)
+	for i := 0; i < 40; i++ {
+		arc.Set(rng.Intn(24), rng.Intn(24))
+	}
+	want := refSG(arc)
+	for _, coord := range []bool{false, true} {
+		got := SameGeneration(arc, SGOptions{Threads: 4, Coordinate: coord, Threshold: 8})
+		pairs := sgPairsOf(got)
+		if len(pairs) != len(want) {
+			t.Fatalf("coord=%t: sg size %d, want %d", coord, len(pairs), len(want))
+		}
+		for _, p := range pairs {
+			if !want[p] {
+				t.Fatalf("coord=%t: unexpected sg%v", coord, p)
+			}
+		}
+	}
+}
+
+func TestSameGenerationSGWait(t *testing.T) {
+	// Note: x != y is enforced: diagonal never set even through expansion.
+	arc := New(8)
+	// Tree: 0→1, 0→2; 1→3, 2→4: sg(1,2),(2,1),(3,4),(4,3).
+	arc.Set(0, 1)
+	arc.Set(0, 2)
+	arc.Set(1, 3)
+	arc.Set(2, 4)
+	sg := SameGeneration(arc, SGOptions{Threads: 2})
+	want := [][2]int{{1, 2}, {2, 1}, {3, 4}, {4, 3}}
+	if got := sgPairsOf(sg); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sg = %v, want %v", got, want)
+	}
+}
+
+func TestBuildAdjacency(t *testing.T) {
+	arc := New(4)
+	arc.Set(1, 0)
+	arc.Set(1, 3)
+	adj := BuildAdjacency(arc)
+	if !reflect.DeepEqual(adj[1], []int32{0, 3}) {
+		t.Fatalf("adj[1] = %v", adj[1])
+	}
+	if adj[0] != nil {
+		t.Fatalf("adj[0] = %v, want empty", adj[0])
+	}
+}
+
+// Property: PBME TC equals the reference on random small graphs.
+func TestTransitiveClosureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(16)
+		arc := New(n)
+		for i := 0; i < n*2; i++ {
+			arc.Set(rng.Intn(n), rng.Intn(n))
+		}
+		tc := TransitiveClosure(arc, 3)
+		want := refTCBits(arc)
+		if int(tc.Count()) != len(want) {
+			return false
+		}
+		for p := range want {
+			if !tc.Get(p[0], p[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := New(1024)
+	if got := m.MemoryBytes(); got != 1024*16*8 {
+		t.Fatalf("MemoryBytes = %d, want %d", got, 1024*16*8)
+	}
+}

@@ -1,0 +1,232 @@
+package bitmatrix
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TransitiveClosure runs Algorithm 2: per-row frontier expansion with rows
+// partitioned round-robin over k threads. Each thread only ever writes its
+// own rows, so no synchronization is needed (zero-coordination).
+func TransitiveClosure(arc *Matrix, k int) *Matrix {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	tc := arc.Clone() // Mtc ← Marc
+	n, words := arc.n, arc.words
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			frontier := make([]uint64, words)
+			next := make([]uint64, words)
+			scratch := make([]uint64, words)
+			for i := p; i < n; i += k { // round-robin row partition
+				cur := tc.Row(i)
+				copy(frontier, cur) // δ ← {u : Mtc[i,u] = 1}
+				for {
+					for w := range scratch {
+						scratch[w] = 0
+					}
+					// δn ← ∪_{t ∈ δ} Marc[t, ·]
+					forEachBit(frontier, func(t int) {
+						at := arc.Row(t)
+						for w := range scratch {
+							scratch[w] |= at[w]
+						}
+					})
+					nonEmpty := false
+					for w := range scratch {
+						nb := scratch[w] &^ cur[w] // only bits not yet in Mtc[i,·]
+						next[w] = nb
+						if nb != 0 {
+							cur[w] |= nb
+							nonEmpty = true
+						}
+					}
+					if !nonEmpty {
+						break
+					}
+					frontier, next = next, frontier
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	return tc
+}
+
+// Adjacency is the vector index Varc of Algorithm 3: Varc[x] = {y : arc(x,y)}.
+type Adjacency [][]int32
+
+// BuildAdjacency constructs the index from an arc matrix.
+func BuildAdjacency(arc *Matrix) Adjacency {
+	adj := make(Adjacency, arc.n)
+	for i := 0; i < arc.n; i++ {
+		var out []int32
+		forEachBit(arc.Row(i), func(j int) { out = append(out, int32(j)) })
+		adj[i] = out
+	}
+	return adj
+}
+
+// sgPair is one δ element of Algorithm 3.
+type sgPair struct{ a, b int32 }
+
+// SGOptions configures SameGeneration.
+type SGOptions struct {
+	Threads int
+	// Coordinate enables the work-order re-balancing of Figure 7: a thread
+	// whose δ exceeds Threshold packs the surplus into work orders on a
+	// global pool that idle threads drain.
+	Coordinate bool
+	// Threshold is the δ size above which surplus work is shared (the
+	// trade-off parameter t discussed with Figure 7). 0 selects a default.
+	Threshold int
+}
+
+// SameGeneration runs Algorithm 3: Msg is seeded with sibling pairs
+// (children of a common parent, x ≠ y) and expanded through Varc on both
+// coordinates. Bits are set with CAS because any thread can write any row;
+// each thread processes exactly the pairs whose bit it set.
+func SameGeneration(arc *Matrix, opts SGOptions) *Matrix {
+	k := opts.Threads
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = 4096
+	}
+	adj := BuildAdjacency(arc)
+	sg := New(arc.n)
+
+	// Seed: Msg ← Π(Marc1 ⋈ Marc2), x1 = x2, y1 ≠ y2 (line 9), partitioned
+	// by parent. Seeds are claimed via SetAtomic so each pair enters exactly
+	// one thread's δ.
+	seeds := make([][]sgPair, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var local []sgPair
+			for parent := p; parent < arc.n; parent += k {
+				kids := adj[parent]
+				for _, x := range kids {
+					for _, y := range kids {
+						if x != y && sg.SetAtomic(int(x), int(y)) {
+							local = append(local, sgPair{x, y})
+						}
+					}
+				}
+			}
+			seeds[p] = local
+		}(p)
+	}
+	wg.Wait()
+
+	if !opts.Coordinate {
+		sgExpandUncoordinated(sg, adj, seeds)
+		return sg
+	}
+	sgExpandCoordinated(sg, adj, seeds, threshold)
+	return sg
+}
+
+// sgExpandUncoordinated: each thread expands its own δ until exhausted.
+// Work is "not tied to data partitions" (the δ a thread generates may
+// concern any row), so skew between threads goes unrepaired — the effect
+// Figure 7 demonstrates.
+func sgExpandUncoordinated(sg *Matrix, adj Adjacency, seeds [][]sgPair) {
+	var wg sync.WaitGroup
+	for p := range seeds {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			delta := seeds[p]
+			var next []sgPair
+			for len(delta) > 0 {
+				next = next[:0]
+				for _, pr := range delta {
+					for _, q := range adj[pr.a] {
+						for _, r := range adj[pr.b] {
+							if sg.SetAtomic(int(q), int(r)) {
+								next = append(next, sgPair{q, r})
+							}
+						}
+					}
+				}
+				delta, next = next, delta
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// sgExpandCoordinated re-balances: when a thread's freshly generated δ
+// exceeds the threshold it packs the surplus into work orders on a global
+// pool; threads that run dry grab orders instead of idling.
+func sgExpandCoordinated(sg *Matrix, adj Adjacency, seeds [][]sgPair, threshold int) {
+	orders := make(chan []sgPair, 1<<14)
+	var outstanding atomic.Int64 // seed batches + queued orders not yet done
+	outstanding.Add(int64(len(seeds)))
+
+	process := func(delta []sgPair) {
+		var next []sgPair
+		for len(delta) > 0 {
+			next = next[:0]
+			for _, pr := range delta {
+				for _, q := range adj[pr.a] {
+					for _, r := range adj[pr.b] {
+						if sg.SetAtomic(int(q), int(r)) {
+							next = append(next, sgPair{q, r})
+						}
+					}
+				}
+			}
+			// Share surplus beyond the threshold.
+			for len(next) > threshold {
+				cut := next[len(next)-threshold:]
+				order := make([]sgPair, len(cut))
+				copy(order, cut)
+				next = next[:len(next)-threshold]
+				select {
+				case orders <- order:
+					outstanding.Add(1)
+				default:
+					// Pool full: keep the work local rather than block.
+					next = append(next, order...)
+					goto drained
+				}
+			}
+		drained:
+			delta, next = next, delta
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := range seeds {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			process(seeds[p])
+			outstanding.Add(-1)
+			for {
+				select {
+				case order := <-orders:
+					process(order)
+					outstanding.Add(-1)
+				default:
+					if outstanding.Load() == 0 {
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"recstep/internal/datalog/analysis"
+	"recstep/internal/quickstep/storage"
+)
+
+// aggMerge maintains the running state of one recursive aggregate (MIN or
+// MAX inside recursion, Section 3.3). Instead of dedup + set difference, the
+// engine merges each iteration's candidate tuples into a per-group best
+// value; the delta is the set of groups whose value improved. MIN/MAX are
+// monotone under set growth, so this converges to the same fixpoint as
+// naive evaluation.
+type aggMerge struct {
+	spec  *analysis.AggSpec
+	arity int
+	isMin bool
+	// best maps the packed group key to the current aggregate value.
+	best map[string]int32
+	// groups retains the group column values for materialization.
+	groups map[string][]int32
+}
+
+func newAggMerge(spec *analysis.AggSpec, arity int) *aggMerge {
+	if spec == nil || (spec.Func != "MIN" && spec.Func != "MAX") {
+		panic(fmt.Sprintf("core: recursive aggregate requires MIN or MAX, got %+v", spec))
+	}
+	return &aggMerge{
+		spec:   spec,
+		arity:  arity,
+		isMin:  spec.Func == "MIN",
+		best:   make(map[string]int32),
+		groups: make(map[string][]int32),
+	}
+}
+
+func (m *aggMerge) key(row []int32, buf []byte) string {
+	buf = buf[:0]
+	for _, p := range m.spec.GroupPos {
+		v := uint32(row[p])
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// merge folds the candidate relation into the state and returns the delta
+// relation (rows in head-term order) named deltaName.
+func (m *aggMerge) merge(cand *storage.Relation, deltaName string) *storage.Relation {
+	// Pass 1: best candidate per group (subqueries pre-aggregate, but
+	// different UNION ALL arms can emit the same group).
+	type candBest struct {
+		vals []int32
+		v    int32
+	}
+	perGroup := make(map[string]*candBest)
+	buf := make([]byte, 0, 4*len(m.spec.GroupPos))
+	cand.ForEach(func(row []int32) {
+		k := m.key(row, buf)
+		v := row[m.spec.Pos]
+		cb, ok := perGroup[k]
+		if !ok {
+			vals := make([]int32, len(m.spec.GroupPos))
+			for i, p := range m.spec.GroupPos {
+				vals[i] = row[p]
+			}
+			perGroup[k] = &candBest{vals: vals, v: v}
+			return
+		}
+		if m.better(v, cb.v) {
+			cb.v = v
+		}
+	})
+
+	// Pass 2: apply improvements, emitting delta rows deterministically.
+	keys := make([]string, 0, len(perGroup))
+	for k := range perGroup {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	delta := storage.NewRelation(deltaName, storage.NumberedColumns(m.arity))
+	row := make([]int32, m.arity)
+	for _, k := range keys {
+		cb := perGroup[k]
+		cur, ok := m.best[k]
+		if ok && !m.better(cb.v, cur) {
+			continue
+		}
+		m.best[k] = cb.v
+		if !ok {
+			m.groups[k] = cb.vals
+		}
+		for i, p := range m.spec.GroupPos {
+			row[p] = cb.vals[i]
+		}
+		row[m.spec.Pos] = cb.v
+		delta.Append(row)
+	}
+	return delta
+}
+
+func (m *aggMerge) better(a, b int32) bool {
+	if m.isMin {
+		return a < b
+	}
+	return a > b
+}
+
+// materialize builds the predicate's full relation from the state: one row
+// per group holding the current best value.
+func (m *aggMerge) materialize(name string) *storage.Relation {
+	keys := make([]string, 0, len(m.best))
+	for k := range m.best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rel := storage.NewRelation(name, storage.NumberedColumns(m.arity))
+	row := make([]int32, m.arity)
+	for _, k := range keys {
+		vals := m.groups[k]
+		for i, p := range m.spec.GroupPos {
+			row[p] = vals[i]
+		}
+		row[m.spec.Pos] = m.best[k]
+		rel.Append(row)
+	}
+	return rel
+}
+
+// Size returns the number of groups tracked.
+func (m *aggMerge) Size() int { return len(m.best) }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"recstep/internal/datalog/analysis"
+	"recstep/internal/quickstep/storage"
+)
+
+func minSpec() *analysis.AggSpec {
+	return &analysis.AggSpec{Func: "MIN", Pos: 1, GroupPos: []int{0}}
+}
+
+func candRel(rows ...[]int32) *storage.Relation {
+	r := storage.NewRelation("cand", storage.NumberedColumns(2))
+	for _, row := range rows {
+		r.Append(row)
+	}
+	return r
+}
+
+func TestAggMergeFirstIterationEmitsAll(t *testing.T) {
+	m := newAggMerge(minSpec(), 2)
+	delta := m.merge(candRel([]int32{1, 10}, []int32{2, 20}), "d")
+	if delta.NumTuples() != 2 {
+		t.Fatalf("delta = %d tuples, want 2", delta.NumTuples())
+	}
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", m.Size())
+	}
+}
+
+func TestAggMergeOnlyImprovementsEmit(t *testing.T) {
+	m := newAggMerge(minSpec(), 2)
+	m.merge(candRel([]int32{1, 10}, []int32{2, 20}), "d0")
+	// Group 1 improves (5 < 10); group 2 does not (25 > 20).
+	delta := m.merge(candRel([]int32{1, 5}, []int32{2, 25}), "d1")
+	want := []int32{1, 5}
+	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delta = %v, want %v", got, want)
+	}
+	// Equal value is not an improvement.
+	if got := m.merge(candRel([]int32{1, 5}), "d2").NumTuples(); got != 0 {
+		t.Fatalf("equal value emitted %d tuples", got)
+	}
+}
+
+func TestAggMergeDuplicateGroupsWithinBatch(t *testing.T) {
+	m := newAggMerge(minSpec(), 2)
+	// The same group appears twice in one candidate batch (two UNION ALL
+	// arms); only the best survives, emitted once.
+	delta := m.merge(candRel([]int32{7, 30}, []int32{7, 10}, []int32{7, 20}), "d")
+	want := []int32{7, 10}
+	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delta = %v, want %v", got, want)
+	}
+}
+
+func TestAggMergeMaterialize(t *testing.T) {
+	m := newAggMerge(minSpec(), 2)
+	m.merge(candRel([]int32{1, 10}, []int32{2, 20}), "d0")
+	m.merge(candRel([]int32{1, 5}), "d1")
+	rel := m.materialize("cc3")
+	want := []int32{1, 5, 2, 20}
+	if got := rel.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("materialized = %v, want %v", got, want)
+	}
+	if rel.Name() != "cc3" {
+		t.Fatalf("name = %q", rel.Name())
+	}
+}
+
+func TestAggMergeMax(t *testing.T) {
+	spec := &analysis.AggSpec{Func: "MAX", Pos: 1, GroupPos: []int{0}}
+	m := newAggMerge(spec, 2)
+	m.merge(candRel([]int32{1, 10}), "d0")
+	delta := m.merge(candRel([]int32{1, 50}, []int32{1, 30}), "d1")
+	want := []int32{1, 50}
+	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("max delta = %v, want %v", got, want)
+	}
+}
+
+func TestAggMergeAggAtFirstPosition(t *testing.T) {
+	// sssp-style layouts can place the aggregate anywhere; here at slot 0.
+	spec := &analysis.AggSpec{Func: "MIN", Pos: 0, GroupPos: []int{1}}
+	m := newAggMerge(spec, 2)
+	delta := m.merge(candRel([]int32{9, 1}, []int32{4, 1}), "d")
+	want := []int32{4, 1}
+	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delta = %v, want %v", got, want)
+	}
+}
+
+func TestAggMergeRejectsNonMonotone(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for SUM")
+		}
+	}()
+	newAggMerge(&analysis.AggSpec{Func: "SUM", Pos: 1, GroupPos: []int{0}}, 2)
+}
+
+func TestAggMergeMultiColumnGroups(t *testing.T) {
+	spec := &analysis.AggSpec{Func: "MIN", Pos: 2, GroupPos: []int{0, 1}}
+	m := newAggMerge(spec, 3)
+	r := storage.NewRelation("cand", storage.NumberedColumns(3))
+	r.Append([]int32{1, 2, 30})
+	r.Append([]int32{1, 3, 40})
+	r.Append([]int32{1, 2, 10})
+	delta := m.merge(r, "d")
+	want := []int32{1, 2, 10, 1, 3, 40}
+	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delta = %v, want %v", got, want)
+	}
+}

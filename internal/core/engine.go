@@ -1,0 +1,498 @@
+// Package core implements the RecStep interpreter — the paper's primary
+// contribution. It drives semi-naive, stratified Datalog evaluation
+// (Algorithm 1) over the QuickStep-like substrate, with every optimization
+// from Section 5 individually toggleable for the ablation experiments:
+//
+//   - UIE   — unified IDB evaluation (one UNION ALL query per IDB)
+//   - OOF   — optimization on the fly (selective per-iteration ANALYZE;
+//     the -NA and -FA ablations use no / full statistics)
+//   - DSD   — dynamic set difference (OPSD vs TPSD by the cost model)
+//   - EOST  — evaluation as one single transaction (deferred write-back)
+//   - FAST-DEDUP — CCK-GSCHT deduplication (vs locked map / sort)
+//
+// Recursive aggregation (MIN/MAX inside recursion, used by CC and SSSP) is
+// evaluated with a monotone aggregate-merge step in place of dedup + set
+// difference.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"recstep/internal/datalog/analysis"
+	"recstep/internal/datalog/ast"
+	"recstep/internal/datalog/querygen"
+	"recstep/internal/quickstep"
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/optimizer"
+	"recstep/internal/quickstep/stats"
+	"recstep/internal/quickstep/storage"
+)
+
+// DSDMode selects the set-difference policy.
+type DSDMode int
+
+const (
+	// DSDDynamic chooses OPSD/TPSD per iteration via the cost model.
+	DSDDynamic DSDMode = iota
+	// DSDAlwaysOPSD forces the one-phase algorithm (QuickStep's default —
+	// the paper's DSD-off ablation).
+	DSDAlwaysOPSD
+	// DSDAlwaysTPSD forces the two-phase algorithm.
+	DSDAlwaysTPSD
+)
+
+// Options configures an Engine. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	Workers int
+	// UIE emits one unified query per IDB; false issues one query per
+	// subquery plus a merge (Figure 4's individual evaluation).
+	UIE bool
+	// OOF selects which statistics each iteration refreshes:
+	// ModeSelective (RecStep), ModeNone (OOF-NA), ModeFull (OOF-FA).
+	OOF stats.Mode
+	// DSD selects the set-difference policy.
+	DSD DSDMode
+	// EOST defers write-back to a single final commit.
+	EOST bool
+	// Dedup selects the deduplication implementation.
+	Dedup exec.DedupStrategy
+	// Alpha is the calibrated build/probe cost ratio for DSD (0 = default).
+	Alpha float64
+	// Naive disables semi-naive evaluation: every iteration re-evaluates
+	// every rule against the full relations (the baseline of Section 3.2).
+	Naive bool
+	// MaxIterations bounds each stratum's fixpoint loop (safety valve).
+	MaxIterations int
+	// SpillDir and DisableIO control the simulated write-back target.
+	SpillDir  string
+	DisableIO bool
+	// IterHook, when set, observes every (stratum, iteration, IDB) step.
+	IterHook func(IterInfo)
+	// OnDB, when set, receives the database right after it opens (metrics
+	// samplers attach here).
+	OnDB func(*quickstep.Database)
+}
+
+// DefaultOptions returns the all-optimizations-on configuration the paper
+// calls "RecStep".
+func DefaultOptions() Options {
+	return Options{
+		UIE:           true,
+		OOF:           stats.ModeSelective,
+		DSD:           DSDDynamic,
+		EOST:          true,
+		Dedup:         exec.DedupGSCHT,
+		MaxIterations: 1 << 20,
+		DisableIO:     true,
+	}
+}
+
+// IterInfo describes one IDB evaluation step for tracing and experiments.
+type IterInfo struct {
+	Stratum   int
+	Iteration int
+	Pred      string
+	TmpTuples int
+	Delta     int
+	Algo      exec.DiffAlgorithm
+}
+
+// Stats aggregates counters over one Run.
+type Stats struct {
+	Iterations  int
+	Queries     int64
+	DiffOPSD    int
+	DiffTPSD    int
+	TmpTuples   int64
+	DeltaTuples int64
+	Duration    time.Duration
+}
+
+// Result is the outcome of evaluating a program.
+type Result struct {
+	// Relations maps every IDB predicate to its final relation.
+	Relations map[string]*storage.Relation
+	Stats     Stats
+}
+
+// Engine evaluates Datalog programs.
+type Engine struct {
+	opts Options
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 1 << 20
+	}
+	return &Engine{opts: opts}
+}
+
+// Run analyzes and evaluates a program. edbs supplies input relations by
+// predicate name (inline program facts are added on top).
+func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Result, error) {
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	for name := range res.Preds {
+		if strings.HasSuffix(name, querygen.DeltaSuffix) || strings.HasSuffix(name, querygen.TmpSuffix) {
+			return nil, fmt.Errorf("core: predicate name %q collides with engine table suffixes", name)
+		}
+	}
+
+	db, err := quickstep.Open(quickstep.Options{
+		Workers:   e.opts.Workers,
+		Dedup:     e.opts.Dedup,
+		EOST:      e.opts.EOST,
+		SpillDir:  e.opts.SpillDir,
+		DisableIO: e.opts.DisableIO,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if e.opts.OnDB != nil {
+		e.opts.OnDB(db)
+	}
+
+	run := &runState{
+		engine: e,
+		db:     db,
+		res:    res,
+		gen:    querygen.New(res),
+		start:  time.Now(),
+	}
+	if err := run.loadEDBs(edbs); err != nil {
+		return nil, err
+	}
+	if err := run.createIDBs(); err != nil {
+		return nil, err
+	}
+	for _, s := range res.Strata {
+		if err := run.evalStratum(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.FinalCommit(); err != nil {
+		return nil, err
+	}
+
+	out := &Result{Relations: make(map[string]*storage.Relation)}
+	for _, name := range res.IDBNames() {
+		out.Relations[name] = db.Catalog().MustGet(name)
+	}
+	run.stats.Queries = db.QueriesIssued()
+	run.stats.Duration = time.Since(run.start)
+	out.Stats = run.stats
+	return out, nil
+}
+
+// runState carries the per-Run evaluation context.
+type runState struct {
+	engine *Engine
+	db     *quickstep.Database
+	res    *analysis.Result
+	gen    *querygen.Generator
+	stats  Stats
+	start  time.Time
+}
+
+func (r *runState) opts() Options { return r.engine.opts }
+
+// loadEDBs registers input relations (re-wrapped onto engine column names)
+// plus inline facts.
+func (r *runState) loadEDBs(edbs map[string]*storage.Relation) error {
+	for _, name := range r.res.EDBNames() {
+		pi := r.res.Preds[name]
+		rel := storage.NewRelation(name, storage.NumberedColumns(pi.Arity))
+		if in, ok := edbs[name]; ok {
+			if in.Arity() != pi.Arity {
+				return fmt.Errorf("core: EDB %q has arity %d, program expects %d", name, in.Arity(), pi.Arity)
+			}
+			rel.AppendRelation(in)
+		}
+		for _, f := range r.res.Program.Facts[name] {
+			rel.Append(f)
+		}
+		if err := r.db.Install(rel); err != nil {
+			return err
+		}
+		// Base tables get analyzed once up front; OOF decides per-iteration
+		// refreshes for derived tables.
+		r.db.AnalyzeRelation(rel, stats.ModeSelective)
+	}
+	for pred := range edbs {
+		if _, ok := r.res.Preds[pred]; !ok {
+			return fmt.Errorf("core: EDB %q is not referenced by the program", pred)
+		}
+	}
+	return nil
+}
+
+func (r *runState) createIDBs() error {
+	for _, name := range r.res.IDBNames() {
+		pi := r.res.Preds[name]
+		if err := r.db.Install(storage.NewRelation(name, storage.NumberedColumns(pi.Arity))); err != nil {
+			return err
+		}
+		if err := r.db.Install(storage.NewRelation(querygen.DeltaTable(name), storage.NumberedColumns(pi.Arity))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalStratum runs Algorithm 1's inner loop for one stratum.
+func (r *runState) evalStratum(s analysis.Stratum) error {
+	queries, err := r.gen.StratumQueries(s)
+	if err != nil {
+		return err
+	}
+
+	// Per-IDB evaluation state.
+	states := make(map[string]*idbState, len(queries))
+	for i := range queries {
+		q := &queries[i]
+		st := &idbState{
+			q:       q,
+			chooser: optimizer.NewDiffChooser(r.opts().Alpha),
+		}
+		if q.RecursiveAgg {
+			st.agg = newAggMerge(r.res.Preds[q.Pred].Agg, q.Arity)
+			// Naive evaluation always reads the full relation, so the
+			// aggregate's materialization must track every iteration.
+			st.rebuildEachIter = r.opts().Naive || r.aggNeedsFullRebuild(s, q.Pred)
+		}
+		states[q.Pred] = st
+	}
+
+	for iter := 1; ; iter++ {
+		if iter > r.opts().MaxIterations {
+			return fmt.Errorf("core: stratum %d exceeded %d iterations", s.Index, r.opts().MaxIterations)
+		}
+		r.stats.Iterations++
+		anyDelta := false
+		for i := range queries {
+			q := &queries[i]
+			var unit querygen.UnitQueries
+			switch {
+			case r.opts().Naive:
+				unit = q.Full
+			case iter == 1:
+				unit = q.Init
+			default:
+				unit = q.Rec
+			}
+			delta, err := r.evalIDB(s, iter, states[q.Pred], unit)
+			if err != nil {
+				return err
+			}
+			if delta > 0 {
+				anyDelta = true
+			}
+		}
+		if !s.Recursive || !anyDelta {
+			break
+		}
+	}
+
+	// Materialize recursive aggregates and clear this stratum's deltas.
+	for _, st := range states {
+		if st.agg != nil {
+			if err := r.db.Install(st.agg.materialize(st.q.Pred)); err != nil {
+				return err
+			}
+		}
+		if err := r.db.Install(storage.NewRelation(st.q.Delta, storage.NumberedColumns(st.q.Arity))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// idbState is the per-IDB loop state within one stratum.
+type idbState struct {
+	q               *querygen.IDBQueries
+	chooser         *optimizer.DiffChooser
+	agg             *aggMerge
+	rebuildEachIter bool
+}
+
+// evalIDB performs lines 8-13 of Algorithm 1 for one IDB: uieval, analyze,
+// dedup (or aggregate merge), set difference, merge into R. It returns the
+// delta size.
+func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit querygen.UnitQueries) (int, error) {
+	q := st.q
+	if unit.Subqueries == 0 {
+		// Nothing fires this phase; the delta is empty.
+		if err := r.db.Install(storage.NewRelation(q.Delta, storage.NumberedColumns(q.Arity))); err != nil {
+			return 0, err
+		}
+		r.hook(s, iter, q.Pred, 0, 0, exec.OPSD)
+		return 0, nil
+	}
+
+	tmp, err := r.uieval(q, unit)
+	if err != nil {
+		return 0, err
+	}
+	defer r.dropTmp(q)
+	r.stats.TmpTuples += int64(tmp.NumTuples())
+
+	// analyze(Rt): OOF collects per-iteration statistics; OOF-NA refreshes
+	// only on the first iteration, leaving later iterations with stale data.
+	mode := r.opts().OOF
+	if mode == stats.ModeNone && iter == 1 {
+		mode = stats.ModeSelective
+	}
+	tmpStats := r.db.AnalyzeRelation(tmp, mode)
+
+	var delta *storage.Relation
+	algo := exec.OPSD
+	if st.agg != nil {
+		delta = st.agg.merge(tmp, q.Delta)
+		if st.rebuildEachIter {
+			if err := r.db.Install(st.agg.materialize(q.Pred)); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		// Dedup pre-allocation uses the conservative estimate min(memory,
+		// table size); the raw tuple count comes from insertion counters and
+		// is free even without ANALYZE.
+		est := tmpStats.DistinctEst
+		if est <= 0 {
+			est = tmp.NumTuples()
+		}
+		rdelta := r.db.Dedup(tmp, est, q.Pred+"_rdelta")
+		// analyze(Rδ, R) ahead of the set-difference decision.
+		rdeltaStats := r.db.AnalyzeRelation(rdelta, mode)
+		full := r.db.Catalog().MustGet(q.Pred)
+		fullStats, ok := r.db.Stats(q.Pred)
+		if !ok {
+			fullStats = r.db.AnalyzeRelation(full, stats.ModeSelective)
+		} else if mode != stats.ModeNone {
+			fullStats = r.db.AnalyzeRelation(full, mode)
+		}
+		switch r.opts().DSD {
+		case DSDAlwaysOPSD:
+			algo = exec.OPSD
+		case DSDAlwaysTPSD:
+			algo = exec.TPSD
+		default:
+			algo = st.chooser.Choose(fullStats.NumTuples, rdeltaStats.NumTuples)
+		}
+		delta = r.db.Diff(rdelta, full, algo, q.Delta)
+		st.chooser.Observe(rdelta.NumTuples(), rdelta.NumTuples()-delta.NumTuples())
+		if algo == exec.OPSD {
+			r.stats.DiffOPSD++
+		} else {
+			r.stats.DiffTPSD++
+		}
+		if err := r.db.AppendTo(q.Pred, delta); err != nil {
+			return 0, err
+		}
+	}
+
+	if err := r.db.Install(delta); err != nil {
+		return 0, err
+	}
+	// Delta statistics feed the next iteration's join build-side choices.
+	// Under OOF-NA only iteration 1 records them (mode was forced
+	// selective), so later plans reuse stale sizes — the paper's
+	// "same query plan at each iteration".
+	if mode != stats.ModeNone {
+		r.db.AnalyzeRelation(delta, mode)
+	}
+	n := delta.NumTuples()
+	r.stats.DeltaTuples += int64(n)
+	r.hook(s, iter, q.Pred, tmp.NumTuples(), n, algo)
+	return n, nil
+}
+
+// uieval materializes the temporary table and runs either the unified UIE
+// query or the individual per-subquery queries plus merge.
+func (r *runState) uieval(q *querygen.IDBQueries, unit querygen.UnitQueries) (*storage.Relation, error) {
+	cols := columnsSQL(q.Arity)
+	if _, err := r.db.ExecSQL(fmt.Sprintf("CREATE TABLE %s (%s)", q.Tmp, cols)); err != nil {
+		return nil, err
+	}
+	if r.opts().UIE {
+		if _, err := r.db.ExecSQL(unit.Unified); err != nil {
+			return nil, err
+		}
+	} else {
+		for i, part := range unit.Parts {
+			if _, err := r.db.ExecSQL(fmt.Sprintf("CREATE TABLE %s (%s)", unit.PartTables[i], cols)); err != nil {
+				return nil, err
+			}
+			if _, err := r.db.ExecSQL(part); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := r.db.ExecSQL(unit.Merge); err != nil {
+			return nil, err
+		}
+		for _, pt := range unit.PartTables {
+			if _, err := r.db.ExecSQL("DROP TABLE IF EXISTS " + pt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r.db.Catalog().MustGet(q.Tmp), nil
+}
+
+func (r *runState) dropTmp(q *querygen.IDBQueries) {
+	_, _ = r.db.ExecSQL("DROP TABLE IF EXISTS " + q.Tmp)
+}
+
+// aggNeedsFullRebuild reports whether a recursive-aggregate predicate is
+// referenced at a non-delta (full) position inside some delta subquery of
+// its stratum, forcing its relation to be rebuilt every iteration.
+func (r *runState) aggNeedsFullRebuild(s analysis.Stratum, pred string) bool {
+	for _, ri := range s.RuleIdx {
+		rule := r.res.Program.Rules[ri]
+		var positions []int
+		for i, a := range rule.Body {
+			if a.Negated {
+				continue
+			}
+			if pi, ok := r.res.Preds[a.Pred]; ok && pi.IsIDB && pi.Stratum == s.Index {
+				positions = append(positions, i)
+			}
+		}
+		if len(positions) < 2 {
+			continue
+		}
+		for _, i := range positions {
+			if rule.Body[i].Pred == pred {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *runState) hook(s analysis.Stratum, iter int, pred string, tmp, delta int, algo exec.DiffAlgorithm) {
+	if h := r.opts().IterHook; h != nil {
+		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo})
+	}
+}
+
+func columnsSQL(arity int) string {
+	parts := make([]string, arity)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("c%d INT", i)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// RunProgram is a convenience wrapper: parse-free evaluation of an already
+// parsed program with default options.
+func RunProgram(prog *ast.Program, edbs map[string]*storage.Relation) (*Result, error) {
+	return New(DefaultOptions()).Run(prog, edbs)
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"recstep/internal/datalog/parser"
+	"recstep/internal/programs"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func analyzeErr(t *testing.T, src string) error {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(p)
+	if err == nil {
+		t.Fatalf("expected analysis error for %q", src)
+	}
+	return err
+}
+
+func TestTCClassification(t *testing.T) {
+	res := analyze(t, programs.TC)
+	if !res.Preds["tc"].IsIDB {
+		t.Fatal("tc should be IDB")
+	}
+	if res.Preds["arc"].IsIDB {
+		t.Fatal("arc should be EDB")
+	}
+	if got := res.Preds["tc"].Arity; got != 2 {
+		t.Fatalf("tc arity = %d", got)
+	}
+	if len(res.Strata) != 1 || !res.Strata[0].Recursive {
+		t.Fatalf("strata = %+v", res.Strata)
+	}
+}
+
+func TestNTCStratification(t *testing.T) {
+	res := analyze(t, programs.NTC)
+	tc, node, ntc := res.Preds["tc"], res.Preds["node"], res.Preds["ntc"]
+	if ntc.Stratum <= tc.Stratum {
+		t.Fatalf("ntc stratum %d must be above tc stratum %d", ntc.Stratum, tc.Stratum)
+	}
+	if ntc.Stratum <= node.Stratum {
+		t.Fatalf("ntc stratum %d must be above node stratum %d", ntc.Stratum, node.Stratum)
+	}
+	// ntc's stratum is non-recursive.
+	if res.Strata[ntc.Stratum].Recursive {
+		t.Fatal("ntc stratum should be non-recursive")
+	}
+}
+
+func TestCSPAMutualRecursionOneStratum(t *testing.T) {
+	res := analyze(t, programs.CSPA)
+	vf, ma, va := res.Preds["valueFlow"], res.Preds["memoryAlias"], res.Preds["valueAlias"]
+	if vf.Stratum != ma.Stratum || ma.Stratum != va.Stratum {
+		t.Fatalf("CSPA predicates should share a stratum: %d %d %d", vf.Stratum, ma.Stratum, va.Stratum)
+	}
+	if !res.Strata[vf.Stratum].Recursive {
+		t.Fatal("CSPA stratum should be recursive")
+	}
+}
+
+func TestCCRecursiveAggregate(t *testing.T) {
+	res := analyze(t, programs.CC)
+	cc3 := res.Preds["cc3"]
+	if cc3.Agg == nil || cc3.Agg.Func != "MIN" || cc3.Agg.Pos != 1 {
+		t.Fatalf("cc3 agg = %+v", cc3.Agg)
+	}
+	if !cc3.RecursiveAgg {
+		t.Fatal("cc3 must be flagged as a recursive aggregate")
+	}
+	cc2 := res.Preds["cc2"]
+	if cc2.RecursiveAgg {
+		t.Fatal("cc2 aggregates outside recursion")
+	}
+	if cc2.Stratum <= cc3.Stratum {
+		t.Fatalf("cc2 stratum %d must follow cc3 stratum %d", cc2.Stratum, cc3.Stratum)
+	}
+	if res.Preds["cc"].Stratum <= cc2.Stratum {
+		t.Fatal("cc must follow cc2")
+	}
+}
+
+func TestSSSPAnalysis(t *testing.T) {
+	res := analyze(t, programs.SSSP)
+	s2 := res.Preds["sssp2"]
+	if !s2.RecursiveAgg || s2.Agg.Func != "MIN" {
+		t.Fatalf("sssp2 = %+v", s2)
+	}
+	if res.Preds["arc"].Arity != 3 {
+		t.Fatalf("weighted arc arity = %d", res.Preds["arc"].Arity)
+	}
+}
+
+func TestUnstratifiableNegation(t *testing.T) {
+	err := analyzeErr(t, `
+		p(x) :- e(x), !q(x).
+		q(x) :- e(x), !p(x).
+	`)
+	if !strings.Contains(err.Error(), "not stratifiable") {
+		t.Fatalf("error = %v", err)
+	}
+	// Self-negation.
+	analyzeErr(t, "p(x) :- e(x, y), !p(y), e(y, x).")
+}
+
+func TestRecursiveNonMonotoneAggregateRejected(t *testing.T) {
+	err := analyzeErr(t, `
+		c(x, COUNT(y)) :- e(x, y).
+		c(x, COUNT(y)) :- c(x, y), e(y, x).
+	`)
+	if !strings.Contains(err.Error(), "COUNT") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestSafetyViolations(t *testing.T) {
+	cases := []string{
+		"p(x, y) :- e(x).",        // head var unbound
+		"p(x) :- e(x), y < 3.",    // comparison var unbound
+		"p(x) :- e(x), !q(x, z).", // negated var unbound
+		"p(MIN(z)) :- e(x).",      // agg var unbound
+	}
+	for _, src := range cases {
+		analyzeErr(t, src)
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	analyzeErr(t, `
+		p(x) :- e(x, y).
+		q(x) :- e(x).
+	`)
+}
+
+func TestMixedAggregatePlainRules(t *testing.T) {
+	analyzeErr(t, `
+		p(x, MIN(y)) :- e(x, y).
+		p(x, y) :- e(y, x).
+	`)
+}
+
+func TestTwoAggregatesRejected(t *testing.T) {
+	analyzeErr(t, "p(MIN(x), MAX(y)) :- e(x, y).")
+}
+
+func TestEmptyProgramRejected(t *testing.T) {
+	p, err := parser.Parse("% only a comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(p); err == nil {
+		t.Fatal("empty program should be rejected")
+	}
+}
+
+func TestStrataTopologicalOrder(t *testing.T) {
+	res := analyze(t, `
+		a(x) :- e(x).
+		b(x) :- a(x).
+		c(x) :- b(x), a(x).
+		d(x) :- c(x), d2(x).
+		d2(x) :- d(x).
+	`)
+	// Every body IDB must live in an earlier-or-equal stratum.
+	for _, rule := range res.Program.Rules {
+		hs := res.Preds[rule.HeadPred].Stratum
+		for _, atom := range rule.Body {
+			if pi, ok := res.Preds[atom.Pred]; ok && pi.IsIDB {
+				if pi.Stratum > hs {
+					t.Fatalf("rule %s: body %s in stratum %d above head stratum %d",
+						rule.HeadPred, atom.Pred, pi.Stratum, hs)
+				}
+			}
+		}
+	}
+	// d and d2 are mutually recursive: same stratum.
+	if res.Preds["d"].Stratum != res.Preds["d2"].Stratum {
+		t.Fatal("mutual recursion must share a stratum")
+	}
+}
+
+func TestIDBAndEDBNames(t *testing.T) {
+	res := analyze(t, programs.Andersen)
+	if got := res.IDBNames(); len(got) != 1 || got[0] != "pointsTo" {
+		t.Fatalf("IDBNames = %v", got)
+	}
+	edbs := res.EDBNames()
+	want := []string{"addressOf", "assign", "load", "store"}
+	if len(edbs) != len(want) {
+		t.Fatalf("EDBNames = %v", edbs)
+	}
+	for i, n := range want {
+		if edbs[i] != n {
+			t.Fatalf("EDBNames = %v, want %v", edbs, want)
+		}
+	}
+}
+
+func TestTarjanSCCDiamond(t *testing.T) {
+	// 0→1, 0→2, 1→3, 2→3, 3→1 (cycle 1,3 via 2? no: 1→3→1 through edge 3→1).
+	adj := [][]int{{1, 2}, {3}, {3}, {1}}
+	comp := tarjanSCC(4, adj)
+	if comp[1] != comp[3] {
+		t.Fatalf("1 and 3 should share a component: %v", comp)
+	}
+	if comp[0] == comp[1] || comp[2] == comp[1] {
+		t.Fatalf("0 and 2 must be separate: %v", comp)
+	}
+}

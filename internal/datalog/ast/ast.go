@@ -1,0 +1,183 @@
+// Package ast defines the abstract syntax of the Datalog dialect RecStep
+// evaluates: pure Datalog extended with stratified negation and aggregation
+// (MIN, MAX, SUM, COUNT, AVG), including aggregation inside recursion
+// (Section 3.3).
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is one argument of a body atom: a variable, an integer constant, or
+// the wildcard "_".
+type Term struct {
+	Var     string
+	Const   int32
+	IsConst bool
+	IsWild  bool
+}
+
+// String renders the term in Datalog syntax.
+func (t Term) String() string {
+	switch {
+	case t.IsWild:
+		return "_"
+	case t.IsConst:
+		return fmt.Sprintf("%d", t.Const)
+	default:
+		return t.Var
+	}
+}
+
+// Expr is a scalar expression in a rule head or comparison: variables,
+// constants and + − * arithmetic (SSSP's MIN(d1 + d2)).
+type Expr interface {
+	fmt.Stringer
+	// Vars appends the variables the expression references.
+	Vars(dst []string) []string
+}
+
+// Var references a variable.
+type Var struct{ Name string }
+
+// Num is an integer constant.
+type Num struct{ Value int32 }
+
+// Bin is binary arithmetic: Op is one of '+', '-', '*'.
+type Bin struct {
+	Op   byte
+	L, R Expr
+}
+
+func (v Var) String() string { return v.Name }
+func (n Num) String() string { return fmt.Sprintf("%d", n.Value) }
+func (b Bin) String() string { return fmt.Sprintf("%s %c %s", b.L, b.Op, b.R) }
+
+// Vars implements Expr.
+func (v Var) Vars(dst []string) []string { return append(dst, v.Name) }
+
+// Vars implements Expr.
+func (n Num) Vars(dst []string) []string { return dst }
+
+// Vars implements Expr.
+func (b Bin) Vars(dst []string) []string { return b.R.Vars(b.L.Vars(dst)) }
+
+// HeadTerm is one argument of a rule head: a plain expression or an
+// aggregate AGG(expr).
+type HeadTerm struct {
+	// Agg is "", or one of "MIN", "MAX", "SUM", "COUNT", "AVG".
+	Agg  string
+	Expr Expr
+}
+
+// String renders the head term.
+func (h HeadTerm) String() string {
+	if h.Agg == "" {
+		return h.Expr.String()
+	}
+	return fmt.Sprintf("%s(%s)", h.Agg, h.Expr)
+}
+
+// Atom is a (possibly negated) predicate application in a rule body.
+type Atom struct {
+	Pred    string
+	Args    []Term
+	Negated bool
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	args := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = t.String()
+	}
+	s := fmt.Sprintf("%s(%s)", a.Pred, strings.Join(args, ", "))
+	if a.Negated {
+		return "!" + s
+	}
+	return s
+}
+
+// CmpOp is a comparison operator in a body literal.
+type CmpOp string
+
+// Comparison operators permitted in rule bodies.
+const (
+	OpEQ CmpOp = "="
+	OpNE CmpOp = "!="
+	OpLT CmpOp = "<"
+	OpLE CmpOp = "<="
+	OpGT CmpOp = ">"
+	OpGE CmpOp = ">="
+)
+
+// Comparison is a built-in literal like x != y or d < 10.
+type Comparison struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// Rule is h :- body. A rule with an empty body and all-constant head is a
+// fact.
+type Rule struct {
+	HeadPred  string
+	HeadTerms []HeadTerm
+	Body      []Atom
+	Cmps      []Comparison
+}
+
+// IsFact reports whether the rule has no body (a ground fact).
+func (r Rule) IsFact() bool { return len(r.Body) == 0 && len(r.Cmps) == 0 }
+
+// HasAggregate reports whether any head term aggregates.
+func (r Rule) HasAggregate() bool {
+	for _, h := range r.HeadTerms {
+		if h.Agg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the rule in Datalog syntax.
+func (r Rule) String() string {
+	heads := make([]string, len(r.HeadTerms))
+	for i, h := range r.HeadTerms {
+		heads[i] = h.String()
+	}
+	head := fmt.Sprintf("%s(%s)", r.HeadPred, strings.Join(heads, ", "))
+	if r.IsFact() {
+		return head + "."
+	}
+	var parts []string
+	for _, a := range r.Body {
+		parts = append(parts, a.String())
+	}
+	for _, c := range r.Cmps {
+		parts = append(parts, c.String())
+	}
+	return fmt.Sprintf("%s :- %s.", head, strings.Join(parts, ", "))
+}
+
+// Program is a parsed Datalog program.
+type Program struct {
+	Rules []Rule
+	// Facts holds inline ground facts grouped by predicate.
+	Facts map[string][][]int32
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,458 @@
+// Package parser parses RecStep's .datalog surface syntax:
+//
+//	tc(x, y) :- arc(x, y).
+//	tc(x, y) :- tc(x, z), arc(z, y).
+//	gtc(x, COUNT(y)) :- tc(x, y).
+//	sg(x, y)  :- arc(p, x), arc(p, y), x != y.
+//	ntc(x, y) :- node(x), node(y), !tc(x, y).
+//	sssp2(y, MIN(d1 + d2)) :- sssp2(x, d1), arc(x, y, d2).
+//	id(7).                         -- inline ground fact
+//
+// Comments run from '%', '#' or '//' to end of line. Negation is written
+// '!' or 'not'. Aggregates are upper-case MIN/MAX/SUM/COUNT/AVG.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"recstep/internal/datalog/ast"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tSym // ( ) , . ! + - * = != < <= > >= :-
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	out  []tok
+}
+
+func lexProgram(src string) ([]tok, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%' || c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		case c >= '0' && c <= '9':
+			l.lexInt()
+		case isIdentByte(c):
+			l.lexIdent()
+		default:
+			if err := l.lexSym(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.out = append(l.out, tok{kind: tEOF, line: l.line})
+	return l.out, nil
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexInt() {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.out = append(l.out, tok{kind: tInt, text: l.src[start:l.pos], line: l.line})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && (isIdentByte(l.src[l.pos]) || l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+		l.pos++
+	}
+	l.out = append(l.out, tok{kind: tIdent, text: l.src[start:l.pos], line: l.line})
+}
+
+func (l *lexer) lexSym() error {
+	rest := l.src[l.pos:]
+	for _, s := range []string{":-", "<-", "!=", "<=", ">="} {
+		if strings.HasPrefix(rest, s) {
+			if s == "<-" {
+				s = ":-"
+			}
+			l.out = append(l.out, tok{kind: tSym, text: s, line: l.line})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '!', '+', '-', '*', '=', '<', '>', '_':
+		l.out = append(l.out, tok{kind: tSym, text: string(c), line: l.line})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("datalog: line %d: unexpected character %q", l.line, rune(c))
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+var aggNames = map[string]bool{"MIN": true, "MAX": true, "SUM": true, "COUNT": true, "AVG": true}
+
+type parser struct {
+	toks []tok
+	i    int
+}
+
+func (p *parser) cur() tok { return p.toks[p.i] }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tSym && p.cur().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("datalog: line %d: expected %q, found %q", p.cur().line, text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return "", fmt.Errorf("datalog: line %d: expected identifier, found %q", t.line, t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+// Parse parses a whole program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{Facts: make(map[string][][]int32)}
+	for p.cur().kind != tEOF {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		if r.IsFact() {
+			fact, err := ruleAsFact(r)
+			if err != nil {
+				return nil, err
+			}
+			prog.Facts[r.HeadPred] = append(prog.Facts[r.HeadPred], fact)
+			continue
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+func ruleAsFact(r ast.Rule) ([]int32, error) {
+	fact := make([]int32, len(r.HeadTerms))
+	for i, h := range r.HeadTerms {
+		n, ok := h.Expr.(ast.Num)
+		if h.Agg != "" || !ok {
+			return nil, fmt.Errorf("datalog: fact %s must have constant arguments", r.HeadPred)
+		}
+		fact[i] = n.Value
+	}
+	return fact, nil
+}
+
+func (p *parser) rule() (ast.Rule, error) {
+	head, terms, err := p.head()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	r := ast.Rule{HeadPred: head, HeadTerms: terms}
+	if p.accept(".") {
+		return r, nil
+	}
+	if err := p.expect(":-"); err != nil {
+		return ast.Rule{}, err
+	}
+	for {
+		if err := p.bodyLiteral(&r); err != nil {
+			return ast.Rule{}, err
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect("."); err != nil {
+		return ast.Rule{}, err
+	}
+	return r, nil
+}
+
+func (p *parser) head() (string, []ast.HeadTerm, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return "", nil, err
+	}
+	var terms []ast.HeadTerm
+	for {
+		h, err := p.headTerm()
+		if err != nil {
+			return "", nil, err
+		}
+		terms = append(terms, h)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return "", nil, err
+	}
+	return name, terms, nil
+}
+
+func (p *parser) headTerm() (ast.HeadTerm, error) {
+	t := p.cur()
+	if t.kind == tIdent && aggNames[t.text] {
+		p.i++
+		if err := p.expect("("); err != nil {
+			return ast.HeadTerm{}, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return ast.HeadTerm{}, err
+		}
+		if err := p.expect(")"); err != nil {
+			return ast.HeadTerm{}, err
+		}
+		return ast.HeadTerm{Agg: t.text, Expr: e}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return ast.HeadTerm{}, err
+	}
+	return ast.HeadTerm{Expr: e}, nil
+}
+
+// bodyLiteral parses an atom, a negated atom, or a comparison.
+func (p *parser) bodyLiteral(r *ast.Rule) error {
+	if p.accept("!") {
+		a, err := p.atom()
+		if err != nil {
+			return err
+		}
+		a.Negated = true
+		r.Body = append(r.Body, a)
+		return nil
+	}
+	t := p.cur()
+	if t.kind == tIdent && t.text == "not" && p.toks[p.i+1].kind == tIdent {
+		p.i++
+		a, err := p.atom()
+		if err != nil {
+			return err
+		}
+		a.Negated = true
+		r.Body = append(r.Body, a)
+		return nil
+	}
+	// Atom when an identifier is immediately followed by '(' — otherwise a
+	// comparison expression.
+	if t.kind == tIdent && !aggNames[t.text] && p.toks[p.i+1].kind == tSym && p.toks[p.i+1].text == "(" {
+		a, err := p.atom()
+		if err != nil {
+			return err
+		}
+		r.Body = append(r.Body, a)
+		return nil
+	}
+	l, err := p.expr()
+	if err != nil {
+		return err
+	}
+	op := p.cur()
+	var cop ast.CmpOp
+	switch op.text {
+	case "=":
+		cop = ast.OpEQ
+	case "!=":
+		cop = ast.OpNE
+	case "<":
+		cop = ast.OpLT
+	case "<=":
+		cop = ast.OpLE
+	case ">":
+		cop = ast.OpGT
+	case ">=":
+		cop = ast.OpGE
+	default:
+		return fmt.Errorf("datalog: line %d: expected comparison operator, found %q", op.line, op.text)
+	}
+	p.i++
+	rr, err := p.expr()
+	if err != nil {
+		return err
+	}
+	r.Cmps = append(r.Cmps, ast.Comparison{Op: cop, L: l, R: rr})
+	return nil
+}
+
+func (p *parser) atom() (ast.Atom, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return ast.Atom{}, err
+	}
+	var args []ast.Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		args = append(args, t)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return ast.Atom{}, err
+	}
+	return ast.Atom{Pred: name, Args: args}, nil
+}
+
+func (p *parser) term() (ast.Term, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tSym && t.text == "_":
+		p.i++
+		return ast.Term{IsWild: true}, nil
+	case t.kind == tSym && t.text == "-" && p.toks[p.i+1].kind == tInt:
+		p.i += 2
+		v, err := strconv.ParseInt(p.toks[p.i-1].text, 10, 32)
+		if err != nil {
+			return ast.Term{}, fmt.Errorf("datalog: line %d: bad integer: %v", t.line, err)
+		}
+		return ast.Term{IsConst: true, Const: int32(-v)}, nil
+	case t.kind == tInt:
+		p.i++
+		v, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil {
+			return ast.Term{}, fmt.Errorf("datalog: line %d: bad integer: %v", t.line, err)
+		}
+		return ast.Term{IsConst: true, Const: int32(v)}, nil
+	case t.kind == tIdent:
+		p.i++
+		if t.text == "_" {
+			return ast.Term{IsWild: true}, nil
+		}
+		return ast.Term{Var: t.text}, nil
+	}
+	return ast.Term{}, fmt.Errorf("datalog: line %d: expected term, found %q", t.line, t.text)
+}
+
+// expr := atomExpr (('+'|'-') atomExpr)* with '*' binding tighter.
+func (p *parser) expr() (ast.Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin{Op: '+', L: l, R: r}
+		case p.accept("-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin{Op: '-', L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (ast.Expr, error) {
+	l, err := p.atomExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("*") {
+		r, err := p.atomExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ast.Bin{Op: '*', L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) atomExpr() (ast.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tInt:
+		p.i++
+		v, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: line %d: bad integer: %v", t.line, err)
+		}
+		return ast.Num{Value: int32(v)}, nil
+	case t.kind == tSym && t.text == "-" && p.toks[p.i+1].kind == tInt:
+		p.i += 2
+		v, err := strconv.ParseInt(p.toks[p.i-1].text, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: line %d: bad integer: %v", t.line, err)
+		}
+		return ast.Num{Value: int32(-v)}, nil
+	case t.kind == tIdent:
+		p.i++
+		return ast.Var{Name: t.text}, nil
+	case t.kind == tSym && t.text == "(":
+		p.i++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("datalog: line %d: expected expression, found %q", t.line, t.text)
+}

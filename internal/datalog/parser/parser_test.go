@@ -1,0 +1,168 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"recstep/internal/datalog/ast"
+)
+
+func TestParseTC(t *testing.T) {
+	p, err := Parse(`
+		tc(x, y) :- arc(x, y).
+		tc(x, y) :- tc(x, z), arc(z, y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(p.Rules))
+	}
+	r := p.Rules[1]
+	if r.HeadPred != "tc" || len(r.Body) != 2 || r.Body[0].Pred != "tc" || r.Body[1].Pred != "arc" {
+		t.Fatalf("bad rule: %+v", r)
+	}
+}
+
+func TestParseArrowVariant(t *testing.T) {
+	p, err := Parse("tc(x, y) <- arc(x, y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatal("arrow form should parse")
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	for _, src := range []string{
+		"ntc(x, y) :- node(x), node(y), !tc(x, y).",
+		"ntc(x, y) :- node(x), node(y), not tc(x, y).",
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if !p.Rules[0].Body[2].Negated {
+			t.Fatalf("%q: third atom should be negated", src)
+		}
+	}
+}
+
+func TestParseComparisonsAndConstants(t *testing.T) {
+	p, err := Parse("sg(x, y) :- arc(p, x), arc(p, y), x != y, x < 10.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if len(r.Cmps) != 2 || r.Cmps[0].Op != ast.OpNE || r.Cmps[1].Op != ast.OpLT {
+		t.Fatalf("cmps = %+v", r.Cmps)
+	}
+}
+
+func TestParseAggregateHeads(t *testing.T) {
+	p, err := Parse(`
+		cc3(x, MIN(x)) :- arc(x, _).
+		sssp2(y, MIN(d1 + d2)) :- sssp2(x, d1), arc(x, y, d2).
+		g(x, COUNT(y)) :- tc(x, y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].HeadTerms[1].Agg != "MIN" {
+		t.Fatalf("agg = %q", p.Rules[0].HeadTerms[1].Agg)
+	}
+	if _, ok := p.Rules[1].HeadTerms[1].Expr.(ast.Bin); !ok {
+		t.Fatalf("MIN arg should be arithmetic, got %T", p.Rules[1].HeadTerms[1].Expr)
+	}
+	if !p.Rules[0].Body[0].Args[1].IsWild {
+		t.Fatal("wildcard not recognized")
+	}
+}
+
+func TestParseInlineFacts(t *testing.T) {
+	p, err := Parse(`
+		id(7).
+		arc(1, 2).
+		reach(y) :- id(y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Facts["id"]) != 1 || p.Facts["id"][0][0] != 7 {
+		t.Fatalf("facts = %+v", p.Facts)
+	}
+	if len(p.Facts["arc"]) != 1 || p.Facts["arc"][0][1] != 2 {
+		t.Fatalf("facts = %+v", p.Facts)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(p.Rules))
+	}
+}
+
+func TestParseNegativeConstants(t *testing.T) {
+	p, err := Parse("p(-5).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Facts["p"][0][0] != -5 {
+		t.Fatalf("fact = %v", p.Facts["p"])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p, err := Parse(`
+		% percent comment
+		# hash comment
+		// slash comment
+		tc(x, y) :- arc(x, y). % trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"tc(x, y)",                // missing period
+		"tc(x, y) :- arc(x, y)",   // missing period
+		"tc(x, y) :- .",           // empty body
+		"tc(x, ) :- arc(x, y).",   // missing term
+		"tc(x, y) :- arc(x y).",   // missing comma
+		"(x) :- arc(x, y).",       // missing head name
+		"tc(x, y) :- x ~ y.",      // bad operator
+		"tc(MIN(x)) :- arc(x, y)", // missing period after agg head
+		"f(x).",                   // fact with variable
+		"tc(x,y) :- arc(x,y). @",  // stray character
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestRuleStringRoundTripParses(t *testing.T) {
+	srcs := []string{
+		"tc(x, y) :- tc(x, z), arc(z, y).",
+		"sg(x, y) :- arc(p, x), arc(p, y), x != y.",
+		"ntc(x, y) :- node(x), node(y), !tc(x, y).",
+		"sssp2(y, MIN(d1 + d2)) :- sssp2(x, d1), arc(x, y, d2).",
+	}
+	for _, src := range srcs {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		rendered := p.Rules[0].String()
+		if _, err := Parse(rendered); err != nil {
+			t.Errorf("re-parse of %q failed: %v", rendered, err)
+		}
+		if !strings.Contains(rendered, p.Rules[0].HeadPred) {
+			t.Errorf("rendered rule %q lost its head", rendered)
+		}
+	}
+}

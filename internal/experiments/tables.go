@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// Table1 reproduces the qualitative system comparison. The rows are the
+// paper's aspects; the columns are this repository's engines, annotated
+// with the system each stands in for.
+func Table1() Table {
+	return Table{
+		Title:  "Table 1 — qualitative comparison (this repo's engines; stand-ins in header)",
+		Header: []string{"aspect", "worklist(graspan)", "bdd(bddbddb)", "naive", "native(souffle)", "recstep"},
+		Rows: [][]string{
+			{"Scale-Up", "yes", "no", "yes", "yes", "yes"},
+			{"Scale-Out", "no", "no", "no", "no", "no"},
+			{"Memory Consumption", "low", "low", "high", "medium", "low"},
+			{"CPU Utilization", "medium", "poor", "high", "medium", "high"},
+			{"CPU Efficiency", "low", "-", "low", "high", "high"},
+			{"Hyperparameter Tuning", "yes (lightweight)", "yes (complex)", "no", "no", "no"},
+			{"Mutual Recursion", "yes", "yes", "yes", "yes", "yes"},
+			{"Non-Recursive Aggregation", "no", "no", "yes", "yes", "yes"},
+			{"Recursive Aggregation", "no", "no", "yes", "no", "yes"},
+		},
+		Notes: []string{"bddbddb's tuning burden is its BDD variable ordering, NP-complete to optimize"},
+	}
+}
+
+// Table3 reproduces the programs × datasets inventory with the scaled
+// dataset families actually used here.
+func Table3() Table {
+	return Table{
+		Title:  "Table 3 — benchmark programs and (scaled) datasets",
+		Header: []string{"program", "datasets"},
+		Rows: [][]string{
+			{"Transitive Closure (TC)", "G500, G1K, G1K-0.05, G1K-0.1, G2K, G4K, G8K (Gn-p, ÷10 scale)"},
+			{"Same Generation (SG)", "same Gn-p family"},
+			{"Reachability (REACH)", "livejournal/orkut/arabic/twitter-like, RMAT-8K…128K"},
+			{"Connected Components (CC)", "same graph family"},
+			{"Single Source Shortest Path (SSSP)", "same graph family, weights 1..100"},
+			{"Andersen's Analysis (AA)", "7 synthetic datasets, growing variable universe"},
+			{"Context-sensitive Dataflow (CSDA)", "linux-, postgresql-, httpd-like chain DAGs"},
+			{"Context-sensitive Points-to (CSPA)", "linux-, postgresql-, httpd-like assign/deref graphs"},
+		},
+	}
+}
+
+// Table4 reproduces the CPU-efficiency comparison: ce = 1/(t·n) where t is
+// the runtime in seconds and n the worker count.
+func Table4(cfg Config) Table {
+	specs := GnpFamily(cfg)
+	rmat := RMATSeries(cfg)
+	type entry struct {
+		label string
+		w     Workload
+	}
+	aaIdx := 7
+	if cfg.Quick {
+		aaIdx = 2
+	}
+	entries := []entry{
+		{"TC(" + specs[len(specs)/2].Label + ")", TCWorkload(specs[len(specs)/2])},
+		{"SG(" + specs[1].Label + ")", SGWorkload(specs[1])},
+		{"REACH(rmat)", RMATWorkload("reach", rmat[len(rmat)-1])},
+		{"CC(rmat)", RMATWorkload("cc", rmat[len(rmat)-1])},
+		{"SSSP(rmat)", RMATWorkload("sssp", rmat[len(rmat)-1])},
+		{fmt.Sprintf("AA(d%d)", aaIdx), AndersenWorkload(aaIdx, cfg)},
+		{"CSDA(linux)", CSDAWorkload("linux", cfg)},
+		{"CSPA(linux)", CSPAWorkload("linux", cfg)},
+	}
+	engines := AllEngines()
+	tbl := Table{
+		Title:  "Table 4 — CPU efficiency ce = 1/(runtime_s × workers)",
+		Header: []string{"workload"},
+	}
+	for _, e := range engines {
+		tbl.Header = append(tbl.Header, string(e))
+	}
+	n := float64(cfg.workers())
+	for _, en := range entries {
+		row := []string{en.label}
+		for _, e := range engines {
+			r := Run(e, en.w, cfg)
+			if r.Err != nil {
+				row = append(row, r.Cell())
+				continue
+			}
+			ce := 1 / (r.Time.Seconds() * n)
+			row = append(row, fmt.Sprintf("%.2e", ce))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"recstep/internal/graphs"
+	"recstep/internal/pa"
+	"recstep/internal/quickstep/storage"
+)
+
+// GnpSpec is one member of the paper's Gn-p family (Table 3), scaled ÷10 in
+// vertex count with edge probability raised to preserve the mean degree
+// (the property TC/SG blow-up depends on).
+type GnpSpec struct {
+	Label string
+	N     int
+	P     float64
+}
+
+// GnpFamily mirrors [G5K, G10K, G10K-0.01, G10K-0.1, G20K, G40K, G80K] at
+// 1/10 scale. Quick mode keeps the three smallest.
+func GnpFamily(cfg Config) []GnpSpec {
+	family := []GnpSpec{
+		{"G500", 500, 0.01},
+		{"G1K", 1000, 0.01},
+		{"G1K-0.05", 1000, 0.05},
+		{"G1K-0.1", 1000, 0.1},
+		{"G2K", 2000, 0.01},
+		{"G4K", 4000, 0.01},
+		{"G8K", 8000, 0.01},
+	}
+	if cfg.Quick {
+		return []GnpSpec{{"G100", 100, 0.05}, {"G200", 200, 0.05}, {"G300", 300, 0.05}}
+	}
+	return family
+}
+
+// TCWorkload builds transitive closure over one Gn-p graph.
+func TCWorkload(spec GnpSpec) Workload {
+	arc := graphs.GnP(spec.N, spec.P, 1)
+	return Workload{
+		Name:     "TC(" + spec.Label + ")",
+		Program:  "tc",
+		EDBs:     map[string]*storage.Relation{"arc": arc},
+		Output:   "tc",
+		Vertices: spec.N,
+		Edges:    arc.NumTuples(),
+	}
+}
+
+// SGWorkload builds same generation over one Gn-p graph.
+func SGWorkload(spec GnpSpec) Workload {
+	arc := graphs.GnP(spec.N, spec.P, 1)
+	return Workload{
+		Name:     "SG(" + spec.Label + ")",
+		Program:  "sg",
+		EDBs:     map[string]*storage.Relation{"arc": arc},
+		Output:   "sg",
+		Vertices: spec.N,
+		Edges:    arc.NumTuples(),
+	}
+}
+
+// RMATSeries returns the scaled RMAT vertex counts (the paper sweeps
+// 1M…128M; we sweep 8K…128K, preserving the 2× growth and 10n edges).
+func RMATSeries(cfg Config) []int {
+	if cfg.Quick {
+		return []int{1 << 10, 1 << 11}
+	}
+	return []int{1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17}
+}
+
+// GraphWorkload builds REACH/CC/SSSP over an arc relation. For CC the arcs
+// are made symmetric (the CC program propagates labels along arc
+// direction); for SSSP weights in [1,100] are attached.
+func GraphWorkload(program, label string, arc *storage.Relation) Workload {
+	w := Workload{Name: fmt.Sprintf("%s(%s)", program, label), Program: program}
+	switch program {
+	case "reach":
+		w.EDBs = map[string]*storage.Relation{"arc": arc, "id": graphs.SingleSource(0)}
+		w.Output = "reach"
+	case "cc":
+		w.EDBs = map[string]*storage.Relation{"arc": graphs.Undirected(arc)}
+		w.Output = "cc2"
+	case "sssp":
+		w.EDBs = map[string]*storage.Relation{
+			"arc": graphs.Weighted(arc, 100, 7),
+			"id":  graphs.SingleSource(0),
+		}
+		w.Output = "sssp"
+	default:
+		panic("experiments: GraphWorkload supports reach/cc/sssp")
+	}
+	return w
+}
+
+// RMATWorkload builds one REACH/CC/SSSP instance over RMAT-n.
+func RMATWorkload(program string, n int) Workload {
+	arc := graphs.RMAT(n, 10*n, 2)
+	return GraphWorkload(program, fmt.Sprintf("rmat-%dk", n/1000), arc)
+}
+
+// RealWorldWorkload builds one REACH/CC/SSSP instance over a real-world
+// stand-in graph.
+func RealWorldWorkload(program, name string, cfg Config) Workload {
+	scale := 1
+	arc, err := graphs.RealWorld(name, scale)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.Quick {
+		// Subsample edges for quick runs.
+		small := storage.NewRelation("arc", []string{"c0", "c1"})
+		count := 0
+		arc.ForEach(func(t []int32) {
+			if count%8 == 0 {
+				small.Append(t)
+			}
+			count++
+		})
+		arc = small
+	}
+	return GraphWorkload(program, name, arc)
+}
+
+// AndersenWorkload builds Andersen's analysis on synthetic dataset 1..7.
+func AndersenWorkload(dataset int, cfg Config) Workload {
+	var edbs map[string]*storage.Relation
+	if cfg.Quick {
+		edbs = pa.AndersenSized(60+30*dataset, int64(dataset))
+	} else {
+		var err error
+		edbs, err = pa.Andersen(dataset)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return Workload{
+		Name:     fmt.Sprintf("AA(d%d)", dataset),
+		Program:  "aa",
+		EDBs:     edbs,
+		Output:   "pointsTo",
+		Vertices: maxDomain(edbs),
+	}
+}
+
+// maxDomain returns 1 + the largest value occurring in any EDB — the active
+// domain size the BDD engine encodes.
+func maxDomain(edbs map[string]*storage.Relation) int {
+	var max int32 = -1
+	for _, rel := range edbs {
+		rel.ForEach(func(t []int32) {
+			for _, v := range t {
+				if v > max {
+					max = v
+				}
+			}
+		})
+	}
+	return int(max + 1)
+}
+
+// CSPAWorkload builds the context-sensitive points-to analysis for one
+// system program.
+func CSPAWorkload(system string, cfg Config) Workload {
+	var edbs map[string]*storage.Relation
+	if cfg.Quick {
+		edbs = pa.CSPASized(pa.CSPAConfig{Vars: 300, AssignPer: 13, DerefRatio: 3, Seed: 13})
+	} else {
+		var err error
+		edbs, err = pa.CSPA(system)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return Workload{
+		Name:    "CSPA(" + system + ")",
+		Program: "cspa",
+		EDBs:    edbs,
+		Output:  "valueFlow",
+	}
+}
+
+// CSDAWorkload builds the dataflow analysis for one system program.
+func CSDAWorkload(system string, cfg Config) Workload {
+	var edbs map[string]*storage.Relation
+	if cfg.Quick {
+		edbs = pa.CSDASized(6, 80, 6, 23)
+	} else {
+		var err error
+		edbs, err = pa.CSDA(system)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return Workload{
+		Name:    "CSDA(" + system + ")",
+		Program: "csda",
+		EDBs:    edbs,
+		Output:  "null",
+	}
+}

@@ -1,0 +1,193 @@
+// Package graphs generates the synthetic graph datasets of Table 3. The
+// paper's exact inputs (GTgraph Gn-p graphs, RMAT-1M…128M, livejournal,
+// orkut, arabic, twitter) are either produced by external generators or are
+// web-scale downloads; this package rebuilds each family at laptop scale
+// while preserving the property each experiment depends on — Gn-p density
+// (TC/SG output blow-up), RMAT's skewed power-law degrees at 10n edges, and
+// the heavy-tailed degree distributions of the real-world graphs.
+package graphs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// DefaultGnpP is the edge probability of the paper's Gn graphs when p is
+// omitted ("Each pair of vertices in Gn omitting p is connected with
+// probability 0.001").
+const DefaultGnpP = 0.001
+
+// GnP generates a directed Gn-p graph: every ordered pair (i, j), i ≠ j, is
+// an arc with probability p.
+func GnP(n int, p float64, seed int64) *storage.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := storage.NewRelation("arc", []string{"c0", "c1"})
+	var rows []int32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				rows = append(rows, int32(i), int32(j))
+			}
+		}
+	}
+	rel.AppendRows(rows)
+	return rel
+}
+
+// RMAT generates a directed R-MAT graph with m distinct edges over n
+// vertices (n must be a power of two for the quadrant recursion), using the
+// standard (0.57, 0.19, 0.19, 0.05) partition probabilities from the
+// BigDatalog evaluation setup.
+func RMAT(n, m int, seed int64) *storage.Relation {
+	if n&(n-1) != 0 || n <= 0 {
+		panic(fmt.Sprintf("graphs: RMAT vertex count %d must be a power of two", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const a, b, c = 0.57, 0.19, 0.19
+	seen := make(map[int64]struct{}, m)
+	rel := storage.NewRelation("arc", []string{"c0", "c1"})
+	var rows []int32
+	attempts := 0
+	for len(seen) < m && attempts < 20*m {
+		attempts++
+		x, y := 0, 0
+		for step := n; step > 1; step /= 2 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+			case r < a+b:
+				y += step / 2
+			case r < a+b+c:
+				x += step / 2
+			default:
+				x += step / 2
+				y += step / 2
+			}
+		}
+		key := int64(x)<<32 | int64(y)
+		if _, dup := seen[key]; dup || x == y {
+			continue
+		}
+		seen[key] = struct{}{}
+		rows = append(rows, int32(x), int32(y))
+	}
+	rel.AppendRows(rows)
+	return rel
+}
+
+// PowerLaw generates a directed preferential-attachment graph: vertex v
+// (v ≥ outDeg) adds outDeg arcs to targets drawn proportionally to current
+// in-degree+1. The result has the heavy-tailed degree distribution of the
+// paper's real-world graphs.
+func PowerLaw(n, outDeg int, seed int64) *storage.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := storage.NewRelation("arc", []string{"c0", "c1"})
+	// targets repeats each vertex once per incoming edge, so uniform
+	// sampling from it is degree-proportional sampling.
+	targets := make([]int32, 0, n*outDeg)
+	for v := 0; v < outDeg && v < n; v++ {
+		targets = append(targets, int32(v))
+	}
+	var rows []int32
+	for v := outDeg; v < n; v++ {
+		for e := 0; e < outDeg; e++ {
+			t := targets[rng.Intn(len(targets))]
+			if int32(v) == t {
+				continue
+			}
+			rows = append(rows, int32(v), t)
+			targets = append(targets, t, int32(v))
+		}
+	}
+	rel.AppendRows(rows)
+	return rel
+}
+
+// Chain generates the path graph 0→1→…→n-1 (maximal-diameter input for
+// iteration-heavy workloads like CSDA).
+func Chain(n int) *storage.Relation {
+	rel := storage.NewRelation("arc", []string{"c0", "c1"})
+	rows := make([]int32, 0, 2*(n-1))
+	for i := 0; i < n-1; i++ {
+		rows = append(rows, int32(i), int32(i+1))
+	}
+	rel.AppendRows(rows)
+	return rel
+}
+
+// Weighted converts a binary arc relation into arc(x, y, d) with uniform
+// random weights in [1, maxW] (SSSP input).
+func Weighted(arc *storage.Relation, maxW int32, seed int64) *storage.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := storage.NewRelation("arc", []string{"c0", "c1", "c2"})
+	arc.ForEach(func(t []int32) {
+		rel.Append([]int32{t[0], t[1], 1 + rng.Int31n(maxW)})
+	})
+	return rel
+}
+
+// Undirected doubles every arc with its reverse (CC's min-label propagation
+// needs both directions to cover a weakly connected component).
+func Undirected(arc *storage.Relation) *storage.Relation {
+	rel := storage.NewRelation("arc", []string{"c0", "c1"})
+	arc.ForEach(func(t []int32) {
+		rel.Append([]int32{t[0], t[1]})
+		rel.Append([]int32{t[1], t[0]})
+	})
+	return rel
+}
+
+// SingleSource builds the unary id relation holding one source vertex
+// (REACH, SSSP).
+func SingleSource(v int32) *storage.Relation {
+	rel := storage.NewRelation("id", []string{"c0"})
+	rel.Append([]int32{v})
+	return rel
+}
+
+// NumVertices returns 1 + the largest vertex mentioned by an arc relation.
+func NumVertices(arc *storage.Relation) int {
+	var max int32 = -1
+	arc.ForEach(func(t []int32) {
+		if t[0] > max {
+			max = t[0]
+		}
+		if t[1] > max {
+			max = t[1]
+		}
+	})
+	return int(max + 1)
+}
+
+// RealWorld generates the scaled stand-in for one of the paper's real-world
+// graphs. scale multiplies the base size (scale 1 runs in seconds).
+func RealWorld(name string, scale int) (*storage.Relation, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	switch name {
+	case "livejournal":
+		return PowerLaw(8000*scale, 8, 101), nil
+	case "orkut":
+		// Denser than livejournal, like the original.
+		return PowerLaw(6000*scale, 12, 102), nil
+	case "arabic":
+		// Web crawl: locally clustered, long chains; mix power-law with a
+		// chain backbone for high diameter.
+		pl := PowerLaw(9000*scale, 7, 103)
+		ch := Chain(9000 * scale)
+		pl.AppendRelation(ch)
+		return pl, nil
+	case "twitter":
+		// Extremely skewed follower graph: low out-degree exponent.
+		return PowerLaw(10000*scale, 10, 104), nil
+	}
+	return nil, fmt.Errorf("graphs: unknown real-world graph %q", name)
+}
+
+// RealWorldNames lists the supported stand-ins in the paper's order.
+func RealWorldNames() []string {
+	return []string{"livejournal", "orkut", "arabic", "twitter"}
+}

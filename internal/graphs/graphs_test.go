@@ -1,0 +1,132 @@
+package graphs
+
+import (
+	"testing"
+)
+
+func TestGnPDensity(t *testing.T) {
+	n := 200
+	rel := GnP(n, 0.05, 1)
+	m := rel.NumTuples()
+	expected := float64(n*(n-1)) * 0.05
+	if float64(m) < expected*0.7 || float64(m) > expected*1.3 {
+		t.Fatalf("GnP edges = %d, expected ≈ %.0f", m, expected)
+	}
+	rel.ForEach(func(e []int32) {
+		if e[0] == e[1] {
+			t.Fatalf("self loop %v", e)
+		}
+		if e[0] < 0 || e[0] >= int32(n) || e[1] < 0 || e[1] >= int32(n) {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	})
+}
+
+func TestGnPDeterministic(t *testing.T) {
+	a := GnP(100, 0.01, 7)
+	b := GnP(100, 0.01, 7)
+	if a.NumTuples() != b.NumTuples() {
+		t.Fatal("same seed must give the same graph")
+	}
+}
+
+func TestRMATEdgeCountAndSkew(t *testing.T) {
+	n, m := 1024, 5000
+	rel := RMAT(n, m, 2)
+	if got := rel.NumTuples(); got != m {
+		t.Fatalf("RMAT edges = %d, want %d", got, m)
+	}
+	// Skew: the max in-degree should far exceed the average (m/n ≈ 5).
+	indeg := make(map[int32]int)
+	rel.ForEach(func(e []int32) { indeg[e[1]]++ })
+	maxDeg := 0
+	for _, d := range indeg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 4*m/n {
+		t.Fatalf("RMAT max in-degree %d shows no skew (avg %d)", maxDeg, m/n)
+	}
+}
+
+func TestRMATRequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two n")
+		}
+	}()
+	RMAT(1000, 100, 1)
+}
+
+func TestPowerLawHeavyTail(t *testing.T) {
+	rel := PowerLaw(2000, 5, 3)
+	indeg := make(map[int32]int)
+	rel.ForEach(func(e []int32) { indeg[e[1]]++ })
+	maxDeg, total := 0, 0
+	for _, d := range indeg {
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := total / len(indeg)
+	if maxDeg < 10*avg {
+		t.Fatalf("power-law max degree %d not heavy-tailed (avg %d)", maxDeg, avg)
+	}
+}
+
+func TestChain(t *testing.T) {
+	rel := Chain(5)
+	if rel.NumTuples() != 4 {
+		t.Fatalf("chain edges = %d, want 4", rel.NumTuples())
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	w := Weighted(Chain(10), 100, 4)
+	if w.Arity() != 3 {
+		t.Fatalf("arity = %d", w.Arity())
+	}
+	w.ForEach(func(e []int32) {
+		if e[2] < 1 || e[2] > 100 {
+			t.Fatalf("weight %d out of range", e[2])
+		}
+	})
+}
+
+func TestUndirectedDoubles(t *testing.T) {
+	u := Undirected(Chain(4))
+	if u.NumTuples() != 6 {
+		t.Fatalf("undirected edges = %d, want 6", u.NumTuples())
+	}
+}
+
+func TestSingleSourceAndNumVertices(t *testing.T) {
+	id := SingleSource(5)
+	if id.NumTuples() != 1 || id.Arity() != 1 {
+		t.Fatal("bad id relation")
+	}
+	if got := NumVertices(Chain(10)); got != 10 {
+		t.Fatalf("NumVertices = %d, want 10", got)
+	}
+	empty := Chain(1)
+	if got := NumVertices(empty); got != 0 {
+		t.Fatalf("NumVertices(empty) = %d, want 0", got)
+	}
+}
+
+func TestRealWorldFamilies(t *testing.T) {
+	for _, name := range RealWorldNames() {
+		rel, err := RealWorld(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rel.NumTuples() < 10000 {
+			t.Fatalf("%s: only %d edges", name, rel.NumTuples())
+		}
+	}
+	if _, err := RealWorld("unknown", 1); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}

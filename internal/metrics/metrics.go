@@ -1,0 +1,145 @@
+// Package metrics samples memory usage and worker (CPU) utilization while
+// an evaluation runs, standing in for the OS-level "Memory Usage (%)" and
+// "CPU Utilization (%)" series of Figures 3, 6, 7, 11, 14 and 16. Memory is
+// the Go heap in use; CPU utilization is the fraction of execution-pool
+// workers busy at the sampling instant.
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"recstep/internal/quickstep/exec"
+)
+
+// Sample is one observation.
+type Sample struct {
+	At        time.Duration // since Start
+	HeapBytes uint64
+	Busy      int // busy pool workers (0 when no pool attached)
+	Workers   int
+}
+
+// CPUUtil returns the busy fraction in [0, 1].
+func (s Sample) CPUUtil() float64 {
+	if s.Workers == 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Workers)
+}
+
+// Sampler polls on a ticker until stopped.
+type Sampler struct {
+	interval time.Duration
+	pool     *exec.Pool
+
+	mu      sync.Mutex
+	samples []Sample
+	stop    chan struct{}
+	done    chan struct{}
+	started time.Time
+}
+
+// NewSampler creates a sampler; pool may be nil (memory-only sampling).
+// interval ≤ 0 selects 10ms.
+func NewSampler(interval time.Duration, pool *exec.Pool) *Sampler {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &Sampler{interval: interval, pool: pool}
+}
+
+// AttachPool sets the pool after construction (used when the pool only
+// exists once the engine opens its database).
+func (s *Sampler) AttachPool(pool *exec.Pool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool = pool
+}
+
+// Start begins sampling in a goroutine.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.started = time.Now()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+func (s *Sampler) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.record()
+		}
+	}
+}
+
+func (s *Sampler) record() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sm := Sample{At: time.Since(s.started), HeapBytes: ms.HeapAlloc}
+	if s.pool != nil {
+		sm.Busy = s.pool.BusyWorkers()
+		sm.Workers = s.pool.Workers()
+	}
+	s.samples = append(s.samples, sm)
+}
+
+// Stop ends sampling and returns the collected series.
+func (s *Sampler) Stop() []Sample {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	// One final sample so short runs always have data.
+	s.record()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.samples
+	s.samples = nil
+	return out
+}
+
+// PeakHeap returns the maximum heap observation.
+func PeakHeap(samples []Sample) uint64 {
+	var peak uint64
+	for _, s := range samples {
+		if s.HeapBytes > peak {
+			peak = s.HeapBytes
+		}
+	}
+	return peak
+}
+
+// AvgCPUUtil returns the mean busy fraction across samples with a pool.
+func AvgCPUUtil(samples []Sample) float64 {
+	var sum float64
+	var n int
+	for _, s := range samples {
+		if s.Workers > 0 {
+			sum += s.CPUUtil()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

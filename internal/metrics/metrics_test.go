@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"recstep/internal/quickstep/exec"
+)
+
+func TestSamplerCollectsSamples(t *testing.T) {
+	s := NewSampler(time.Millisecond, exec.NewPool(2))
+	s.Start()
+	time.Sleep(20 * time.Millisecond)
+	samples := s.Stop()
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	if PeakHeap(samples) == 0 {
+		t.Fatal("heap bytes should be nonzero")
+	}
+	for _, sm := range samples {
+		if sm.Workers != 2 {
+			t.Fatalf("Workers = %d, want 2", sm.Workers)
+		}
+	}
+}
+
+func TestSamplerStopWithoutStart(t *testing.T) {
+	s := NewSampler(0, nil)
+	samples := s.Stop() // records one final sample
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(samples))
+	}
+}
+
+func TestSamplerObservesBusyWorkers(t *testing.T) {
+	pool := exec.NewPool(4)
+	s := NewSampler(time.Millisecond, pool)
+	s.Start()
+	// Keep the pool busy long enough for several samples.
+	pool.Run(64, func(int) { time.Sleep(2 * time.Millisecond) })
+	samples := s.Stop()
+	if AvgCPUUtil(samples) <= 0 {
+		t.Fatal("expected nonzero CPU utilization while pool was busy")
+	}
+}
+
+func TestCPUUtilBounds(t *testing.T) {
+	sm := Sample{Busy: 2, Workers: 4}
+	if got := sm.CPUUtil(); got != 0.5 {
+		t.Fatalf("CPUUtil = %f, want 0.5", got)
+	}
+	if (Sample{}).CPUUtil() != 0 {
+		t.Fatal("zero-worker sample should report 0 utilization")
+	}
+}
+
+func TestAttachPool(t *testing.T) {
+	s := NewSampler(time.Millisecond, nil)
+	s.AttachPool(exec.NewPool(3))
+	s.Start()
+	time.Sleep(5 * time.Millisecond)
+	samples := s.Stop()
+	found := false
+	for _, sm := range samples {
+		if sm.Workers == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("attached pool not observed")
+	}
+}
+
+func TestDoubleStartIsSafe(t *testing.T) {
+	s := NewSampler(time.Millisecond, nil)
+	s.Start()
+	s.Start() // no-op
+	time.Sleep(3 * time.Millisecond)
+	if got := s.Stop(); len(got) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestAvgCPUUtilEmpty(t *testing.T) {
+	if AvgCPUUtil(nil) != 0 {
+		t.Fatal("empty series should average to 0")
+	}
+}

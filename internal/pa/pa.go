@@ -1,0 +1,204 @@
+// Package pa generates synthetic program-analysis fact bases for the three
+// static-analysis benchmarks (Section 6.2). The paper's inputs — seven
+// Andersen datasets "generated based on the characteristics of a tiny real
+// dataset" and the linux/postgresql/httpd extractions shipped with Graspan —
+// are not redistributable here, so each generator reproduces the shape that
+// drives the respective workload: Andersen scales the variable count across
+// datasets 1–7; CSPA produces assign/dereference graphs whose value-flow
+// closure is dense and non-linear; CSDA produces nullEdge/arc DAGs with very
+// long dependency chains (hundreds of iterations, little work per
+// iteration).
+package pa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"recstep/internal/quickstep/storage"
+)
+
+func rel2(name string) *storage.Relation {
+	return storage.NewRelation(name, []string{"c0", "c1"})
+}
+
+// Andersen generates the EDBs for Andersen's analysis at dataset index
+// 1..7; the variable universe grows with the index, as in the paper.
+func Andersen(dataset int) (map[string]*storage.Relation, error) {
+	if dataset < 1 || dataset > 7 {
+		return nil, fmt.Errorf("pa: Andersen dataset %d outside 1..7", dataset)
+	}
+	// Variable count grows ~1.6× per dataset, mirroring the paper's
+	// small-to-large progression.
+	vars := 120
+	for i := 1; i < dataset; i++ {
+		vars = vars * 8 / 5
+	}
+	return AndersenSized(vars, int64(dataset)), nil
+}
+
+// AndersenSized generates Andersen facts over the given variable universe:
+// a heap subset receives address-of edges, variables form an assignment web
+// with moderate fan-in, and sparse loads and stores create the non-linear
+// derivations. Densities are tuned so the points-to sets stay "moderate"
+// (the paper's characterization of its synthetic AA inputs) rather than
+// exploding quadratically.
+func AndersenSized(vars int, seed int64) map[string]*storage.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	addressOf, assign, load, store := rel2("addressOf"), rel2("assign"), rel2("load"), rel2("store")
+	v := func() int32 { return int32(rng.Intn(vars)) }
+	heap := vars / 4
+	if heap == 0 {
+		heap = 1
+	}
+	for i := 0; i < vars/6; i++ {
+		addressOf.Append([]int32{v(), int32(rng.Intn(heap))})
+	}
+	for i := 0; i < vars; i++ {
+		assign.Append([]int32{v(), v()})
+	}
+	for i := 0; i < vars/12; i++ {
+		load.Append([]int32{v(), v()})
+	}
+	for i := 0; i < vars/12; i++ {
+		store.Append([]int32{v(), v()})
+	}
+	return map[string]*storage.Relation{
+		"addressOf": addressOf, "assign": assign, "load": load, "store": store,
+	}
+}
+
+// CSPAConfig sizes one CSPA input.
+type CSPAConfig struct {
+	Vars       int
+	AssignPer  int // assign edges ≈ Vars*AssignPer/10
+	DerefRatio int // dereference facts ≈ Vars/DerefRatio
+	Seed       int64
+}
+
+// cspaConfigs maps the paper's system programs to scaled configurations.
+// linux is the largest, httpd the smallest — same ordering as Table 3.
+var cspaConfigs = map[string]CSPAConfig{
+	"linux":      {Vars: 1000, AssignPer: 13, DerefRatio: 4, Seed: 11},
+	"postgresql": {Vars: 750, AssignPer: 13, DerefRatio: 4, Seed: 12},
+	"httpd":      {Vars: 500, AssignPer: 13, DerefRatio: 4, Seed: 13},
+}
+
+// CSPA generates assign/dereference facts for one of linux, postgresql,
+// httpd.
+func CSPA(system string) (map[string]*storage.Relation, error) {
+	cfg, ok := cspaConfigs[system]
+	if !ok {
+		return nil, fmt.Errorf("pa: unknown CSPA system %q", system)
+	}
+	return CSPASized(cfg), nil
+}
+
+// CSPASized generates CSPA facts from an explicit configuration. Variables
+// are grouped into function-scope-like clusters: assignments are mostly
+// forward edges within a cluster (acyclic local dataflow) with occasional
+// forward cross-cluster "call" edges, matching the structure of real
+// extracted programs where value flow is deep but locally bounded —
+// a giant strongly connected assign graph would make valueFlow all-pairs,
+// which real inputs are not.
+func CSPASized(cfg CSPAConfig) map[string]*storage.Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	assign, deref := rel2("assign"), rel2("dereference")
+	n := cfg.Vars
+	const cluster = 20
+	edges := n * cfg.AssignPer / 10
+	for i := 0; i < edges; i++ {
+		src := rng.Intn(n - 1)
+		base := src - src%cluster
+		end := base + cluster
+		if end > n {
+			end = n
+		}
+		var dst int
+		if rng.Intn(30) == 0 && end+cluster <= n {
+			// Rare cross-cluster call edge into the immediately following
+			// cluster; deeper chains arise only transitively, keeping value
+			// flow deep but bounded (no quadratic whole-program closure).
+			dst = end + rng.Intn(cluster)
+		} else if src+1 < end {
+			// Local forward edge within the cluster.
+			dst = src + 1 + rng.Intn(end-src-1)
+		} else {
+			continue
+		}
+		assign.Append([]int32{int32(src), int32(dst)})
+	}
+	// Dereferences are cluster-local: pointer p aliases variables inside its
+	// own cluster. Unconstrained dereferences would let memoryAlias feed
+	// arbitrary cross-cluster edges back into valueFlow, driving the closure
+	// towards all-pairs — unlike real extracted programs.
+	pointers := n / 4
+	if pointers == 0 {
+		pointers = 1
+	}
+	nClusters := (n + cluster - 1) / cluster
+	for i := 0; i < n/max(1, cfg.DerefRatio); i++ {
+		p := rng.Intn(pointers)
+		base := (p % nClusters) * cluster
+		width := cluster
+		if base+width > n {
+			width = n - base
+		}
+		deref.Append([]int32{int32(p), int32(base + rng.Intn(width))})
+	}
+	return map[string]*storage.Relation{"assign": assign, "dereference": deref}
+}
+
+// csdaConfigs scales the dataflow benchmark: long chains dominate, so the
+// fixpoint needs many iterations with small deltas — the regime where the
+// paper reports RecStep losing to Souffle (per-query overhead accumulates).
+var csdaConfigs = map[string]struct {
+	chains, length, nulls int
+	seed                  int64
+}{
+	"linux":      {chains: 60, length: 700, nulls: 60, seed: 21},
+	"postgresql": {chains: 45, length: 500, nulls: 45, seed: 22},
+	"httpd":      {chains: 30, length: 350, nulls: 30, seed: 23},
+}
+
+// CSDA generates nullEdge/arc facts for one of linux, postgresql, httpd.
+func CSDA(system string) (map[string]*storage.Relation, error) {
+	cfg, ok := csdaConfigs[system]
+	if !ok {
+		return nil, fmt.Errorf("pa: unknown CSDA system %q", system)
+	}
+	return CSDASized(cfg.chains, cfg.length, cfg.nulls, cfg.seed), nil
+}
+
+// CSDASized builds `chains` parallel dataflow chains of the given length
+// with occasional cross edges, and `nulls` null-source edges entering chain
+// heads.
+func CSDASized(chains, length, nulls int, seed int64) map[string]*storage.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	arc, nullEdge := rel2("arc"), rel2("nullEdge")
+	id := func(chain, pos int) int32 { return int32(chain*length + pos) }
+	for c := 0; c < chains; c++ {
+		for i := 0; i < length-1; i++ {
+			arc.Append([]int32{id(c, i), id(c, i+1)})
+		}
+		// Sparse cross edges between chains.
+		if c > 0 && rng.Intn(2) == 0 {
+			at := rng.Intn(length - 1)
+			arc.Append([]int32{id(c-1, at), id(c, at+1)})
+		}
+	}
+	for i := 0; i < nulls; i++ {
+		c := rng.Intn(chains)
+		nullEdge.Append([]int32{int32(1_000_000 + i), id(c, rng.Intn(length/4))})
+	}
+	return map[string]*storage.Relation{"arc": arc, "nullEdge": nullEdge}
+}
+
+// Systems lists the system-program dataset names in the paper's order.
+func Systems() []string { return []string{"linux", "postgresql", "httpd"} }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

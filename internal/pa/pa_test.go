@@ -1,0 +1,83 @@
+package pa
+
+import "testing"
+
+func TestAndersenDatasetsGrow(t *testing.T) {
+	prev := 0
+	for i := 1; i <= 7; i++ {
+		edbs, err := Andersen(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"addressOf", "assign", "load", "store"} {
+			if _, ok := edbs[name]; !ok {
+				t.Fatalf("dataset %d missing %s", i, name)
+			}
+		}
+		size := edbs["assign"].NumTuples()
+		if size <= prev {
+			t.Fatalf("dataset %d (assign=%d) not larger than dataset %d (%d)", i, size, i-1, prev)
+		}
+		prev = size
+	}
+}
+
+func TestAndersenBounds(t *testing.T) {
+	for _, d := range []int{0, 8} {
+		if _, err := Andersen(d); err == nil {
+			t.Fatalf("dataset %d should be rejected", d)
+		}
+	}
+}
+
+func TestCSPASystems(t *testing.T) {
+	sizes := map[string]int{}
+	for _, sys := range Systems() {
+		edbs, err := CSPA(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if edbs["assign"].NumTuples() == 0 || edbs["dereference"].NumTuples() == 0 {
+			t.Fatalf("%s: empty facts", sys)
+		}
+		sizes[sys] = edbs["assign"].NumTuples()
+	}
+	if !(sizes["linux"] > sizes["postgresql"] && sizes["postgresql"] > sizes["httpd"]) {
+		t.Fatalf("CSPA sizes should order linux > postgresql > httpd: %v", sizes)
+	}
+	if _, err := CSPA("win95"); err == nil {
+		t.Fatal("unknown system should error")
+	}
+}
+
+func TestCSDASystems(t *testing.T) {
+	for _, sys := range Systems() {
+		edbs, err := CSDA(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if edbs["arc"].NumTuples() == 0 || edbs["nullEdge"].NumTuples() == 0 {
+			t.Fatalf("%s: empty facts", sys)
+		}
+	}
+	if _, err := CSDA("beos"); err == nil {
+		t.Fatal("unknown system should error")
+	}
+}
+
+func TestCSDAChainStructure(t *testing.T) {
+	edbs := CSDASized(2, 50, 2, 1)
+	// Arc count: 2 chains × 49 + at most 1 cross edge.
+	n := edbs["arc"].NumTuples()
+	if n < 98 || n > 99 {
+		t.Fatalf("arc count = %d", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := AndersenSized(500, 42)
+	b := AndersenSized(500, 42)
+	if a["assign"].NumTuples() != b["assign"].NumTuples() {
+		t.Fatal("same seed must reproduce facts")
+	}
+}

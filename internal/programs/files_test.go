@@ -1,0 +1,37 @@
+package programs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"recstep/internal/datalog/parser"
+)
+
+// The CLI-facing programs/*.datalog files must stay in sync with the
+// embedded constants: same rules, same order.
+func TestShippedDatalogFilesMatchEmbedded(t *testing.T) {
+	dir := filepath.Join("..", "..", "programs")
+	for name, src := range ByName {
+		path := filepath.Join(dir, datalogFile(name))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fromFile, err := parser.Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: file does not parse: %v", name, err)
+		}
+		embedded := MustParse(src)
+		if fromFile.String() != embedded.String() {
+			t.Errorf("%s: %s diverges from the embedded program", name, path)
+		}
+	}
+}
+
+func datalogFile(name string) string {
+	if name == "aa" {
+		return "andersen.datalog"
+	}
+	return name + ".datalog"
+}

@@ -1,0 +1,64 @@
+package programs
+
+import (
+	"testing"
+
+	"recstep/internal/datalog/analysis"
+)
+
+// Every benchmark program must parse and pass the full rule analysis.
+func TestAllProgramsAnalyze(t *testing.T) {
+	for name := range ByName {
+		prog, err := Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := analysis.Analyze(prog); err != nil {
+			t.Fatalf("%s: analysis failed: %v", name, err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nonexistent"); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestMustParsePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("broken(")
+}
+
+func TestExpectedStructure(t *testing.T) {
+	cases := map[string]struct {
+		idbs   int
+		strata int
+	}{
+		"tc":   {1, 1},
+		"cc":   {3, 3},
+		"sssp": {2, 2},
+		"cspa": {3, 1},
+		"ntc":  {3, 3},
+	}
+	for name, want := range cases {
+		prog, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := analysis.Analyze(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(res.IDBNames()); got != want.idbs {
+			t.Errorf("%s: IDBs = %d, want %d", name, got, want.idbs)
+		}
+		if got := len(res.Strata); got != want.strata {
+			t.Errorf("%s: strata = %d, want %d", name, got, want.strata)
+		}
+	}
+}

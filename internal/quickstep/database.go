@@ -1,0 +1,367 @@
+// Package quickstep assembles the storage, execution, statistics, optimizer
+// and transaction subsystems into a single-node parallel in-memory RDBMS
+// facade — the role QuickStep plays under RecStep (Figure 1). It exposes the
+// SQL API used by the query generator plus the kernel-level calls Algorithm 1
+// relies on: analyze, dedup and set difference.
+package quickstep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/plan"
+	"recstep/internal/quickstep/sql"
+	"recstep/internal/quickstep/stats"
+	"recstep/internal/quickstep/storage"
+	"recstep/internal/quickstep/txn"
+)
+
+// Options configures a Database.
+type Options struct {
+	// Workers bounds intra-query parallelism; <=0 selects GOMAXPROCS.
+	Workers int
+	// Dedup selects the deduplication implementation (FAST-DEDUP ablation).
+	Dedup exec.DedupStrategy
+	// EOST defers all write-back to the final commit; turning it off makes
+	// every mutating query flush dirty tables (the paper's EOST ablation).
+	EOST bool
+	// SpillDir receives write-back files; empty selects a temp directory.
+	SpillDir string
+	// StatsBudgetTuples caps dedup distinct estimates (0 = unbounded).
+	StatsBudgetTuples int
+	// DisableIO skips the transaction manager entirely (no disk touched);
+	// used by unit tests and benchmarks that measure pure compute.
+	DisableIO bool
+}
+
+// Database is the QuickStep-like engine instance.
+type Database struct {
+	opts  Options
+	cat   *storage.Catalog
+	stats *stats.Catalog
+	pool  *exec.Pool
+	txn   *txn.Manager
+
+	mu      sync.Mutex // one query at a time, as in QuickStep
+	queries atomic.Int64
+}
+
+// Open creates a database.
+func Open(opts Options) (*Database, error) {
+	db := &Database{
+		opts:  opts,
+		cat:   storage.NewCatalog(),
+		stats: stats.NewCatalog(opts.StatsBudgetTuples),
+		pool:  exec.NewPool(opts.Workers),
+	}
+	if !opts.DisableIO {
+		m, err := txn.NewManager(opts.EOST, opts.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		db.txn = m
+	}
+	return db, nil
+}
+
+// Close releases spill resources.
+func (db *Database) Close() error {
+	if db.txn != nil {
+		return db.txn.Close()
+	}
+	return nil
+}
+
+// Catalog exposes the table catalog.
+func (db *Database) Catalog() *storage.Catalog { return db.cat }
+
+// Pool exposes the worker pool (metrics sampling reads busy counts from it).
+func (db *Database) Pool() *exec.Pool { return db.pool }
+
+// Txn exposes the transaction manager, or nil with DisableIO.
+func (db *Database) Txn() *txn.Manager { return db.txn }
+
+// QueriesIssued counts ExecSQL calls — the per-query overhead UIE minimizes.
+func (db *Database) QueriesIssued() int64 { return db.queries.Load() }
+
+// schemaFn adapts the catalog for the SQL binder.
+func (db *Database) schemaFn(table string) ([]string, bool) {
+	r, ok := db.cat.Get(table)
+	if !ok {
+		return nil, false
+	}
+	return r.ColNames(), true
+}
+
+// ExecSQL parses, binds and executes one SQL statement. SELECT returns its
+// result relation; other statements return nil.
+func (db *Database) ExecSQL(q string) (*storage.Relation, error) {
+	db.queries.Add(1)
+	st, err := sql.Parse(q, db.schemaFn)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execStatement(st)
+}
+
+// ExecScript executes a semicolon-separated list of statements.
+func (db *Database) ExecScript(script string) error {
+	for _, stmt := range sql.SplitScript(script) {
+		if _, err := db.ExecSQL(stmt); err != nil {
+			return fmt.Errorf("quickstep: executing %q: %w", stmt, err)
+		}
+	}
+	return nil
+}
+
+func (db *Database) execStatement(st plan.Statement) (*storage.Relation, error) {
+	switch s := st.(type) {
+	case plan.CreateTable:
+		if _, err := db.cat.Create(s.Name, s.Cols); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case plan.DropTable:
+		if _, ok := db.cat.Get(s.Name); !ok {
+			if s.IfExists {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("quickstep: DROP of unknown table %q", s.Name)
+		}
+		db.cat.Drop(s.Name)
+		db.stats.Drop(s.Name)
+		if db.txn != nil {
+			db.txn.Forget(s.Name)
+		}
+		return nil, nil
+	case plan.InsertValues:
+		dst, ok := db.cat.Get(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("quickstep: INSERT into unknown table %q", s.Table)
+		}
+		for _, tup := range s.Tuples {
+			if len(tup) != dst.Arity() {
+				return nil, fmt.Errorf("quickstep: INSERT arity %d into table %q of arity %d", len(tup), s.Table, dst.Arity())
+			}
+			dst.Append(tup)
+		}
+		return nil, db.afterMutation(s.Table)
+	case plan.InsertSelect:
+		dst, ok := db.cat.Get(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("quickstep: INSERT into unknown table %q", s.Table)
+		}
+		res, err := db.runQuery(s.Query, s.Table+"_ins")
+		if err != nil {
+			return nil, err
+		}
+		if res.Arity() != dst.Arity() {
+			return nil, fmt.Errorf("quickstep: INSERT SELECT arity %d into table %q of arity %d", res.Arity(), s.Table, dst.Arity())
+		}
+		dst.AppendRelation(res)
+		return nil, db.afterMutation(s.Table)
+	case plan.SelectStmt:
+		return db.runQuery(s.Query, "result")
+	}
+	return nil, fmt.Errorf("quickstep: unhandled statement %T", st)
+}
+
+func (db *Database) afterMutation(table string) error {
+	db.stats.Invalidate(table)
+	if db.txn != nil {
+		db.txn.MarkDirty(table)
+		return db.txn.MaybeCommit(db.cat)
+	}
+	return nil
+}
+
+// runQuery evaluates a bound query. UNION ALL branches run concurrently —
+// the execution-level payoff of UIE: subqueries of one unified query keep
+// all cores busy without inter-query coordination.
+func (db *Database) runQuery(q *plan.Query, name string) (*storage.Relation, error) {
+	results := make([]*storage.Relation, len(q.Branches))
+	errs := make([]error, len(q.Branches))
+	var wg sync.WaitGroup
+	for i, br := range q.Branches {
+		wg.Add(1)
+		go func(i int, br *plan.Branch) {
+			defer wg.Done()
+			results[i], errs[i] = db.runBranch(br, fmt.Sprintf("%s_b%d", name, i))
+		}(i, br)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	outCols := q.OutCols
+	if len(outCols) != results[0].Arity() {
+		outCols = storage.NumberedColumns(results[0].Arity())
+	}
+	return exec.UnionAll(name, outCols, results...), nil
+}
+
+func (db *Database) runBranch(br *plan.Branch, name string) (*storage.Relation, error) {
+	// Resolve and pre-filter base tables.
+	inputs := make([]*storage.Relation, len(br.Tables))
+	for i, t := range br.Tables {
+		r, ok := db.cat.Get(t)
+		if !ok {
+			return nil, fmt.Errorf("quickstep: unknown table %q", t)
+		}
+		if preds := br.PreFilter[i]; len(preds) > 0 {
+			r = exec.SelectProject(db.pool, r, preds, identityProjs(r.Arity()), t+"_filtered", r.ColNames())
+		}
+		inputs[i] = r
+	}
+
+	cur := inputs[0]
+	width := br.Arities[0]
+	// The select list fuses into the last join when nothing follows it,
+	// avoiding one full materialization of the combined rows.
+	fuseFinal := len(br.Joins) > 0 && len(br.AntiJoins) == 0 && len(br.Aggs) == 0
+	for step := 0; step < len(br.Joins); step++ {
+		right := inputs[step+1]
+		js := br.Joins[step]
+		projs := identityProjs(width + br.Arities[step+1])
+		if fuseFinal && step == len(br.Joins)-1 {
+			projs = br.Projs
+		}
+		spec := exec.JoinSpec{
+			LeftKeys:  js.LeftKeys,
+			RightKeys: js.RightKeys,
+			BuildLeft: db.chooseBuildLeft(cur, br, step, right),
+			Residual:  js.Residual,
+			Projs:     projs,
+			OutName:   fmt.Sprintf("%s_j%d", name, step),
+		}
+		cur = exec.HashJoin(db.pool, cur, right, spec)
+		width += br.Arities[step+1]
+	}
+	if fuseFinal {
+		return cur, nil
+	}
+
+	for _, aj := range br.AntiJoins {
+		inner, ok := db.cat.Get(aj.Table)
+		if !ok {
+			return nil, fmt.Errorf("quickstep: unknown table %q in NOT EXISTS", aj.Table)
+		}
+		if len(aj.InnerPreFilter) > 0 {
+			inner = exec.SelectProject(db.pool, inner, aj.InnerPreFilter, identityProjs(inner.Arity()), aj.Table+"_filtered", inner.ColNames())
+		}
+		cur = exec.AntiJoin(db.pool, cur, inner, aj.OuterKeys, aj.InnerKeys, nil, identityProjs(width), name+"_anti", nil)
+	}
+
+	if len(br.Aggs) > 0 {
+		agg := exec.HashAggregate(db.pool, cur, br.GroupBy, br.Aggs, name+"_agg", nil)
+		// Reorder to the select-list order.
+		projs := make([]expr.Expr, len(br.SelectOrder))
+		for i, so := range br.SelectOrder {
+			if so.IsAgg {
+				projs[i] = expr.Col{Index: len(br.GroupBy) + so.Index}
+			} else {
+				projs[i] = expr.Col{Index: so.Index}
+			}
+		}
+		return exec.SelectProject(db.pool, agg, nil, projs, name, nil), nil
+	}
+	return exec.SelectProject(db.pool, cur, nil, br.Projs, name, nil), nil
+}
+
+// chooseBuildLeft applies the optimizer's build-side rule using catalog
+// statistics for base tables (which OOF keeps fresh — or not, under OOF-NA)
+// and actual counts for just-created intermediates.
+func (db *Database) chooseBuildLeft(cur *storage.Relation, br *plan.Branch, step int, right *storage.Relation) bool {
+	var leftTuples int
+	if step == 0 {
+		leftTuples = db.statTuples(br.Tables[0], cur)
+	} else {
+		leftTuples = cur.NumTuples() // freshly materialized intermediate
+	}
+	rightTuples := db.statTuples(br.Tables[step+1], right)
+	return leftTuples <= rightTuples
+}
+
+// statTuples returns the cataloged tuple count for a base table, falling
+// back to the live count when the table was never analyzed.
+func (db *Database) statTuples(table string, r *storage.Relation) int {
+	if t, ok := db.stats.Get(table); ok {
+		return t.NumTuples
+	}
+	return r.NumTuples()
+}
+
+func identityProjs(width int) []expr.Expr {
+	projs := make([]expr.Expr, width)
+	for i := range projs {
+		projs[i] = expr.Col{Index: i}
+	}
+	return projs
+}
+
+// Analyze refreshes statistics for a table — Algorithm 1's analyze() call.
+func (db *Database) Analyze(table string, mode stats.Mode) (stats.Table, error) {
+	r, ok := db.cat.Get(table)
+	if !ok {
+		return stats.Table{}, fmt.Errorf("quickstep: ANALYZE of unknown table %q", table)
+	}
+	return db.stats.Analyze(r, mode), nil
+}
+
+// AnalyzeRelation refreshes statistics for an unregistered relation (deltas
+// and temporaries the engine holds by handle).
+func (db *Database) AnalyzeRelation(r *storage.Relation, mode stats.Mode) stats.Table {
+	return db.stats.Analyze(r, mode)
+}
+
+// Stats returns the recorded (possibly stale) statistics for a table.
+func (db *Database) Stats(table string) (stats.Table, bool) {
+	return db.stats.Get(table)
+}
+
+// Dedup deduplicates a relation using the configured strategy — Algorithm
+// 1's dedup() call. estDistinct pre-sizes the hash table; when the caller
+// has no estimate (statistics never collected — the OOF-NA regime) the
+// table starts at its minimum size and pays long chains, which is exactly
+// the cost the paper's per-iteration ANALYZE avoids.
+func (db *Database) Dedup(in *storage.Relation, estDistinct int, outName string) *storage.Relation {
+	return exec.Dedup(db.pool, in, db.opts.Dedup, estDistinct, outName)
+}
+
+// Diff computes ∆R = Rδ − R with the given algorithm.
+func (db *Database) Diff(rdelta, r *storage.Relation, algo exec.DiffAlgorithm, outName string) *storage.Relation {
+	return exec.SetDifference(db.pool, rdelta, r, algo, outName)
+}
+
+// Install registers a relation in the catalog (replacing any same-named
+// table) and marks it dirty.
+func (db *Database) Install(r *storage.Relation) error {
+	db.cat.Adopt(r)
+	return db.afterMutation(r.Name())
+}
+
+// AppendTo implements R ← R ⊎ ∆R: block-sharing append plus commit
+// bookkeeping.
+func (db *Database) AppendTo(dst string, src *storage.Relation) error {
+	d, ok := db.cat.Get(dst)
+	if !ok {
+		return fmt.Errorf("quickstep: append to unknown table %q", dst)
+	}
+	d.AppendRelation(src)
+	return db.afterMutation(dst)
+}
+
+// FinalCommit persists all dirty tables (fixpoint reached).
+func (db *Database) FinalCommit() error {
+	if db.txn == nil {
+		return nil
+	}
+	return db.txn.FinalCommit(db.cat)
+}

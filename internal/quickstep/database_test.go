@@ -1,0 +1,377 @@
+package quickstep
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/stats"
+	"recstep/internal/quickstep/storage"
+)
+
+func openTest(t *testing.T) *Database {
+	t.Helper()
+	db, err := Open(Options{Workers: 2, DisableIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func sortedRows(r *storage.Relation) [][]int32 {
+	var out [][]int32
+	r.ForEach(func(tu []int32) { out = append(out, append([]int32(nil), tu...)) })
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		INSERT INTO arc VALUES (1, 2), (2, 3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL("SELECT y, x FROM arc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{2, 1}, {3, 2}}
+	if got := sortedRows(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("result = %v, want %v", got, want)
+	}
+}
+
+func TestJoinQueryMatchesExpected(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		CREATE TABLE tc_delta (x INT, y INT);
+		INSERT INTO arc VALUES (2, 4), (3, 5);
+		INSERT INTO tc_delta VALUES (1, 2), (1, 3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL("SELECT t.x AS x, a.y AS y FROM tc_delta AS t, arc AS a WHERE t.y = a.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{1, 4}, {1, 5}}
+	if got := sortedRows(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("join = %v, want %v", got, want)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE a (x INT, y INT);
+		CREATE TABLE b (x INT, y INT);
+		CREATE TABLE c (x INT, y INT);
+		INSERT INTO a VALUES (1, 10);
+		INSERT INTO b VALUES (10, 20), (10, 30);
+		INSERT INTO c VALUES (20, 99);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL(`SELECT a.x AS x, c.y AS y FROM a, b, c
+		WHERE a.y = b.x AND b.y = c.x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{1, 99}}
+	if got := sortedRows(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("3-way join = %v, want %v", got, want)
+	}
+}
+
+func TestUnionAllBagSemantics(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		INSERT INTO arc VALUES (1, 2);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL("SELECT x, y FROM arc UNION ALL SELECT x, y FROM arc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTuples() != 2 {
+		t.Fatalf("UNION ALL tuples = %d, want 2", res.NumTuples())
+	}
+}
+
+func TestInsertSelectAppends(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		CREATE TABLE tc (x INT, y INT);
+		INSERT INTO arc VALUES (1, 2), (2, 3);
+		INSERT INTO tc SELECT x, y FROM arc;
+		INSERT INTO tc SELECT x, y FROM arc;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := db.Catalog().Get("tc")
+	if tc.NumTuples() != 4 {
+		t.Fatalf("tc tuples = %d, want 4 (bag append)", tc.NumTuples())
+	}
+}
+
+func TestAggregationQuery(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE tc (x INT, y INT);
+		INSERT INTO tc VALUES (1, 2), (1, 3), (2, 3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL("SELECT x, COUNT(y) AS c FROM tc GROUP BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{1, 2}, {2, 1}}
+	if got := sortedRows(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("agg = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateSelectOrderReordering(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE tc (x INT, y INT);
+		INSERT INTO tc VALUES (1, 5), (1, 7);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate listed before the group column.
+	res, err := db.ExecSQL("SELECT MIN(y) AS m, x FROM tc GROUP BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{5, 1}}
+	if got := sortedRows(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reordered agg = %v, want %v", got, want)
+	}
+}
+
+func TestNotExistsQuery(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE node (x INT);
+		CREATE TABLE tc (x INT, y INT);
+		INSERT INTO node VALUES (1), (2);
+		INSERT INTO tc VALUES (1, 2);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL(`SELECT n.x AS x, m.x AS y FROM node AS n, node AS m
+		WHERE NOT EXISTS (SELECT * FROM tc AS t WHERE t.x = n.x AND t.y = m.x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{1, 1}, {2, 1}, {2, 2}}
+	if got := sortedRows(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("¬tc = %v, want %v", got, want)
+	}
+}
+
+func TestSelfJoinWithInequality(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		INSERT INTO arc VALUES (1, 2), (1, 3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL(`SELECT a.y AS x, b.y AS y FROM arc AS a, arc AS b
+		WHERE a.x = b.x AND a.y <> b.y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{2, 3}, {3, 2}}
+	if got := sortedRows(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sg base = %v, want %v", got, want)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`CREATE TABLE tmp (x INT); DROP TABLE tmp;`); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Catalog().Get("tmp"); ok {
+		t.Fatal("table survived DROP")
+	}
+	if _, err := db.ExecSQL("DROP TABLE tmp"); err == nil {
+		t.Fatal("dropping missing table should error")
+	}
+	if _, err := db.ExecSQL("DROP TABLE IF EXISTS tmp"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`CREATE TABLE arc (x INT, y INT)`); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"CREATE TABLE arc (x INT)",          // duplicate
+		"INSERT INTO missing VALUES (1)",    // unknown table
+		"INSERT INTO arc VALUES (1)",        // arity mismatch
+		"INSERT INTO arc SELECT x FROM arc", // arity mismatch via select
+		"SELECT z FROM arc",                 // unknown column
+	}
+	for _, q := range bad {
+		if _, err := db.ExecSQL(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestAnalyzeAndStats(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		INSERT INTO arc VALUES (1, 2), (2, 3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Analyze("arc", stats.ModeSelective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumTuples != 2 {
+		t.Fatalf("NumTuples = %d, want 2", st.NumTuples)
+	}
+	// Mutation invalidates.
+	if _, err := db.ExecSQL("INSERT INTO arc VALUES (5, 6)"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.Stats("arc")
+	if !ok || got.Fresh {
+		t.Fatal("stats should be stale after mutation")
+	}
+	if _, err := db.Analyze("missing", stats.ModeSelective); err == nil {
+		t.Fatal("ANALYZE of missing table should error")
+	}
+}
+
+func TestDedupAndDiffKernelCalls(t *testing.T) {
+	db := openTest(t)
+	raw := storage.NewRelation("raw", []string{"x", "y"})
+	raw.Append([]int32{1, 1})
+	raw.Append([]int32{1, 1})
+	raw.Append([]int32{2, 2})
+	deduped := db.Dedup(raw, 0, "rdelta")
+	if deduped.NumTuples() != 2 {
+		t.Fatalf("dedup tuples = %d, want 2", deduped.NumTuples())
+	}
+	full := storage.NewRelation("full", []string{"x", "y"})
+	full.Append([]int32{1, 1})
+	delta := db.Diff(deduped, full, exec.OPSD, "delta")
+	if delta.NumTuples() != 1 {
+		t.Fatalf("diff tuples = %d, want 1", delta.NumTuples())
+	}
+}
+
+func TestInstallAndAppendTo(t *testing.T) {
+	db := openTest(t)
+	r := storage.NewRelation("tc", []string{"x", "y"})
+	r.Append([]int32{1, 2})
+	if err := db.Install(r); err != nil {
+		t.Fatal(err)
+	}
+	d := storage.NewRelation("delta", []string{"x", "y"})
+	d.Append([]int32{3, 4})
+	if err := db.AppendTo("tc", d); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Catalog().MustGet("tc").NumTuples(); got != 2 {
+		t.Fatalf("tc tuples = %d, want 2", got)
+	}
+	if err := db.AppendTo("missing", d); err == nil {
+		t.Fatal("append to missing table should error")
+	}
+}
+
+func TestQueriesIssuedCounter(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`CREATE TABLE t (x INT); INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.QueriesIssued(); got != 2 {
+		t.Fatalf("QueriesIssued = %d, want 2", got)
+	}
+}
+
+func TestEOSTIntegration(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Workers: 1, EOST: false, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		INSERT INTO arc VALUES (1, 2);
+		INSERT INTO arc VALUES (2, 3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Txn().Commits(); got != 2 {
+		t.Fatalf("non-EOST commits = %d, want 2", got)
+	}
+
+	db2, err := Open(Options{Workers: 1, EOST: true, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		INSERT INTO arc VALUES (1, 2);
+		INSERT INTO arc VALUES (2, 3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Txn().Commits(); got != 0 {
+		t.Fatalf("EOST commits before fixpoint = %d, want 0", got)
+	}
+	if err := db2.FinalCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Txn().Commits(); got != 1 {
+		t.Fatalf("EOST commits after FinalCommit = %d, want 1", got)
+	}
+}
+
+func TestArithmeticInSelect(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE warc (x INT, y INT, d INT);
+		INSERT INTO warc VALUES (1, 2, 10);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL("SELECT y, x + d AS v FROM warc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{2, 11}}
+	if got := sortedRows(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("arith = %v, want %v", got, want)
+	}
+}

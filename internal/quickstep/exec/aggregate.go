@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/storage"
+)
+
+// AggFunc enumerates the aggregation operators RecStep's Datalog dialect
+// supports (Section 3.3): MIN, MAX, SUM, COUNT, AVG.
+type AggFunc int
+
+// Aggregation operators.
+const (
+	AggMin AggFunc = iota
+	AggMax
+	AggSum
+	AggCount
+	AggAvg
+)
+
+// String renders the SQL name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	}
+	return "?"
+}
+
+// AggSpec is one aggregate in a SELECT list: Func applied to Arg.
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	min, max   int32
+	sum, count int64
+}
+
+func newAggState() aggState {
+	return aggState{min: math.MaxInt32, max: math.MinInt32}
+}
+
+func (s *aggState) add(v int32) {
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.sum += int64(v)
+	s.count++
+}
+
+func (s *aggState) merge(o aggState) {
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.sum += o.sum
+	s.count += o.count
+}
+
+func (s *aggState) final(f AggFunc) int32 {
+	switch f {
+	case AggMin:
+		return s.min
+	case AggMax:
+		return s.max
+	case AggSum:
+		return int32(s.sum)
+	case AggCount:
+		return int32(s.count)
+	case AggAvg:
+		if s.count == 0 {
+			return 0
+		}
+		return int32(s.sum / s.count) // integer AVG, like QuickStep over INT columns
+	}
+	panic(fmt.Sprintf("exec: unknown aggregate %d", f))
+}
+
+// groupState holds the group key values plus one state per aggregate.
+type groupState struct {
+	vals   []int32
+	states []aggState
+}
+
+// HashAggregate groups in by the groupBy column positions and computes aggs
+// per group. Output columns are the group columns followed by one column per
+// aggregate. Runs with per-worker partial tables merged at the end, so group
+// updates never contend.
+func HashAggregate(pool *Pool, in *storage.Relation, groupBy []int, aggs []AggSpec, outName string, outCols []string) *storage.Relation {
+	if len(aggs) == 0 {
+		panic("exec: HashAggregate requires at least one aggregate")
+	}
+	blocks := in.Blocks()
+	workers := pool.Workers()
+	partials := make([]map[string]*groupState, workers)
+
+	var nextBlock atomic.Int64
+	pool.RunWorkers(workers, func(worker, numWorkers int) {
+		local := make(map[string]*groupState)
+		partials[worker] = local
+		keyBuf := make([]byte, 4*len(groupBy))
+		for {
+			t := int(nextBlock.Add(1)) - 1
+			if t >= len(blocks) {
+				return
+			}
+			b := blocks[t]
+			n := b.Rows()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				k := packColsString(row, groupBy, keyBuf)
+				g, ok := local[k]
+				if !ok {
+					vals := make([]int32, len(groupBy))
+					for j, c := range groupBy {
+						vals[j] = row[c]
+					}
+					states := make([]aggState, len(aggs))
+					for j := range states {
+						states[j] = newAggState()
+					}
+					g = &groupState{vals: vals, states: states}
+					local[k] = g
+				}
+				for j, a := range aggs {
+					g.states[j].add(a.Arg.Eval(row))
+				}
+			}
+		}
+	})
+
+	// Merge partials (serial; group cardinality is small relative to input).
+	merged := make(map[string]*groupState)
+	for _, local := range partials {
+		if local == nil {
+			continue
+		}
+		for k, g := range local {
+			m, ok := merged[k]
+			if !ok {
+				merged[k] = g
+				continue
+			}
+			for j := range m.states {
+				m.states[j].merge(g.states[j])
+			}
+		}
+	}
+
+	if outCols == nil {
+		outCols = storage.NumberedColumns(len(groupBy) + len(aggs))
+	}
+	out := storage.NewRelation(outName, outCols)
+	// Deterministic output order helps tests and output files.
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	row := make([]int32, len(groupBy)+len(aggs))
+	for _, k := range keys {
+		g := merged[k]
+		copy(row, g.vals)
+		for j, a := range aggs {
+			row[len(groupBy)+j] = g.states[j].final(a.Func)
+		}
+		out.Append(row)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"sync/atomic"
+	"time"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// DiffAlgorithm selects how ∆R ← Rδ − R is computed (Section 5.1, DSD).
+type DiffAlgorithm int
+
+const (
+	// OPSD (One-Phase Set Difference, Algorithm 4) builds a hash set on the
+	// full relation R and anti-probes with Rδ. Build cost grows with R every
+	// iteration.
+	OPSD DiffAlgorithm = iota
+	// TPSD (Two-Phase Set Difference, Algorithm 5) builds on the smaller of
+	// the two inputs, probes the larger to materialize the intersection
+	// r = R ∩ Rδ, then anti-probes Rδ against r — avoiding the hash build
+	// over a large R.
+	TPSD
+)
+
+// String names the algorithm for experiment output.
+func (a DiffAlgorithm) String() string {
+	if a == OPSD {
+		return "opsd"
+	}
+	return "tpsd"
+}
+
+// SetDifference computes ∆R = Rδ − R with the chosen algorithm. Rδ is
+// assumed deduplicated (Algorithm 1 deduplicates before differencing).
+func SetDifference(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm, outName string) *storage.Relation {
+	if rdelta.Arity() != r.Arity() {
+		panic("exec: set difference arity mismatch")
+	}
+	if algo == OPSD {
+		return opsd(pool, rdelta, r, outName)
+	}
+	return tpsd(pool, rdelta, r, outName)
+}
+
+// buildSet inserts every tuple of rel into a fresh tupleSet, in parallel.
+func buildSet(pool *Pool, rel *storage.Relation) *tupleSet {
+	set := newTupleSet(rel.Arity(), rel.NumTuples())
+	blocks := rel.Blocks()
+	pool.Run(len(blocks), func(task int) {
+		b := blocks[task]
+		var ar setArena
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			set.insert(b.Row(i), &ar)
+		}
+	})
+	return set
+}
+
+// antiProbe emits rows of probe absent from set.
+func antiProbe(pool *Pool, probe *storage.Relation, set *tupleSet, outName string) *storage.Relation {
+	blocks := probe.Blocks()
+	col := newCollector(probe.Arity(), len(blocks))
+	pool.Run(len(blocks), func(task int) {
+		b := blocks[task]
+		emit := col.sink(task)
+		var ar setArena
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			if !set.contains(row, &ar) {
+				emit(row)
+			}
+		}
+	})
+	return col.into(outName, probe.ColNames())
+}
+
+func opsd(pool *Pool, rdelta, r *storage.Relation, outName string) *storage.Relation {
+	hs := buildSet(pool, r) // hash table over the full relation — the cost OPSD pays
+	return antiProbe(pool, rdelta, hs, outName)
+}
+
+func tpsd(pool *Pool, rdelta, r *storage.Relation, outName string) *storage.Relation {
+	// Phase 1: r∩ = R ∩ Rδ, building on the smaller input.
+	build, probe := r, rdelta
+	if rdelta.NumTuples() < r.NumTuples() {
+		build, probe = rdelta, r
+	}
+	bset := buildSet(pool, build)
+	inter := newTupleSet(rdelta.Arity(), rdelta.NumTuples())
+	blocks := probe.Blocks()
+	pool.Run(len(blocks), func(task int) {
+		b := blocks[task]
+		var ar setArena
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			if bset.contains(row, &ar) {
+				inter.insert(row, &ar)
+			}
+		}
+	})
+	// Phase 2: ∆R = Rδ − r∩.
+	return antiProbe(pool, rdelta, inter, outName)
+}
+
+// MeasureBuildProbe times one hash-set build over build and one probe pass
+// over probe, returning per-tuple nanosecond costs. The optimizer's offline
+// α calibration (Appendix A, eq. 7) runs this on table pairs of varied size.
+func MeasureBuildProbe(pool *Pool, build, probe *storage.Relation) (buildNsPerTuple, probeNsPerTuple float64) {
+	t0 := time.Now()
+	set := buildSet(pool, build)
+	buildDur := time.Since(t0)
+
+	t1 := time.Now()
+	blocks := probe.Blocks()
+	var hits atomic.Int64
+	pool.Run(len(blocks), func(task int) {
+		b := blocks[task]
+		var ar setArena
+		local := int64(0)
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			if set.contains(b.Row(i), &ar) {
+				local++
+			}
+		}
+		hits.Add(local) // keep the probe loop from being optimized away
+	})
+	probeDur := time.Since(t1)
+
+	bn, pn := build.NumTuples(), probe.NumTuples()
+	if bn == 0 || pn == 0 {
+		return 0, 0
+	}
+	return float64(buildDur.Nanoseconds()) / float64(bn), float64(probeDur.Nanoseconds()) / float64(pn)
+}

@@ -1,0 +1,234 @@
+package exec
+
+import (
+	"fmt"
+
+	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/storage"
+)
+
+// JoinSpec describes one binary hash join. The logical output row is the
+// concatenation left-row ++ right-row regardless of which side physically
+// builds the hash table; Residual predicates and Projs are evaluated over
+// that combined layout (left columns first).
+type JoinSpec struct {
+	LeftKeys, RightKeys []int
+	// BuildLeft selects the physical build side. The optimizer picks the
+	// smaller side using the latest ANALYZE statistics — the decision OOF
+	// keeps correct across iterations as delta sizes shift.
+	BuildLeft bool
+	Residual  []expr.Cmp
+	Projs     []expr.Expr
+	OutName   string
+	OutCols   []string
+}
+
+// flatten materializes all tuples of a relation into one row-major slice.
+func flatten(r *storage.Relation) []int32 {
+	return r.Rows()
+}
+
+// packCols64 packs up to two key columns of a row into a 64-bit key.
+func packCols64(row []int32, cols []int) uint64 {
+	switch len(cols) {
+	case 1:
+		return uint64(uint32(row[cols[0]]))
+	case 2:
+		return uint64(uint32(row[cols[0]]))<<32 | uint64(uint32(row[cols[1]]))
+	}
+	panic("exec: packCols64 supports 1 or 2 key columns")
+}
+
+// packColsString packs any number of key columns into a string key.
+func packColsString(row []int32, cols []int, buf []byte) string {
+	buf = buf[:0]
+	for _, c := range cols {
+		v := uint32(row[c])
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// buildTable is a chaining hash table over the build side of a join, mapping
+// join-key values to build row indices. Building is the serial phase of the
+// join (mirroring contention on QuickStep's shared join hash table, which the
+// paper identifies as the scaling limiter past the physical core count);
+// probing runs block-parallel.
+type buildTable struct {
+	arity int
+	rows  []int32
+	keys  []int
+	by64  map[uint64][]int32
+	byS   map[string][]int32
+}
+
+func buildHash(r *storage.Relation, keys []int) *buildTable {
+	bt := &buildTable{arity: r.Arity(), rows: flatten(r), keys: keys}
+	n := len(bt.rows) / bt.arity
+	if len(keys) <= 2 {
+		bt.by64 = make(map[uint64][]int32, n)
+		for i := 0; i < n; i++ {
+			row := bt.rows[i*bt.arity : (i+1)*bt.arity]
+			k := packCols64(row, keys)
+			bt.by64[k] = append(bt.by64[k], int32(i))
+		}
+		return bt
+	}
+	bt.byS = make(map[string][]int32, n)
+	buf := make([]byte, 4*len(keys))
+	for i := 0; i < n; i++ {
+		row := bt.rows[i*bt.arity : (i+1)*bt.arity]
+		k := packColsString(row, keys, buf)
+		bt.byS[k] = append(bt.byS[k], int32(i))
+	}
+	return bt
+}
+
+func (bt *buildTable) lookup(probeRow []int32, probeKeys []int, buf []byte) []int32 {
+	if bt.by64 != nil {
+		return bt.by64[packCols64(probeRow, probeKeys)]
+	}
+	return bt.byS[packColsString(probeRow, probeKeys, buf)]
+}
+
+func (bt *buildTable) row(i int32) []int32 {
+	off := int(i) * bt.arity
+	return bt.rows[off : off+bt.arity]
+}
+
+// HashJoin executes one equi-join. With no key columns it degrades to a
+// (filtered) cross product.
+func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage.Relation {
+	if len(spec.LeftKeys) != len(spec.RightKeys) {
+		panic(fmt.Sprintf("exec: join key arity mismatch %d vs %d", len(spec.LeftKeys), len(spec.RightKeys)))
+	}
+	if len(spec.Projs) == 0 {
+		panic("exec: join requires at least one output projection")
+	}
+	if len(spec.LeftKeys) == 0 {
+		return crossJoin(pool, left, right, spec)
+	}
+	la, ra := left.Arity(), right.Arity()
+
+	var build, probe *storage.Relation
+	var buildKeys, probeKeys []int
+	if spec.BuildLeft {
+		build, probe = left, right
+		buildKeys, probeKeys = spec.LeftKeys, spec.RightKeys
+	} else {
+		build, probe = right, left
+		buildKeys, probeKeys = spec.RightKeys, spec.LeftKeys
+	}
+	bt := buildHash(build, buildKeys)
+
+	idx, plainCols := colIndexes(spec.Projs)
+	blocks := probe.Blocks()
+	col := newCollector(len(spec.Projs), len(blocks))
+	pool.Run(len(blocks), func(task int) {
+		b := blocks[task]
+		emit := col.sink(task)
+		combined := make([]int32, la+ra)
+		outRow := make([]int32, len(spec.Projs))
+		keyBuf := make([]byte, 4*len(probeKeys))
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			pr := b.Row(i)
+			matches := bt.lookup(pr, probeKeys, keyBuf)
+			if len(matches) == 0 {
+				continue
+			}
+			// Lay the probe row into its logical half once per probe row.
+			if spec.BuildLeft {
+				copy(combined[la:], pr)
+			} else {
+				copy(combined[:la], pr)
+			}
+			for _, m := range matches {
+				br := bt.row(m)
+				if spec.BuildLeft {
+					copy(combined[:la], br)
+				} else {
+					copy(combined[la:], br)
+				}
+				if !expr.All(spec.Residual, combined) {
+					continue
+				}
+				if plainCols {
+					for j, c := range idx {
+						outRow[j] = combined[c]
+					}
+				} else {
+					for j, p := range spec.Projs {
+						outRow[j] = p.Eval(combined)
+					}
+				}
+				emit(outRow)
+			}
+		}
+	})
+	return col.into(spec.OutName, spec.OutCols)
+}
+
+// crossJoin computes the filtered Cartesian product, parallel over left
+// blocks. Needed for rules like ntc(x,y) :- node(x), node(y), ¬tc(x,y).
+func crossJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage.Relation {
+	la, ra := left.Arity(), right.Arity()
+	rightRows := flatten(right)
+	nRight := len(rightRows) / ra
+	blocks := left.Blocks()
+	col := newCollector(len(spec.Projs), len(blocks))
+	pool.Run(len(blocks), func(task int) {
+		b := blocks[task]
+		emit := col.sink(task)
+		combined := make([]int32, la+ra)
+		outRow := make([]int32, len(spec.Projs))
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			copy(combined[:la], b.Row(i))
+			for j := 0; j < nRight; j++ {
+				copy(combined[la:], rightRows[j*ra:(j+1)*ra])
+				if !expr.All(spec.Residual, combined) {
+					continue
+				}
+				for k, p := range spec.Projs {
+					outRow[k] = p.Eval(combined)
+				}
+				emit(outRow)
+			}
+		}
+	})
+	return col.into(spec.OutName, spec.OutCols)
+}
+
+// AntiJoin emits the projection of each left row with no right match on the
+// key columns. It implements stratified negation (the negated atom's bound
+// columns are the keys). Residual and Projs are evaluated over the left row.
+func AntiJoin(pool *Pool, left, right *storage.Relation, leftKeys, rightKeys []int, residual []expr.Cmp, projs []expr.Expr, outName string, outCols []string) *storage.Relation {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		panic("exec: anti join requires matching non-empty key lists")
+	}
+	bt := buildHash(right, rightKeys)
+	blocks := left.Blocks()
+	col := newCollector(len(projs), len(blocks))
+	pool.Run(len(blocks), func(task int) {
+		b := blocks[task]
+		emit := col.sink(task)
+		outRow := make([]int32, len(projs))
+		keyBuf := make([]byte, 4*len(leftKeys))
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			if !expr.All(residual, row) {
+				continue
+			}
+			if len(bt.lookup(row, leftKeys, keyBuf)) != 0 {
+				continue
+			}
+			for j, p := range projs {
+				outRow[j] = p.Eval(row)
+			}
+			emit(outRow)
+		}
+	})
+	return col.into(outName, outCols)
+}

@@ -1,0 +1,144 @@
+// Package exec implements the parallel relational operators of the
+// QuickStep-like substrate: hash join, selection/projection, union-all,
+// deduplication (FAST-DEDUP and its baselines), set difference (OPSD and
+// TPSD) and hash aggregation. One query executes at a time; parallelism is
+// intra-operator over storage blocks, which is the QuickStep execution model
+// RecStep's UIE optimization exploits (one big query keeps every core busy).
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// Pool is a bounded worker pool for block-parallel operator execution. It
+// tracks how many workers are busy so the metrics sampler can report CPU
+// utilization the way the paper's Figures 7 and 16 do.
+type Pool struct {
+	workers int
+	busy    atomic.Int32
+}
+
+// NewPool returns a pool with the given degree of parallelism; workers <= 0
+// selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the configured degree of parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// BusyWorkers returns how many workers are currently executing tasks.
+func (p *Pool) BusyWorkers() int { return int(p.busy.Load()) }
+
+// Run executes fn(task) for every task in [0, numTasks), using up to
+// Workers() goroutines pulling tasks from a shared counter.
+func (p *Pool) Run(numTasks int, fn func(task int)) {
+	if numTasks <= 0 {
+		return
+	}
+	n := p.workers
+	if n > numTasks {
+		n = numTasks
+	}
+	if n == 1 {
+		p.busy.Add(1)
+		for i := 0; i < numTasks; i++ {
+			fn(i)
+		}
+		p.busy.Add(-1)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.busy.Add(1)
+			defer p.busy.Add(-1)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= numTasks {
+					return
+				}
+				fn(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunWorkers executes fn(worker) once per worker slot (exactly n goroutines,
+// n = min(Workers, maxWorkers)). Operators that maintain per-worker state
+// (arenas, output buffers) and do their own work distribution use this form.
+func (p *Pool) RunWorkers(maxWorkers int, fn func(worker, numWorkers int)) {
+	n := p.workers
+	if maxWorkers > 0 && n > maxWorkers {
+		n = maxWorkers
+	}
+	if n <= 1 {
+		p.busy.Add(1)
+		fn(0, 1)
+		p.busy.Add(-1)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.busy.Add(1)
+			defer p.busy.Add(-1)
+			fn(w, n)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// collector gathers per-task output blocks and assembles them into a result
+// relation without cross-task synchronization on the hot path.
+type collector struct {
+	arity  int
+	byTask [][]*storage.Block
+}
+
+func newCollector(arity, tasks int) *collector {
+	return &collector{arity: arity, byTask: make([][]*storage.Block, tasks)}
+}
+
+// sink returns an emit function for one task. The returned function copies
+// the row into a task-private block.
+func (c *collector) sink(task int) func(row []int32) {
+	var cur *storage.Block
+	room := 0
+	return func(row []int32) {
+		if room == 0 {
+			cur = storage.NewBlock(c.arity)
+			c.byTask[task] = append(c.byTask[task], cur)
+			room = storage.DefaultBlockRows
+		}
+		cur.Append(row)
+		room--
+	}
+}
+
+// into adopts all collected blocks into a fresh relation.
+func (c *collector) into(name string, colNames []string) *storage.Relation {
+	if colNames == nil {
+		colNames = storage.NumberedColumns(c.arity)
+	}
+	out := storage.NewRelation(name, colNames)
+	for _, blocks := range c.byTask {
+		for _, b := range blocks {
+			out.AdoptBlock(b)
+		}
+	}
+	return out
+}

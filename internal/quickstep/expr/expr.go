@@ -1,0 +1,209 @@
+// Package expr provides scalar expressions and predicates evaluated over
+// flat int32 rows. The SQL binder compiles SELECT lists and WHERE clauses
+// into these forms; execution operators evaluate them on combined join rows.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Expr is an int32-valued scalar expression over a row.
+type Expr interface {
+	Eval(row []int32) int32
+	String() string
+}
+
+// Col references a column by position in the evaluated row. Name is retained
+// only for diagnostics and SQL rendering.
+type Col struct {
+	Index int
+	Name  string
+}
+
+// Eval returns the referenced column value.
+func (c Col) Eval(row []int32) int32 { return row[c.Index] }
+
+func (c Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Index)
+}
+
+// Lit is an integer literal.
+type Lit struct {
+	Value int32
+}
+
+// Eval returns the literal value.
+func (l Lit) Eval(row []int32) int32 { return l.Value }
+
+func (l Lit) String() string { return strconv.Itoa(int(l.Value)) }
+
+// ArithOp enumerates the supported arithmetic operators.
+type ArithOp byte
+
+// Arithmetic operators.
+const (
+	Add ArithOp = '+'
+	Sub ArithOp = '-'
+	Mul ArithOp = '*'
+)
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval applies the operator to both operands.
+func (a Arith) Eval(row []int32) int32 {
+	l, r := a.L.Eval(row), a.R.Eval(row)
+	switch a.Op {
+	case Add:
+		return l + r
+	case Sub:
+		return l - r
+	case Mul:
+		return l * r
+	}
+	panic(fmt.Sprintf("expr: unknown arithmetic op %q", a.Op))
+}
+
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %c %s)", a.L, a.Op, a.R)
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Cmp is a comparison predicate between two scalar expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Holds evaluates the predicate on a row.
+func (c Cmp) Holds(row []int32) bool {
+	l, r := c.L.Eval(row), c.R.Eval(row)
+	switch c.Op {
+	case EQ:
+		return l == r
+	case NE:
+		return l != r
+	case LT:
+		return l < r
+	case LE:
+		return l <= r
+	case GT:
+		return l > r
+	case GE:
+		return l >= r
+	}
+	panic(fmt.Sprintf("expr: unknown comparison op %d", c.Op))
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// All reports whether every predicate holds on the row.
+func All(preds []Cmp, row []int32) bool {
+	for _, p := range preds {
+		if !p.Holds(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// Columns collects the column indices an expression reads.
+func Columns(e Expr) []int {
+	var out []int
+	walk(e, func(c Col) { out = append(out, c.Index) })
+	return out
+}
+
+func walk(e Expr, fn func(Col)) {
+	switch v := e.(type) {
+	case Col:
+		fn(v)
+	case Arith:
+		walk(v.L, fn)
+		walk(v.R, fn)
+	case Lit:
+	default:
+		panic(fmt.Sprintf("expr: unknown expression type %T", e))
+	}
+}
+
+// MaxColumn returns the largest column index referenced by the expression,
+// or -1 when it references none.
+func MaxColumn(e Expr) int {
+	max := -1
+	walk(e, func(c Col) {
+		if c.Index > max {
+			max = c.Index
+		}
+	})
+	return max
+}
+
+// MaxColumnCmp returns the largest column index referenced by the predicate,
+// or -1.
+func MaxColumnCmp(c Cmp) int {
+	l, r := MaxColumn(c.L), MaxColumn(c.R)
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// Shift returns a copy of e with every column index displaced by delta.
+// Operators use it to re-base expressions onto combined join rows.
+func Shift(e Expr, delta int) Expr {
+	switch v := e.(type) {
+	case Col:
+		return Col{Index: v.Index + delta, Name: v.Name}
+	case Lit:
+		return v
+	case Arith:
+		return Arith{Op: v.Op, L: Shift(v.L, delta), R: Shift(v.R, delta)}
+	}
+	panic(fmt.Sprintf("expr: unknown expression type %T", e))
+}
+
+// ShiftCmp re-bases both sides of a predicate.
+func ShiftCmp(c Cmp, delta int) Cmp {
+	return Cmp{Op: c.Op, L: Shift(c.L, delta), R: Shift(c.R, delta)}
+}

@@ -1,0 +1,127 @@
+package expr
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestColAndLitEval(t *testing.T) {
+	row := []int32{10, 20, 30}
+	if got := (Col{Index: 1}).Eval(row); got != 20 {
+		t.Fatalf("Col eval = %d, want 20", got)
+	}
+	if got := (Lit{Value: -7}).Eval(row); got != -7 {
+		t.Fatalf("Lit eval = %d, want -7", got)
+	}
+}
+
+func TestArithEval(t *testing.T) {
+	row := []int32{6, 3}
+	cases := []struct {
+		op   ArithOp
+		want int32
+	}{{Add, 9}, {Sub, 3}, {Mul, 18}}
+	for _, c := range cases {
+		e := Arith{Op: c.op, L: Col{Index: 0}, R: Col{Index: 1}}
+		if got := e.Eval(row); got != c.want {
+			t.Errorf("%c: got %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestCmpHolds(t *testing.T) {
+	row := []int32{5, 5, 9}
+	cases := []struct {
+		op   CmpOp
+		l, r int
+		want bool
+	}{
+		{EQ, 0, 1, true}, {EQ, 0, 2, false},
+		{NE, 0, 2, true}, {NE, 0, 1, false},
+		{LT, 0, 2, true}, {LT, 2, 0, false},
+		{LE, 0, 1, true}, {GT, 2, 0, true}, {GE, 1, 0, true},
+	}
+	for _, c := range cases {
+		p := Cmp{Op: c.op, L: Col{Index: c.l}, R: Col{Index: c.r}}
+		if got := p.Holds(row); got != c.want {
+			t.Errorf("%v: got %t, want %t", p, got, c.want)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	row := []int32{1, 2}
+	preds := []Cmp{
+		{Op: LT, L: Col{Index: 0}, R: Col{Index: 1}},
+		{Op: EQ, L: Col{Index: 0}, R: Lit{Value: 1}},
+	}
+	if !All(preds, row) {
+		t.Fatal("All should hold")
+	}
+	preds = append(preds, Cmp{Op: GT, L: Col{Index: 0}, R: Lit{Value: 5}})
+	if All(preds, row) {
+		t.Fatal("All should fail with extra predicate")
+	}
+}
+
+func TestColumnsAndMax(t *testing.T) {
+	e := Arith{Op: Add, L: Col{Index: 2}, R: Arith{Op: Mul, L: Col{Index: 5}, R: Lit{Value: 3}}}
+	if got := Columns(e); !reflect.DeepEqual(got, []int{2, 5}) {
+		t.Fatalf("Columns = %v, want [2 5]", got)
+	}
+	if got := MaxColumn(e); got != 5 {
+		t.Fatalf("MaxColumn = %d, want 5", got)
+	}
+	if got := MaxColumn(Lit{Value: 1}); got != -1 {
+		t.Fatalf("MaxColumn(lit) = %d, want -1", got)
+	}
+	c := Cmp{Op: EQ, L: Col{Index: 7}, R: Lit{}}
+	if got := MaxColumnCmp(c); got != 7 {
+		t.Fatalf("MaxColumnCmp = %d, want 7", got)
+	}
+}
+
+func TestShift(t *testing.T) {
+	e := Arith{Op: Add, L: Col{Index: 1}, R: Lit{Value: 4}}
+	s := Shift(e, 3)
+	row := []int32{0, 0, 0, 0, 10}
+	if got := s.Eval(row); got != 14 {
+		t.Fatalf("shifted eval = %d, want 14", got)
+	}
+	c := ShiftCmp(Cmp{Op: EQ, L: Col{Index: 0}, R: Col{Index: 1}}, 2)
+	if got := MaxColumnCmp(c); got != 3 {
+		t.Fatalf("shifted cmp max col = %d, want 3", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Arith{Op: Add, L: Col{Index: 0, Name: "a.x"}, R: Lit{Value: 2}}
+	if got := e.String(); got != "(a.x + 2)" {
+		t.Fatalf("String = %q", got)
+	}
+	c := Cmp{Op: NE, L: Col{Index: 0, Name: "x"}, R: Col{Index: 1, Name: "y"}}
+	if got := c.String(); got != "x <> y" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Col{Index: 3}).String(); got != "$3" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Shift(e, d) over a row prefixed with d zeros equals e over the
+// original row.
+func TestShiftProperty(t *testing.T) {
+	f := func(a, b int32, d uint8) bool {
+		delta := int(d % 16)
+		e := Arith{Op: Add, L: Col{Index: 0}, R: Arith{Op: Mul, L: Col{Index: 1}, R: Lit{Value: 2}}}
+		row := []int32{a, b}
+		shifted := Shift(e, delta)
+		padded := make([]int32, delta+2)
+		copy(padded[delta:], row)
+		return e.Eval(row) == shifted.Eval(padded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

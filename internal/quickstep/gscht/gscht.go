@@ -1,0 +1,250 @@
+// Package gscht implements the Compact-Concatenated-Key Global Separate
+// Chaining Hash Table (CCK-GSCHT) from the RecStep paper's FAST-DEDUP
+// optimization (Section 5.2, Figure 5).
+//
+// Tuples of small fixed arity are packed into a compact concatenated key —
+// 8 bytes for up to two int32 attributes, 16 bytes for up to four — so the
+// key is the tuple: no separate ⟨key,value⟩ pair, no pointer back to the
+// original row, and no stored hash code. Buckets hold only a head pointer and
+// are pre-allocated from an estimated distinct count, minimizing chain
+// conflicts. Inserts are latch-free: a compare-and-swap on the bucket head
+// publishes each node, and losers re-walk the chain so duplicates are never
+// admitted (the "conflict with memory contention → wait until the other one
+// finishes insertion" arrow in Figure 5 becomes a CAS retry).
+package gscht
+
+import (
+	"sync/atomic"
+)
+
+// PackKey64 concatenates up to two int32 attributes into one 64-bit compact
+// key. Attribute order is significant: (x, y) and (y, x) pack differently.
+func PackKey64(tuple []int32) uint64 {
+	switch len(tuple) {
+	case 1:
+		return uint64(uint32(tuple[0]))
+	case 2:
+		return uint64(uint32(tuple[0]))<<32 | uint64(uint32(tuple[1]))
+	default:
+		panic("gscht: PackKey64 requires arity 1 or 2")
+	}
+}
+
+// UnpackKey64 reverses PackKey64 into the supplied tuple buffer.
+func UnpackKey64(key uint64, tuple []int32) {
+	switch len(tuple) {
+	case 1:
+		tuple[0] = int32(uint32(key))
+	case 2:
+		tuple[0] = int32(uint32(key >> 32))
+		tuple[1] = int32(uint32(key))
+	default:
+		panic("gscht: UnpackKey64 requires arity 1 or 2")
+	}
+}
+
+// Key128 is a compact concatenated key for tuples of three or four int32
+// attributes.
+type Key128 struct {
+	Hi, Lo uint64
+}
+
+// PackKey128 concatenates three or four int32 attributes.
+func PackKey128(tuple []int32) Key128 {
+	switch len(tuple) {
+	case 3:
+		return Key128{Hi: uint64(uint32(tuple[0])), Lo: uint64(uint32(tuple[1]))<<32 | uint64(uint32(tuple[2]))}
+	case 4:
+		return Key128{
+			Hi: uint64(uint32(tuple[0]))<<32 | uint64(uint32(tuple[1])),
+			Lo: uint64(uint32(tuple[2]))<<32 | uint64(uint32(tuple[3])),
+		}
+	default:
+		panic("gscht: PackKey128 requires arity 3 or 4")
+	}
+}
+
+type node64 struct {
+	key  uint64
+	next *node64
+}
+
+// Arena64 is a per-worker slab allocator for chain nodes. Handing each
+// worker its own arena keeps the hot insert path allocation-free and avoids
+// false sharing between threads, while nodes stay reachable for the table's
+// lifetime.
+type Arena64 struct {
+	slab []node64
+}
+
+func (a *Arena64) new(key uint64) *node64 {
+	if len(a.slab) == 0 {
+		a.slab = make([]node64, 1024)
+	}
+	n := &a.slab[0]
+	a.slab = a.slab[1:]
+	n.key = key
+	return n
+}
+
+// Table64 is the CCK-GSCHT for 64-bit compact keys.
+type Table64 struct {
+	buckets []atomic.Pointer[node64]
+	mask    uint64
+	size    atomic.Int64
+}
+
+// NewTable64 pre-allocates buckets for roughly estDistinct keys. Per the
+// paper the bucket array is sized "as large as possible when there is enough
+// memory" to minimize conflicts; we allocate the next power of two above
+// 2×estDistinct (min 1024).
+func NewTable64(estDistinct int) *Table64 {
+	n := nextPow2(2 * estDistinct)
+	if n < 1024 {
+		n = 1024
+	}
+	return &Table64{buckets: make([]atomic.Pointer[node64], n), mask: uint64(n - 1)}
+}
+
+// fibMix spreads a compact key across buckets with one multiply-shift
+// (Fibonacci hashing). The compact key itself *is* the hash value — no hash
+// of the tuple contents is computed, per the paper — the multiply only
+// redistributes its bits so that structured keys (e.g. the x<<32|y pairs of
+// a transitive closure, where x and y are correlated) do not collapse onto
+// a few chains.
+const fibMult = 0x9E3779B97F4A7C15
+
+func fibMix(key uint64) uint64 { return key * fibMult }
+
+func (t *Table64) bucketIndex(key uint64) uint64 {
+	return (fibMix(key) >> 16) & t.mask
+}
+
+// InsertIfAbsent adds key if not present, returning true when the key was
+// newly inserted. Safe for concurrent use; nodes come from the caller's
+// arena.
+func (t *Table64) InsertIfAbsent(key uint64, arena *Arena64) bool {
+	b := &t.buckets[t.bucketIndex(key)]
+	var fresh *node64
+	for {
+		head := b.Load()
+		for n := head; n != nil; n = n.next {
+			if n.key == key {
+				return false
+			}
+		}
+		if fresh == nil {
+			fresh = arena.new(key)
+		}
+		fresh.next = head
+		if b.CompareAndSwap(head, fresh) {
+			t.size.Add(1)
+			return true
+		}
+		// CAS lost: another worker inserted concurrently (possibly this very
+		// key); re-walk the chain from the new head.
+	}
+}
+
+// Contains reports whether key is present. Safe to run concurrently with
+// inserts (it may miss keys inserted after the call starts).
+func (t *Table64) Contains(key uint64) bool {
+	for n := t.buckets[t.bucketIndex(key)].Load(); n != nil; n = n.next {
+		if n.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct keys inserted.
+func (t *Table64) Len() int { return int(t.size.Load()) }
+
+// Buckets returns the bucket count (for tests and memory accounting).
+func (t *Table64) Buckets() int { return len(t.buckets) }
+
+type node128 struct {
+	key  Key128
+	next *node128
+}
+
+// Arena128 is the per-worker slab allocator for 128-bit chain nodes.
+type Arena128 struct {
+	slab []node128
+}
+
+func (a *Arena128) new(key Key128) *node128 {
+	if len(a.slab) == 0 {
+		a.slab = make([]node128, 1024)
+	}
+	n := &a.slab[0]
+	a.slab = a.slab[1:]
+	n.key = key
+	return n
+}
+
+// Table128 is the CCK-GSCHT for 128-bit compact keys (arity 3–4).
+type Table128 struct {
+	buckets []atomic.Pointer[node128]
+	mask    uint64
+	size    atomic.Int64
+}
+
+// NewTable128 pre-allocates buckets as NewTable64 does.
+func NewTable128(estDistinct int) *Table128 {
+	n := nextPow2(2 * estDistinct)
+	if n < 1024 {
+		n = 1024
+	}
+	return &Table128{buckets: make([]atomic.Pointer[node128], n), mask: uint64(n - 1)}
+}
+
+func (t *Table128) bucketIndex(k Key128) uint64 {
+	return (fibMix(k.Lo^fibMix(k.Hi)) >> 16) & t.mask
+}
+
+// InsertIfAbsent adds key if not present, returning true when newly inserted.
+func (t *Table128) InsertIfAbsent(key Key128, arena *Arena128) bool {
+	b := &t.buckets[t.bucketIndex(key)]
+	var fresh *node128
+	for {
+		head := b.Load()
+		for n := head; n != nil; n = n.next {
+			if n.key == key {
+				return false
+			}
+		}
+		if fresh == nil {
+			fresh = arena.new(key)
+		}
+		fresh.next = head
+		if b.CompareAndSwap(head, fresh) {
+			t.size.Add(1)
+			return true
+		}
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Table128) Contains(key Key128) bool {
+	for n := t.buckets[t.bucketIndex(key)].Load(); n != nil; n = n.next {
+		if n.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct keys inserted.
+func (t *Table128) Len() int { return int(t.size.Load()) }
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

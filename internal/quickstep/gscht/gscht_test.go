@@ -1,0 +1,229 @@
+package gscht
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackKey64RoundTrip(t *testing.T) {
+	f := func(x, y int32) bool {
+		k := PackKey64([]int32{x, y})
+		out := make([]int32, 2)
+		UnpackKey64(k, out)
+		return out[0] == x && out[1] == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackKey64Arity1(t *testing.T) {
+	k := PackKey64([]int32{-5})
+	out := make([]int32, 1)
+	UnpackKey64(k, out)
+	if out[0] != -5 {
+		t.Fatalf("round trip gave %d, want -5", out[0])
+	}
+}
+
+func TestPackKey64OrderMatters(t *testing.T) {
+	if PackKey64([]int32{1, 2}) == PackKey64([]int32{2, 1}) {
+		t.Fatal("(1,2) and (2,1) must pack to different keys")
+	}
+}
+
+func TestPackKey128Distinct(t *testing.T) {
+	a := PackKey128([]int32{1, 2, 3})
+	b := PackKey128([]int32{3, 2, 1})
+	if a == b {
+		t.Fatal("(1,2,3) and (3,2,1) must pack differently")
+	}
+	c := PackKey128([]int32{1, 2, 3, 4})
+	d := PackKey128([]int32{1, 2, 4, 3})
+	if c == d {
+		t.Fatal("(1,2,3,4) and (1,2,4,3) must pack differently")
+	}
+}
+
+func TestPackKeyPanicsOnWrongArity(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PackKey64([]int32{1, 2, 3}) },
+		func() { PackKey128([]int32{1, 2}) },
+		func() { UnpackKey64(0, make([]int32, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on wrong arity")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTable64InsertIfAbsent(t *testing.T) {
+	tab := NewTable64(16)
+	var a Arena64
+	if !tab.InsertIfAbsent(42, &a) {
+		t.Fatal("first insert should succeed")
+	}
+	if tab.InsertIfAbsent(42, &a) {
+		t.Fatal("second insert of same key should fail")
+	}
+	if !tab.Contains(42) {
+		t.Fatal("Contains(42) should be true")
+	}
+	if tab.Contains(43) {
+		t.Fatal("Contains(43) should be false")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tab.Len())
+	}
+}
+
+func TestTable64ManyKeysWithCollisions(t *testing.T) {
+	// Undersized bucket array (1024 buckets for 50k keys) forces long chains;
+	// correctness must not depend on bucket count.
+	tab := NewTable64(0)
+	var a Arena64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if !tab.InsertIfAbsent(uint64(i), &a) {
+			t.Fatalf("insert %d reported duplicate", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !tab.Contains(uint64(i)) {
+			t.Fatalf("Contains(%d) = false", i)
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tab.Len(), n)
+	}
+}
+
+func TestTable64ConcurrentDistinctCount(t *testing.T) {
+	// All workers insert the same key universe; the table must end with
+	// exactly the distinct count regardless of interleaving.
+	const universe = 10000
+	const workers = 8
+	tab := NewTable64(universe)
+	var wg sync.WaitGroup
+	inserted := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var arena Arena64
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < universe*4; i++ {
+				k := uint64(rng.Intn(universe))
+				if tab.InsertIfAbsent(k, &arena) {
+					inserted[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range inserted {
+		total += c
+	}
+	if total != tab.Len() {
+		t.Fatalf("sum of per-worker inserts %d != Len() %d", total, tab.Len())
+	}
+	if tab.Len() > universe {
+		t.Fatalf("Len() = %d exceeds universe %d (duplicate admitted)", tab.Len(), universe)
+	}
+	// Every key that was ever inserted must be present.
+	missing := 0
+	for k := 0; k < universe; k++ {
+		if !tab.Contains(uint64(k)) {
+			missing++
+		}
+	}
+	// With 4×universe random draws per worker the chance any key is missed is
+	// negligible but nonzero; only fail if inserts claim full coverage.
+	if tab.Len() == universe && missing != 0 {
+		t.Fatalf("%d keys missing despite full Len()", missing)
+	}
+}
+
+func TestTable128InsertContains(t *testing.T) {
+	tab := NewTable128(16)
+	var a Arena128
+	k1 := PackKey128([]int32{1, 2, 3})
+	k2 := PackKey128([]int32{1, 2, 4})
+	if !tab.InsertIfAbsent(k1, &a) || tab.InsertIfAbsent(k1, &a) {
+		t.Fatal("k1 insert semantics wrong")
+	}
+	if !tab.InsertIfAbsent(k2, &a) {
+		t.Fatal("k2 should insert")
+	}
+	if !tab.Contains(k1) || !tab.Contains(k2) {
+		t.Fatal("Contains should find both keys")
+	}
+	if tab.Contains(PackKey128([]int32{9, 9, 9})) {
+		t.Fatal("Contains found absent key")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", tab.Len())
+	}
+}
+
+func TestTable128ConcurrentInsert(t *testing.T) {
+	const n = 20000
+	tab := NewTable128(n)
+	var wg sync.WaitGroup
+	var counts [4]int
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var arena Arena128
+			for i := 0; i < n; i++ {
+				k := PackKey128([]int32{int32(i), int32(i >> 3), int32(i % 7)})
+				if tab.InsertIfAbsent(k, &arena) {
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tab.Len(), n)
+	}
+	total := counts[0] + counts[1] + counts[2] + counts[3]
+	if total != n {
+		t.Fatalf("total successful inserts %d, want %d", total, n)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// Property: inserting a multiset of random keys yields Len == distinct count.
+func TestTable64DistinctProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tab := NewTable64(len(keys))
+		var a Arena64
+		distinct := make(map[uint64]bool)
+		for _, k := range keys {
+			tab.InsertIfAbsent(uint64(k), &a)
+			distinct[uint64(k)] = true
+		}
+		return tab.Len() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

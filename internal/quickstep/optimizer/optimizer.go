@@ -1,0 +1,136 @@
+// Package optimizer holds the lightweight cost-based decisions RecStep's
+// Optimization-On-the-Fly refreshes every iteration: hash-join build-side
+// selection and the Dynamic Set Difference (DSD) choice between OPSD and
+// TPSD, including the Appendix A cost model and the offline α calibration.
+package optimizer
+
+import (
+	"math/rand"
+
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/storage"
+)
+
+// ChooseBuildLeft reports whether the left join input should build the hash
+// table: the smaller side builds. Called with the latest ANALYZE statistics,
+// so stale statistics (OOF-NA) produce stale — possibly wrong — choices.
+func ChooseBuildLeft(leftTuples, rightTuples int) bool {
+	return leftTuples <= rightTuples
+}
+
+// DefaultAlpha is the build/probe cost ratio used when no calibration has
+// run. Hash-table construction costs roughly twice a probe in this engine.
+const DefaultAlpha = 2.0
+
+// DiffChooser implements DSD for one recursive relation. α=Cb/Cp is fixed
+// (offline calibration); µ=|Rδ|/|r| is carried over from the previous
+// iteration, per the paper's heuristic that µ changes slowly between
+// consecutive iterations.
+type DiffChooser struct {
+	Alpha  float64
+	prevMu float64
+	hasMu  bool
+}
+
+// NewDiffChooser returns a chooser with the given α (≤0 selects
+// DefaultAlpha).
+func NewDiffChooser(alpha float64) *DiffChooser {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	return &DiffChooser{Alpha: alpha}
+}
+
+// Choose picks the set-difference algorithm for ∆R ← Rδ − R given the
+// current sizes (from ANALYZE). Decision regions from Appendix A:
+//
+//	β ≤ 1               → OPSD (R is the smaller table)
+//	β ≥ 2α/(α−1)        → TPSD
+//	1 < β < 2α/(α−1)    → sign of eq. (5) using the previous iteration's µ
+func (c *DiffChooser) Choose(rTuples, rdeltaTuples int) exec.DiffAlgorithm {
+	if rdeltaTuples == 0 || rTuples <= rdeltaTuples {
+		return exec.OPSD
+	}
+	if c.Alpha <= 1 {
+		// Building is no more expensive than probing; avoiding the build on R
+		// can never pay off.
+		return exec.OPSD
+	}
+	beta := float64(rTuples) / float64(rdeltaTuples)
+	threshold := 2 * c.Alpha / (c.Alpha - 1)
+	if beta >= threshold {
+		return exec.TPSD
+	}
+	// Uncertain region: approximate µ with the previous iteration's value.
+	mu := c.prevMu
+	if !c.hasMu || mu <= 0 {
+		mu = 1 // |r| ≤ |Rδ| ⇒ µ ≥ 1; the conservative lower bound
+	}
+	// Cost(OPSD) − Cost(TPSD) ∝ β(α−1) − (α + α/µ); positive favours TPSD.
+	if beta*(c.Alpha-1)-(c.Alpha+c.Alpha/mu) > 0 {
+		return exec.TPSD
+	}
+	return exec.OPSD
+}
+
+// Observe records the intersection size of the finished iteration so µ can
+// seed the next choice. |r| = |Rδ| − |∆R| because ∆R = Rδ − (R ∩ Rδ).
+func (c *DiffChooser) Observe(rdeltaTuples, interTuples int) {
+	if interTuples <= 0 {
+		c.hasMu = false
+		return
+	}
+	c.prevMu = float64(rdeltaTuples) / float64(interTuples)
+	c.hasMu = true
+}
+
+// CalibrateAlpha estimates α = Cb/Cp by the offline training procedure of
+// eq. (7): for each configured pair size it generates a build table R and a
+// probe table S with |R| ≤ |S|, measures build and probe cost over `runs`
+// repetitions, and averages the per-tuple cost ratios.
+func CalibrateAlpha(pool *exec.Pool, pairSizes [][2]int, runs int) float64 {
+	if runs <= 0 {
+		runs = 3
+	}
+	if len(pairSizes) == 0 {
+		pairSizes = [][2]int{{1 << 12, 1 << 14}, {1 << 14, 1 << 16}, {1 << 15, 1 << 15}}
+	}
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	var count int
+	for _, ps := range pairSizes {
+		rn, sn := ps[0], ps[1]
+		if rn > sn {
+			rn, sn = sn, rn // ensure the hash table is built on the smaller R
+		}
+		build := synthetic(rng, "calib_r", rn)
+		probe := synthetic(rng, "calib_s", sn)
+		for j := 0; j < runs; j++ {
+			bc, pc := exec.MeasureBuildProbe(pool, build, probe)
+			if bc > 0 && pc > 0 {
+				sum += bc / pc
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return DefaultAlpha
+	}
+	alpha := sum / float64(count)
+	if alpha < 1.05 {
+		// A degenerate measurement would disable TPSD entirely; clamp to a
+		// mildly build-dominant ratio.
+		alpha = 1.05
+	}
+	return alpha
+}
+
+func synthetic(rng *rand.Rand, name string, n int) *storage.Relation {
+	r := storage.NewRelation(name, []string{"x", "y"})
+	rows := make([]int32, 0, 2*n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	r.AppendRows(rows)
+	return r
+}

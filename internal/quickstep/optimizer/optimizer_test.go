@@ -1,0 +1,112 @@
+package optimizer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"recstep/internal/quickstep/exec"
+)
+
+func TestChooseBuildLeft(t *testing.T) {
+	if !ChooseBuildLeft(10, 20) {
+		t.Fatal("smaller left should build")
+	}
+	if ChooseBuildLeft(20, 10) {
+		t.Fatal("larger left should not build")
+	}
+	if !ChooseBuildLeft(10, 10) {
+		t.Fatal("ties go to the left")
+	}
+}
+
+func TestDiffChooserRegions(t *testing.T) {
+	c := NewDiffChooser(2) // α=2 → TPSD threshold 2α/(α−1) = 4
+	// β ≤ 1: R not larger than Rδ → OPSD.
+	if got := c.Choose(100, 100); got != exec.OPSD {
+		t.Fatalf("β=1: %v, want OPSD", got)
+	}
+	if got := c.Choose(50, 100); got != exec.OPSD {
+		t.Fatalf("β<1: %v, want OPSD", got)
+	}
+	// β ≥ 4 → TPSD.
+	if got := c.Choose(400, 100); got != exec.TPSD {
+		t.Fatalf("β=4: %v, want TPSD", got)
+	}
+	if got := c.Choose(4000, 100); got != exec.TPSD {
+		t.Fatalf("β=40: %v, want TPSD", got)
+	}
+}
+
+func TestDiffChooserUncertainRegionUsesMu(t *testing.T) {
+	c := NewDiffChooser(2)
+	// β = 3 ∈ (1, 4). With the default µ=1 lower bound:
+	// β(α−1) − (α+α/µ) = 3 − 4 < 0 → OPSD.
+	if got := c.Choose(300, 100); got != exec.OPSD {
+		t.Fatalf("uncertain region with µ=1: %v, want OPSD", got)
+	}
+	// Large observed µ (tiny intersection): |Rδ|=100, |r|=1 → µ=100.
+	// 3·1 − (2 + 0.02) > 0 → TPSD.
+	c.Observe(100, 1)
+	if got := c.Choose(300, 100); got != exec.TPSD {
+		t.Fatalf("uncertain region with µ=100: %v, want TPSD", got)
+	}
+	// Zero intersection resets µ to the conservative bound.
+	c.Observe(100, 0)
+	if got := c.Choose(300, 100); got != exec.OPSD {
+		t.Fatalf("after µ reset: %v, want OPSD", got)
+	}
+}
+
+func TestDiffChooserAlphaEdgeCases(t *testing.T) {
+	// α ≤ 1: building is cheap, never TPSD.
+	c := NewDiffChooser(0.5)
+	// NewDiffChooser replaces non-positive alpha only; 0.5 is kept.
+	if got := c.Choose(1_000_000, 10); got != exec.OPSD {
+		t.Fatalf("α≤1: %v, want OPSD", got)
+	}
+	// Non-positive alpha falls back to the default.
+	d := NewDiffChooser(0)
+	if d.Alpha != DefaultAlpha {
+		t.Fatalf("Alpha = %f, want default %f", d.Alpha, DefaultAlpha)
+	}
+	// Empty delta: nothing to diff, OPSD trivially.
+	if got := d.Choose(100, 0); got != exec.OPSD {
+		t.Fatalf("empty delta: %v, want OPSD", got)
+	}
+}
+
+// Property: for any sizes the chooser returns a valid algorithm and respects
+// the closed-form regions.
+func TestDiffChooserRegionProperty(t *testing.T) {
+	c := NewDiffChooser(2)
+	f := func(r, rd uint16) bool {
+		rT, rdT := int(r)+1, int(rd)+1
+		got := c.Choose(rT, rdT)
+		beta := float64(rT) / float64(rdT)
+		if beta <= 1 && got != exec.OPSD {
+			return false
+		}
+		if beta >= 4 && got != exec.TPSD {
+			return false
+		}
+		return got == exec.OPSD || got == exec.TPSD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateAlpha(t *testing.T) {
+	pool := exec.NewPool(2)
+	alpha := CalibrateAlpha(pool, [][2]int{{1 << 10, 1 << 12}}, 2)
+	if alpha < 1.05 {
+		t.Fatalf("alpha = %f, want ≥ 1.05 (clamped)", alpha)
+	}
+	if alpha > 100 {
+		t.Fatalf("alpha = %f looks implausible", alpha)
+	}
+	// Defaults path.
+	if a := CalibrateAlpha(pool, nil, 0); a < 1.05 {
+		t.Fatalf("default calibration alpha = %f", a)
+	}
+}

@@ -1,0 +1,120 @@
+// Package plan defines the bound query representation produced by the SQL
+// binder and executed by the database facade. A Query is a UNION ALL of
+// branches; each branch is a left-deep join pipeline (in FROM order) with
+// pushed-down single-table filters, residual predicates, optional anti-joins
+// (from NOT EXISTS, i.e. stratified negation), optional grouped aggregation,
+// and a final projection.
+package plan
+
+import (
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/expr"
+)
+
+// Query is one SELECT statement after binding: a UNION ALL of branches, all
+// with the same output arity.
+type Query struct {
+	Branches []*Branch
+	// OutCols names the output columns (taken from the first branch's
+	// select-list aliases).
+	OutCols []string
+}
+
+// Branch is one UNION ALL arm.
+type Branch struct {
+	// Tables lists the FROM items in declaration order; Offsets[i] is the
+	// starting column of table i in the combined row.
+	Tables  []string
+	Offsets []int
+	Arities []int
+
+	// PreFilter holds single-table predicates pushed below the joins,
+	// expressed over that table's own row (indices 0..arity-1).
+	PreFilter map[int][]expr.Cmp
+
+	// Joins holds len(Tables)-1 steps; step i joins the combined prefix of
+	// tables 0..i with table i+1.
+	Joins []JoinStep
+
+	// AntiJoins are applied after all positive joins, in order.
+	AntiJoins []AntiJoinStep
+
+	// Projs is the select list over the final combined row. When Aggs is
+	// non-empty, Projs is unused and GroupBy/Aggs/SelectOrder drive output.
+	Projs []expr.Expr
+
+	// GroupBy holds combined-row column indices; Aggs the aggregate specs.
+	GroupBy []int
+	Aggs    []exec.AggSpec
+	// SelectOrder maps each select-list position to either a group column
+	// (IsAgg=false, Index into GroupBy) or an aggregate (IsAgg=true, Index
+	// into Aggs), so output column order follows the SQL text.
+	SelectOrder []SelectOut
+}
+
+// SelectOut maps one select-list position to its source in an aggregate
+// query: a GROUP BY column (IsAgg=false) or an aggregate (IsAgg=true).
+type SelectOut struct {
+	IsAgg bool
+	Index int
+}
+
+// JoinStep describes one binary join of the running prefix with the next
+// table.
+type JoinStep struct {
+	// LeftKeys index into the combined prefix row; RightKeys into the new
+	// table's row. Empty keys produce a cross product.
+	LeftKeys, RightKeys []int
+	// Residual predicates over the (prefix ++ new table) combined row.
+	Residual []expr.Cmp
+}
+
+// AntiJoinStep removes combined rows that have a match in Table (the bound
+// form of NOT EXISTS).
+type AntiJoinStep struct {
+	Table string
+	// OuterKeys index the combined row; InnerKeys the inner table's row.
+	OuterKeys, InnerKeys []int
+	// InnerPreFilter restricts the inner table before the existence check
+	// (constant predicates inside the subquery).
+	InnerPreFilter []expr.Cmp
+}
+
+// Statement is the bound form of any SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable creates an empty table.
+type CreateTable struct {
+	Name string
+	Cols []string
+}
+
+// DropTable removes a table.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// InsertValues appends literal tuples.
+type InsertValues struct {
+	Table  string
+	Tuples [][]int32
+}
+
+// InsertSelect appends a query result (bag semantics — UNION ALL append, no
+// implicit dedup, exactly as RecStep requires).
+type InsertSelect struct {
+	Table string
+	Query *Query
+}
+
+// SelectStmt evaluates a query and returns its result relation.
+type SelectStmt struct {
+	Query *Query
+}
+
+func (CreateTable) stmt()  {}
+func (DropTable) stmt()    {}
+func (InsertValues) stmt() {}
+func (InsertSelect) stmt() {}
+func (SelectStmt) stmt()   {}

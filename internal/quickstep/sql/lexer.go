@@ -1,0 +1,124 @@
+// Package sql implements the SQL subset RecStep's query generator emits:
+// CREATE TABLE, DROP TABLE, INSERT INTO … VALUES / SELECT, and SELECT with
+// inner equi-joins, WHERE conjunctions, NOT EXISTS (stratified negation),
+// GROUP BY aggregation (MIN/MAX/SUM/COUNT/AVG) and UNION ALL (the UIE form).
+// Statements are parsed to an AST and bound against the catalog into
+// plan.Statement values executed by the database facade.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokSymbol // ( ) , . ; + - * = and two-char <> <= >= plus < >
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "AS": true,
+	"GROUP": true, "BY": true, "UNION": true, "ALL": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "CREATE": true, "TABLE": true, "DROP": true,
+	"IF": true, "EXISTS": true, "NOT": true, "INT": true,
+	"MIN": true, "MAX": true, "SUM": true, "COUNT": true, "AVG": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isDigit(c):
+			l.lexInt()
+		case c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.lexInt()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) lexInt() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokInt, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.tokens = append(l.tokens, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.tokens = append(l.tokens, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "<=", ">=", "!=":
+		l.pos += 2
+		if two == "!=" {
+			two = "<>"
+		}
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: two, pos: start})
+		return nil
+	}
+	switch c {
+	case '(', ')', ',', '.', ';', '+', '-', '*', '=', '<', '>':
+		l.pos++
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at offset %d", rune(c), l.pos)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }

@@ -1,0 +1,549 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/expr"
+)
+
+// Unbound AST, produced by the parser and consumed by the binder.
+
+type astExpr interface{}
+
+type astCol struct{ tbl, col string }
+type astInt struct{ v int32 }
+type astBin struct {
+	op   expr.ArithOp
+	l, r astExpr
+}
+type astAgg struct {
+	fn   exec.AggFunc
+	arg  astExpr // nil for COUNT(*)
+	star bool
+}
+
+type astCmp struct {
+	op   expr.CmpOp
+	l, r astExpr
+}
+type astNotExists struct{ sel *astSelect }
+
+type astPred interface{}
+
+type astItem struct {
+	e     astExpr
+	alias string
+	star  bool
+}
+
+type astFrom struct{ table, alias string }
+
+type astSelect struct {
+	items   []astItem
+	from    []astFrom
+	where   []astPred
+	groupBy []astCol
+	union   *astSelect
+}
+
+type astCreate struct {
+	name string
+	cols []string
+}
+type astDrop struct {
+	name     string
+	ifExists bool
+}
+type astInsert struct {
+	table  string
+	tuples [][]int32
+	sel    *astSelect
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && t.text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) error {
+	if !p.accept(kind, text) {
+		return fmt.Errorf("sql: expected %q at offset %d, found %q", text, p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier at offset %d, found %q", t.pos, t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+// parseStatement parses exactly one statement (with optional trailing ';').
+func parseStatement(src string) (any, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at offset %d: %q", p.cur().pos, p.cur().text)
+	}
+	return st, nil
+}
+
+// splitStatements splits a script on top-level semicolons.
+func splitStatements(src string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(src); i++ {
+		if src[i] == ';' {
+			out = append(out, src[start:i])
+			start = i + 1
+		}
+	}
+	if tail := src[start:]; nonBlank(tail) {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func nonBlank(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) statement() (any, error) {
+	switch {
+	case p.accept(tokKeyword, "CREATE"):
+		return p.create()
+	case p.accept(tokKeyword, "DROP"):
+		return p.drop()
+	case p.accept(tokKeyword, "INSERT"):
+		return p.insert()
+	case p.cur().kind == tokKeyword && p.cur().text == "SELECT":
+		return p.selectStmt()
+	}
+	return nil, fmt.Errorf("sql: unknown statement start %q at offset %d", p.cur().text, p.cur().pos)
+}
+
+func (p *parser) create() (any, error) {
+	if err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "INT"); err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &astCreate{name: name, cols: cols}, nil
+}
+
+func (p *parser) drop() (any, error) {
+	if err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	ifExists := false
+	if p.accept(tokKeyword, "IF") {
+		if err := p.expect(tokKeyword, "EXISTS"); err != nil {
+			return nil, err
+		}
+		ifExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &astDrop{name: name, ifExists: ifExists}, nil
+}
+
+func (p *parser) insert() (any, error) {
+	if err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "VALUES") {
+		var tuples [][]int32
+		for {
+			if err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			var tup []int32
+			for {
+				t := p.cur()
+				neg := false
+				if t.kind == tokSymbol && t.text == "-" {
+					p.i++
+					t = p.cur()
+					neg = true
+				}
+				if t.kind != tokInt {
+					return nil, fmt.Errorf("sql: expected integer in VALUES at offset %d", t.pos)
+				}
+				p.i++
+				v, err := strconv.ParseInt(t.text, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("sql: bad integer %q: %v", t.text, err)
+				}
+				if neg {
+					v = -v
+				}
+				tup = append(tup, int32(v))
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			tuples = append(tuples, tup)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		return &astInsert{table: table, tuples: tuples}, nil
+	}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &astInsert{table: table, sel: sel}, nil
+}
+
+func (p *parser) selectStmt() (*astSelect, error) {
+	if err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	s := &astSelect{}
+	// Select list.
+	if p.accept(tokSymbol, "*") {
+		s.items = append(s.items, astItem{star: true})
+	} else {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := astItem{e: e}
+			if p.accept(tokKeyword, "AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.alias = a
+			}
+			s.items = append(s.items, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tbl, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		f := astFrom{table: tbl, alias: tbl}
+		if p.accept(tokKeyword, "AS") {
+			a, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.alias = a
+		} else if p.cur().kind == tokIdent {
+			f.alias = p.next().text
+		}
+		s.from = append(s.from, f)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			s.where = append(s.where, pred)
+			if !p.accept(tokKeyword, "AND") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			s.groupBy = append(s.groupBy, c)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "UNION") {
+		if err := p.expect(tokKeyword, "ALL"); err != nil {
+			return nil, err
+		}
+		u, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.union = u
+	}
+	return s, nil
+}
+
+func (p *parser) predicate() (astPred, error) {
+	if p.accept(tokKeyword, "NOT") {
+		if err := p.expect(tokKeyword, "EXISTS"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &astNotExists{sel: sel}, nil
+	}
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	var op expr.CmpOp
+	switch t.text {
+	case "=":
+		op = expr.EQ
+	case "<>":
+		op = expr.NE
+	case "<":
+		op = expr.LT
+	case "<=":
+		op = expr.LE
+	case ">":
+		op = expr.GT
+	case ">=":
+		op = expr.GE
+	default:
+		return nil, fmt.Errorf("sql: expected comparison operator at offset %d, found %q", t.pos, t.text)
+	}
+	p.i++
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &astCmp{op: op, l: l, r: r}, nil
+}
+
+func (p *parser) colRef() (astCol, error) {
+	name, err := p.ident()
+	if err != nil {
+		return astCol{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		col, err := p.ident()
+		if err != nil {
+			return astCol{}, err
+		}
+		return astCol{tbl: name, col: col}, nil
+	}
+	return astCol{col: name}, nil
+}
+
+// expr := term (('+'|'-') term)*
+func (p *parser) expr() (astExpr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = &astBin{op: expr.Add, l: l, r: r}
+		case p.cur().kind == tokSymbol && p.cur().text == "-" && p.peekIsTermStart():
+			p.i++
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = &astBin{op: expr.Sub, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) peekIsTermStart() bool {
+	if p.i+1 >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.i+1]
+	return t.kind == tokInt || t.kind == tokIdent || (t.kind == tokSymbol && t.text == "(") ||
+		(t.kind == tokKeyword && isAggKeyword(t.text))
+}
+
+// term := factor ('*' factor)*
+func (p *parser) term() (astExpr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokSymbol, "*") {
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &astBin{op: expr.Mul, l: l, r: r}
+	}
+	return l, nil
+}
+
+func isAggKeyword(s string) bool {
+	switch s {
+	case "MIN", "MAX", "SUM", "COUNT", "AVG":
+		return true
+	}
+	return false
+}
+
+func aggFunc(s string) exec.AggFunc {
+	switch s {
+	case "MIN":
+		return exec.AggMin
+	case "MAX":
+		return exec.AggMax
+	case "SUM":
+		return exec.AggSum
+	case "COUNT":
+		return exec.AggCount
+	case "AVG":
+		return exec.AggAvg
+	}
+	panic("sql: not an aggregate keyword: " + s)
+}
+
+func (p *parser) factor() (astExpr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.i++
+		v, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q: %v", t.text, err)
+		}
+		return &astInt{v: int32(v)}, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.i++
+		inner, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		if iv, ok := inner.(*astInt); ok {
+			return &astInt{v: -iv.v}, nil
+		}
+		return &astBin{op: expr.Sub, l: &astInt{v: 0}, r: inner}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.i++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokKeyword && isAggKeyword(t.text):
+		p.i++
+		fn := aggFunc(t.text)
+		if err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.accept(tokSymbol, "*") {
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &astAgg{fn: fn, star: true}, nil
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &astAgg{fn: fn, arg: arg}, nil
+	case t.kind == tokIdent:
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		return &c, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q at offset %d", t.text, t.pos)
+}

@@ -1,0 +1,288 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/plan"
+)
+
+var testSchema = func(table string) ([]string, bool) {
+	switch table {
+	case "arc":
+		return []string{"x", "y"}, true
+	case "warc":
+		return []string{"x", "y", "d"}, true
+	case "tc", "tc_delta", "node_pairs":
+		return []string{"x", "y"}, true
+	case "id", "node":
+		return []string{"x"}, true
+	}
+	return nil, false
+}
+
+func mustSelect(t *testing.T, q string) *plan.Query {
+	t.Helper()
+	st, err := Parse(q, testSchema)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	sel, ok := st.(plan.SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want SelectStmt", q, st)
+	}
+	return sel.Query
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse("CREATE TABLE foo (x INT, y INT)", testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(plan.CreateTable)
+	if ct.Name != "foo" || len(ct.Cols) != 2 || ct.Cols[0] != "x" || ct.Cols[1] != "y" {
+		t.Fatalf("bad create: %+v", ct)
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	st, err := Parse("DROP TABLE IF EXISTS foo;", testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.(plan.DropTable)
+	if d.Name != "foo" || !d.IfExists {
+		t.Fatalf("bad drop: %+v", d)
+	}
+	st, err = Parse("DROP TABLE bar", testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := st.(plan.DropTable); d.IfExists {
+		t.Fatal("IfExists should be false")
+	}
+}
+
+func TestParseInsertValues(t *testing.T) {
+	st, err := Parse("INSERT INTO arc VALUES (1, 2), (-3, 4)", testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := st.(plan.InsertValues)
+	if iv.Table != "arc" || len(iv.Tuples) != 2 {
+		t.Fatalf("bad insert: %+v", iv)
+	}
+	if iv.Tuples[1][0] != -3 {
+		t.Fatalf("negative literal parsed as %d", iv.Tuples[1][0])
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustSelect(t, "SELECT a.x AS x, a.y AS y FROM arc AS a")
+	if len(q.Branches) != 1 {
+		t.Fatalf("branches = %d", len(q.Branches))
+	}
+	b := q.Branches[0]
+	if len(b.Tables) != 1 || b.Tables[0] != "arc" || len(b.Projs) != 2 {
+		t.Fatalf("bad branch: %+v", b)
+	}
+	if q.OutCols[0] != "x" || q.OutCols[1] != "y" {
+		t.Fatalf("OutCols = %v", q.OutCols)
+	}
+}
+
+func TestParseJoinWithKeys(t *testing.T) {
+	q := mustSelect(t, "SELECT t.x AS x, a.y AS y FROM tc_delta AS t, arc AS a WHERE t.y = a.x")
+	b := q.Branches[0]
+	if len(b.Joins) != 1 {
+		t.Fatalf("joins = %d", len(b.Joins))
+	}
+	j := b.Joins[0]
+	if len(j.LeftKeys) != 1 || j.LeftKeys[0] != 1 || j.RightKeys[0] != 0 {
+		t.Fatalf("join keys = %v/%v", j.LeftKeys, j.RightKeys)
+	}
+	if len(j.Residual) != 0 {
+		t.Fatalf("unexpected residual: %v", j.Residual)
+	}
+}
+
+func TestParseJoinKeyOrderIrrelevant(t *testing.T) {
+	// a.x = t.y (reversed) must produce the same keys.
+	q := mustSelect(t, "SELECT t.x AS x, a.y AS y FROM tc_delta AS t, arc AS a WHERE a.x = t.y")
+	j := q.Branches[0].Joins[0]
+	if len(j.LeftKeys) != 1 || j.LeftKeys[0] != 1 || j.RightKeys[0] != 0 {
+		t.Fatalf("join keys = %v/%v", j.LeftKeys, j.RightKeys)
+	}
+}
+
+func TestParseSingleTablePredicatePushdown(t *testing.T) {
+	q := mustSelect(t, "SELECT a.x AS x FROM arc AS a, node AS n WHERE a.x = n.x AND a.y > 5")
+	b := q.Branches[0]
+	if len(b.PreFilter[0]) != 1 {
+		t.Fatalf("prefilter on table 0 = %v", b.PreFilter[0])
+	}
+	if got := b.PreFilter[0][0].String(); !strings.Contains(got, ">") {
+		t.Fatalf("prefilter = %q", got)
+	}
+}
+
+func TestParseResidualPredicate(t *testing.T) {
+	q := mustSelect(t, "SELECT a.y AS a, b.y AS b FROM arc AS a, arc AS b WHERE a.x = b.x AND a.y <> b.y")
+	b := q.Branches[0]
+	if len(b.Joins[0].Residual) != 1 {
+		t.Fatalf("residual = %v", b.Joins[0].Residual)
+	}
+	if b.Joins[0].Residual[0].Op != expr.NE {
+		t.Fatalf("residual op = %v", b.Joins[0].Residual[0].Op)
+	}
+}
+
+func TestParseUnionAll(t *testing.T) {
+	q := mustSelect(t, `SELECT x, y FROM arc UNION ALL SELECT a.y AS y, a.x AS x FROM arc AS a`)
+	if len(q.Branches) != 2 {
+		t.Fatalf("branches = %d", len(q.Branches))
+	}
+}
+
+func TestParseUnionArityMismatch(t *testing.T) {
+	_, err := Parse("SELECT x, y FROM arc UNION ALL SELECT x FROM node", testSchema)
+	if err == nil {
+		t.Fatal("expected arity mismatch error")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q := mustSelect(t, "SELECT x, COUNT(y) AS cnt, MIN(y) AS mn FROM arc GROUP BY x")
+	b := q.Branches[0]
+	if len(b.GroupBy) != 1 || b.GroupBy[0] != 0 {
+		t.Fatalf("GroupBy = %v", b.GroupBy)
+	}
+	if len(b.Aggs) != 2 || b.Aggs[0].Func != exec.AggCount || b.Aggs[1].Func != exec.AggMin {
+		t.Fatalf("Aggs = %+v", b.Aggs)
+	}
+	if len(b.SelectOrder) != 3 || b.SelectOrder[0].IsAgg || !b.SelectOrder[1].IsAgg {
+		t.Fatalf("SelectOrder = %+v", b.SelectOrder)
+	}
+}
+
+func TestParseAggregateArithmeticArg(t *testing.T) {
+	q := mustSelect(t, "SELECT w.y AS y, MIN(w.d + 1) AS d FROM warc AS w GROUP BY w.y")
+	b := q.Branches[0]
+	if len(b.Aggs) != 1 {
+		t.Fatalf("Aggs = %+v", b.Aggs)
+	}
+	if _, ok := b.Aggs[0].Arg.(expr.Arith); !ok {
+		t.Fatalf("agg arg = %T, want Arith", b.Aggs[0].Arg)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q := mustSelect(t, "SELECT x, COUNT(*) AS c FROM arc GROUP BY x")
+	if q.Branches[0].Aggs[0].Func != exec.AggCount {
+		t.Fatal("COUNT(*) should bind to AggCount")
+	}
+}
+
+func TestParseNotExists(t *testing.T) {
+	q := mustSelect(t, `SELECT n.x AS x, m.x AS y FROM node AS n, node AS m
+		WHERE NOT EXISTS (SELECT * FROM tc AS t WHERE t.x = n.x AND t.y = m.x)`)
+	b := q.Branches[0]
+	if len(b.AntiJoins) != 1 {
+		t.Fatalf("AntiJoins = %+v", b.AntiJoins)
+	}
+	aj := b.AntiJoins[0]
+	if aj.Table != "tc" || len(aj.OuterKeys) != 2 || aj.OuterKeys[0] != 0 || aj.OuterKeys[1] != 1 {
+		t.Fatalf("anti join = %+v", aj)
+	}
+	if aj.InnerKeys[0] != 0 || aj.InnerKeys[1] != 1 {
+		t.Fatalf("inner keys = %v", aj.InnerKeys)
+	}
+}
+
+func TestParseNotExistsInnerConstant(t *testing.T) {
+	q := mustSelect(t, `SELECT n.x AS x FROM node AS n
+		WHERE NOT EXISTS (SELECT * FROM arc AS a WHERE a.x = n.x AND a.y > 3)`)
+	aj := q.Branches[0].AntiJoins[0]
+	if len(aj.InnerPreFilter) != 1 {
+		t.Fatalf("InnerPreFilter = %v", aj.InnerPreFilter)
+	}
+}
+
+func TestParseNotExistsErrors(t *testing.T) {
+	bad := []string{
+		"SELECT n.x AS x FROM node AS n WHERE NOT EXISTS (SELECT * FROM tc AS t, arc AS a WHERE t.x = n.x)",
+		"SELECT n.x AS x FROM node AS n WHERE NOT EXISTS (SELECT * FROM tc AS t WHERE t.x > n.x)",
+		"SELECT n.x AS x FROM node AS n WHERE NOT EXISTS (SELECT * FROM tc AS t WHERE t.x = 1)",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q, testSchema); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := mustSelect(t, "SELECT * FROM warc")
+	if got := len(q.Branches[0].Projs); got != 3 {
+		t.Fatalf("projs = %d, want 3", got)
+	}
+}
+
+func TestParseArithmeticProjection(t *testing.T) {
+	q := mustSelect(t, "SELECT w.x + w.d * 2 AS v FROM warc AS w")
+	e, ok := q.Branches[0].Projs[0].(expr.Arith)
+	if !ok || e.Op != expr.Add {
+		t.Fatalf("proj = %#v, want Add at top (precedence)", q.Branches[0].Projs[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC x FROM arc",
+		"SELECT x FROM missing",
+		"SELECT missing FROM arc",
+		"SELECT a.z AS z FROM arc AS a",
+		"SELECT x FROM arc AS a, arc AS a",
+		"SELECT x FROM arc WHERE x ~ 1",
+		"SELECT x, y FROM arc GROUP BY x",
+		"SELECT MIN(y) AS m, x FROM arc",
+		"INSERT INTO arc VALUES (1, )",
+		"SELECT x FROM arc extra garbage",
+		"SELECT x FROM arc; SELECT y FROM arc",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q, testSchema); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestParseAmbiguousColumn(t *testing.T) {
+	_, err := Parse("SELECT x FROM arc AS a, arc AS b WHERE a.x = b.x", testSchema)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguity error, got %v", err)
+	}
+}
+
+func TestSplitScript(t *testing.T) {
+	parts := SplitScript("CREATE TABLE a (x INT); INSERT INTO a VALUES (1);\n  \nSELECT x FROM a")
+	if len(parts) != 3 {
+		t.Fatalf("SplitScript = %d parts: %q", len(parts), parts)
+	}
+}
+
+func TestParseCommentsAndCase(t *testing.T) {
+	q := mustSelect(t, "select x, y from arc -- trailing comment\nwhere x = 1")
+	if len(q.Branches[0].PreFilter[0]) != 1 {
+		t.Fatal("lower-case keywords or comments broke parsing")
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := lex("SELECT @"); err == nil {
+		t.Fatal("expected lexer error for @")
+	}
+}

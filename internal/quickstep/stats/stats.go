@@ -1,0 +1,192 @@
+// Package stats implements table statistics and the ANALYZE call that
+// RecStep's Optimization-On-the-Fly (OOF) relies on. The engine explicitly
+// tells the backend which statistics to refresh and when (Algorithm 1,
+// analyze()): re-optimizing every iteration with *full* statistics is too
+// expensive, and never refreshing leaves the optimizer with stale inputs —
+// the paper's OOF-FA and OOF-NA ablations.
+package stats
+
+import (
+	"sync"
+
+	"recstep/internal/quickstep/gscht"
+	"recstep/internal/quickstep/storage"
+)
+
+// Mode selects how much statistical data an ANALYZE collects.
+type Mode int
+
+const (
+	// ModeNone collects nothing; existing statistics go stale (OOF-NA).
+	ModeNone Mode = iota
+	// ModeSelective collects exactly what the next query's optimizer
+	// decision needs: tuple count and tuple width for joins and set
+	// difference, plus a conservative distinct estimate for dedup sizing
+	// (min of table size and memory budget). This is RecStep's default.
+	ModeSelective
+	// ModeFull additionally scans the table to compute exact per-column
+	// min/max/sum/avg and the exact distinct tuple count (OOF-FA). It is the
+	// expensive variant the paper shows wastes ~17% of total runtime.
+	ModeFull
+)
+
+// String names the mode for logs and experiment output.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeSelective:
+		return "selective"
+	case ModeFull:
+		return "full"
+	}
+	return "unknown"
+}
+
+// Table holds statistics for one relation.
+type Table struct {
+	NumTuples  int
+	TupleBytes int
+	// DistinctEst approximates the number of distinct tuples; used to size
+	// dedup hash tables. Conservative: min(memory budget, table size).
+	DistinctEst int
+	// Per-column aggregates, populated only by ModeFull.
+	ColMin, ColMax []int32
+	ColSum         []int64
+	DistinctExact  int
+	// Fresh marks statistics as reflecting current table contents. ANALYZE
+	// sets it; mutating queries clear it.
+	Fresh bool
+}
+
+// Catalog stores statistics per table name.
+type Catalog struct {
+	mu     sync.RWMutex
+	byName map[string]Table
+	// MemBudgetTuples caps DistinctEst, modeling "minimum of the available
+	// memory and size of the table".
+	MemBudgetTuples int
+}
+
+// NewCatalog returns an empty statistics catalog. budgetTuples bounds
+// distinct estimates; <=0 means unbounded.
+func NewCatalog(budgetTuples int) *Catalog {
+	return &Catalog{byName: make(map[string]Table), MemBudgetTuples: budgetTuples}
+}
+
+// Get returns the recorded statistics (possibly stale) and whether any exist.
+func (c *Catalog) Get(name string) (Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.byName[name]
+	return t, ok
+}
+
+// Invalidate marks a table's statistics stale after a mutation.
+func (c *Catalog) Invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.byName[name]; ok {
+		t.Fresh = false
+		c.byName[name] = t
+	}
+}
+
+// Drop removes statistics for a dropped table.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.byName, name)
+}
+
+// Analyze refreshes statistics for r according to mode and records them.
+// With ModeNone the stored statistics are left untouched (and possibly
+// stale); if none exist yet a zero-tuples entry is created so the optimizer
+// has *something*, mirroring a catalog that was never refreshed.
+func (c *Catalog) Analyze(r *storage.Relation, mode Mode) Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := r.Name()
+	cur, ok := c.byName[name]
+	if mode == ModeNone {
+		if !ok {
+			cur = Table{TupleBytes: r.Arity() * 4}
+			c.byName[name] = cur
+		}
+		return cur
+	}
+	t := Table{
+		NumTuples:  r.NumTuples(),
+		TupleBytes: r.Arity() * 4,
+		Fresh:      true,
+	}
+	t.DistinctEst = t.NumTuples
+	if c.MemBudgetTuples > 0 && t.DistinctEst > c.MemBudgetTuples {
+		t.DistinctEst = c.MemBudgetTuples
+	}
+	if mode == ModeFull {
+		fullScan(r, &t)
+	}
+	c.byName[name] = t
+	return t
+}
+
+// fullScan computes exact column aggregates and the exact distinct count —
+// the deliberately expensive part of OOF-FA.
+func fullScan(r *storage.Relation, t *Table) {
+	arity := r.Arity()
+	t.ColMin = make([]int32, arity)
+	t.ColMax = make([]int32, arity)
+	t.ColSum = make([]int64, arity)
+	first := true
+	var distinct int
+	var tab64 *gscht.Table64
+	var tab128 *gscht.Table128
+	var arena64 gscht.Arena64
+	var arena128 gscht.Arena128
+	useGeneric := arity > 4
+	generic := make(map[string]struct{})
+	if !useGeneric && arity <= 2 {
+		tab64 = gscht.NewTable64(t.NumTuples)
+	} else if !useGeneric {
+		tab128 = gscht.NewTable128(t.NumTuples)
+	}
+	buf := make([]byte, arity*4)
+	r.ForEach(func(tu []int32) {
+		for i, v := range tu {
+			if first || v < t.ColMin[i] {
+				t.ColMin[i] = v
+			}
+			if first || v > t.ColMax[i] {
+				t.ColMax[i] = v
+			}
+			t.ColSum[i] += int64(v)
+		}
+		first = false
+		switch {
+		case tab64 != nil:
+			if tab64.InsertIfAbsent(gscht.PackKey64(tu), &arena64) {
+				distinct++
+			}
+		case tab128 != nil:
+			if tab128.InsertIfAbsent(gscht.PackKey128(tu), &arena128) {
+				distinct++
+			}
+		default:
+			for i, v := range tu {
+				u := uint32(v)
+				buf[i*4] = byte(u)
+				buf[i*4+1] = byte(u >> 8)
+				buf[i*4+2] = byte(u >> 16)
+				buf[i*4+3] = byte(u >> 24)
+			}
+			k := string(buf)
+			if _, ok := generic[k]; !ok {
+				generic[k] = struct{}{}
+				distinct++
+			}
+		}
+	})
+	t.DistinctExact = distinct
+	t.DistinctEst = distinct
+}

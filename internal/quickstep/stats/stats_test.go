@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"testing"
+
+	"recstep/internal/quickstep/storage"
+)
+
+func rel(name string, rows ...[]int32) *storage.Relation {
+	arity := 2
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	r := storage.NewRelation(name, storage.NumberedColumns(arity))
+	for _, row := range rows {
+		r.Append(row)
+	}
+	return r
+}
+
+func TestAnalyzeSelective(t *testing.T) {
+	c := NewCatalog(0)
+	r := rel("t", []int32{1, 2}, []int32{3, 4}, []int32{1, 2})
+	got := c.Analyze(r, ModeSelective)
+	if got.NumTuples != 3 {
+		t.Fatalf("NumTuples = %d, want 3", got.NumTuples)
+	}
+	if got.TupleBytes != 8 {
+		t.Fatalf("TupleBytes = %d, want 8", got.TupleBytes)
+	}
+	if got.DistinctEst != 3 {
+		t.Fatalf("DistinctEst = %d, want conservative 3", got.DistinctEst)
+	}
+	if !got.Fresh {
+		t.Fatal("stats should be fresh after ANALYZE")
+	}
+	if got.ColMin != nil {
+		t.Fatal("selective mode must not compute column aggregates")
+	}
+}
+
+func TestAnalyzeFull(t *testing.T) {
+	c := NewCatalog(0)
+	r := rel("t", []int32{1, 10}, []int32{3, -4}, []int32{1, 10})
+	got := c.Analyze(r, ModeFull)
+	if got.DistinctExact != 2 {
+		t.Fatalf("DistinctExact = %d, want 2", got.DistinctExact)
+	}
+	if got.DistinctEst != 2 {
+		t.Fatalf("DistinctEst = %d, want exact 2", got.DistinctEst)
+	}
+	if got.ColMin[0] != 1 || got.ColMin[1] != -4 {
+		t.Fatalf("ColMin = %v, want [1 -4]", got.ColMin)
+	}
+	if got.ColMax[0] != 3 || got.ColMax[1] != 10 {
+		t.Fatalf("ColMax = %v, want [3 10]", got.ColMax)
+	}
+	if got.ColSum[0] != 5 || got.ColSum[1] != 16 {
+		t.Fatalf("ColSum = %v, want [5 16]", got.ColSum)
+	}
+}
+
+func TestAnalyzeFullArity3(t *testing.T) {
+	c := NewCatalog(0)
+	r := rel("t", []int32{1, 2, 3}, []int32{1, 2, 3}, []int32{4, 5, 6})
+	got := c.Analyze(r, ModeFull)
+	if got.DistinctExact != 2 {
+		t.Fatalf("DistinctExact = %d, want 2", got.DistinctExact)
+	}
+}
+
+func TestAnalyzeFullArity5GenericPath(t *testing.T) {
+	c := NewCatalog(0)
+	r := storage.NewRelation("t", storage.NumberedColumns(5))
+	r.Append([]int32{1, 2, 3, 4, 5})
+	r.Append([]int32{1, 2, 3, 4, 5})
+	r.Append([]int32{1, 2, 3, 4, 6})
+	got := c.Analyze(r, ModeFull)
+	if got.DistinctExact != 2 {
+		t.Fatalf("DistinctExact = %d, want 2", got.DistinctExact)
+	}
+}
+
+func TestAnalyzeNoneKeepsStale(t *testing.T) {
+	c := NewCatalog(0)
+	r := rel("t", []int32{1, 2})
+	c.Analyze(r, ModeSelective)
+	r.Append([]int32{3, 4})
+	got := c.Analyze(r, ModeNone)
+	if got.NumTuples != 1 {
+		t.Fatalf("ModeNone must keep stale count 1, got %d", got.NumTuples)
+	}
+}
+
+func TestAnalyzeNoneCreatesZeroEntry(t *testing.T) {
+	c := NewCatalog(0)
+	r := rel("fresh", []int32{1, 2})
+	got := c.Analyze(r, ModeNone)
+	if got.NumTuples != 0 {
+		t.Fatalf("ModeNone on unknown table should record 0 tuples, got %d", got.NumTuples)
+	}
+	if _, ok := c.Get("fresh"); !ok {
+		t.Fatal("entry should exist after ModeNone analyze")
+	}
+}
+
+func TestMemBudgetCapsDistinctEst(t *testing.T) {
+	c := NewCatalog(2)
+	r := rel("t", []int32{1, 1}, []int32{2, 2}, []int32{3, 3})
+	got := c.Analyze(r, ModeSelective)
+	if got.DistinctEst != 2 {
+		t.Fatalf("DistinctEst = %d, want capped 2", got.DistinctEst)
+	}
+}
+
+func TestInvalidateAndDrop(t *testing.T) {
+	c := NewCatalog(0)
+	r := rel("t", []int32{1, 2})
+	c.Analyze(r, ModeSelective)
+	c.Invalidate("t")
+	got, ok := c.Get("t")
+	if !ok || got.Fresh {
+		t.Fatal("Invalidate should clear Fresh")
+	}
+	c.Drop("t")
+	if _, ok := c.Get("t"); ok {
+		t.Fatal("Drop should remove stats")
+	}
+	c.Invalidate("absent") // no-op
+}
+
+func TestModeString(t *testing.T) {
+	if ModeNone.String() != "none" || ModeSelective.String() != "selective" || ModeFull.String() != "full" {
+		t.Fatal("Mode.String mismatch")
+	}
+}

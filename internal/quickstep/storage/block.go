@@ -1,0 +1,67 @@
+// Package storage implements the block-partitioned in-memory tuple storage
+// layer of the QuickStep-like substrate. Relations hold fixed-arity int32
+// tuples in row-major blocks; blocks are the unit of intra-query parallelism,
+// mirroring QuickStep's block-based storage manager that RecStep builds on.
+package storage
+
+import "fmt"
+
+// DefaultBlockRows is the number of tuples per storage block. Blocks are the
+// scheduling granule for parallel operators, so the value balances task
+// granularity against per-task overhead.
+const DefaultBlockRows = 1 << 14
+
+// Block is a fixed-arity, row-major run of tuples. A block is written by a
+// single goroutine while open and becomes immutable once sealed inside a
+// Relation, so readers never need locks.
+type Block struct {
+	arity int
+	data  []int32
+}
+
+// NewBlock returns an empty block for tuples of the given arity. Capacity
+// grows on demand (operators often emit far fewer rows than a full block,
+// so eagerly zeroing full-size backing arrays would dominate small
+// queries).
+func NewBlock(arity int) *Block {
+	if arity <= 0 {
+		panic(fmt.Sprintf("storage: invalid arity %d", arity))
+	}
+	return &Block{arity: arity, data: make([]int32, 0, arity*64)}
+}
+
+// BlockFromRows wraps an existing row-major slice as a block. The slice is
+// retained; the caller must not mutate it afterwards.
+func BlockFromRows(arity int, rows []int32) *Block {
+	if arity <= 0 || len(rows)%arity != 0 {
+		panic(fmt.Sprintf("storage: row data of length %d not divisible by arity %d", len(rows), arity))
+	}
+	return &Block{arity: arity, data: rows}
+}
+
+// Arity returns the number of attributes per tuple.
+func (b *Block) Arity() int { return b.arity }
+
+// Rows returns the number of tuples stored in the block.
+func (b *Block) Rows() int { return len(b.data) / b.arity }
+
+// Row returns a view of the i-th tuple. The returned slice aliases block
+// memory and must not be mutated.
+func (b *Block) Row(i int) []int32 {
+	off := i * b.arity
+	return b.data[off : off+b.arity : off+b.arity]
+}
+
+// Data returns the raw row-major tuple data. Read-only.
+func (b *Block) Data() []int32 { return b.data }
+
+// Append adds one tuple to the block.
+func (b *Block) Append(tuple []int32) {
+	if len(tuple) != b.arity {
+		panic(fmt.Sprintf("storage: tuple arity %d does not match block arity %d", len(tuple), b.arity))
+	}
+	b.data = append(b.data, tuple...)
+}
+
+// Full reports whether the block reached the default capacity.
+func (b *Block) Full() bool { return b.Rows() >= DefaultBlockRows }

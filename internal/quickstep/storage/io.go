@@ -1,0 +1,64 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary table format used by the transaction manager's write-back and the
+// CLI output writers: a small header (magic, arity, row count) followed by
+// little-endian row-major int32 data.
+
+const tableMagic = uint32(0x52454353) // "RECS"
+
+// WriteRelation serializes r to w.
+func WriteRelation(w io.Writer, r *Relation) error {
+	bw := bufio.NewWriter(w)
+	hdr := [3]uint32{tableMagic, uint32(r.Arity()), uint32(r.NumTuples())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("storage: writing header: %w", err)
+		}
+	}
+	var buf [4]byte
+	for _, b := range r.Blocks() {
+		for _, v := range b.Data() {
+			binary.LittleEndian.PutUint32(buf[:], uint32(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return fmt.Errorf("storage: writing rows: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRelation deserializes a relation written by WriteRelation.
+func ReadRelation(rd io.Reader, name string) (*Relation, error) {
+	br := bufio.NewReader(rd)
+	var hdr [3]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("storage: reading header: %w", err)
+		}
+	}
+	if hdr[0] != tableMagic {
+		return nil, fmt.Errorf("storage: bad magic %#x", hdr[0])
+	}
+	arity, rows := int(hdr[1]), int(hdr[2])
+	if arity <= 0 || arity > 64 {
+		return nil, fmt.Errorf("storage: implausible arity %d", arity)
+	}
+	r := NewRelation(name, NumberedColumns(arity))
+	data := make([]int32, arity*rows)
+	var buf [4]byte
+	for i := range data {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("storage: reading row data: %w", err)
+		}
+		data[i] = int32(binary.LittleEndian.Uint32(buf[:]))
+	}
+	r.AppendRows(data)
+	return r, nil
+}

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Relation is a bag of fixed-arity int32 tuples stored in blocks. Appends are
+// serialized by a mutex; scans take a snapshot of the block list and then read
+// lock-free (sealed blocks are immutable). RecStep relations are bags at the
+// storage level — set semantics are enforced by the dedup stage, exactly as in
+// the paper (UNION ALL plus a separate dedup call).
+type Relation struct {
+	name     string
+	colNames []string
+
+	mu     sync.Mutex
+	blocks []*Block
+	open   *Block // tail block still accepting single-row appends, or nil
+	rows   int
+}
+
+// NewRelation creates an empty relation. colNames fixes the arity; names are
+// used by the SQL binder to resolve qualified column references.
+func NewRelation(name string, colNames []string) *Relation {
+	if len(colNames) == 0 {
+		panic("storage: relation needs at least one column")
+	}
+	return &Relation{name: name, colNames: append([]string(nil), colNames...)}
+}
+
+// NumberedColumns returns n column names c0..c(n-1), for relations whose
+// attribute names are irrelevant (temporaries, deltas).
+func NumberedColumns(n int) []string {
+	cols := make([]string, n)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	return cols
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.colNames) }
+
+// ColNames returns the attribute names. Read-only.
+func (r *Relation) ColNames() []string { return r.colNames }
+
+// ColIndex returns the position of the named column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.colNames {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumTuples returns the current tuple count.
+func (r *Relation) NumTuples() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rows
+}
+
+// Blocks returns a snapshot of the block list. The open tail block is sealed
+// first so every returned block is immutable.
+func (r *Relation) Blocks() []*Block {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealLocked()
+	out := make([]*Block, len(r.blocks))
+	copy(out, r.blocks)
+	return out
+}
+
+func (r *Relation) sealLocked() {
+	if r.open != nil {
+		r.open = nil
+	}
+}
+
+// Append adds a single tuple.
+func (r *Relation) Append(tuple []int32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(tuple) != len(r.colNames) {
+		panic(fmt.Sprintf("storage: tuple arity %d does not match relation %q arity %d", len(tuple), r.name, len(r.colNames)))
+	}
+	if r.open == nil || r.open.Full() {
+		r.open = NewBlock(len(r.colNames))
+		r.blocks = append(r.blocks, r.open)
+	}
+	r.open.Append(tuple)
+	r.rows++
+}
+
+// AppendRows bulk-appends row-major tuple data, splitting it into blocks. The
+// data is copied.
+func (r *Relation) AppendRows(rows []int32) {
+	arity := len(r.colNames)
+	if len(rows)%arity != 0 {
+		panic(fmt.Sprintf("storage: row data length %d not divisible by arity %d", len(rows), arity))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealLocked()
+	stride := arity * DefaultBlockRows
+	for off := 0; off < len(rows); off += stride {
+		end := off + stride
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := make([]int32, end-off)
+		copy(chunk, rows[off:end])
+		r.blocks = append(r.blocks, BlockFromRows(arity, chunk))
+	}
+	r.rows += len(rows) / arity
+}
+
+// AdoptBlock appends a block without copying. The caller relinquishes
+// ownership; the block must not be mutated afterwards.
+func (r *Relation) AdoptBlock(b *Block) {
+	if b.Arity() != len(r.colNames) {
+		panic(fmt.Sprintf("storage: block arity %d does not match relation %q arity %d", b.Arity(), r.name, len(r.colNames)))
+	}
+	if b.Rows() == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealLocked()
+	r.blocks = append(r.blocks, b)
+	r.rows += b.Rows()
+}
+
+// AppendRelation appends all tuples of other by sharing its (sealed) blocks.
+// This implements R ← R ⊎ ∆R from Algorithm 1 in O(blocks).
+func (r *Relation) AppendRelation(other *Relation) {
+	if other.Arity() != r.Arity() {
+		panic(fmt.Sprintf("storage: arity mismatch appending %q to %q", other.name, r.name))
+	}
+	blocks := other.Blocks()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealLocked()
+	for _, b := range blocks {
+		if b.Rows() == 0 {
+			continue
+		}
+		r.blocks = append(r.blocks, b)
+		r.rows += b.Rows()
+	}
+}
+
+// Clear drops all tuples.
+func (r *Relation) Clear() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.blocks, r.open, r.rows = nil, nil, 0
+}
+
+// Rows materializes every tuple into one row-major slice. Intended for tests,
+// small results and commit serialization.
+func (r *Relation) Rows() []int32 {
+	blocks := r.Blocks()
+	total := 0
+	for _, b := range blocks {
+		total += len(b.data)
+	}
+	out := make([]int32, 0, total)
+	for _, b := range blocks {
+		out = append(out, b.data...)
+	}
+	return out
+}
+
+// ForEach invokes fn for every tuple. The slice passed to fn aliases block
+// memory and is only valid during the call.
+func (r *Relation) ForEach(fn func(tuple []int32)) {
+	for _, b := range r.Blocks() {
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			fn(b.Row(i))
+		}
+	}
+}
+
+// SortedRows returns all tuples sorted lexicographically, one row-major
+// slice. Useful for deterministic comparisons in tests and output writers.
+func (r *Relation) SortedRows() []int32 {
+	arity := r.Arity()
+	data := r.Rows()
+	n := len(data) / arity
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := data[idx[a]*arity:idx[a]*arity+arity], data[idx[b]*arity:idx[b]*arity+arity]
+		for k := 0; k < arity; k++ {
+			if ra[k] != rb[k] {
+				return ra[k] < rb[k]
+			}
+		}
+		return false
+	})
+	out := make([]int32, 0, len(data))
+	for _, i := range idx {
+		out = append(out, data[i*arity:i*arity+arity]...)
+	}
+	return out
+}
+
+// EstimatedBytes reports the in-memory footprint of tuple data.
+func (r *Relation) EstimatedBytes() int64 {
+	return int64(r.NumTuples()) * int64(r.Arity()) * 4
+}

@@ -1,0 +1,240 @@
+package storage
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAppendAndRow(t *testing.T) {
+	b := NewBlock(2)
+	b.Append([]int32{1, 2})
+	b.Append([]int32{3, 4})
+	if got := b.Rows(); got != 2 {
+		t.Fatalf("Rows() = %d, want 2", got)
+	}
+	if got := b.Row(1); !reflect.DeepEqual(got, []int32{3, 4}) {
+		t.Fatalf("Row(1) = %v, want [3 4]", got)
+	}
+	if b.Arity() != 2 {
+		t.Fatalf("Arity() = %d, want 2", b.Arity())
+	}
+}
+
+func TestBlockFromRowsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-divisible row data")
+		}
+	}()
+	BlockFromRows(2, []int32{1, 2, 3})
+}
+
+func TestNewBlockPanicsOnBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for arity 0")
+		}
+	}()
+	NewBlock(0)
+}
+
+func TestRelationAppendAndCount(t *testing.T) {
+	r := NewRelation("t", []string{"x", "y"})
+	for i := int32(0); i < 100; i++ {
+		r.Append([]int32{i, i * 2})
+	}
+	if got := r.NumTuples(); got != 100 {
+		t.Fatalf("NumTuples() = %d, want 100", got)
+	}
+	var seen int
+	r.ForEach(func(tu []int32) {
+		if tu[1] != tu[0]*2 {
+			t.Fatalf("unexpected tuple %v", tu)
+		}
+		seen++
+	})
+	if seen != 100 {
+		t.Fatalf("ForEach visited %d tuples, want 100", seen)
+	}
+}
+
+func TestRelationAppendRowsSplitsBlocks(t *testing.T) {
+	r := NewRelation("t", []string{"x"})
+	n := DefaultBlockRows*2 + 7
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	r.AppendRows(rows)
+	if got := r.NumTuples(); got != n {
+		t.Fatalf("NumTuples() = %d, want %d", got, n)
+	}
+	if got := len(r.Blocks()); got != 3 {
+		t.Fatalf("len(Blocks()) = %d, want 3", got)
+	}
+}
+
+func TestRelationAppendRelationSharesBlocks(t *testing.T) {
+	a := NewRelation("a", []string{"x", "y"})
+	bRel := NewRelation("b", []string{"x", "y"})
+	a.Append([]int32{1, 1})
+	bRel.Append([]int32{2, 2})
+	bRel.Append([]int32{3, 3})
+	a.AppendRelation(bRel)
+	if got := a.NumTuples(); got != 3 {
+		t.Fatalf("NumTuples() = %d, want 3", got)
+	}
+	want := []int32{1, 1, 2, 2, 3, 3}
+	if got := a.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedRows() = %v, want %v", got, want)
+	}
+}
+
+func TestRelationAdoptBlock(t *testing.T) {
+	r := NewRelation("t", []string{"x", "y"})
+	b := NewBlock(2)
+	b.Append([]int32{5, 6})
+	r.AdoptBlock(b)
+	r.AdoptBlock(NewBlock(2)) // empty: ignored
+	if got := r.NumTuples(); got != 1 {
+		t.Fatalf("NumTuples() = %d, want 1", got)
+	}
+}
+
+func TestRelationClear(t *testing.T) {
+	r := NewRelation("t", []string{"x"})
+	r.Append([]int32{1})
+	r.Clear()
+	if r.NumTuples() != 0 || len(r.Blocks()) != 0 {
+		t.Fatal("Clear() left data behind")
+	}
+}
+
+func TestRelationSortedRows(t *testing.T) {
+	r := NewRelation("t", []string{"x", "y"})
+	r.Append([]int32{3, 1})
+	r.Append([]int32{1, 2})
+	r.Append([]int32{1, 1})
+	want := []int32{1, 1, 1, 2, 3, 1}
+	if got := r.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedRows() = %v, want %v", got, want)
+	}
+}
+
+func TestRelationConcurrentAppend(t *testing.T) {
+	r := NewRelation("t", []string{"x"})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Append([]int32{int32(w*per + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.NumTuples(); got != workers*per {
+		t.Fatalf("NumTuples() = %d, want %d", got, workers*per)
+	}
+	seen := make(map[int32]bool)
+	r.ForEach(func(tu []int32) { seen[tu[0]] = true })
+	if len(seen) != workers*per {
+		t.Fatalf("lost tuples: %d distinct, want %d", len(seen), workers*per)
+	}
+}
+
+func TestCatalogCreateGetDrop(t *testing.T) {
+	c := NewCatalog()
+	r, err := c.Create("arc", []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("arc", []string{"x"}); err == nil {
+		t.Fatal("duplicate Create should fail")
+	}
+	got, ok := c.Get("arc")
+	if !ok || got != r {
+		t.Fatal("Get returned wrong relation")
+	}
+	c.Drop("arc")
+	if _, ok := c.Get("arc"); ok {
+		t.Fatal("Drop did not remove table")
+	}
+	c.Drop("absent") // no-op
+}
+
+func TestCatalogNamesSorted(t *testing.T) {
+	c := NewCatalog()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Create(n, []string{"x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if got := c.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestCatalogAdoptReplaces(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Create("t", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	repl := NewRelation("t", []string{"x"})
+	repl.Append([]int32{7})
+	c.Adopt(repl)
+	if got := c.MustGet("t").NumTuples(); got != 1 {
+		t.Fatalf("after Adopt, NumTuples() = %d, want 1", got)
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	r := NewRelation("t", []string{"x", "y", "z"})
+	if got := r.ColIndex("y"); got != 1 {
+		t.Fatalf("ColIndex(y) = %d, want 1", got)
+	}
+	if got := r.ColIndex("w"); got != -1 {
+		t.Fatalf("ColIndex(w) = %d, want -1", got)
+	}
+}
+
+// Property: appending any sequence of tuples preserves count and multiset
+// content regardless of how it is chunked into Append/AppendRows calls.
+func TestRelationAppendEquivalenceProperty(t *testing.T) {
+	f := func(vals []int32, chunked bool) bool {
+		// Make even-length row data for arity 2.
+		if len(vals)%2 == 1 {
+			vals = vals[:len(vals)-1]
+		}
+		single := NewRelation("s", []string{"x", "y"})
+		bulk := NewRelation("b", []string{"x", "y"})
+		for i := 0; i+1 < len(vals); i += 2 {
+			single.Append([]int32{vals[i], vals[i+1]})
+		}
+		if chunked && len(vals) >= 4 {
+			half := (len(vals) / 4) * 2
+			bulk.AppendRows(vals[:half])
+			bulk.AppendRows(vals[half:])
+		} else {
+			bulk.AppendRows(vals)
+		}
+		return reflect.DeepEqual(single.SortedRows(), bulk.SortedRows())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatedBytes(t *testing.T) {
+	r := NewRelation("t", []string{"x", "y"})
+	r.Append([]int32{1, 2})
+	r.Append([]int32{3, 4})
+	if got := r.EstimatedBytes(); got != 16 {
+		t.Fatalf("EstimatedBytes() = %d, want 16", got)
+	}
+}

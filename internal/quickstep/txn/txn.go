@@ -1,0 +1,157 @@
+// Package txn implements the commit semantics behind RecStep's
+// Evaluation-as-One-Single-Transaction (EOST) optimization. By default an
+// RDBMS treats every mutating query as its own transaction and writes dirty
+// pages back after each one; during a fixpoint loop that is pure overhead.
+// With EOST on, dirty tables stay in memory until the fixpoint and a single
+// final commit persists the results.
+package txn
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// Manager tracks dirty tables and performs (possibly deferred) write-back.
+type Manager struct {
+	mu      sync.Mutex
+	eost    bool
+	dir     string
+	ownsDir bool
+	dirty   map[string]bool
+
+	commits      int
+	bytesWritten int64
+}
+
+// NewManager creates a manager. With eost true, MaybeCommit is a no-op and
+// only FinalCommit writes. dir receives the spill files; when empty a
+// temporary directory is created (remove it with Close).
+func NewManager(eost bool, dir string) (*Manager, error) {
+	m := &Manager{eost: eost, dirty: make(map[string]bool)}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "recstep-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("txn: creating spill dir: %w", err)
+		}
+		m.dir, m.ownsDir = d, true
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("txn: creating spill dir: %w", err)
+		}
+		m.dir = dir
+	}
+	return m, nil
+}
+
+// EOST reports whether deferred-commit mode is on.
+func (m *Manager) EOST() bool { return m.eost }
+
+// Dir returns the spill directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// MarkDirty records that a table changed since the last commit.
+func (m *Manager) MarkDirty(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty[name] = true
+}
+
+// Forget drops a table from the dirty set (after DROP TABLE).
+func (m *Manager) Forget(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.dirty, name)
+	// Best-effort removal of a stale spill file.
+	_ = os.Remove(m.spillPath(name))
+}
+
+// MaybeCommit is invoked after every mutating query. Without EOST it flushes
+// all dirty tables to their spill files — the per-query I/O the paper
+// eliminates. With EOST it does nothing.
+func (m *Manager) MaybeCommit(cat *storage.Catalog) error {
+	if m.eost {
+		return nil
+	}
+	return m.flushDirty(cat)
+}
+
+// FinalCommit flushes all dirty tables at fixpoint, regardless of mode.
+func (m *Manager) FinalCommit(cat *storage.Catalog) error {
+	return m.flushDirty(cat)
+}
+
+func (m *Manager) flushDirty(cat *storage.Catalog) error {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.dirty))
+	for n := range m.dirty {
+		names = append(names, n)
+	}
+	m.dirty = make(map[string]bool)
+	m.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		r, ok := cat.Get(n)
+		if !ok {
+			continue // dropped since marked dirty
+		}
+		if err := m.writeTable(r); err != nil {
+			return err
+		}
+	}
+	if len(names) > 0 {
+		m.mu.Lock()
+		m.commits++
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+func (m *Manager) writeTable(r *storage.Relation) error {
+	path := m.spillPath(r.Name())
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("txn: creating spill file: %w", err)
+	}
+	if err := storage.WriteRelation(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("txn: closing spill file: %w", err)
+	}
+	m.mu.Lock()
+	m.bytesWritten += int64(12 + 4*r.NumTuples()*r.Arity())
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) spillPath(name string) string {
+	return filepath.Join(m.dir, name+".tbl")
+}
+
+// Commits returns how many write-back rounds have run.
+func (m *Manager) Commits() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits
+}
+
+// BytesWritten returns the total bytes persisted so far.
+func (m *Manager) BytesWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesWritten
+}
+
+// Close removes the spill directory when the manager owns it.
+func (m *Manager) Close() error {
+	if m.ownsDir {
+		return os.RemoveAll(m.dir)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package txn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"recstep/internal/quickstep/storage"
+)
+
+func makeCat(t *testing.T) (*storage.Catalog, *storage.Relation) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	r, err := cat.Create("tc", []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Append([]int32{1, 2})
+	return cat, r
+}
+
+func TestEOSTDefersWriteback(t *testing.T) {
+	cat, _ := makeCat(t)
+	m, err := NewManager(true, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.MarkDirty("tc")
+	if err := m.MaybeCommit(cat); err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits() != 0 || m.BytesWritten() != 0 {
+		t.Fatalf("EOST MaybeCommit wrote: commits=%d bytes=%d", m.Commits(), m.BytesWritten())
+	}
+	if err := m.FinalCommit(cat); err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits() != 1 || m.BytesWritten() == 0 {
+		t.Fatalf("FinalCommit did not write: commits=%d bytes=%d", m.Commits(), m.BytesWritten())
+	}
+}
+
+func TestNonEOSTWritesEveryCommit(t *testing.T) {
+	cat, r := makeCat(t)
+	dir := t.TempDir()
+	m, err := NewManager(false, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.MarkDirty("tc")
+	if err := m.MaybeCommit(cat); err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits() != 1 {
+		t.Fatalf("commits = %d, want 1", m.Commits())
+	}
+	// Round-trip the spill file.
+	f, err := os.Open(filepath.Join(dir, "tc.tbl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := storage.ReadRelation(f, "tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTuples() != r.NumTuples() {
+		t.Fatalf("round trip tuples = %d, want %d", back.NumTuples(), r.NumTuples())
+	}
+	// Clean dirty set: second MaybeCommit is a no-op.
+	if err := m.MaybeCommit(cat); err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits() != 1 {
+		t.Fatalf("no-op commit incremented counter to %d", m.Commits())
+	}
+}
+
+func TestForgetDroppedTable(t *testing.T) {
+	cat, _ := makeCat(t)
+	m, err := NewManager(false, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.MarkDirty("tc")
+	m.Forget("tc")
+	if err := m.MaybeCommit(cat); err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits() != 0 {
+		t.Fatal("forgotten table should not be flushed")
+	}
+	// Dirty table dropped from catalog between mark and commit: skipped.
+	m.MarkDirty("ghost")
+	if err := m.MaybeCommit(cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnedTempDirRemoved(t *testing.T) {
+	m, err := NewManager(true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := m.Dir()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("temp dir missing: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatal("Close did not remove owned temp dir")
+	}
+}
+
+func TestRelationIORoundTripEmpty(t *testing.T) {
+	dir := t.TempDir()
+	r := storage.NewRelation("empty", []string{"x"})
+	path := filepath.Join(dir, "empty.tbl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteRelation(f, r); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	back, err := storage.ReadRelation(in, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTuples() != 0 || back.Arity() != 1 {
+		t.Fatalf("round trip = %d tuples arity %d", back.NumTuples(), back.Arity())
+	}
+}

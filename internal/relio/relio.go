@@ -1,0 +1,100 @@
+// Package relio reads and writes relations as whitespace-separated integer
+// text files (the format the CLI tools exchange, one tuple per line).
+package relio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// ReadTSV parses a relation from tab/space-separated integer lines. Arity
+// is inferred from the first line; blank lines and lines starting with '#'
+// are skipped.
+func ReadTSV(r io.Reader, name string) (*storage.Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rel *storage.Relation
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		tuple := make([]int32, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("relio: line %d: %v", lineNo, err)
+			}
+			tuple[i] = int32(v)
+		}
+		if rel == nil {
+			rel = storage.NewRelation(name, storage.NumberedColumns(len(tuple)))
+		}
+		if len(tuple) != rel.Arity() {
+			return nil, fmt.Errorf("relio: line %d: arity %d, expected %d", lineNo, len(tuple), rel.Arity())
+		}
+		rel.Append(tuple)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("relio: %s: no tuples", name)
+	}
+	return rel, nil
+}
+
+// ReadTSVFile reads a relation from a file path.
+func ReadTSVFile(path, name string) (*storage.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTSV(f, name)
+}
+
+// WriteTSV writes the relation sorted, one tab-separated tuple per line.
+func WriteTSV(w io.Writer, rel *storage.Relation) error {
+	bw := bufio.NewWriter(w)
+	arity := rel.Arity()
+	rows := rel.SortedRows()
+	for off := 0; off < len(rows); off += arity {
+		for i := 0; i < arity; i++ {
+			if i > 0 {
+				if err := bw.WriteByte('\t'); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(rows[off+i]))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTSVFile writes a relation to a file path.
+func WriteTSVFile(path string, rel *storage.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTSV(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,77 @@
+package relio
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"recstep/internal/quickstep/storage"
+)
+
+func TestReadTSVBasic(t *testing.T) {
+	in := "1\t2\n3 4\n# comment\n\n5\t6\n"
+	rel, err := ReadTSV(strings.NewReader(in), "arc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Arity() != 2 || rel.NumTuples() != 3 {
+		t.Fatalf("arity=%d tuples=%d", rel.Arity(), rel.NumTuples())
+	}
+	want := []int32{1, 2, 3, 4, 5, 6}
+	if got := rel.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"",            // no tuples
+		"1 2\n3\n",    // ragged arity
+		"1 x\n",       // non-integer
+		"99999999999", // overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadTSV(strings.NewReader(in), "t"); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rel := storage.NewRelation("t", storage.NumberedColumns(3))
+	rel.Append([]int32{3, 2, 1})
+	rel.Append([]int32{-1, 0, 5})
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.SortedRows(), rel.SortedRows()) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rel.tsv")
+	rel := storage.NewRelation("t", storage.NumberedColumns(2))
+	rel.Append([]int32{7, 8})
+	if err := WriteTSVFile(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSVFile(path, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTuples() != 1 {
+		t.Fatalf("tuples = %d", back.NumTuples())
+	}
+	if _, err := ReadTSVFile(filepath.Join(dir, "missing.tsv"), "t"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

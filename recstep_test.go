@@ -1,0 +1,121 @@
+package recstep
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunSourceQuickstart(t *testing.T) {
+	res, err := RunSource(`
+		arc(1, 2). arc(2, 3).
+		tc(x, y) :- arc(x, y).
+		tc(x, y) :- tc(x, z), arc(z, y).
+	`, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 2, 1, 3, 2, 3}
+	if got := res.Relations["tc"].SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tc = %v, want %v", got, want)
+	}
+	if res.Stats.Iterations == 0 {
+		t.Fatal("stats missing")
+	}
+}
+
+func TestRunWithExternalEDB(t *testing.T) {
+	arc := NewRelation("arc", 2)
+	arc.Append([]int32{0, 1})
+	arc.Append([]int32{1, 2})
+	p, err := Parse(`
+		tc(x, y) :- arc(x, y).
+		tc(x, y) :- tc(x, z), arc(z, y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(DefaultOptions()).Run(p, map[string]*Relation{"arc": arc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Relations["tc"].NumTuples(); got != 3 {
+		t.Fatalf("tc tuples = %d, want 3", got)
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	if _, err := Parse("tc(x y) :- arc(x, y)."); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := RunSource("garbage(", nil, DefaultOptions()); err == nil {
+		t.Fatal("expected error from RunSource")
+	}
+}
+
+func TestNilProgramRejected(t *testing.T) {
+	if _, err := New(DefaultOptions()).Run(nil, nil); err == nil {
+		t.Fatal("expected nil-program error")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p, err := Parse("tc(x, y) :- arc(x, y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestPBMEPathsMatchEngine(t *testing.T) {
+	arc := NewRelation("arc", 2)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 0}, {0, 3}} {
+		arc.Append(e[:])
+	}
+	engineRes, err := RunSource(`
+		tc(x, y) :- arc(x, y).
+		tc(x, y) :- tc(x, z), arc(z, y).
+	`, map[string]*Relation{"arc": arc}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbme, err := TransitiveClosurePBME(arc, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pbme.SortedRows(), engineRes.Relations["tc"].SortedRows()) {
+		t.Fatal("PBME TC disagrees with the engine")
+	}
+
+	sgEngine, err := RunSource(`
+		sg(x, y) :- arc(p, x), arc(p, y), x != y.
+		sg(x, y) :- arc(a, x), sg(a, b), arc(b, y).
+	`, map[string]*Relation{"arc": arc}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, coord := range []bool{false, true} {
+		sgPBME, err := SameGenerationPBME(arc, 4, 2, coord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sgPBME.SortedRows(), sgEngine.Relations["sg"].SortedRows()) {
+			t.Fatalf("PBME SG (coord=%t) disagrees with the engine", coord)
+		}
+	}
+}
+
+func TestPBMEFits(t *testing.T) {
+	if !PBMEFits(100, 1<<20) || PBMEFits(1<<20, 1<<20) {
+		t.Fatal("PBMEFits thresholds wrong")
+	}
+}
+
+func TestPBMEDomainError(t *testing.T) {
+	arc := NewRelation("arc", 2)
+	arc.Append([]int32{0, 100})
+	if _, err := TransitiveClosurePBME(arc, 4, 1); err == nil {
+		t.Fatal("expected domain error")
+	}
+}
