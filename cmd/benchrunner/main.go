@@ -21,12 +21,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrunner: ")
 	var (
-		quick   = flag.Bool("quick", false, "shrink datasets for a fast pass")
-		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
-		budget  = flag.Int64("budget", 0, "simulated memory budget in bytes (0 = 1 GiB)")
+		quick       = flag.Bool("quick", false, "shrink datasets for a fast pass")
+		workers     = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		budget      = flag.Int64("budget", 0, "simulated memory budget in bytes (0 = 1 GiB)")
+		partitions  = flag.Int("partitions", 0, "radix partition count for hash builds (0 = auto 1/16/64/256, 1 = off)")
+		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Quick: *quick, Workers: *workers, MemBudgetBytes: *budget}
+	cfg := experiments.Config{
+		Quick:          *quick,
+		Workers:        *workers,
+		MemBudgetBytes: *budget,
+		Partitions:     *partitions,
+		BuildSerial:    *buildSerial,
+	}
 
 	type runner func(experiments.Config) experiments.Table
 	table := map[string]runner{

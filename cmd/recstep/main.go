@@ -6,7 +6,8 @@
 //
 //	recstep -program tc.datalog -facts arc=arc.tsv -out results/ \
 //	        [-workers N] [-naive] [-no-uie] [-oof selective|none|full] \
-//	        [-dsd dynamic|opsd|tpsd] [-dedup gscht|lockmap|sort] [-no-eost]
+//	        [-dsd dynamic|opsd|tpsd] [-dedup gscht|lockmap|sort] [-no-eost] \
+//	        [-partitions N] [-build-serial]
 package main
 
 import (
@@ -52,6 +53,8 @@ func main() {
 		dsdMode     = flag.String("dsd", "dynamic", "set-difference policy: dynamic|opsd|tpsd")
 		dedup       = flag.String("dedup", "gscht", "dedup strategy: gscht|lockmap|sort")
 		noEOST      = flag.Bool("no-eost", false, "commit after every query (spills to a temp dir)")
+		partitions  = flag.Int("partitions", 0, "radix partition count for hash builds (0 = auto 1/16/64/256, 1 = off)")
+		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
 		verbose     = flag.Bool("v", false, "log per-iteration deltas")
 	)
 	facts := factFlags{}
@@ -119,6 +122,8 @@ func main() {
 		opts.EOST = false
 		opts.DisableIO = false
 	}
+	opts.Partitions = *partitions
+	opts.BuildSerial = *buildSerial
 	if *verbose {
 		opts.IterHook = func(ii core.IterInfo) {
 			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s)",

@@ -1,0 +1,3 @@
+module recstep
+
+go 1.24

@@ -59,6 +59,13 @@ type Options struct {
 	EOST bool
 	// Dedup selects the deduplication implementation.
 	Dedup exec.DedupStrategy
+	// Partitions fixes the radix partition count for hash builds (joins,
+	// set difference, aggregation): 0 lets the optimizer pick 1/16/64/256
+	// per operator from cardinality estimates, 1 disables partitioning.
+	Partitions int
+	// BuildSerial forces the serial shared-table join build (the
+	// partitioning ablation; compare against the radix-partitioned default).
+	BuildSerial bool
 	// Alpha is the calibrated build/probe cost ratio for DSD (0 = default).
 	Alpha float64
 	// Naive disables semi-naive evaluation: every iteration re-evaluates
@@ -145,11 +152,13 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 	}
 
 	db, err := quickstep.Open(quickstep.Options{
-		Workers:   e.opts.Workers,
-		Dedup:     e.opts.Dedup,
-		EOST:      e.opts.EOST,
-		SpillDir:  e.opts.SpillDir,
-		DisableIO: e.opts.DisableIO,
+		Workers:     e.opts.Workers,
+		Dedup:       e.opts.Dedup,
+		EOST:        e.opts.EOST,
+		SpillDir:    e.opts.SpillDir,
+		DisableIO:   e.opts.DisableIO,
+		Partitions:  e.opts.Partitions,
+		BuildSerial: e.opts.BuildSerial,
 	})
 	if err != nil {
 		return nil, err

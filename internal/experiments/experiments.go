@@ -73,6 +73,12 @@ type Config struct {
 	MemBudgetBytes int64
 	// Quick shrinks every dataset (used by unit tests and -short benches).
 	Quick bool
+	// Partitions fixes the radix partition count for hash builds (0 = let
+	// the optimizer pick from cardinality, 1 = off).
+	Partitions int
+	// BuildSerial forces the serial shared-table join build (the
+	// partitioning ablation).
+	BuildSerial bool
 }
 
 func (c Config) workers() int {
@@ -282,6 +288,8 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		}
 		opts := core.DefaultOptions()
 		opts.Workers = workers
+		opts.Partitions = cfg.Partitions
+		opts.BuildSerial = cfg.BuildSerial
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }
 		}
@@ -289,6 +297,8 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 	case Naive:
 		opts := core.DefaultOptions()
 		opts.Workers = workers
+		opts.Partitions = cfg.Partitions
+		opts.BuildSerial = cfg.BuildSerial
 		opts.Naive = true
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }

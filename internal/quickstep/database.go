@@ -12,6 +12,7 @@ import (
 
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/optimizer"
 	"recstep/internal/quickstep/plan"
 	"recstep/internal/quickstep/sql"
 	"recstep/internal/quickstep/stats"
@@ -32,6 +33,14 @@ type Options struct {
 	SpillDir string
 	// StatsBudgetTuples caps dedup distinct estimates (0 = unbounded).
 	StatsBudgetTuples int
+	// Partitions fixes the radix partition count for hash builds (joins,
+	// set difference, aggregation): 0 lets the optimizer pick 1/16/64/256
+	// per operator from cardinality estimates, 1 disables partitioning.
+	Partitions int
+	// BuildSerial forces the serial shared-table join build — the ablation
+	// reproducing the contention-limited scaling the paper observes on
+	// QuickStep's global join hash table.
+	BuildSerial bool
 	// DisableIO skips the transaction manager entirely (no disk touched);
 	// used by unit tests and benchmarks that measure pure compute.
 	DisableIO bool
@@ -233,13 +242,16 @@ func (db *Database) runBranch(br *plan.Branch, name string) (*storage.Relation, 
 		if fuseFinal && step == len(br.Joins)-1 {
 			projs = br.Projs
 		}
+		buildLeft, buildTuples := db.chooseBuildSide(cur, br, step, right)
 		spec := exec.JoinSpec{
-			LeftKeys:  js.LeftKeys,
-			RightKeys: js.RightKeys,
-			BuildLeft: db.chooseBuildLeft(cur, br, step, right),
-			Residual:  js.Residual,
-			Projs:     projs,
-			OutName:   fmt.Sprintf("%s_j%d", name, step),
+			LeftKeys:    js.LeftKeys,
+			RightKeys:   js.RightKeys,
+			BuildLeft:   buildLeft,
+			Partitions:  db.partitionsFor(buildTuples),
+			BuildSerial: db.opts.BuildSerial,
+			Residual:    js.Residual,
+			Projs:       projs,
+			OutName:     fmt.Sprintf("%s_j%d", name, step),
 		}
 		cur = exec.HashJoin(db.pool, cur, right, spec)
 		width += br.Arities[step+1]
@@ -256,11 +268,11 @@ func (db *Database) runBranch(br *plan.Branch, name string) (*storage.Relation, 
 		if len(aj.InnerPreFilter) > 0 {
 			inner = exec.SelectProject(db.pool, inner, aj.InnerPreFilter, identityProjs(inner.Arity()), aj.Table+"_filtered", inner.ColNames())
 		}
-		cur = exec.AntiJoin(db.pool, cur, inner, aj.OuterKeys, aj.InnerKeys, nil, identityProjs(width), name+"_anti", nil)
+		cur = exec.AntiJoin(db.pool, cur, inner, aj.OuterKeys, aj.InnerKeys, nil, identityProjs(width), db.partitionsFor(inner.NumTuples()), name+"_anti", nil)
 	}
 
 	if len(br.Aggs) > 0 {
-		agg := exec.HashAggregate(db.pool, cur, br.GroupBy, br.Aggs, name+"_agg", nil)
+		agg := exec.HashAggregatePartitioned(db.pool, cur, br.GroupBy, br.Aggs, db.partitionsFor(cur.NumTuples()), name+"_agg", nil)
 		// Reorder to the select-list order.
 		projs := make([]expr.Expr, len(br.SelectOrder))
 		for i, so := range br.SelectOrder {
@@ -275,10 +287,12 @@ func (db *Database) runBranch(br *plan.Branch, name string) (*storage.Relation, 
 	return exec.SelectProject(db.pool, cur, nil, br.Projs, name, nil), nil
 }
 
-// chooseBuildLeft applies the optimizer's build-side rule using catalog
+// chooseBuildSide applies the optimizer's build-side rule using catalog
 // statistics for base tables (which OOF keeps fresh — or not, under OOF-NA)
-// and actual counts for just-created intermediates.
-func (db *Database) chooseBuildLeft(cur *storage.Relation, br *plan.Branch, step int, right *storage.Relation) bool {
+// and actual counts for just-created intermediates. It returns the decision
+// plus the chosen side's cardinality estimate, which also drives the radix
+// partition count.
+func (db *Database) chooseBuildSide(cur *storage.Relation, br *plan.Branch, step int, right *storage.Relation) (buildLeft bool, buildTuples int) {
 	var leftTuples int
 	if step == 0 {
 		leftTuples = db.statTuples(br.Tables[0], cur)
@@ -286,7 +300,22 @@ func (db *Database) chooseBuildLeft(cur *storage.Relation, br *plan.Branch, step
 		leftTuples = cur.NumTuples() // freshly materialized intermediate
 	}
 	rightTuples := db.statTuples(br.Tables[step+1], right)
-	return leftTuples <= rightTuples
+	if optimizer.ChooseBuildLeft(leftTuples, rightTuples) {
+		return true, leftTuples
+	}
+	return false, rightTuples
+}
+
+// partitionsFor resolves the radix partition count for a hash build of the
+// given estimated cardinality under the configured policy.
+func (db *Database) partitionsFor(buildTuples int) int {
+	if db.opts.BuildSerial {
+		return 1
+	}
+	if db.opts.Partitions > 0 {
+		return db.opts.Partitions
+	}
+	return optimizer.ChoosePartitions(buildTuples, db.pool.Workers())
 }
 
 // statTuples returns the cataloged tuple count for a base table, falling
@@ -335,9 +364,17 @@ func (db *Database) Dedup(in *storage.Relation, estDistinct int, outName string)
 	return exec.Dedup(db.pool, in, db.opts.Dedup, estDistinct, outName)
 }
 
-// Diff computes ∆R = Rδ − R with the given algorithm.
+// Diff computes ∆R = Rδ − R with the given algorithm. The radix fan-out
+// follows the build side, exactly like joins: OPSD builds over R, TPSD over
+// the smaller input. Near fixpoint (tiny Rδ, huge R, TPSD) this keeps the
+// diff unpartitioned instead of re-scattering all of R every iteration for
+// a build that was cheap anyway.
 func (db *Database) Diff(rdelta, r *storage.Relation, algo exec.DiffAlgorithm, outName string) *storage.Relation {
-	return exec.SetDifference(db.pool, rdelta, r, algo, outName)
+	build := r.NumTuples()
+	if n := rdelta.NumTuples(); algo == exec.TPSD && n < build {
+		build = n
+	}
+	return exec.SetDifferencePartitioned(db.pool, rdelta, r, algo, db.partitionsFor(build), outName)
 }
 
 // Install registers a relation in the catalog (replacing any same-named

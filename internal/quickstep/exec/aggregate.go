@@ -103,6 +103,52 @@ type groupState struct {
 	states []aggState
 }
 
+// accumulateBlocks folds one block list into a local group table.
+func accumulateBlocks(blocks []*storage.Block, groupBy []int, aggs []AggSpec, local map[string]*groupState, keyBuf []byte) {
+	for _, b := range blocks {
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			k := packColsString(row, groupBy, keyBuf)
+			g, ok := local[k]
+			if !ok {
+				vals := make([]int32, len(groupBy))
+				for j, c := range groupBy {
+					vals[j] = row[c]
+				}
+				states := make([]aggState, len(aggs))
+				for j := range states {
+					states[j] = newAggState()
+				}
+				g = &groupState{vals: vals, states: states}
+				local[k] = g
+			}
+			for j, a := range aggs {
+				g.states[j].add(a.Arg.Eval(row))
+			}
+		}
+	}
+}
+
+// emitGroups appends finalized groups in sorted key order (deterministic
+// output within one grouping table).
+func emitGroups(groups map[string]*groupState, groupBy []int, aggs []AggSpec, emit func(row []int32)) {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	row := make([]int32, len(groupBy)+len(aggs))
+	for _, k := range keys {
+		g := groups[k]
+		copy(row, g.vals)
+		for j, a := range aggs {
+			row[len(groupBy)+j] = g.states[j].final(a.Func)
+		}
+		emit(row)
+	}
+}
+
 // HashAggregate groups in by the groupBy column positions and computes aggs
 // per group. Output columns are the group columns followed by one column per
 // aggregate. Runs with per-worker partial tables merged at the end, so group
@@ -125,28 +171,7 @@ func HashAggregate(pool *Pool, in *storage.Relation, groupBy []int, aggs []AggSp
 			if t >= len(blocks) {
 				return
 			}
-			b := blocks[t]
-			n := b.Rows()
-			for i := 0; i < n; i++ {
-				row := b.Row(i)
-				k := packColsString(row, groupBy, keyBuf)
-				g, ok := local[k]
-				if !ok {
-					vals := make([]int32, len(groupBy))
-					for j, c := range groupBy {
-						vals[j] = row[c]
-					}
-					states := make([]aggState, len(aggs))
-					for j := range states {
-						states[j] = newAggState()
-					}
-					g = &groupState{vals: vals, states: states}
-					local[k] = g
-				}
-				for j, a := range aggs {
-					g.states[j].add(a.Arg.Eval(row))
-				}
-			}
+			accumulateBlocks(blocks[t:t+1], groupBy, aggs, local, keyBuf)
 		}
 	})
 
@@ -173,19 +198,30 @@ func HashAggregate(pool *Pool, in *storage.Relation, groupBy []int, aggs []AggSp
 	}
 	out := storage.NewRelation(outName, outCols)
 	// Deterministic output order helps tests and output files.
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	row := make([]int32, len(groupBy)+len(aggs))
-	for _, k := range keys {
-		g := merged[k]
-		copy(row, g.vals)
-		for j, a := range aggs {
-			row[len(groupBy)+j] = g.states[j].final(a.Func)
-		}
-		out.Append(row)
-	}
+	emitGroups(merged, groupBy, aggs, func(row []int32) { out.Append(row) })
 	return out
+}
+
+// HashAggregatePartitioned is HashAggregate over parts radix partitions of
+// the input on its group-by columns. A group's rows all land in the same
+// partition, so each partition aggregates and finalizes independently —
+// no cross-worker merge phase at all. Global aggregation (no group-by) and
+// parts <= 1 fall back to the merge-based path.
+func HashAggregatePartitioned(pool *Pool, in *storage.Relation, groupBy []int, aggs []AggSpec, parts int, outName string, outCols []string) *storage.Relation {
+	parts = storage.NormalizePartitions(parts)
+	if parts <= 1 || len(groupBy) == 0 {
+		return HashAggregate(pool, in, groupBy, aggs, outName, outCols)
+	}
+	if len(aggs) == 0 {
+		panic("exec: HashAggregate requires at least one aggregate")
+	}
+	view := PartitionRelation(pool, in, groupBy, parts)
+	col := newCollector(len(groupBy)+len(aggs), parts)
+	pool.Run(parts, func(p int) {
+		local := make(map[string]*groupState)
+		keyBuf := make([]byte, 4*len(groupBy))
+		accumulateBlocks(view.Blocks(p), groupBy, aggs, local, keyBuf)
+		emitGroups(local, groupBy, aggs, col.sink(p))
+	})
+	return col.into(outName, outCols)
 }

@@ -33,13 +33,82 @@ func (a DiffAlgorithm) String() string {
 // SetDifference computes ∆R = Rδ − R with the chosen algorithm. Rδ is
 // assumed deduplicated (Algorithm 1 deduplicates before differencing).
 func SetDifference(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm, outName string) *storage.Relation {
+	return SetDifferencePartitioned(pool, rdelta, r, algo, 1, outName)
+}
+
+// SetDifferencePartitioned computes ∆R = Rδ − R with the chosen algorithm
+// over parts radix partitions. Both inputs are partitioned on all columns,
+// so a tuple of Rδ can only be cancelled by same-partition tuples of R, and
+// each partition runs its whole build/probe/anti-probe pipeline on one
+// worker with private, latch-free state. parts <= 1 selects the shared
+// concurrent-table path.
+func SetDifferencePartitioned(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm, parts int, outName string) *storage.Relation {
 	if rdelta.Arity() != r.Arity() {
 		panic("exec: set difference arity mismatch")
+	}
+	parts = storage.NormalizePartitions(parts)
+	if parts > 1 {
+		return partitionedDiff(pool, rdelta, r, algo, parts, outName)
 	}
 	if algo == OPSD {
 		return opsd(pool, rdelta, r, outName)
 	}
 	return tpsd(pool, rdelta, r, outName)
+}
+
+// partitionedDiff runs OPSD or TPSD independently per radix partition.
+func partitionedDiff(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm, parts int, outName string) *storage.Relation {
+	arity := rdelta.Arity()
+	allCols := identityCols(arity)
+	dv := PartitionRelation(pool, rdelta, allCols, parts)
+	rv := PartitionRelation(pool, r, allCols, parts)
+	col := newCollector(arity, parts)
+	pool.Run(parts, func(p int) {
+		emit := col.sink(p)
+		var ar setArena
+		dBlocks, rBlocks := dv.Blocks(p), rv.Blocks(p)
+		if rv.Rows(p) == 0 {
+			// Nothing to subtract: partition p of Rδ passes through.
+			forEachBlockRow(dBlocks, emit)
+			return
+		}
+		var set *tupleSet
+		if algo == TPSD && dv.Rows(p) < rv.Rows(p) {
+			// TPSD phase 1 on the smaller input: r∩ = R ∩ Rδ.
+			bset := newTupleSet(arity, dv.Rows(p))
+			insertBlocks(dBlocks, bset, &ar)
+			inter := newTupleSet(arity, dv.Rows(p))
+			forEachBlockRow(rBlocks, func(row []int32) {
+				if bset.contains(row, &ar) {
+					inter.insert(row, &ar)
+				}
+			})
+			set = inter
+		} else {
+			// OPSD (or TPSD whose smaller input is R): build on R directly.
+			set = newTupleSet(arity, rv.Rows(p))
+			insertBlocks(rBlocks, set, &ar)
+		}
+		forEachBlockRow(dBlocks, func(row []int32) {
+			if !set.contains(row, &ar) {
+				emit(row)
+			}
+		})
+	})
+	return col.into(outName, rdelta.ColNames())
+}
+
+func forEachBlockRow(blocks []*storage.Block, fn func(row []int32)) {
+	for _, b := range blocks {
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			fn(b.Row(i))
+		}
+	}
+}
+
+func insertBlocks(blocks []*storage.Block, set *tupleSet, ar *setArena) {
+	forEachBlockRow(blocks, func(row []int32) { set.insert(row, ar) })
 }
 
 // buildSet inserts every tuple of rel into a fresh tupleSet, in parallel.

@@ -155,7 +155,7 @@ func TestAntiJoin(t *testing.T) {
 	all := rel("all", 2, []int32{1, 1}, []int32{1, 2}, []int32{2, 1}, []int32{2, 2})
 	tc := rel("tc", 2, []int32{1, 2}, []int32{2, 2})
 	out := AntiJoin(NewPool(2), all, tc, []int{0, 1}, []int{0, 1}, nil,
-		[]expr.Expr{expr.Col{Index: 0}, expr.Col{Index: 1}}, "ntc", nil)
+		[]expr.Expr{expr.Col{Index: 0}, expr.Col{Index: 1}}, 1, "ntc", nil)
 	want := [][2]int32{{1, 1}, {2, 1}}
 	if got := sortedPairs(out); !reflect.DeepEqual(got, want) {
 		t.Fatalf("ntc = %v, want %v", got, want)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/gscht"
 	"recstep/internal/quickstep/storage"
 )
 
@@ -17,16 +18,37 @@ type JoinSpec struct {
 	// smaller side using the latest ANALYZE statistics — the decision OOF
 	// keeps correct across iterations as delta sizes shift.
 	BuildLeft bool
-	Residual  []expr.Cmp
-	Projs     []expr.Expr
-	OutName   string
-	OutCols   []string
+	// Partitions selects the radix fan-out of the build phase: the build
+	// side is hash-partitioned on its key columns and each partition's table
+	// is built by one worker with no shared state. <=1 builds one table.
+	Partitions int
+	// BuildSerial forces the pre-partitioning single-threaded build over one
+	// shared table — the ablation that reproduces the paper's contention on
+	// QuickStep's global join hash table.
+	BuildSerial bool
+	Residual    []expr.Cmp
+	Projs       []expr.Expr
+	OutName     string
+	OutCols     []string
 }
 
 // flatten materializes all tuples of a relation into one row-major slice.
 func flatten(r *storage.Relation) []int32 {
 	return r.Rows()
 }
+
+// blockShift packs a (block, row) build-row locator into one int32:
+// block index in the high bits, row-in-block in the low blockShift bits.
+// Partition scatter already copied every build row once; indexing the
+// scattered blocks in place avoids paying a second flattening copy.
+const blockShift = 14
+
+// Compile-time guards: the locator layout assumes blocks hold exactly
+// 1<<blockShift rows.
+var (
+	_ [storage.DefaultBlockRows - 1<<blockShift]struct{}
+	_ [1<<blockShift - storage.DefaultBlockRows]struct{}
+)
 
 // packCols64 packs up to two key columns of a row into a 64-bit key.
 func packCols64(row []int32, cols []int) uint64 {
@@ -39,7 +61,26 @@ func packCols64(row []int32, cols []int) uint64 {
 	panic("exec: packCols64 supports 1 or 2 key columns")
 }
 
-// packColsString packs any number of key columns into a string key.
+// packCols128 packs three or four key columns into a 128-bit compact key,
+// reusing the gscht key layout so no string materializes on the hot path.
+func packCols128(row []int32, cols []int) gscht.Key128 {
+	switch len(cols) {
+	case 3:
+		return gscht.Key128{
+			Hi: uint64(uint32(row[cols[0]])),
+			Lo: uint64(uint32(row[cols[1]]))<<32 | uint64(uint32(row[cols[2]])),
+		}
+	case 4:
+		return gscht.Key128{
+			Hi: uint64(uint32(row[cols[0]]))<<32 | uint64(uint32(row[cols[1]])),
+			Lo: uint64(uint32(row[cols[2]]))<<32 | uint64(uint32(row[cols[3]])),
+		}
+	}
+	panic("exec: packCols128 supports 3 or 4 key columns")
+}
+
+// packColsString packs any number of key columns into a string key (the
+// fallback for arity ≥ 5 joins, which no benchmark program produces).
 func packColsString(row []int32, cols []int, buf []byte) string {
 	buf = buf[:0]
 	for _, c := range cols {
@@ -49,51 +90,140 @@ func packColsString(row []int32, cols []int, buf []byte) string {
 	return string(buf)
 }
 
-// buildTable is a chaining hash table over the build side of a join, mapping
-// join-key values to build row indices. Building is the serial phase of the
-// join (mirroring contention on QuickStep's shared join hash table, which the
-// paper identifies as the scaling limiter past the physical core count);
-// probing runs block-parallel.
+// buildTable is a chaining hash table over (a partition of) the build side
+// of a join, mapping join-key values to build row locations. Key packing
+// picks the narrowest compact form: 64-bit for ≤2 columns, 128-bit for 3–4,
+// string beyond. The serial path indexes one flattened row-major slice by
+// row number; the partitioned path indexes the scattered partition blocks
+// in place by (block, row) locator, skipping the flattening copy.
 type buildTable struct {
-	arity int
-	rows  []int32
-	keys  []int
-	by64  map[uint64][]int32
-	byS   map[string][]int32
+	arity  int
+	rows   []int32          // serial path: flattened build rows
+	blocks []*storage.Block // partitioned path: scattered partition blocks
+	keys   []int
+	by64   map[uint64][]int32
+	by128  map[gscht.Key128][]int32
+	byS    map[string][]int32
 }
 
-func buildHash(r *storage.Relation, keys []int) *buildTable {
-	bt := &buildTable{arity: r.Arity(), rows: flatten(r), keys: keys}
-	n := len(bt.rows) / bt.arity
-	if len(keys) <= 2 {
+// initMaps sizes the key→locations map for n build rows.
+func (bt *buildTable) initMaps(n int) {
+	switch {
+	case len(bt.keys) <= 2:
 		bt.by64 = make(map[uint64][]int32, n)
-		for i := 0; i < n; i++ {
-			row := bt.rows[i*bt.arity : (i+1)*bt.arity]
-			k := packCols64(row, keys)
-			bt.by64[k] = append(bt.by64[k], int32(i))
-		}
-		return bt
+	case len(bt.keys) <= 4:
+		bt.by128 = make(map[gscht.Key128][]int32, n)
+	default:
+		bt.byS = make(map[string][]int32, n)
 	}
-	bt.byS = make(map[string][]int32, n)
+}
+
+// insert records one build row under its packed key.
+func (bt *buildTable) insert(row []int32, loc int32, buf []byte) {
+	switch {
+	case bt.by64 != nil:
+		k := packCols64(row, bt.keys)
+		bt.by64[k] = append(bt.by64[k], loc)
+	case bt.by128 != nil:
+		k := packCols128(row, bt.keys)
+		bt.by128[k] = append(bt.by128[k], loc)
+	default:
+		k := packColsString(row, bt.keys, buf)
+		bt.byS[k] = append(bt.byS[k], loc)
+	}
+}
+
+// buildHashRows indexes one flattened row-major slice by row number — the
+// serial shared-table build.
+func buildHashRows(rows []int32, arity int, keys []int) *buildTable {
+	bt := &buildTable{arity: arity, rows: rows, keys: keys}
+	n := len(rows) / arity
+	bt.initMaps(n)
 	buf := make([]byte, 4*len(keys))
 	for i := 0; i < n; i++ {
-		row := bt.rows[i*bt.arity : (i+1)*bt.arity]
-		k := packColsString(row, keys, buf)
-		bt.byS[k] = append(bt.byS[k], int32(i))
+		bt.insert(rows[i*arity:(i+1)*arity], int32(i), buf)
 	}
 	return bt
 }
 
-func (bt *buildTable) lookup(probeRow []int32, probeKeys []int, buf []byte) []int32 {
-	if bt.by64 != nil {
-		return bt.by64[packCols64(probeRow, probeKeys)]
+// buildHashBlocks indexes a partition's scattered blocks in place by
+// (block, row) locator. This is the partitioned single-threaded unit of
+// work: one call per partition on data the worker owns exclusively.
+func buildHashBlocks(blocks []*storage.Block, arity, rows int, keys []int) *buildTable {
+	bt := &buildTable{arity: arity, blocks: blocks, keys: keys}
+	bt.initMaps(rows)
+	buf := make([]byte, 4*len(keys))
+	for bi, b := range blocks {
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			bt.insert(b.Row(i), int32(bi<<blockShift|i), buf)
+		}
 	}
-	return bt.byS[packColsString(probeRow, probeKeys, buf)]
+	return bt
+}
+
+// buildHash builds the serial shared table over the whole relation — the
+// BuildSerial ablation path, mirroring contention on QuickStep's shared join
+// hash table (the scaling limiter the paper identifies past the physical
+// core count).
+func buildHash(r *storage.Relation, keys []int) *buildTable {
+	return buildHashRows(flatten(r), r.Arity(), keys)
+}
+
+func (bt *buildTable) lookup(probeRow []int32, probeKeys []int, buf []byte) []int32 {
+	switch {
+	case bt.by64 != nil:
+		return bt.by64[packCols64(probeRow, probeKeys)]
+	case bt.by128 != nil:
+		return bt.by128[packCols128(probeRow, probeKeys)]
+	default:
+		return bt.byS[packColsString(probeRow, probeKeys, buf)]
+	}
 }
 
 func (bt *buildTable) row(i int32) []int32 {
+	if bt.blocks != nil {
+		return bt.blocks[i>>blockShift].Row(int(i) & (storage.DefaultBlockRows - 1))
+	}
 	off := int(i) * bt.arity
 	return bt.rows[off : off+bt.arity]
+}
+
+// joinTable routes probe rows to the hash table holding their key range —
+// one shared table on the serial path, one private table per radix partition
+// on the parallel path.
+type joinTable struct {
+	parts  int
+	single *buildTable   // parts == 1
+	tables []*buildTable // parts > 1, indexed by partition
+}
+
+// buildJoinTable constructs the build side of a join. With parts > 1 and not
+// serial, the relation is radix-partitioned on the key columns and each
+// partition's table is built by one worker over data it owns exclusively —
+// no latches, no shared map, no CAS retries.
+func buildJoinTable(pool *Pool, r *storage.Relation, keys []int, parts int, serial bool) *joinTable {
+	parts = storage.NormalizePartitions(parts)
+	if serial || parts <= 1 {
+		return &joinTable{parts: 1, single: buildHash(r, keys)}
+	}
+	view := PartitionRelation(pool, r, keys, parts)
+	jt := &joinTable{parts: parts, tables: make([]*buildTable, parts)}
+	arity := r.Arity()
+	pool.Run(parts, func(p int) {
+		jt.tables[p] = buildHashBlocks(view.Blocks(p), arity, view.Rows(p), keys)
+	})
+	return jt
+}
+
+// lookup returns the matches for a probe row plus the table that can
+// materialize them (row indices are partition-local).
+func (jt *joinTable) lookup(probeRow []int32, probeKeys []int, buf []byte) (*buildTable, []int32) {
+	bt := jt.single
+	if jt.parts > 1 {
+		bt = jt.tables[storage.PartitionOf(storage.PartitionHash(probeRow, probeKeys), jt.parts)]
+	}
+	return bt, bt.lookup(probeRow, probeKeys, buf)
 }
 
 // HashJoin executes one equi-join. With no key columns it degrades to a
@@ -119,7 +249,7 @@ func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage
 		build, probe = right, left
 		buildKeys, probeKeys = spec.RightKeys, spec.LeftKeys
 	}
-	bt := buildHash(build, buildKeys)
+	jt := buildJoinTable(pool, build, buildKeys, spec.Partitions, spec.BuildSerial)
 
 	idx, plainCols := colIndexes(spec.Projs)
 	blocks := probe.Blocks()
@@ -133,7 +263,7 @@ func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage
 		n := b.Rows()
 		for i := 0; i < n; i++ {
 			pr := b.Row(i)
-			matches := bt.lookup(pr, probeKeys, keyBuf)
+			bt, matches := jt.lookup(pr, probeKeys, keyBuf)
 			if len(matches) == 0 {
 				continue
 			}
@@ -203,11 +333,12 @@ func crossJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storag
 // AntiJoin emits the projection of each left row with no right match on the
 // key columns. It implements stratified negation (the negated atom's bound
 // columns are the keys). Residual and Projs are evaluated over the left row.
-func AntiJoin(pool *Pool, left, right *storage.Relation, leftKeys, rightKeys []int, residual []expr.Cmp, projs []expr.Expr, outName string, outCols []string) *storage.Relation {
+// parts radix-partitions the build over the right side as in HashJoin.
+func AntiJoin(pool *Pool, left, right *storage.Relation, leftKeys, rightKeys []int, residual []expr.Cmp, projs []expr.Expr, parts int, outName string, outCols []string) *storage.Relation {
 	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
 		panic("exec: anti join requires matching non-empty key lists")
 	}
-	bt := buildHash(right, rightKeys)
+	jt := buildJoinTable(pool, right, rightKeys, parts, false)
 	blocks := left.Blocks()
 	col := newCollector(len(projs), len(blocks))
 	pool.Run(len(blocks), func(task int) {
@@ -221,7 +352,7 @@ func AntiJoin(pool *Pool, left, right *storage.Relation, leftKeys, rightKeys []i
 			if !expr.All(residual, row) {
 				continue
 			}
-			if len(bt.lookup(row, leftKeys, keyBuf)) != 0 {
+			if _, matches := jt.lookup(row, leftKeys, keyBuf); len(matches) != 0 {
 				continue
 			}
 			for j, p := range projs {

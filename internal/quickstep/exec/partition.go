@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"recstep/internal/quickstep/storage"
+)
+
+// PartitionRelation returns the radix-partitioned view of r on keyCols with
+// the given partition count (normalized to a power of two), building it in
+// parallel on first use and caching it on the relation. The scatter phase is
+// contention-free: each worker routes tuples from its share of the source
+// blocks into worker-private per-partition blocks, and the per-worker block
+// lists are concatenated afterwards — partition p's tuples may span blocks
+// written by different workers, but every block has exactly one writer.
+func PartitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int) *storage.PartitionedView {
+	parts = storage.NormalizePartitions(parts)
+	v, gen, ok := r.CachedPartitionedView(keyCols, parts)
+	if ok {
+		return v
+	}
+	arity := r.Arity()
+	blocks := r.Blocks()
+	workers := pool.Workers()
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := make([][][]*storage.Block, workers)
+	var nextBlock atomic.Int64
+	pool.RunWorkers(workers, func(worker, numWorkers int) {
+		open := make([]*storage.Block, parts)
+		out := make([][]*storage.Block, parts)
+		for {
+			t := int(nextBlock.Add(1)) - 1
+			if t >= len(blocks) {
+				break
+			}
+			b := blocks[t]
+			n := b.Rows()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				p := storage.PartitionOf(storage.PartitionHash(row, keyCols), parts)
+				blk := open[p]
+				if blk == nil || blk.Full() {
+					blk = storage.NewBlock(arity)
+					open[p] = blk
+					out[p] = append(out[p], blk)
+				}
+				blk.Append(row)
+			}
+		}
+		perWorker[worker] = out
+	})
+	merged := make([][]*storage.Block, parts)
+	for _, w := range perWorker {
+		if w == nil {
+			continue
+		}
+		for p, bs := range w {
+			merged[p] = append(merged[p], bs...)
+		}
+	}
+	v = storage.NewPartitionedView(keyCols, parts, merged)
+	// gen predates the block snapshot: if a mutation interleaved, the store
+	// is refused and the (still self-consistent) view is used uncached.
+	r.StorePartitionedView(v, gen)
+	return v
+}

@@ -18,6 +18,40 @@ func ChooseBuildLeft(leftTuples, rightTuples int) bool {
 	return leftTuples <= rightTuples
 }
 
+// Partition-count tiers for the radix-partitioned parallel build. The build
+// side must be large enough to amortize one scatter pass before fan-out pays
+// off, and past that the count grows with cardinality so per-partition
+// tables stay cache-resident.
+const (
+	// partitionMinTuples is the smallest build side worth partitioning.
+	partitionMinTuples = 1 << 14
+	// partitionMidTuples upgrades the fan-out from 16 to 64.
+	partitionMidTuples = 1 << 18
+	// partitionBigTuples upgrades the fan-out from 64 to 256.
+	partitionBigTuples = 1 << 22
+)
+
+// ChoosePartitions picks the radix partition count (1, 16, 64 or 256) for a
+// hash build from the build side's cardinality estimate. Like the build-side
+// choice, it is driven by the latest ANALYZE statistics, so OOF keeps it
+// correct as delta sizes shift across iterations. A single worker gets no
+// benefit from contention-free builds, so it always runs unpartitioned.
+func ChoosePartitions(buildTuples, workers int) int {
+	if workers == 1 {
+		return 1
+	}
+	switch {
+	case buildTuples < partitionMinTuples:
+		return 1
+	case buildTuples < partitionMidTuples:
+		return 16
+	case buildTuples < partitionBigTuples:
+		return 64
+	default:
+		return 256
+	}
+}
+
 // DefaultAlpha is the build/probe cost ratio used when no calibration has
 // run. Hash-table construction costs roughly twice a probe in this engine.
 const DefaultAlpha = 2.0

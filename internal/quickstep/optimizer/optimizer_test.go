@@ -110,3 +110,23 @@ func TestCalibrateAlpha(t *testing.T) {
 		t.Fatalf("default calibration alpha = %f", a)
 	}
 }
+
+func TestChoosePartitionsTiers(t *testing.T) {
+	cases := []struct {
+		tuples, workers, want int
+	}{
+		{100, 8, 1},       // too small to amortize the scatter
+		{1 << 14, 8, 16},  // first tier boundary
+		{1 << 17, 8, 16},  // mid tier
+		{1 << 18, 8, 64},  // second tier boundary
+		{1 << 21, 8, 64},  // big tier
+		{1 << 22, 8, 256}, // largest tier boundary
+		{1 << 30, 8, 256}, // capped fan-out
+		{1 << 30, 1, 1},   // single worker never partitions
+	}
+	for _, c := range cases {
+		if got := ChoosePartitions(c.tuples, c.workers); got != c.want {
+			t.Fatalf("ChoosePartitions(%d, %d) = %d, want %d", c.tuples, c.workers, got, c.want)
+		}
+	}
+}

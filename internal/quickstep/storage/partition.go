@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxPartitions bounds the radix fan-out. 256 partitions keeps the scatter
+// buffers of one worker (256 open blocks) within cache-friendly bounds while
+// leaving enough independent build tasks for any realistic core count.
+const MaxPartitions = 256
+
+// partitionMult is the Fibonacci multiplier used to mix key columns into a
+// partition hash. Partition selection uses the *high* bits of the mixed hash
+// so that any hash table built over the bottom bits inside one partition
+// stays uncorrelated with the partition choice.
+const partitionMult = 0x9E3779B97F4A7C15
+
+// PartitionHash mixes the key columns of a row into a 64-bit hash. Build and
+// probe sides of a join must call this with their respective key column
+// lists so that matching key values land in the same partition.
+func PartitionHash(row []int32, cols []int) uint64 {
+	h := uint64(0x9E3779B9)
+	for _, c := range cols {
+		h = (h ^ uint64(uint32(row[c]))) * partitionMult
+	}
+	return h
+}
+
+// PartitionOf maps a partition hash to one of parts partitions. parts must
+// be a power of two (see NormalizePartitions).
+func PartitionOf(h uint64, parts int) int {
+	return int((h >> 40) & uint64(parts-1))
+}
+
+// NormalizePartitions clamps a requested partition count to a power of two
+// in [1, MaxPartitions].
+func NormalizePartitions(parts int) int {
+	if parts <= 1 {
+		return 1
+	}
+	if parts > MaxPartitions {
+		parts = MaxPartitions
+	}
+	p := 1
+	for p < parts {
+		p <<= 1
+	}
+	return p
+}
+
+// PartitionedView is a radix-partitioned snapshot of a relation: every tuple
+// is routed to one of Parts() partitions by the hash of its key columns, and
+// each partition holds its tuples as an independent immutable block list.
+// Operators that consume a view own their partition exclusively, so builds
+// over it need no latches. Views are cached on the source Relation per
+// (key-set, partition-count) and invalidated on mutation.
+type PartitionedView struct {
+	keyCols []int
+	parts   int
+	blocks  [][]*Block
+	rows    []int
+}
+
+// NewPartitionedView wraps scattered per-partition block lists. blocks must
+// have length parts; the caller relinquishes ownership of all blocks.
+func NewPartitionedView(keyCols []int, parts int, blocks [][]*Block) *PartitionedView {
+	if len(blocks) != parts {
+		panic(fmt.Sprintf("storage: partitioned view has %d block lists for %d partitions", len(blocks), parts))
+	}
+	v := &PartitionedView{
+		keyCols: append([]int(nil), keyCols...),
+		parts:   parts,
+		blocks:  blocks,
+		rows:    make([]int, parts),
+	}
+	for p, bs := range blocks {
+		for _, b := range bs {
+			v.rows[p] += b.Rows()
+		}
+	}
+	return v
+}
+
+// Parts returns the partition count.
+func (v *PartitionedView) Parts() int { return v.parts }
+
+// KeyCols returns the columns the view is partitioned on. Read-only.
+func (v *PartitionedView) KeyCols() []int { return v.keyCols }
+
+// Blocks returns partition p's block list. Read-only.
+func (v *PartitionedView) Blocks(p int) []*Block { return v.blocks[p] }
+
+// Rows returns partition p's tuple count.
+func (v *PartitionedView) Rows(p int) int { return v.rows[p] }
+
+// NumTuples returns the total tuple count across partitions.
+func (v *PartitionedView) NumTuples() int {
+	total := 0
+	for _, n := range v.rows {
+		total += n
+	}
+	return total
+}
+
+// partitionKey identifies one cached view.
+func partitionKey(keyCols []int, parts int) string {
+	var b strings.Builder
+	for _, c := range keyCols {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	fmt.Fprintf(&b, "/%d", parts)
+	return b.String()
+}
+
+// CachedPartitionedView returns the cached view for (keyCols, parts), if one
+// was stored since the last mutation, along with the mutation generation to
+// pass back to StorePartitionedView after building a missing view.
+func (r *Relation) CachedPartitionedView(keyCols []int, parts int) (v *PartitionedView, gen uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok = r.partViews[partitionKey(keyCols, parts)]
+	return v, r.gen, ok
+}
+
+// StorePartitionedView caches a view built from the snapshot taken at
+// mutation generation gen. A mutation that interleaved with the build bumps
+// the generation, and the now-stale view is silently not cached (the caller
+// still holds a consistent snapshot of the contents it scanned). Concurrent
+// stores for the same key at the same generation are harmless: both views
+// describe identical contents and the last one wins.
+func (r *Relation) StorePartitionedView(v *PartitionedView, gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gen != gen {
+		return
+	}
+	if r.partViews == nil {
+		r.partViews = make(map[string]*PartitionedView)
+	}
+	r.partViews[partitionKey(v.keyCols, v.parts)] = v
+}
+
+// invalidatePartitionsLocked drops all cached views; callers hold r.mu.
+func (r *Relation) invalidatePartitionsLocked() {
+	r.partViews = nil
+	r.gen++
+}

@@ -1,0 +1,100 @@
+package storage
+
+import "testing"
+
+func TestNormalizePartitions(t *testing.T) {
+	cases := [][2]int{
+		{0, 1}, {1, 1}, {-3, 1},
+		{2, 2}, {3, 4}, {16, 16}, {17, 32},
+		{256, 256}, {1000, 256}, {1 << 20, 256},
+	}
+	for _, c := range cases {
+		if got := NormalizePartitions(c[0]); got != c[1] {
+			t.Fatalf("NormalizePartitions(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestPartitionOfRangeAndStability(t *testing.T) {
+	row := []int32{42, -7, 1 << 20}
+	cols := []int{0, 1, 2}
+	h := PartitionHash(row, cols)
+	if h != PartitionHash(row, cols) {
+		t.Fatal("PartitionHash is not deterministic")
+	}
+	for _, parts := range []int{1, 16, 64, 256} {
+		p := PartitionOf(h, parts)
+		if p < 0 || p >= parts {
+			t.Fatalf("PartitionOf(%d) = %d out of range", parts, p)
+		}
+	}
+	// Equal key values on different columns must land together: build and
+	// probe sides address their keys through different column lists.
+	probe := []int32{0, 42, -7, 1 << 20}
+	if PartitionHash(probe, []int{1, 2, 3}) != h {
+		t.Fatal("hash differs for identical key values at different positions")
+	}
+}
+
+func TestPartitionHashSpreads(t *testing.T) {
+	// Sequential keys (the worst structured case) should not collapse onto
+	// a few partitions.
+	const parts = 16
+	var counts [parts]int
+	for i := 0; i < 1600; i++ {
+		counts[PartitionOf(PartitionHash([]int32{int32(i)}, []int{0}), parts)]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			t.Fatalf("partition %d received no sequential keys", p)
+		}
+	}
+}
+
+func TestCachedPartitionedViewLifecycle(t *testing.T) {
+	r := NewRelation("t", NumberedColumns(2))
+	r.Append([]int32{1, 2})
+	_, gen, ok := r.CachedPartitionedView([]int{0}, 4)
+	if ok {
+		t.Fatal("cache should start empty")
+	}
+	v := NewPartitionedView([]int{0}, 4, make([][]*Block, 4))
+	r.StorePartitionedView(v, gen)
+	got, gen, ok := r.CachedPartitionedView([]int{0}, 4)
+	if !ok || got != v {
+		t.Fatal("stored view not returned")
+	}
+	if _, _, ok := r.CachedPartitionedView([]int{0}, 8); ok {
+		t.Fatal("different partition count must miss")
+	}
+	if _, _, ok := r.CachedPartitionedView([]int{1}, 4); ok {
+		t.Fatal("different key columns must miss")
+	}
+	r.Append([]int32{3, 4})
+	if _, _, ok := r.CachedPartitionedView([]int{0}, 4); ok {
+		t.Fatal("append must invalidate the cache")
+	}
+	// gen predates the append: the stale view must be refused.
+	r.StorePartitionedView(v, gen)
+	if _, _, ok := r.CachedPartitionedView([]int{0}, 4); ok {
+		t.Fatal("store with a stale generation must be refused")
+	}
+	_, gen, _ = r.CachedPartitionedView([]int{0}, 4)
+	r.StorePartitionedView(v, gen)
+	r.Clear()
+	if _, _, ok := r.CachedPartitionedView([]int{0}, 4); ok {
+		t.Fatal("clear must invalidate the cache")
+	}
+}
+
+func TestPartitionedViewCounts(t *testing.T) {
+	b0 := BlockFromRows(2, []int32{1, 2, 3, 4})
+	b1 := BlockFromRows(2, []int32{5, 6})
+	v := NewPartitionedView([]int{0}, 2, [][]*Block{{b0}, {b1}})
+	if v.Rows(0) != 2 || v.Rows(1) != 1 || v.NumTuples() != 3 {
+		t.Fatalf("view counts = %d/%d/%d", v.Rows(0), v.Rows(1), v.NumTuples())
+	}
+	if len(v.Blocks(0)) != 1 || v.KeyCols()[0] != 0 {
+		t.Fatal("view accessors broken")
+	}
+}

@@ -19,6 +19,12 @@ type Relation struct {
 	blocks []*Block
 	open   *Block // tail block still accepting single-row appends, or nil
 	rows   int
+	// partViews caches radix-partitioned views per (key-set, partition
+	// count); any mutation invalidates the whole cache. gen counts
+	// mutations so a view built from an older snapshot is never cached
+	// over newer contents.
+	partViews map[string]*PartitionedView
+	gen       uint64
 }
 
 // NewRelation creates an empty relation. colNames fixes the arity; names are
@@ -96,6 +102,7 @@ func (r *Relation) Append(tuple []int32) {
 	}
 	r.open.Append(tuple)
 	r.rows++
+	r.invalidatePartitionsLocked()
 }
 
 // AppendRows bulk-appends row-major tuple data, splitting it into blocks. The
@@ -119,6 +126,7 @@ func (r *Relation) AppendRows(rows []int32) {
 		r.blocks = append(r.blocks, BlockFromRows(arity, chunk))
 	}
 	r.rows += len(rows) / arity
+	r.invalidatePartitionsLocked()
 }
 
 // AdoptBlock appends a block without copying. The caller relinquishes
@@ -135,6 +143,7 @@ func (r *Relation) AdoptBlock(b *Block) {
 	r.sealLocked()
 	r.blocks = append(r.blocks, b)
 	r.rows += b.Rows()
+	r.invalidatePartitionsLocked()
 }
 
 // AppendRelation appends all tuples of other by sharing its (sealed) blocks.
@@ -154,6 +163,7 @@ func (r *Relation) AppendRelation(other *Relation) {
 		r.blocks = append(r.blocks, b)
 		r.rows += b.Rows()
 	}
+	r.invalidatePartitionsLocked()
 }
 
 // Clear drops all tuples.
@@ -161,6 +171,7 @@ func (r *Relation) Clear() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.blocks, r.open, r.rows = nil, nil, 0
+	r.invalidatePartitionsLocked()
 }
 
 // Rows materializes every tuple into one row-major slice. Intended for tests,
