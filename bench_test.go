@@ -379,6 +379,59 @@ func BenchmarkJoinBuildScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaStep isolates the tail of one fixpoint iteration — dedup of
+// the join output plus set difference against the full relation plus delta
+// materialization — comparing the fused partition-native DeltaStep against
+// the staged Dedup + SetDifference pipeline it replaces, across worker
+// counts and radix fan-outs. The join output is a duplicate-heavy TC-shaped
+// relation; R overlaps about half of it (the mid-fixpoint regime where the
+// delta pipeline dominates iteration cost). Inputs are re-wrapped in fresh
+// relations every iteration so no carried or cached partitioning persists
+// and the full scatter cost is measured each time.
+func BenchmarkDeltaStep(b *testing.B) {
+	arc := graphs.GnP(900, 0.02, 5)
+	tc := native.TC(arc, 0)
+	tmpBase := storage.NewRelation("tmp", storage.NumberedColumns(2))
+	tmpBase.AppendRelation(tc)
+	tmpBase.AppendRelation(tc) // every tuple duplicated: dedup has real work
+	fullBase := storage.NewRelation("r", storage.NumberedColumns(2))
+	half := make([]int32, 0, tc.NumTuples())
+	i := 0
+	tc.ForEach(func(t []int32) {
+		if i%2 == 0 {
+			half = append(half, t...)
+		}
+		i++
+	})
+	fullBase.AppendRows(half)
+
+	for _, workers := range []int{1, 4, 8} {
+		pool := exec.NewPool(workers)
+		for _, parts := range []int{1, 16, 64} {
+			for _, mode := range []string{"fused", "staged"} {
+				name := fmt.Sprintf("%s/workers-%d/parts-%d", mode, workers, parts)
+				b.Run(name, func(b *testing.B) {
+					b.SetBytes(int64(tmpBase.NumTuples() * 8))
+					for n := 0; n < b.N; n++ {
+						tmp := storage.NewRelation("tmp", storage.NumberedColumns(2))
+						tmp.AppendRelation(tmpBase)
+						full := storage.NewRelation("r", storage.NumberedColumns(2))
+						full.AppendRelation(fullBase)
+						var delta *storage.Relation
+						if mode == "fused" {
+							delta = exec.DeltaStep(pool, tmp, full, exec.OPSD, parts, tc.NumTuples(), "delta")
+						} else {
+							rdelta := exec.Dedup(pool, tmp, exec.DedupGSCHT, tc.NumTuples(), "rdelta")
+							delta = exec.SetDifferencePartitioned(pool, rdelta, full, exec.OPSD, parts, "delta")
+						}
+						b.ReportMetric(float64(delta.NumTuples()), "tuples")
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkNativeTC is the same workload on the Soufflé-like comparator.
 func BenchmarkNativeTC(b *testing.B) {
 	arc := graphs.GnP(300, 0.02, 5)

@@ -26,6 +26,7 @@ func main() {
 		budget      = flag.Int64("budget", 0, "simulated memory budget in bytes (0 = 1 GiB)")
 		partitions  = flag.Int("partitions", 0, "radix partition count for hash builds (0 = auto 1/16/64/256, 1 = off)")
 		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
+		fuseDelta   = flag.Bool("fuse-delta", true, "fused partition-native delta pipeline; false selects the staged dedup+diff ablation")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -34,6 +35,7 @@ func main() {
 		MemBudgetBytes: *budget,
 		Partitions:     *partitions,
 		BuildSerial:    *buildSerial,
+		StagedDelta:    !*fuseDelta,
 	}
 
 	type runner func(experiments.Config) experiments.Table
@@ -54,10 +56,12 @@ func main() {
 		"fig14":  experiments.Fig14,
 		"fig15":  experiments.Fig15,
 		"fig16":  experiments.Fig16,
+		"copies": experiments.CopyAccounting,
 	}
 	order := []string{
 		"table1", "table3", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table4",
+		"copies",
 	}
 
 	args := flag.Args()

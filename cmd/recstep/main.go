@@ -7,7 +7,7 @@
 //	recstep -program tc.datalog -facts arc=arc.tsv -out results/ \
 //	        [-workers N] [-naive] [-no-uie] [-oof selective|none|full] \
 //	        [-dsd dynamic|opsd|tpsd] [-dedup gscht|lockmap|sort] [-no-eost] \
-//	        [-partitions N] [-build-serial]
+//	        [-partitions N] [-build-serial] [-fuse-delta=false]
 package main
 
 import (
@@ -55,6 +55,7 @@ func main() {
 		noEOST      = flag.Bool("no-eost", false, "commit after every query (spills to a temp dir)")
 		partitions  = flag.Int("partitions", 0, "radix partition count for hash builds (0 = auto 1/16/64/256, 1 = off)")
 		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
+		fuseDelta   = flag.Bool("fuse-delta", true, "fused partition-native delta pipeline; false selects the staged dedup+diff ablation")
 		verbose     = flag.Bool("v", false, "log per-iteration deltas")
 	)
 	facts := factFlags{}
@@ -124,10 +125,12 @@ func main() {
 	}
 	opts.Partitions = *partitions
 	opts.BuildSerial = *buildSerial
+	opts.FuseDelta = *fuseDelta
 	if *verbose {
 		opts.IterHook = func(ii core.IterInfo) {
-			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s)",
-				ii.Stratum, ii.Iteration, ii.Pred, ii.TmpTuples, ii.Delta, ii.Algo)
+			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) scattered=%d adopted=%d flat=%d",
+				ii.Stratum, ii.Iteration, ii.Pred, ii.TmpTuples, ii.Delta, ii.Algo,
+				ii.Copy.Scattered, ii.Copy.Adopted, ii.Copy.FlatMats)
 		}
 	}
 
@@ -137,6 +140,8 @@ func main() {
 	}
 	log.Printf("fixpoint in %v (%d iterations, %d SQL queries)",
 		res.Stats.Duration.Round(1e6), res.Stats.Iterations, res.Stats.Queries)
+	log.Printf("copies: %d tuples scattered, %d adopted without copy, %d flat materializations",
+		res.Stats.TuplesScattered, res.Stats.TuplesAdopted, res.Stats.FlatMaterializations)
 	for name, rel := range res.Relations {
 		log.Printf("%s: %d tuples", name, rel.NumTuples())
 		if *outDir != "" {

@@ -1,0 +1,160 @@
+package recstep
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"recstep/internal/core"
+	"recstep/internal/graphs"
+	"recstep/internal/pa"
+	"recstep/internal/programs"
+	"recstep/internal/quickstep/storage"
+)
+
+// fuseTestEDBs builds a small input instance for every benchmark program
+// (programs.ByName mirrors programs/*.datalog — enforced by the programs
+// package's file-sync test).
+func fuseTestEDBs(program string) map[string]*storage.Relation {
+	arc := graphs.GnP(70, 0.05, 17)
+	switch program {
+	case "tc", "sg", "ntc", "gtc":
+		return map[string]*storage.Relation{"arc": arc}
+	case "cc":
+		return map[string]*storage.Relation{"arc": graphs.Undirected(arc)}
+	case "reach":
+		return map[string]*storage.Relation{"arc": arc, "id": graphs.SingleSource(0)}
+	case "sssp":
+		return map[string]*storage.Relation{
+			"arc": graphs.Weighted(arc, 100, 7),
+			"id":  graphs.SingleSource(0),
+		}
+	case "aa":
+		return pa.AndersenSized(80, 3)
+	case "cspa":
+		return pa.CSPASized(pa.CSPAConfig{Vars: 120, AssignPer: 5, DerefRatio: 3, Seed: 13})
+	case "csda":
+		return pa.CSDASized(4, 60, 4, 3)
+	}
+	panic("no EDB builder for program " + program)
+}
+
+// The fused partition-native delta pipeline is a physical rewrite only:
+// for every benchmark program, every relation it derives must be identical
+// under fuse-delta on/off at every radix fan-out.
+func TestFusedMatchesStagedAcrossPrograms(t *testing.T) {
+	names := make([]string, 0, len(programs.ByName))
+	for name := range programs.ByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			prog, err := programs.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edbs := fuseTestEDBs(name)
+
+			run := func(fuse bool, parts int) map[string][]int32 {
+				t.Helper()
+				opts := core.DefaultOptions()
+				opts.Workers = 4
+				opts.FuseDelta = fuse
+				opts.Partitions = parts
+				res, err := core.New(opts).Run(prog, edbs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make(map[string][]int32, len(res.Relations))
+				for rel, r := range res.Relations {
+					out[rel] = r.SortedRows()
+				}
+				return out
+			}
+
+			want := run(false, 1) // staged, unpartitioned: the reference
+			for _, fuse := range []bool{true, false} {
+				for _, parts := range []int{1, 16, 64} {
+					got := run(fuse, parts)
+					for rel, rows := range want {
+						if !reflect.DeepEqual(got[rel], rows) {
+							t.Fatalf("fuse=%v parts=%d: %s (%d rows) diverges from staged serial (%d rows)",
+								fuse, parts, rel, len(got[rel]), len(rows))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// With fusion enabled, a TC fixpoint must run with zero flat
+// materializations of tmp/Rδ — the join output lands pre-partitioned, the
+// fused delta step consumes it in place, and Rδ never exists — while the
+// staged ablation pays one flat dedup materialization per iteration. This is
+// the acceptance check for the partition-native pipeline, verified through
+// the engine's copy-accounting counters.
+func TestFusedPipelineZeroFlatMaterializations(t *testing.T) {
+	arc := graphs.GnP(150, 0.05, 23)
+	prog := programs.MustParse(programs.TC)
+	edbs := map[string]*storage.Relation{"arc": arc}
+
+	for _, parts := range []int{0, 16} { // 0 = optimizer-chosen fan-out
+		t.Run(fmt.Sprintf("partitions-%d", parts), func(t *testing.T) {
+			fusedOpts := core.DefaultOptions()
+			fusedOpts.Workers = 4
+			fusedOpts.Partitions = parts
+			fused, err := core.New(fusedOpts).Run(prog, edbs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fused.Stats.FlatMaterializations != 0 {
+				t.Fatalf("fused pipeline performed %d flat materializations, want 0",
+					fused.Stats.FlatMaterializations)
+			}
+
+			stagedOpts := fusedOpts
+			stagedOpts.FuseDelta = false
+			staged, err := core.New(stagedOpts).Run(prog, edbs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if staged.Stats.FlatMaterializations == 0 {
+				t.Fatal("staged ablation reports zero flat materializations; the counter is not measuring")
+			}
+			if !reflect.DeepEqual(fused.Relations["tc"].SortedRows(), staged.Relations["tc"].SortedRows()) {
+				t.Fatal("fused and staged tc diverge")
+			}
+		})
+	}
+}
+
+// Per-iteration copy accounting must be visible through the IterHook so
+// experiments can attribute movement to individual fixpoint steps.
+func TestIterHookReportsCopyAccounting(t *testing.T) {
+	arc := graphs.GnP(120, 0.05, 29)
+	prog := programs.MustParse(programs.TC)
+	opts := core.DefaultOptions()
+	opts.Workers = 4
+	opts.Partitions = 16
+	var adopted int64
+	opts.IterHook = func(ii core.IterInfo) {
+		adopted += ii.Copy.Adopted
+		if ii.Copy.FlatMats != 0 {
+			t.Errorf("iter %d: fused pipeline reported %d flat materializations", ii.Iteration, ii.Copy.FlatMats)
+		}
+	}
+	res, err := core.New(opts).Run(prog, map[string]*storage.Relation{"arc": arc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted == 0 {
+		t.Fatal("no adopted tuples reported through IterHook")
+	}
+	if res.Stats.TuplesAdopted < adopted {
+		t.Fatalf("run total %d adopted < per-iteration sum %d", res.Stats.TuplesAdopted, adopted)
+	}
+}

@@ -66,6 +66,14 @@ type Options struct {
 	// BuildSerial forces the serial shared-table join build (the
 	// partitioning ablation; compare against the radix-partitioned default).
 	BuildSerial bool
+	// FuseDelta runs the partition-native delta pipeline: the join output is
+	// scattered at the source into whole-tuple radix partitions and a single
+	// fused per-partition pass (DeltaStep) replaces the staged dedup +
+	// set-difference + delta materialization, so Rδ never exists as a flat
+	// relation. False selects the staged pipeline (the -fuse-delta=false
+	// ablation). Fusion requires the GSCHT dedup strategy (the fused pass
+	// embeds it); the lock-map and sort baselines always run staged.
+	FuseDelta bool
 	// Alpha is the calibrated build/probe cost ratio for DSD (0 = default).
 	Alpha float64
 	// Naive disables semi-naive evaluation: every iteration re-evaluates
@@ -92,6 +100,7 @@ func DefaultOptions() Options {
 		DSD:           DSDDynamic,
 		EOST:          true,
 		Dedup:         exec.DedupGSCHT,
+		FuseDelta:     true,
 		MaxIterations: 1 << 20,
 		DisableIO:     true,
 	}
@@ -105,6 +114,10 @@ type IterInfo struct {
 	TmpTuples int
 	Delta     int
 	Algo      exec.DiffAlgorithm
+	// Copy holds this step's copy-accounting deltas: tuples scattered into
+	// partitions, tuples adopted without copy, and flat materializations of
+	// pipeline intermediates (zero per iteration under the fused pipeline).
+	Copy exec.CopySnapshot
 }
 
 // Stats aggregates counters over one Run.
@@ -115,7 +128,14 @@ type Stats struct {
 	DiffTPSD    int
 	TmpTuples   int64
 	DeltaTuples int64
-	Duration    time.Duration
+	// Copy accounting over the whole run (Section "partition-native
+	// pipeline"): how many tuples were copied by partition scatters, how
+	// many were installed by block adoption without copying, and how many
+	// flat materializations of tmp/Rδ the delta pipeline performed.
+	TuplesScattered      int64
+	TuplesAdopted        int64
+	FlatMaterializations int64
+	Duration             time.Duration
 }
 
 // Result is the outcome of evaluating a program.
@@ -195,6 +215,10 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		out.Relations[name] = db.Catalog().MustGet(name)
 	}
 	run.stats.Queries = db.QueriesIssued()
+	copySnap := db.CopySnapshot()
+	run.stats.TuplesScattered = copySnap.Scattered
+	run.stats.TuplesAdopted = copySnap.Adopted
+	run.stats.FlatMaterializations = copySnap.FlatMats
 	run.stats.Duration = time.Since(run.start)
 	out.Stats = run.stats
 	return out, nil
@@ -329,20 +353,46 @@ type idbState struct {
 	chooser         *optimizer.DiffChooser
 	agg             *aggMerge
 	rebuildEachIter bool
+	// lastTmp is the previous iteration's join-output size — the
+	// slowly-changing estimate the delta fan-out choice uses before the
+	// current Rt exists.
+	lastTmp int
 }
 
 // evalIDB performs lines 8-13 of Algorithm 1 for one IDB: uieval, analyze,
-// dedup (or aggregate merge), set difference, merge into R. It returns the
-// delta size.
+// then either the fused partition-native delta step or the staged dedup +
+// set difference (or the aggregate merge), and the merge into R. It returns
+// the delta size.
 func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit querygen.UnitQueries) (int, error) {
 	q := st.q
+	copyBase := r.db.CopySnapshot()
 	if unit.Subqueries == 0 {
 		// Nothing fires this phase; the delta is empty.
 		if err := r.db.Install(storage.NewRelation(q.Delta, storage.NumberedColumns(q.Arity))); err != nil {
 			return 0, err
 		}
-		r.hook(s, iter, q.Pred, 0, 0, exec.OPSD)
+		r.hook(s, iter, q.Pred, 0, 0, exec.OPSD, exec.CopySnapshot{})
 		return 0, nil
+	}
+
+	full := r.db.Catalog().MustGet(q.Pred)
+	// The fused pipeline picks one whole-tuple fan-out for the whole
+	// iteration *before* uieval and registers it as Rt's output
+	// partitioning, so the join probe scatters at the source and uieval's
+	// result lands pre-partitioned for the delta step. The fused pass embeds
+	// a per-partition CCK-GSCHT-style dedup, so the FAST-DEDUP baselines
+	// (lock-map, sort) force the staged pipeline — otherwise their ablation
+	// would silently measure nothing.
+	fuse := r.opts().FuseDelta && st.agg == nil && r.opts().Dedup == exec.DedupGSCHT
+	parts := 1
+	if fuse {
+		parts = r.deltaPartitions(st, full)
+		if parts > 1 {
+			r.db.SetOutputPartitioning(q.Tmp, storage.Partitioning{
+				KeyCols: storage.AllCols(q.Arity), Parts: parts,
+			})
+			defer r.db.ClearOutputPartitioning(q.Tmp)
+		}
 	}
 
 	tmp, err := r.uieval(q, unit)
@@ -351,6 +401,7 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	}
 	defer r.dropTmp(q)
 	r.stats.TmpTuples += int64(tmp.NumTuples())
+	st.lastTmp = tmp.NumTuples()
 
 	// analyze(Rt): OOF collects per-iteration statistics; OOF-NA refreshes
 	// only on the first iteration, leaving later iterations with stale data.
@@ -377,26 +428,26 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 		if est <= 0 {
 			est = tmp.NumTuples()
 		}
-		rdelta := r.db.Dedup(tmp, est, q.Pred+"_rdelta")
-		// analyze(Rδ, R) ahead of the set-difference decision.
-		rdeltaStats := r.db.AnalyzeRelation(rdelta, mode)
-		full := r.db.Catalog().MustGet(q.Pred)
-		fullStats, ok := r.db.Stats(q.Pred)
-		if !ok {
-			fullStats = r.db.AnalyzeRelation(full, stats.ModeSelective)
-		} else if mode != stats.ModeNone {
-			fullStats = r.db.AnalyzeRelation(full, mode)
+		fullStats := r.fullStats(q.Pred, full, mode)
+		if fuse {
+			// The fused pass never materializes Rδ, so the DSD decision and
+			// the µ update both run on the dedup estimate of |Rδ| — the same
+			// ANALYZE output the staged path uses for pre-sizing. Under
+			// OOF-NA no estimate exists past iteration 1 and est falls back
+			// to the duplicate-inclusive |Rt|, biasing the choice toward
+			// OPSD — one more way stale statistics degrade plans, exactly
+			// the regime that ablation studies.
+			algo = r.chooseAlgo(st, fullStats.NumTuples, est)
+			delta = r.db.DeltaStep(tmp, full, algo, parts, est, q.Delta)
+			st.chooser.Observe(est, est-delta.NumTuples())
+		} else {
+			rdelta := r.db.Dedup(tmp, est, q.Pred+"_rdelta")
+			// analyze(Rδ, R) ahead of the set-difference decision.
+			rdeltaStats := r.db.AnalyzeRelation(rdelta, mode)
+			algo = r.chooseAlgo(st, fullStats.NumTuples, rdeltaStats.NumTuples)
+			delta = r.db.Diff(rdelta, full, algo, q.Delta)
+			st.chooser.Observe(rdelta.NumTuples(), rdelta.NumTuples()-delta.NumTuples())
 		}
-		switch r.opts().DSD {
-		case DSDAlwaysOPSD:
-			algo = exec.OPSD
-		case DSDAlwaysTPSD:
-			algo = exec.TPSD
-		default:
-			algo = st.chooser.Choose(fullStats.NumTuples, rdeltaStats.NumTuples)
-		}
-		delta = r.db.Diff(rdelta, full, algo, q.Delta)
-		st.chooser.Observe(rdelta.NumTuples(), rdelta.NumTuples()-delta.NumTuples())
 		if algo == exec.OPSD {
 			r.stats.DiffOPSD++
 		} else {
@@ -419,8 +470,43 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	}
 	n := delta.NumTuples()
 	r.stats.DeltaTuples += int64(n)
-	r.hook(s, iter, q.Pred, tmp.NumTuples(), n, algo)
+	r.hook(s, iter, q.Pred, tmp.NumTuples(), n, algo, r.db.CopySnapshot().Sub(copyBase))
 	return n, nil
+}
+
+// deltaPartitions picks the whole-tuple fan-out shared by every stage of
+// one predicate's delta pipeline this iteration (fused scatter, delta step,
+// ∆R, and R's carried partitioning).
+func (r *runState) deltaPartitions(st *idbState, full *storage.Relation) int {
+	if p := r.opts().Partitions; p > 0 {
+		return storage.NormalizePartitions(p)
+	}
+	return optimizer.ChooseDeltaPartitions(full.NumTuples(), st.lastTmp, r.db.Pool().Workers())
+}
+
+// chooseAlgo applies the configured DSD policy.
+func (r *runState) chooseAlgo(st *idbState, rTuples, rdeltaTuples int) exec.DiffAlgorithm {
+	switch r.opts().DSD {
+	case DSDAlwaysOPSD:
+		return exec.OPSD
+	case DSDAlwaysTPSD:
+		return exec.TPSD
+	default:
+		return st.chooser.Choose(rTuples, rdeltaTuples)
+	}
+}
+
+// fullStats returns R's statistics under the iteration's OOF mode, falling
+// back to a selective ANALYZE when none were ever recorded.
+func (r *runState) fullStats(pred string, full *storage.Relation, mode stats.Mode) stats.Table {
+	fullStats, ok := r.db.Stats(pred)
+	if !ok {
+		return r.db.AnalyzeRelation(full, stats.ModeSelective)
+	}
+	if mode != stats.ModeNone {
+		return r.db.AnalyzeRelation(full, mode)
+	}
+	return fullStats
 }
 
 // uieval materializes the temporary table and runs either the unified UIE
@@ -486,9 +572,9 @@ func (r *runState) aggNeedsFullRebuild(s analysis.Stratum, pred string) bool {
 	return false
 }
 
-func (r *runState) hook(s analysis.Stratum, iter int, pred string, tmp, delta int, algo exec.DiffAlgorithm) {
+func (r *runState) hook(s analysis.Stratum, iter int, pred string, tmp, delta int, algo exec.DiffAlgorithm, copies exec.CopySnapshot) {
 	if h := r.opts().IterHook; h != nil {
-		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo})
+		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo, Copy: copies})
 	}
 }
 

@@ -79,6 +79,10 @@ type Config struct {
 	// BuildSerial forces the serial shared-table join build (the
 	// partitioning ablation).
 	BuildSerial bool
+	// StagedDelta disables the fused partition-native delta pipeline and
+	// runs the staged dedup + set-difference sequence instead (the
+	// -fuse-delta=false ablation; zero value keeps fusion on).
+	StagedDelta bool
 }
 
 func (c Config) workers() int {
@@ -290,6 +294,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.Workers = workers
 		opts.Partitions = cfg.Partitions
 		opts.BuildSerial = cfg.BuildSerial
+		opts.FuseDelta = !cfg.StagedDelta
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }
 		}
@@ -299,6 +304,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.Workers = workers
 		opts.Partitions = cfg.Partitions
 		opts.BuildSerial = cfg.BuildSerial
+		opts.FuseDelta = !cfg.StagedDelta
 		opts.Naive = true
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }

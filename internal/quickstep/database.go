@@ -56,6 +56,13 @@ type Database struct {
 
 	mu      sync.Mutex // one query at a time, as in QuickStep
 	queries atomic.Int64
+
+	// outParts maps destination-table names to the partitioning the final
+	// operator of an INSERT … SELECT into them should emit — the hook the
+	// engine uses to make the join output land pre-partitioned for the fused
+	// delta step. Guarded by hintMu (registered outside the query lock).
+	hintMu   sync.Mutex
+	outParts map[string]storage.Partitioning
 }
 
 // Open creates a database.
@@ -95,6 +102,40 @@ func (db *Database) Txn() *txn.Manager { return db.txn }
 
 // QueriesIssued counts ExecSQL calls — the per-query overhead UIE minimizes.
 func (db *Database) QueriesIssued() int64 { return db.queries.Load() }
+
+// CopySnapshot reads the copy-accounting counters (tuples scattered, tuples
+// adopted without copy, flat materializations) accumulated by every operator
+// run on this database's pool.
+func (db *Database) CopySnapshot() exec.CopySnapshot { return db.pool.Copy.Snapshot() }
+
+// SetOutputPartitioning asks the next INSERT … SELECT into table to emit its
+// result pre-partitioned: the final operator of every branch scatters its
+// output rows by part and the materialized result carries the partitioning.
+// The hint persists until cleared or overwritten (the engine re-registers it
+// per iteration as the chosen fan-out shifts).
+func (db *Database) SetOutputPartitioning(table string, part storage.Partitioning) {
+	db.hintMu.Lock()
+	defer db.hintMu.Unlock()
+	if db.outParts == nil {
+		db.outParts = make(map[string]storage.Partitioning)
+	}
+	db.outParts[table] = part
+}
+
+// ClearOutputPartitioning removes a table's output-partitioning hint.
+func (db *Database) ClearOutputPartitioning(table string) {
+	db.hintMu.Lock()
+	defer db.hintMu.Unlock()
+	delete(db.outParts, table)
+}
+
+// outputPartitioning looks up the hint for a destination table.
+func (db *Database) outputPartitioning(table string) (storage.Partitioning, bool) {
+	db.hintMu.Lock()
+	defer db.hintMu.Unlock()
+	p, ok := db.outParts[table]
+	return p, ok
+}
 
 // schemaFn adapts the catalog for the SQL binder.
 func (db *Database) schemaFn(table string) ([]string, bool) {
@@ -165,7 +206,11 @@ func (db *Database) execStatement(st plan.Statement) (*storage.Relation, error) 
 		if !ok {
 			return nil, fmt.Errorf("quickstep: INSERT into unknown table %q", s.Table)
 		}
-		res, err := db.runQuery(s.Query, s.Table+"_ins")
+		var hint *storage.Partitioning
+		if p, ok := db.outputPartitioning(s.Table); ok && p.Parts > 1 {
+			hint = &p
+		}
+		res, err := db.runQuery(s.Query, s.Table+"_ins", hint)
 		if err != nil {
 			return nil, err
 		}
@@ -173,9 +218,18 @@ func (db *Database) execStatement(st plan.Statement) (*storage.Relation, error) 
 			return nil, fmt.Errorf("quickstep: INSERT SELECT arity %d into table %q of arity %d", res.Arity(), s.Table, dst.Arity())
 		}
 		dst.AppendRelation(res)
+		db.pool.Copy.Adopted.Add(int64(res.NumTuples()))
+		if hint != nil {
+			if got, ok := dst.Partitioning(); !ok || !got.Equal(*hint) {
+				// Some branch could not honour the fused scatter: the
+				// destination materialized flat and the delta step will pay a
+				// re-scatter. Recorded so the ablation is measurable.
+				db.pool.Copy.FlatMats.Add(1)
+			}
+		}
 		return nil, db.afterMutation(s.Table)
 	case plan.SelectStmt:
-		return db.runQuery(s.Query, "result")
+		return db.runQuery(s.Query, "result", nil)
 	}
 	return nil, fmt.Errorf("quickstep: unhandled statement %T", st)
 }
@@ -191,8 +245,10 @@ func (db *Database) afterMutation(table string) error {
 
 // runQuery evaluates a bound query. UNION ALL branches run concurrently —
 // the execution-level payoff of UIE: subqueries of one unified query keep
-// all cores busy without inter-query coordination.
-func (db *Database) runQuery(q *plan.Query, name string) (*storage.Relation, error) {
+// all cores busy without inter-query coordination. With an output
+// partitioning, every branch emits pre-partitioned and the union merges the
+// per-partition block lists, so the combined result still carries it.
+func (db *Database) runQuery(q *plan.Query, name string, part *storage.Partitioning) (*storage.Relation, error) {
 	results := make([]*storage.Relation, len(q.Branches))
 	errs := make([]error, len(q.Branches))
 	var wg sync.WaitGroup
@@ -200,7 +256,7 @@ func (db *Database) runQuery(q *plan.Query, name string) (*storage.Relation, err
 		wg.Add(1)
 		go func(i int, br *plan.Branch) {
 			defer wg.Done()
-			results[i], errs[i] = db.runBranch(br, fmt.Sprintf("%s_b%d", name, i))
+			results[i], errs[i] = db.runBranch(br, fmt.Sprintf("%s_b%d", name, i), part)
 		}(i, br)
 	}
 	wg.Wait()
@@ -216,7 +272,7 @@ func (db *Database) runQuery(q *plan.Query, name string) (*storage.Relation, err
 	return exec.UnionAll(name, outCols, results...), nil
 }
 
-func (db *Database) runBranch(br *plan.Branch, name string) (*storage.Relation, error) {
+func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partitioning) (*storage.Relation, error) {
 	// Resolve and pre-filter base tables.
 	inputs := make([]*storage.Relation, len(br.Tables))
 	for i, t := range br.Tables {
@@ -253,6 +309,11 @@ func (db *Database) runBranch(br *plan.Branch, name string) (*storage.Relation, 
 			Projs:       projs,
 			OutName:     fmt.Sprintf("%s_j%d", name, step),
 		}
+		if fuseFinal && step == len(br.Joins)-1 {
+			// Fused scatter: the probe emits the branch output directly into
+			// the partitions the delta step consumes.
+			spec.OutPartitioning = part
+		}
 		cur = exec.HashJoin(db.pool, cur, right, spec)
 		width += br.Arities[step+1]
 	}
@@ -282,9 +343,9 @@ func (db *Database) runBranch(br *plan.Branch, name string) (*storage.Relation, 
 				projs[i] = expr.Col{Index: so.Index}
 			}
 		}
-		return exec.SelectProject(db.pool, agg, nil, projs, name, nil), nil
+		return exec.SelectProjectPartitioned(db.pool, agg, nil, projs, part, name, nil), nil
 	}
-	return exec.SelectProject(db.pool, cur, nil, br.Projs, name, nil), nil
+	return exec.SelectProjectPartitioned(db.pool, cur, nil, br.Projs, part, name, nil), nil
 }
 
 // chooseBuildSide applies the optimizer's build-side rule using catalog
@@ -377,6 +438,18 @@ func (db *Database) Diff(rdelta, r *storage.Relation, algo exec.DiffAlgorithm, o
 	return exec.SetDifferencePartitioned(db.pool, rdelta, r, algo, db.partitionsFor(build), outName)
 }
 
+// DeltaStep fuses Algorithm 1's dedup(Rt) + (Rδ − R) sequence into one
+// per-partition pass over parts whole-tuple radix partitions — the
+// partition-native replacement for the staged Dedup + Diff call pair. The
+// fan-out must match the output partitioning registered for Rt's producing
+// query so the carried partitions are consumed without a re-scatter; the
+// returned ∆R carries the same partitioning, so AppendTo(R, ∆R) keeps R
+// partition-native for the next iteration. estDistinct is the OOF estimate
+// of |Rδ| (dedup pre-sizing, exactly as in Dedup).
+func (db *Database) DeltaStep(tmp, full *storage.Relation, algo exec.DiffAlgorithm, parts, estDistinct int, outName string) *storage.Relation {
+	return exec.DeltaStep(db.pool, tmp, full, algo, parts, estDistinct, outName)
+}
+
 // Install registers a relation in the catalog (replacing any same-named
 // table) and marks it dirty.
 func (db *Database) Install(r *storage.Relation) error {
@@ -385,13 +458,15 @@ func (db *Database) Install(r *storage.Relation) error {
 }
 
 // AppendTo implements R ← R ⊎ ∆R: block-sharing append plus commit
-// bookkeeping.
+// bookkeeping. When src carries a partitioning compatible with dst's, the
+// per-partition block lists merge and dst stays partition-native.
 func (db *Database) AppendTo(dst string, src *storage.Relation) error {
 	d, ok := db.cat.Get(dst)
 	if !ok {
 		return fmt.Errorf("quickstep: append to unknown table %q", dst)
 	}
 	d.AppendRelation(src)
+	db.pool.Copy.Adopted.Add(int64(src.NumTuples()))
 	return db.afterMutation(dst)
 }
 

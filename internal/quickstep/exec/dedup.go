@@ -80,7 +80,7 @@ func (s *tupleSet) insert(row []int32, ar *setArena) bool {
 		if ar.buf == nil {
 			ar.buf = make([]byte, 4*s.arity)
 		}
-		k := packColsString(row, identityCols(s.arity), ar.buf)
+		k := packColsString(row, storage.AllCols(s.arity), ar.buf)
 		s.mu.Lock()
 		_, ok := s.generic[k]
 		if !ok {
@@ -101,7 +101,7 @@ func (s *tupleSet) contains(row []int32, ar *setArena) bool {
 		if ar.buf == nil {
 			ar.buf = make([]byte, 4*s.arity)
 		}
-		k := packColsString(row, identityCols(s.arity), ar.buf)
+		k := packColsString(row, storage.AllCols(s.arity), ar.buf)
 		s.mu.Lock()
 		_, ok := s.generic[k]
 		s.mu.Unlock()
@@ -109,18 +109,13 @@ func (s *tupleSet) contains(row []int32, ar *setArena) bool {
 	}
 }
 
-func identityCols(arity int) []int {
-	cols := make([]int, arity)
-	for i := range cols {
-		cols[i] = i
-	}
-	return cols
-}
-
 // Dedup removes duplicate tuples from in, returning a fresh relation with
 // set semantics. estDistinct pre-sizes the hash table (the OOF-supplied
-// conservative estimate).
+// conservative estimate). Every Dedup call materializes its output flat —
+// the copy the fused DeltaStep exists to avoid — so it counts one flat
+// materialization against the pool's copy accounting.
 func Dedup(pool *Pool, in *storage.Relation, strategy DedupStrategy, estDistinct int, outName string) *storage.Relation {
+	pool.Copy.FlatMats.Add(1)
 	if strategy == DedupSort {
 		return dedupSort(in, outName)
 	}

@@ -1,0 +1,196 @@
+package exec
+
+import (
+	"recstep/internal/quickstep/storage"
+)
+
+// DeltaStep fuses the tail of one semi-naive fixpoint iteration — dedup of
+// the join output Rt, the OPSD/TPSD set difference against the full relation
+// R, and the materialization of ∆R — into a single per-partition pass.
+//
+// The staged pipeline (Dedup → Diff → collect) materializes the deduplicated
+// Rδ as a flat relation, re-scatters both Rδ and R inside the partitioned
+// diff, and copies every surviving tuple once more into ∆R: four to five
+// copies of each tuple per iteration. DeltaStep instead consumes both inputs
+// as whole-tuple radix partitions (reusing carried partitionings when the
+// upstream operator already scattered its output — the fused-scatter path)
+// and runs each partition on one worker with private, latch-free state:
+//
+//   - OPSD flavour: the per-partition dedup table is seeded with R's
+//     partition, so one InsertIfAbsent per Rt tuple answers both questions at
+//     once — "first occurrence in Rt?" and "absent from R?". The dedup table
+//     doubles as the anti-probe structure; Rδ never exists.
+//   - TPSD flavour (chosen per partition when Rt's partition is smaller than
+//     R's): Rt is deduplicated into a table plus a candidate buffer, R's
+//     partition probes that same table to mark the intersection, and the
+//     candidates outside the intersection are emitted — the build over a
+//     large R is avoided exactly as in Algorithm 5, without materializing
+//     the staged r = R ∩ Rδ relation.
+//
+// ∆R is emitted directly into per-partition blocks of the same whole-tuple
+// partitioning, so the returned relation carries it: R ← R ⊎ ∆R merges
+// partition block lists without copying and the *next* iteration's DeltaStep
+// finds R pre-partitioned. estDistinct is the OOF estimate of |Rδ| used to
+// pre-size the per-partition tables. parts <= 1 runs the same fused pass
+// over the raw block lists with no scatter and a flat result.
+func DeltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, parts, estDistinct int, outName string) *storage.Relation {
+	if tmp.Arity() != full.Arity() {
+		panic("exec: delta step arity mismatch")
+	}
+	arity := tmp.Arity()
+	parts = storage.NormalizePartitions(parts)
+	if estDistinct <= 0 {
+		estDistinct = tmp.NumTuples()
+	}
+
+	if parts <= 1 {
+		return deltaShared(pool, tmp, full, algo, arity, estDistinct, outName)
+	}
+
+	allCols := storage.AllCols(arity)
+	tv := PartitionRelation(pool, tmp, allCols, parts)
+	rv := PartitionRelationCarried(pool, full, allCols, parts)
+	estPart := estDistinct/parts + 1
+	col := newPartCollector(arity, parts, storage.Partitioning{KeyCols: allCols, Parts: parts}, &pool.Copy)
+	pool.Run(parts, func(p int) {
+		deltaPartition(tv.Blocks(p), rv.Blocks(p), tv.Rows(p), rv.Rows(p),
+			algo, arity, estPart, col.sinkPart(p, p))
+	})
+	return col.into(outName, tmp.ColNames())
+}
+
+// deltaShared is the unpartitioned fused pass (parts <= 1): the same
+// dedup-table-doubles-as-anti-probe semantics over one shared latch-free
+// table, block-parallel on the pool. Partitioning off must not also mean
+// parallelism off — the staged pipeline this replaces ran its dedup and
+// anti-probe concurrently, so the fused fallback does too.
+func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, arity, estDistinct int, outName string) *storage.Relation {
+	tmpBlocks := tmp.Blocks()
+	tmpRows, rRows := tmp.NumTuples(), full.NumTuples()
+
+	// dedupEmit inserts every tmp tuple into set concurrently, emitting
+	// fresh inserts — pure dedup when set starts empty, dedup + anti-probe
+	// when it was seeded with R.
+	dedupEmit := func(set *tupleSet) *storage.Relation {
+		col := newCollector(arity, len(tmpBlocks))
+		pool.Run(len(tmpBlocks), func(task int) {
+			b := tmpBlocks[task]
+			emit := col.sink(task)
+			var ar setArena
+			n := b.Rows()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				if set.insert(row, &ar) {
+					emit(row)
+				}
+			}
+		})
+		return col.into(outName, tmp.ColNames())
+	}
+
+	switch {
+	case tmpRows == 0:
+		return storage.NewRelation(outName, tmp.ColNames())
+	case rRows == 0:
+		return dedupEmit(newTupleSet(arity, estDistinct))
+	case algo == TPSD && tmpRows < rRows:
+		// TPSD flavour: dedup Rt into a table plus candidate relation, mark
+		// the intersection by probing R against that same table, then
+		// anti-probe the candidates.
+		dset := newTupleSet(arity, min(tmpRows, estDistinct))
+		candCol := newCollector(arity, len(tmpBlocks))
+		pool.Run(len(tmpBlocks), func(task int) {
+			b := tmpBlocks[task]
+			emit := candCol.sink(task)
+			var ar setArena
+			n := b.Rows()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				if dset.insert(row, &ar) {
+					emit(row)
+				}
+			}
+		})
+		cand := candCol.into(outName, tmp.ColNames())
+		inter := newTupleSet(arity, min(cand.NumTuples(), rRows))
+		rBlocks := full.Blocks()
+		pool.Run(len(rBlocks), func(task int) {
+			b := rBlocks[task]
+			var ar setArena
+			n := b.Rows()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				if dset.contains(row, &ar) {
+					inter.insert(row, &ar)
+				}
+			}
+		})
+		return antiProbe(pool, cand, inter, outName)
+	default:
+		// OPSD flavour: seed the shared table with R in parallel, then one
+		// insert-if-absent per Rt tuple answers dedup and diff at once.
+		set := newTupleSet(arity, rRows+estDistinct)
+		rBlocks := full.Blocks()
+		pool.Run(len(rBlocks), func(task int) {
+			b := rBlocks[task]
+			var ar setArena
+			n := b.Rows()
+			for i := 0; i < n; i++ {
+				set.insert(b.Row(i), &ar)
+			}
+		})
+		return dedupEmit(set)
+	}
+}
+
+// deltaPartition runs the fused dedup + set-difference pass over one
+// partition. All state is private to the calling worker.
+func deltaPartition(tmpBlocks, rBlocks []*storage.Block, tmpRows, rRows int, algo DiffAlgorithm, arity, estDistinct int, emit func(row []int32)) {
+	var ar setArena
+	if tmpRows == 0 {
+		return
+	}
+	if rRows == 0 {
+		// Nothing to subtract: the pass degenerates to pure dedup.
+		set := newTupleSet(arity, estDistinct)
+		forEachBlockRow(tmpBlocks, func(row []int32) {
+			if set.insert(row, &ar) {
+				emit(row)
+			}
+		})
+		return
+	}
+	if algo == TPSD && tmpRows < rRows {
+		// TPSD flavour: dedup Rt into a table + candidate buffer, then let R
+		// anti-mark the table's tuples via an intersection set.
+		dset := newTupleSet(arity, min(tmpRows, estDistinct))
+		cand := make([]int32, 0, min(tmpRows, estDistinct)*arity)
+		forEachBlockRow(tmpBlocks, func(row []int32) {
+			if dset.insert(row, &ar) {
+				cand = append(cand, row...)
+			}
+		})
+		inter := newTupleSet(arity, min(len(cand)/arity, rRows))
+		forEachBlockRow(rBlocks, func(row []int32) {
+			if dset.contains(row, &ar) {
+				inter.insert(row, &ar)
+			}
+		})
+		for off := 0; off < len(cand); off += arity {
+			row := cand[off : off+arity]
+			if !inter.contains(row, &ar) {
+				emit(row)
+			}
+		}
+		return
+	}
+	// OPSD flavour: seed the dedup table with R, then a fresh insert of an
+	// Rt tuple proves it is both new within Rt and absent from R.
+	set := newTupleSet(arity, rRows+estDistinct)
+	insertBlocks(rBlocks, set, &ar)
+	forEachBlockRow(tmpBlocks, func(row []int32) {
+		if set.insert(row, &ar) {
+			emit(row)
+		}
+	})
+}

@@ -59,7 +59,7 @@ func SetDifferencePartitioned(pool *Pool, rdelta, r *storage.Relation, algo Diff
 // partitionedDiff runs OPSD or TPSD independently per radix partition.
 func partitionedDiff(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm, parts int, outName string) *storage.Relation {
 	arity := rdelta.Arity()
-	allCols := identityCols(arity)
+	allCols := storage.AllCols(arity)
 	dv := PartitionRelation(pool, rdelta, allCols, parts)
 	rv := PartitionRelation(pool, r, allCols, parts)
 	col := newCollector(arity, parts)

@@ -38,23 +38,33 @@ func isIdentity(idx []int, arity int) bool {
 // predicates below joins. A predicate-free identity projection shares the
 // input's blocks instead of copying.
 func SelectProject(pool *Pool, in *storage.Relation, preds []expr.Cmp, projs []expr.Expr, outName string, outCols []string) *storage.Relation {
+	return SelectProjectPartitioned(pool, in, preds, projs, nil, outName, outCols)
+}
+
+// SelectProjectPartitioned is SelectProject with an optional fused output
+// scatter: with part set, the output is emitted pre-partitioned and the
+// result carries the partitioning. The identity fast path still applies when
+// the input already carries a compatible partitioning (block sharing keeps
+// it); otherwise the single output copy doubles as the scatter.
+func SelectProjectPartitioned(pool *Pool, in *storage.Relation, preds []expr.Cmp, projs []expr.Expr, part *storage.Partitioning, outName string, outCols []string) *storage.Relation {
 	if len(projs) == 0 {
 		panic("exec: SelectProject requires at least one projection")
 	}
 	idx, plainCols := colIndexes(projs)
 	if len(preds) == 0 && plainCols && isIdentity(idx, in.Arity()) {
-		if outCols == nil {
-			outCols = in.ColNames()
+		carried, hasCarried := in.Partitioning()
+		if part == nil || (hasCarried && carried.Equal(*part)) {
+			if outCols == nil {
+				outCols = in.ColNames()
+			}
+			out := storage.NewRelation(outName, outCols)
+			out.AppendRelation(in)
+			return out
 		}
-		out := storage.NewRelation(outName, outCols)
-		out.AppendRelation(in)
-		return out
 	}
 	blocks := in.Blocks()
-	col := newCollector(len(projs), len(blocks))
-	pool.Run(len(blocks), func(task int) {
-		b := blocks[task]
-		emit := col.sink(task)
+	col := outCollector(pool, part, len(projs), len(blocks))
+	scatterRun(pool, col, blocks, func(b *storage.Block, emit func(row []int32)) {
 		outRow := make([]int32, len(projs))
 		n := b.Rows()
 		for i := 0; i < n; i++ {

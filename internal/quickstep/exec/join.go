@@ -30,11 +30,12 @@ type JoinSpec struct {
 	Projs       []expr.Expr
 	OutName     string
 	OutCols     []string
-}
-
-// flatten materializes all tuples of a relation into one row-major slice.
-func flatten(r *storage.Relation) []int32 {
-	return r.Rows()
+	// OutPartitioning, when set, makes the probe phase emit its output rows
+	// scattered directly into radix partitions of the *output* layout — the
+	// fused scatter. The result relation carries the partitioning, so the
+	// next consumer keyed the same way (the fused delta step, a downstream
+	// build) skips its own re-partition pass entirely.
+	OutPartitioning *storage.Partitioning
 }
 
 // blockShift packs a (block, row) build-row locator into one int32:
@@ -93,13 +94,12 @@ func packColsString(row []int32, cols []int, buf []byte) string {
 // buildTable is a chaining hash table over (a partition of) the build side
 // of a join, mapping join-key values to build row locations. Key packing
 // picks the narrowest compact form: 64-bit for ≤2 columns, 128-bit for 3–4,
-// string beyond. The serial path indexes one flattened row-major slice by
-// row number; the partitioned path indexes the scattered partition blocks
-// in place by (block, row) locator, skipping the flattening copy.
+// string beyond. Both the serial and the partitioned path index storage
+// blocks in place by (block, row) locator — no path flattens the build side
+// into a row-major copy.
 type buildTable struct {
 	arity  int
-	rows   []int32          // serial path: flattened build rows
-	blocks []*storage.Block // partitioned path: scattered partition blocks
+	blocks []*storage.Block // indexed blocks: relation snapshot or scattered partition
 	keys   []int
 	by64   map[uint64][]int32
 	by128  map[gscht.Key128][]int32
@@ -133,22 +133,10 @@ func (bt *buildTable) insert(row []int32, loc int32, buf []byte) {
 	}
 }
 
-// buildHashRows indexes one flattened row-major slice by row number — the
-// serial shared-table build.
-func buildHashRows(rows []int32, arity int, keys []int) *buildTable {
-	bt := &buildTable{arity: arity, rows: rows, keys: keys}
-	n := len(rows) / arity
-	bt.initMaps(n)
-	buf := make([]byte, 4*len(keys))
-	for i := 0; i < n; i++ {
-		bt.insert(rows[i*arity:(i+1)*arity], int32(i), buf)
-	}
-	return bt
-}
-
-// buildHashBlocks indexes a partition's scattered blocks in place by
-// (block, row) locator. This is the partitioned single-threaded unit of
-// work: one call per partition on data the worker owns exclusively.
+// buildHashBlocks indexes a block list in place by (block, row) locator.
+// This is the partitioned single-threaded unit of work — one call per
+// partition on data the worker owns exclusively — and, over a relation's
+// full block snapshot, the serial shared-table build.
 func buildHashBlocks(blocks []*storage.Block, arity, rows int, keys []int) *buildTable {
 	bt := &buildTable{arity: arity, blocks: blocks, keys: keys}
 	bt.initMaps(rows)
@@ -165,9 +153,11 @@ func buildHashBlocks(blocks []*storage.Block, arity, rows int, keys []int) *buil
 // buildHash builds the serial shared table over the whole relation — the
 // BuildSerial ablation path, mirroring contention on QuickStep's shared join
 // hash table (the scaling limiter the paper identifies past the physical
-// core count).
+// core count). The relation's blocks are indexed in place; the ablation
+// keeps the single-threaded single-table build but no longer pays a
+// full-relation flattening copy first.
 func buildHash(r *storage.Relation, keys []int) *buildTable {
-	return buildHashRows(flatten(r), r.Arity(), keys)
+	return buildHashBlocks(r.Blocks(), r.Arity(), r.NumTuples(), keys)
 }
 
 func (bt *buildTable) lookup(probeRow []int32, probeKeys []int, buf []byte) []int32 {
@@ -182,11 +172,24 @@ func (bt *buildTable) lookup(probeRow []int32, probeKeys []int, buf []byte) []in
 }
 
 func (bt *buildTable) row(i int32) []int32 {
-	if bt.blocks != nil {
-		return bt.blocks[i>>blockShift].Row(int(i) & (storage.DefaultBlockRows - 1))
+	return bt.blocks[i>>blockShift].Row(int(i) & (storage.DefaultBlockRows - 1))
+}
+
+// outCollector picks an operator's output collector: partition-routing when
+// the caller requested fused scatter (sized per worker — see scatterRun),
+// flat otherwise (sized per block task).
+func outCollector(pool *Pool, part *storage.Partitioning, arity, numBlocks int) *collector {
+	if part == nil {
+		return newCollector(arity, numBlocks)
 	}
-	off := int(i) * bt.arity
-	return bt.rows[off : off+bt.arity]
+	sinks := pool.Workers()
+	if sinks > numBlocks {
+		sinks = numBlocks
+	}
+	if sinks < 1 {
+		sinks = 1
+	}
+	return newPartCollector(arity, sinks, *part, &pool.Copy)
 }
 
 // joinTable routes probe rows to the hash table holding their key range —
@@ -253,10 +256,8 @@ func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage
 
 	idx, plainCols := colIndexes(spec.Projs)
 	blocks := probe.Blocks()
-	col := newCollector(len(spec.Projs), len(blocks))
-	pool.Run(len(blocks), func(task int) {
-		b := blocks[task]
-		emit := col.sink(task)
+	col := outCollector(pool, spec.OutPartitioning, len(spec.Projs), len(blocks))
+	scatterRun(pool, col, blocks, func(b *storage.Block, emit func(row []int32)) {
 		combined := make([]int32, la+ra)
 		outRow := make([]int32, len(spec.Projs))
 		keyBuf := make([]byte, 4*len(probeKeys))
@@ -303,13 +304,11 @@ func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage
 // blocks. Needed for rules like ntc(x,y) :- node(x), node(y), ¬tc(x,y).
 func crossJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage.Relation {
 	la, ra := left.Arity(), right.Arity()
-	rightRows := flatten(right)
+	rightRows := right.Rows()
 	nRight := len(rightRows) / ra
 	blocks := left.Blocks()
-	col := newCollector(len(spec.Projs), len(blocks))
-	pool.Run(len(blocks), func(task int) {
-		b := blocks[task]
-		emit := col.sink(task)
+	col := outCollector(pool, spec.OutPartitioning, len(spec.Projs), len(blocks))
+	scatterRun(pool, col, blocks, func(b *storage.Block, emit func(row []int32)) {
 		combined := make([]int32, la+ra)
 		outRow := make([]int32, len(spec.Projs))
 		n := b.Rows()

@@ -14,9 +14,32 @@ import (
 // lists are concatenated afterwards — partition p's tuples may span blocks
 // written by different workers, but every block has exactly one writer.
 func PartitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int) *storage.PartitionedView {
+	return partitionRelation(pool, r, keyCols, parts, false)
+}
+
+// PartitionRelationCarried is PartitionRelation plus carry promotion: the
+// resulting view becomes the relation's carried partitioning, so future
+// compatible partitioned appends merge into it (block adoption) instead of
+// invalidating it. The delta step uses this on the full relation R: even
+// when a fan-out shift forces one re-scatter, R comes out carrying the new
+// partitioning and every later R ← R ⊎ ∆R keeps it alive.
+func PartitionRelationCarried(pool *Pool, r *storage.Relation, keyCols []int, parts int) *storage.PartitionedView {
+	return partitionRelation(pool, r, keyCols, parts, true)
+}
+
+func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int, carry bool) *storage.PartitionedView {
 	parts = storage.NormalizePartitions(parts)
+	// A relation carrying a compatible partitioning (produced by a fused
+	// upstream scatter, or accumulated by block-adopting appends) needs no
+	// work at all.
+	if v, ok := r.CarriedView(keyCols, parts); ok {
+		return v
+	}
 	v, gen, ok := r.CachedPartitionedView(keyCols, parts)
 	if ok {
+		if carry {
+			r.StoreCarriedView(v, gen)
+		}
 		return v
 	}
 	arity := r.Arity()
@@ -31,8 +54,7 @@ func PartitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 	perWorker := make([][][]*storage.Block, workers)
 	var nextBlock atomic.Int64
 	pool.RunWorkers(workers, func(worker, numWorkers int) {
-		open := make([]*storage.Block, parts)
-		out := make([][]*storage.Block, parts)
+		w := newPartWriter(arity, keyCols, parts)
 		for {
 			t := int(nextBlock.Add(1)) - 1
 			if t >= len(blocks) {
@@ -41,18 +63,10 @@ func PartitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 			b := blocks[t]
 			n := b.Rows()
 			for i := 0; i < n; i++ {
-				row := b.Row(i)
-				p := storage.PartitionOf(storage.PartitionHash(row, keyCols), parts)
-				blk := open[p]
-				if blk == nil || blk.Full() {
-					blk = storage.NewBlock(arity)
-					open[p] = blk
-					out[p] = append(out[p], blk)
-				}
-				blk.Append(row)
+				w.write(b.Row(i))
 			}
 		}
-		perWorker[worker] = out
+		perWorker[worker] = w.out
 	})
 	merged := make([][]*storage.Block, parts)
 	for _, w := range perWorker {
@@ -64,8 +78,12 @@ func PartitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 		}
 	}
 	v = storage.NewPartitionedView(keyCols, parts, merged)
+	pool.Copy.Scattered.Add(int64(v.NumTuples()))
 	// gen predates the block snapshot: if a mutation interleaved, the store
 	// is refused and the (still self-consistent) view is used uncached.
 	r.StorePartitionedView(v, gen)
+	if carry {
+		r.StoreCarriedView(v, gen)
+	}
 	return v
 }

@@ -14,12 +14,59 @@ import (
 	"recstep/internal/quickstep/storage"
 )
 
+// CopyCounters is the copy-accounting instrumentation of the partition-native
+// pipeline: it tracks how tuples move between operators so the fused-scatter
+// refactor's win (fewer materializations per fixpoint iteration) is directly
+// measurable. One instance lives on each Pool; operators update it with
+// per-operator totals (never per-tuple atomics).
+type CopyCounters struct {
+	// Scattered counts tuples copied into radix-partition blocks — by the
+	// standalone scatter (PartitionRelation) or by an operator emitting its
+	// output pre-partitioned for the next consumer.
+	Scattered atomic.Int64
+	// Adopted counts tuples installed into a destination relation by block
+	// adoption, without copying tuple data.
+	Adopted atomic.Int64
+	// FlatMats counts flat (unpartitioned) materializations of delta-pipeline
+	// intermediates: a dedup output (rdelta) or a tmp table whose producer
+	// could not honour the requested output partitioning. The fused pipeline
+	// drives this to zero.
+	FlatMats atomic.Int64
+}
+
+// CopySnapshot is a point-in-time reading of CopyCounters.
+type CopySnapshot struct {
+	Scattered, Adopted, FlatMats int64
+}
+
+// Snapshot reads the counters.
+func (c *CopyCounters) Snapshot() CopySnapshot {
+	return CopySnapshot{
+		Scattered: c.Scattered.Load(),
+		Adopted:   c.Adopted.Load(),
+		FlatMats:  c.FlatMats.Load(),
+	}
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s CopySnapshot) Sub(o CopySnapshot) CopySnapshot {
+	return CopySnapshot{
+		Scattered: s.Scattered - o.Scattered,
+		Adopted:   s.Adopted - o.Adopted,
+		FlatMats:  s.FlatMats - o.FlatMats,
+	}
+}
+
 // Pool is a bounded worker pool for block-parallel operator execution. It
 // tracks how many workers are busy so the metrics sampler can report CPU
-// utilization the way the paper's Figures 7 and 16 do.
+// utilization the way the paper's Figures 7 and 16 do, and carries the
+// copy-accounting counters every operator running on it updates.
 type Pool struct {
 	workers int
 	busy    atomic.Int32
+
+	// Copy accumulates the pool's copy-accounting events.
+	Copy CopyCounters
 }
 
 // NewPool returns a pool with the given degree of parallelism; workers <= 0
@@ -102,43 +149,168 @@ func (p *Pool) RunWorkers(maxWorkers int, fn func(worker, numWorkers int)) {
 	wg.Wait()
 }
 
-// collector gathers per-task output blocks and assembles them into a result
-// relation without cross-task synchronization on the hot path.
+// partWriter routes rows into per-partition open blocks. Exactly one
+// goroutine owns a writer, so writes need no latches; the standalone scatter
+// (PartitionRelation) and the fused scatter sinks share it.
+type partWriter struct {
+	arity   int
+	keyCols []int
+	parts   int
+	open    []*storage.Block
+	out     [][]*storage.Block
+}
+
+func newPartWriter(arity int, keyCols []int, parts int) *partWriter {
+	return &partWriter{
+		arity:   arity,
+		keyCols: keyCols,
+		parts:   parts,
+		open:    make([]*storage.Block, parts),
+		out:     make([][]*storage.Block, parts),
+	}
+}
+
+// write appends the row to its partition's open block.
+func (w *partWriter) write(row []int32) {
+	p := storage.PartitionOf(storage.PartitionHash(row, w.keyCols), w.parts)
+	blk := w.open[p]
+	if blk == nil || blk.Full() {
+		blk = storage.NewBlock(w.arity)
+		w.open[p] = blk
+		w.out[p] = append(w.out[p], blk)
+	}
+	blk.Append(row)
+}
+
+// collector gathers per-sink output blocks and assembles them into a result
+// relation without cross-sink synchronization on the hot path. With a
+// partitioning set, every sink routes rows into sink-private per-partition
+// block lists (the fused scatter: the operator's single output copy lands
+// directly in the partition the next consumer wants), and into() assembles a
+// relation that carries the partitioning. Partitioned sinks are handed out
+// per *worker* (see scatterRun), so the scatter keeps at most
+// workers × parts open blocks regardless of how many block tasks feed it.
 type collector struct {
 	arity  int
-	byTask [][]*storage.Block
+	part   *storage.Partitioning
+	copy   *CopyCounters
+	byTask [][]*storage.Block   // flat mode: [sink] -> blocks
+	parted [][][]*storage.Block // partitioned mode: [sink][partition] -> blocks
 }
 
 func newCollector(arity, tasks int) *collector {
 	return &collector{arity: arity, byTask: make([][]*storage.Block, tasks)}
 }
 
-// sink returns an emit function for one task. The returned function copies
-// the row into a task-private block.
-func (c *collector) sink(task int) func(row []int32) {
-	var cur *storage.Block
-	room := 0
-	return func(row []int32) {
-		if room == 0 {
-			cur = storage.NewBlock(c.arity)
-			c.byTask[task] = append(c.byTask[task], cur)
-			room = storage.DefaultBlockRows
-		}
-		cur.Append(row)
-		room--
+// newPartCollector returns a collector whose sinks scatter rows by part and
+// whose into() produces a relation carrying that partitioning. counters (if
+// non-nil) receive the scattered-tuple total.
+func newPartCollector(arity, sinks int, part storage.Partitioning, counters *CopyCounters) *collector {
+	return &collector{
+		arity:  arity,
+		part:   &part,
+		copy:   counters,
+		parted: make([][][]*storage.Block, sinks),
 	}
 }
 
-// into adopts all collected blocks into a fresh relation.
+// sink returns an emit function for one sink slot. The returned function
+// copies the row into a sink-private block — partition-routed when the
+// collector has a partitioning.
+func (c *collector) sink(task int) func(row []int32) {
+	if c.part == nil {
+		var cur *storage.Block
+		room := 0
+		return func(row []int32) {
+			if room == 0 {
+				cur = storage.NewBlock(c.arity)
+				c.byTask[task] = append(c.byTask[task], cur)
+				room = storage.DefaultBlockRows
+			}
+			cur.Append(row)
+			room--
+		}
+	}
+	w := newPartWriter(c.arity, c.part.KeyCols, c.part.Parts)
+	c.parted[task] = w.out
+	return w.write
+}
+
+// scatterRun executes fn once per input block, handing each execution a
+// collector sink. Flat collectors keep one sink per block task (the original
+// per-task layout, deterministic block order); partitioned collectors keep
+// one sink per worker, bounding the scatter's open blocks by workers × parts
+// instead of blocks × parts — over a long fixpoint that is the difference
+// between adopting a handful of well-filled partition blocks per iteration
+// and fragmenting relations into thousands of tiny ones.
+func scatterRun(pool *Pool, col *collector, blocks []*storage.Block, fn func(b *storage.Block, emit func(row []int32))) {
+	if len(blocks) == 0 {
+		return
+	}
+	if col.part == nil {
+		pool.Run(len(blocks), func(task int) { fn(blocks[task], col.sink(task)) })
+		return
+	}
+	var next atomic.Int64
+	pool.RunWorkers(len(blocks), func(worker, _ int) {
+		emit := col.sink(worker)
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= len(blocks) {
+				return
+			}
+			fn(blocks[t], emit)
+		}
+	})
+}
+
+// sinkPart returns an emit function writing directly into one partition of
+// one task — for operators whose unit of work *is* a partition, so every row
+// they emit is already known to belong to it (no re-hash).
+func (c *collector) sinkPart(task, p int) func(row []int32) {
+	if c.parted[task] == nil {
+		c.parted[task] = make([][]*storage.Block, c.part.Parts)
+	}
+	out := c.parted[task]
+	var cur *storage.Block
+	return func(row []int32) {
+		if cur == nil || cur.Full() {
+			cur = storage.NewBlock(c.arity)
+			out[p] = append(out[p], cur)
+		}
+		cur.Append(row)
+	}
+}
+
+// into adopts all collected blocks into a fresh relation. In partitioned
+// mode the relation carries the partitioning, so downstream consumers keyed
+// the same way skip their scatter entirely.
 func (c *collector) into(name string, colNames []string) *storage.Relation {
 	if colNames == nil {
 		colNames = storage.NumberedColumns(c.arity)
 	}
 	out := storage.NewRelation(name, colNames)
-	for _, blocks := range c.byTask {
-		for _, b := range blocks {
-			out.AdoptBlock(b)
+	if c.part == nil {
+		for _, blocks := range c.byTask {
+			for _, b := range blocks {
+				out.AdoptBlock(b)
+			}
+		}
+		return out
+	}
+	merged := make([][]*storage.Block, c.part.Parts)
+	scattered := int64(0)
+	for _, byPart := range c.parted {
+		for p, bs := range byPart {
+			for _, b := range bs {
+				scattered += int64(b.Rows())
+			}
+			merged[p] = append(merged[p], bs...)
 		}
 	}
+	if c.copy != nil {
+		c.copy.Scattered.Add(scattered)
+	}
+	out.AdoptPartitioned(storage.NewPartitionedView(c.part.KeyCols, c.part.Parts, merged))
 	return out
 }

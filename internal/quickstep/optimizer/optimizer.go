@@ -52,6 +52,23 @@ func ChoosePartitions(buildTuples, workers int) int {
 	}
 }
 
+// ChooseDeltaPartitions picks the whole-tuple radix fan-out one recursive
+// predicate uses for one fixpoint iteration. A single count is shared by
+// every stage of the delta pipeline — the fused scatter of the join output,
+// the fused dedup/set-difference pass, ∆R's materialization, and the carried
+// partitioning R accumulates — so partitioned output produced by one stage
+// is consumed by the next without a re-scatter. The fan-out is sized by the
+// larger of the two inputs the delta pass touches: the full relation R and
+// the join output Rt (approximated by the previous iteration's size, the
+// same slowly-changing heuristic DSD uses for µ).
+func ChooseDeltaPartitions(rTuples, prevTmpTuples, workers int) int {
+	n := rTuples
+	if prevTmpTuples > n {
+		n = prevTmpTuples
+	}
+	return ChoosePartitions(n, workers)
+}
+
 // DefaultAlpha is the build/probe cost ratio used when no calibration has
 // run. Hash-table construction costs roughly twice a probe in this engine.
 const DefaultAlpha = 2.0

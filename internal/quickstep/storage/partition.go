@@ -49,6 +49,43 @@ func NormalizePartitions(parts int) int {
 	return p
 }
 
+// Partitioning describes a radix partitioning: tuples are routed to one of
+// Parts partitions by PartitionHash over KeyCols. It is the descriptor
+// relations carry through the fixpoint pipeline so downstream operators can
+// recognise — and reuse — upstream scatter work instead of re-partitioning.
+type Partitioning struct {
+	KeyCols []int
+	Parts   int
+}
+
+// AllCols returns the identity column list 0..arity-1 — the key set of
+// whole-tuple partitionings (dedup, set difference, delta materialization).
+func AllCols(arity int) []int {
+	cols := make([]int, arity)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// Equal reports whether two partitionings route every tuple identically.
+func (p Partitioning) Equal(o Partitioning) bool {
+	if p.Parts != o.Parts || len(p.KeyCols) != len(o.KeyCols) {
+		return false
+	}
+	for i, c := range p.KeyCols {
+		if c != o.KeyCols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the descriptor for diagnostics.
+func (p Partitioning) String() string {
+	return fmt.Sprintf("part(%v/%d)", p.KeyCols, p.Parts)
+}
+
 // PartitionedView is a radix-partitioned snapshot of a relation: every tuple
 // is routed to one of Parts() partitions by the hash of its key columns, and
 // each partition holds its tuples as an independent immutable block list.
@@ -84,6 +121,24 @@ func NewPartitionedView(keyCols []int, parts int, blocks [][]*Block) *Partitione
 
 // Parts returns the partition count.
 func (v *PartitionedView) Parts() int { return v.parts }
+
+// Partitioning returns the view's routing descriptor.
+func (v *PartitionedView) Partitioning() Partitioning {
+	return Partitioning{KeyCols: v.keyCols, Parts: v.parts}
+}
+
+// mergeViews concatenates the per-partition block lists of two views with
+// identical partitioning. Blocks are shared, not copied.
+func mergeViews(a, b *PartitionedView) *PartitionedView {
+	blocks := make([][]*Block, a.parts)
+	for p := 0; p < a.parts; p++ {
+		bs := make([]*Block, 0, len(a.blocks[p])+len(b.blocks[p]))
+		bs = append(bs, a.blocks[p]...)
+		bs = append(bs, b.blocks[p]...)
+		blocks[p] = bs
+	}
+	return NewPartitionedView(a.keyCols, a.parts, blocks)
+}
 
 // KeyCols returns the columns the view is partitioned on. Read-only.
 func (v *PartitionedView) KeyCols() []int { return v.keyCols }
@@ -141,8 +196,30 @@ func (r *Relation) StorePartitionedView(v *PartitionedView, gen uint64) {
 	r.partViews[partitionKey(v.keyCols, v.parts)] = v
 }
 
-// invalidatePartitionsLocked drops all cached views; callers hold r.mu.
+// StoreCarriedView promotes a view built from the snapshot taken at mutation
+// generation gen to the relation's *carried* partitioning: subsequent
+// compatible partitioned appends merge into it instead of invalidating. A
+// relation carries at most one partitioning — promoting replaces the previous
+// one (the whole-tuple delta partitioning wins over transient join-key
+// views, which stay in the ordinary cache). Stale promotions (gen advanced)
+// are refused, exactly like StorePartitionedView.
+func (r *Relation) StoreCarriedView(v *PartitionedView, gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gen != gen {
+		return
+	}
+	if r.partViews == nil {
+		r.partViews = make(map[string]*PartitionedView)
+	}
+	r.partViews[partitionKey(v.keyCols, v.parts)] = v
+	r.live = v
+}
+
+// invalidatePartitionsLocked drops all cached views and the carried
+// partitioning; callers hold r.mu.
 func (r *Relation) invalidatePartitionsLocked() {
 	r.partViews = nil
+	r.live = nil
 	r.gen++
 }

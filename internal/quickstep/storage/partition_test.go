@@ -98,3 +98,96 @@ func TestPartitionedViewCounts(t *testing.T) {
 		t.Fatal("view accessors broken")
 	}
 }
+
+// scatterInto builds a correctly-routed partitioned view of row-major data.
+func scatterInto(arity, parts int, rows []int32) *PartitionedView {
+	keyCols := AllCols(arity)
+	blocks := make([][]*Block, parts)
+	for off := 0; off < len(rows); off += arity {
+		row := rows[off : off+arity]
+		p := PartitionOf(PartitionHash(row, keyCols), parts)
+		if len(blocks[p]) == 0 {
+			blocks[p] = []*Block{NewBlock(arity)}
+		}
+		blocks[p][0].Append(row)
+	}
+	return NewPartitionedView(keyCols, parts, blocks)
+}
+
+func TestCarriedPartitioningSurvivesCompatibleAppend(t *testing.T) {
+	const parts = 4
+	want := Partitioning{KeyCols: AllCols(2), Parts: parts}
+
+	r := NewRelation("r", NumberedColumns(2))
+	r.AdoptPartitioned(scatterInto(2, parts, []int32{1, 2, 3, 4, 5, 6}))
+	if got, ok := r.Partitioning(); !ok || !got.Equal(want) {
+		t.Fatalf("adopt did not carry %v", want)
+	}
+	if r.NumTuples() != 3 {
+		t.Fatalf("adopted relation holds %d tuples, want 3", r.NumTuples())
+	}
+
+	// Compatible append: carried partitioning survives, views merge.
+	d := NewRelation("d", NumberedColumns(2))
+	d.AdoptPartitioned(scatterInto(2, parts, []int32{7, 8, 9, 10}))
+	r.AppendRelation(d)
+	if got, ok := r.Partitioning(); !ok || !got.Equal(want) {
+		t.Fatal("compatible append dropped the carried partitioning")
+	}
+	v, ok := r.CarriedView(AllCols(2), parts)
+	if !ok || v.NumTuples() != 5 {
+		t.Fatalf("merged carried view holds %d tuples, want 5", v.NumTuples())
+	}
+	// The merged view must also hit the ordinary cache path.
+	if cv, _, ok := r.CachedPartitionedView(AllCols(2), parts); !ok || cv != v {
+		t.Fatal("carried view is not mirrored into the view cache")
+	}
+
+	// Incompatible append (different fan-out): partitioning is dropped.
+	d2 := NewRelation("d2", NumberedColumns(2))
+	d2.AdoptPartitioned(scatterInto(2, 8, []int32{11, 12}))
+	r.AppendRelation(d2)
+	if _, ok := r.Partitioning(); ok {
+		t.Fatal("incompatible append kept a stale carried partitioning")
+	}
+	if r.NumTuples() != 6 {
+		t.Fatalf("relation holds %d tuples, want 6", r.NumTuples())
+	}
+
+	// A flat mutation must always drop the carried partitioning.
+	e := NewRelation("e", NumberedColumns(2))
+	e.AdoptPartitioned(scatterInto(2, parts, []int32{1, 2}))
+	e.Append([]int32{9, 9})
+	if _, ok := e.Partitioning(); ok {
+		t.Fatal("flat append kept the carried partitioning")
+	}
+}
+
+func TestEmptyRelationAdoptsAppendedPartitioning(t *testing.T) {
+	const parts = 4
+	d := NewRelation("d", NumberedColumns(2))
+	d.AdoptPartitioned(scatterInto(2, parts, []int32{1, 2, 3, 4}))
+	r := NewRelation("r", NumberedColumns(2))
+	r.AppendRelation(d)
+	if got, ok := r.Partitioning(); !ok || !got.Equal(Partitioning{KeyCols: AllCols(2), Parts: parts}) {
+		t.Fatal("append into empty relation did not adopt the source partitioning")
+	}
+}
+
+func TestStoreCarriedViewRefusesStaleGeneration(t *testing.T) {
+	r := NewRelation("r", NumberedColumns(2))
+	r.Append([]int32{1, 2})
+	_, gen, _ := r.CachedPartitionedView(AllCols(2), 2)
+	v := scatterInto(2, 2, []int32{1, 2})
+	r.Append([]int32{3, 4}) // advances the generation
+	r.StoreCarriedView(v, gen)
+	if _, ok := r.Partitioning(); ok {
+		t.Fatal("stale carried-view promotion must be refused")
+	}
+	_, gen, _ = r.CachedPartitionedView(AllCols(2), 2)
+	v2 := scatterInto(2, 2, []int32{1, 2, 3, 4})
+	r.StoreCarriedView(v2, gen)
+	if _, ok := r.Partitioning(); !ok {
+		t.Fatal("current-generation carried-view promotion must stick")
+	}
+}

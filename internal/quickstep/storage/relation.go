@@ -25,6 +25,12 @@ type Relation struct {
 	// over newer contents.
 	partViews map[string]*PartitionedView
 	gen       uint64
+	// live is the partitioning the relation *carries*: its contents are
+	// exactly the concatenation of live's partitions. Unlike cached views,
+	// it survives compatible partitioned appends (the block lists are merged
+	// per partition), so a relation that accumulates partition-native deltas
+	// never needs a re-scatter. Any flat mutation drops it.
+	live *PartitionedView
 }
 
 // NewRelation creates an empty relation. colNames fixes the arity; names are
@@ -147,15 +153,20 @@ func (r *Relation) AdoptBlock(b *Block) {
 }
 
 // AppendRelation appends all tuples of other by sharing its (sealed) blocks.
-// This implements R ← R ⊎ ∆R from Algorithm 1 in O(blocks).
+// This implements R ← R ⊎ ∆R from Algorithm 1 in O(blocks). When both sides
+// carry the same partitioning (or the destination is empty and the source
+// carries one), the per-partition block lists are merged and the destination
+// keeps carrying that partitioning — the block-adopting append that lets the
+// fixpoint loop install partition-native deltas without a re-scatter.
 func (r *Relation) AppendRelation(other *Relation) {
 	if other.Arity() != r.Arity() {
 		panic(fmt.Sprintf("storage: arity mismatch appending %q to %q", other.name, r.name))
 	}
-	blocks := other.Blocks()
+	blocks, view := other.snapshot()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sealLocked()
+	wasEmpty := r.rows == 0
 	for _, b := range blocks {
 		if b.Rows() == 0 {
 			continue
@@ -163,7 +174,76 @@ func (r *Relation) AppendRelation(other *Relation) {
 		r.blocks = append(r.blocks, b)
 		r.rows += b.Rows()
 	}
-	r.invalidatePartitionsLocked()
+	switch {
+	case view != nil && wasEmpty:
+		r.installLiveLocked(view)
+	case view != nil && r.live != nil && r.live.Partitioning().Equal(view.Partitioning()):
+		r.installLiveLocked(mergeViews(r.live, view))
+	default:
+		r.invalidatePartitionsLocked()
+	}
+}
+
+// snapshot returns the sealed block list plus the carried partitioned view
+// (nil if none), both consistent with each other.
+func (r *Relation) snapshot() ([]*Block, *PartitionedView) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealLocked()
+	out := make([]*Block, len(r.blocks))
+	copy(out, r.blocks)
+	return out, r.live
+}
+
+// AdoptPartitioned installs a partitioned view's blocks as the relation's
+// contents without copying and carries the view's partitioning. The relation
+// must be empty; the caller relinquishes ownership of the view's blocks.
+func (r *Relation) AdoptPartitioned(v *PartitionedView) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rows != 0 || len(r.blocks) != 0 {
+		panic(fmt.Sprintf("storage: AdoptPartitioned into non-empty relation %q", r.name))
+	}
+	for p := 0; p < v.Parts(); p++ {
+		for _, b := range v.Blocks(p) {
+			if b.Rows() == 0 {
+				continue
+			}
+			r.blocks = append(r.blocks, b)
+			r.rows += b.Rows()
+		}
+	}
+	r.installLiveLocked(v)
+}
+
+// Partitioning returns the partitioning the relation currently carries.
+func (r *Relation) Partitioning() (Partitioning, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.live == nil {
+		return Partitioning{}, false
+	}
+	return r.live.Partitioning(), true
+}
+
+// CarriedView returns the live partitioned view when it matches the wanted
+// partitioning — the short-circuit consulted before any scatter.
+func (r *Relation) CarriedView(keyCols []int, parts int) (*PartitionedView, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.live == nil || !r.live.Partitioning().Equal(Partitioning{KeyCols: keyCols, Parts: parts}) {
+		return nil, false
+	}
+	return r.live, true
+}
+
+// installLiveLocked replaces the carried view and resets the cache to hold
+// exactly it: the mutation generation advances (so stale in-flight view
+// builds are refused) while lookups for the carried key still hit.
+func (r *Relation) installLiveLocked(v *PartitionedView) {
+	r.gen++
+	r.live = v
+	r.partViews = map[string]*PartitionedView{partitionKey(v.keyCols, v.parts): v}
 }
 
 // Clear drops all tuples.
