@@ -27,41 +27,44 @@ func main() {
 		partitions  = flag.Int("partitions", 0, "radix partition count for hash builds (0 = auto 1/16/64/256, 1 = off)")
 		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
 		fuseDelta   = flag.Bool("fuse-delta", true, "fused partition-native delta pipeline; false selects the staged dedup+diff ablation")
+		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill under pressure (0 = unlimited)")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
-		Quick:          *quick,
-		Workers:        *workers,
-		MemBudgetBytes: *budget,
-		Partitions:     *partitions,
-		BuildSerial:    *buildSerial,
-		StagedDelta:    !*fuseDelta,
+		Quick:              *quick,
+		Workers:            *workers,
+		MemBudgetBytes:     *budget,
+		Partitions:         *partitions,
+		BuildSerial:        *buildSerial,
+		StagedDelta:        !*fuseDelta,
+		ManagedBudgetBytes: *memBudget,
 	}
 
 	type runner func(experiments.Config) experiments.Table
 	table := map[string]runner{
-		"table1": func(experiments.Config) experiments.Table { return experiments.Table1() },
-		"table3": func(experiments.Config) experiments.Table { return experiments.Table3() },
-		"table4": experiments.Table4,
-		"fig2":   experiments.Fig2,
-		"fig3":   experiments.Fig3,
-		"fig6":   experiments.Fig6,
-		"fig7":   experiments.Fig7,
-		"fig8":   experiments.Fig8,
-		"fig9":   experiments.Fig9,
-		"fig10":  experiments.Fig10,
-		"fig11":  experiments.Fig11,
-		"fig12":  experiments.Fig12,
-		"fig13":  experiments.Fig13,
-		"fig14":  experiments.Fig14,
-		"fig15":  experiments.Fig15,
-		"fig16":  experiments.Fig16,
-		"copies": experiments.CopyAccounting,
+		"table1":  func(experiments.Config) experiments.Table { return experiments.Table1() },
+		"table3":  func(experiments.Config) experiments.Table { return experiments.Table3() },
+		"table4":  experiments.Table4,
+		"fig2":    experiments.Fig2,
+		"fig3":    experiments.Fig3,
+		"fig6":    experiments.Fig6,
+		"fig7":    experiments.Fig7,
+		"fig8":    experiments.Fig8,
+		"fig9":    experiments.Fig9,
+		"fig10":   experiments.Fig10,
+		"fig11":   experiments.Fig11,
+		"fig12":   experiments.Fig12,
+		"fig13":   experiments.Fig13,
+		"fig14":   experiments.Fig14,
+		"fig15":   experiments.Fig15,
+		"fig16":   experiments.Fig16,
+		"copies":  experiments.CopyAccounting,
+		"peakmem": experiments.PeakMem,
 	}
 	order := []string{
 		"table1", "table3", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table4",
-		"copies",
+		"copies", "peakmem",
 	}
 
 	args := flag.Args()

@@ -25,6 +25,7 @@ import (
 	"recstep/internal/datalog/querygen"
 	"recstep/internal/quickstep"
 	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/memory"
 	"recstep/internal/quickstep/optimizer"
 	"recstep/internal/quickstep/stats"
 	"recstep/internal/quickstep/storage"
@@ -81,6 +82,12 @@ type Options struct {
 	Naive bool
 	// MaxIterations bounds each stratum's fixpoint loop (safety valve).
 	MaxIterations int
+	// MemBudgetBytes bounds live block-pool bytes (the -mem-budget flag).
+	// When exceeded, cold partitions of the full recursive relations spill
+	// to temp files, LRU by last-probed iteration, and the optimizer shrinks
+	// radix fan-out; 0 disables the budget. Block recycling and per-category
+	// accounting are always on.
+	MemBudgetBytes int64
 	// SpillDir and DisableIO control the simulated write-back target.
 	SpillDir  string
 	DisableIO bool
@@ -118,6 +125,9 @@ type IterInfo struct {
 	// partitions, tuples adopted without copy, and flat materializations of
 	// pipeline intermediates (zero per iteration under the fused pipeline).
 	Copy exec.CopySnapshot
+	// Mem is a point-in-time reading of the memory manager after the step:
+	// live pool bytes by category, budget headroom, spill/fault counters.
+	Mem memory.Snapshot
 }
 
 // Stats aggregates counters over one Run.
@@ -135,7 +145,11 @@ type Stats struct {
 	TuplesScattered      int64
 	TuplesAdopted        int64
 	FlatMaterializations int64
-	Duration             time.Duration
+	// Mem is the final memory-manager snapshot: peak live pool bytes, live
+	// bytes by category, pool hit/miss counts and spill/fault totals — the
+	// observability the paper's memory figures (3, 11, 14) rely on.
+	Mem      memory.Snapshot
+	Duration time.Duration
 }
 
 // Result is the outcome of evaluating a program.
@@ -172,13 +186,14 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 	}
 
 	db, err := quickstep.Open(quickstep.Options{
-		Workers:     e.opts.Workers,
-		Dedup:       e.opts.Dedup,
-		EOST:        e.opts.EOST,
-		SpillDir:    e.opts.SpillDir,
-		DisableIO:   e.opts.DisableIO,
-		Partitions:  e.opts.Partitions,
-		BuildSerial: e.opts.BuildSerial,
+		Workers:        e.opts.Workers,
+		Dedup:          e.opts.Dedup,
+		EOST:           e.opts.EOST,
+		SpillDir:       e.opts.SpillDir,
+		DisableIO:      e.opts.DisableIO,
+		Partitions:     e.opts.Partitions,
+		BuildSerial:    e.opts.BuildSerial,
+		MemBudgetBytes: e.opts.MemBudgetBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -210,9 +225,20 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		return nil, err
 	}
 
+	// Snapshot the manager before result delivery: Stats.Mem reports the
+	// *evaluation* footprint, and restoring spilled results for the caller
+	// necessarily re-materializes all of R.
+	run.stats.Mem = db.MemSnapshot()
+
 	out := &Result{Relations: make(map[string]*storage.Relation)}
+	// Result relations outlive the database (and its spill directory): seal
+	// eviction — restoring one result must not re-spill another — then fault
+	// every cold partition back in before Close removes the files.
+	db.Mem().StopSpilling()
 	for _, name := range res.IDBNames() {
-		out.Relations[name] = db.Catalog().MustGet(name)
+		rel := db.Catalog().MustGet(name)
+		rel.Restore()
+		out.Relations[name] = rel
 	}
 	run.stats.Queries = db.QueriesIssued()
 	copySnap := db.CopySnapshot()
@@ -242,6 +268,7 @@ func (r *runState) loadEDBs(edbs map[string]*storage.Relation) error {
 	for _, name := range r.res.EDBNames() {
 		pi := r.res.Preds[name]
 		rel := storage.NewRelation(name, storage.NumberedColumns(pi.Arity))
+		rel.SetLifecycle(r.db.Alloc(), storage.CatEDB)
 		if in, ok := edbs[name]; ok {
 			if in.Arity() != pi.Arity {
 				return fmt.Errorf("core: EDB %q has arity %d, program expects %d", name, in.Arity(), pi.Arity)
@@ -269,10 +296,17 @@ func (r *runState) loadEDBs(edbs map[string]*storage.Relation) error {
 func (r *runState) createIDBs() error {
 	for _, name := range r.res.IDBNames() {
 		pi := r.res.Preds[name]
-		if err := r.db.Install(storage.NewRelation(name, storage.NumberedColumns(pi.Arity))); err != nil {
+		full := storage.NewRelation(name, storage.NumberedColumns(pi.Arity))
+		full.SetLifecycle(r.db.Alloc(), storage.CatIDB)
+		if err := r.db.Install(full); err != nil {
 			return err
 		}
-		if err := r.db.Install(storage.NewRelation(querygen.DeltaTable(name), storage.NumberedColumns(pi.Arity))); err != nil {
+		// Under a memory budget, the full relation's cold carried-view
+		// partitions become evictable (LRU by last-probed iteration).
+		r.db.MarkSpillable(name)
+		delta := storage.NewRelation(querygen.DeltaTable(name), storage.NumberedColumns(pi.Arity))
+		delta.SetLifecycle(r.db.Alloc(), storage.CatDelta)
+		if err := r.db.Install(delta); err != nil {
 			return err
 		}
 	}
@@ -328,19 +362,23 @@ func (r *runState) evalStratum(s analysis.Stratum) error {
 				anyDelta = true
 			}
 		}
+		// Epoch boundary: recycle retired view copies, advance the spill LRU
+		// clock and reclaim any budget overshoot while no query is in flight.
+		r.db.EndIteration()
 		if !s.Recursive || !anyDelta {
 			break
 		}
 	}
 
-	// Materialize recursive aggregates and clear this stratum's deltas.
+	// Materialize recursive aggregates and clear this stratum's deltas,
+	// releasing the superseded relations' blocks back to the pool.
 	for _, st := range states {
 		if st.agg != nil {
-			if err := r.db.Install(st.agg.materialize(st.q.Pred)); err != nil {
+			if err := r.installAggFull(st, st.q.Pred); err != nil {
 				return err
 			}
 		}
-		if err := r.db.Install(storage.NewRelation(st.q.Delta, storage.NumberedColumns(st.q.Arity))); err != nil {
+		if err := r.db.InstallReplacing(storage.NewRelation(st.q.Delta, storage.NumberedColumns(st.q.Arity))); err != nil {
 			return err
 		}
 	}
@@ -368,7 +406,7 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	copyBase := r.db.CopySnapshot()
 	if unit.Subqueries == 0 {
 		// Nothing fires this phase; the delta is empty.
-		if err := r.db.Install(storage.NewRelation(q.Delta, storage.NumberedColumns(q.Arity))); err != nil {
+		if err := r.db.InstallReplacing(storage.NewRelation(q.Delta, storage.NumberedColumns(q.Arity))); err != nil {
 			return 0, err
 		}
 		r.hook(s, iter, q.Pred, 0, 0, exec.OPSD, exec.CopySnapshot{})
@@ -416,7 +454,7 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	if st.agg != nil {
 		delta = st.agg.merge(tmp, q.Delta)
 		if st.rebuildEachIter {
-			if err := r.db.Install(st.agg.materialize(q.Pred)); err != nil {
+			if err := r.installAggFull(st, q.Pred); err != nil {
 				return 0, err
 			}
 		}
@@ -447,6 +485,9 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 			algo = r.chooseAlgo(st, fullStats.NumTuples, rdeltaStats.NumTuples)
 			delta = r.db.Diff(rdelta, full, algo, q.Delta)
 			st.chooser.Observe(rdelta.NumTuples(), rdelta.NumTuples()-delta.NumTuples())
+			// Epoch reclamation: Rδ is dead the moment ∆R exists (the fused
+			// pipeline never materializes it at all).
+			rdelta.Release()
 		}
 		if algo == exec.OPSD {
 			r.stats.DiffOPSD++
@@ -458,7 +499,10 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 		}
 	}
 
-	if err := r.db.Install(delta); err != nil {
+	// Install ∆R, releasing the previous iteration's delta: its surviving
+	// tuples live on inside R through the blocks R adopted, so only the
+	// delta-table references are dropped (and recycled if exclusive).
+	if err := r.db.InstallReplacing(delta); err != nil {
 		return 0, err
 	}
 	// Delta statistics feed the next iteration's join build-side choices.
@@ -474,6 +518,21 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	return n, nil
 }
 
+// installAggFull replaces a recursive-aggregate predicate's full relation
+// with a fresh materialization. The replacement joins the memory manager
+// under the IDB category and re-registers as a spill candidate — without
+// this, the relation whose growth dominates aggregate programs would drop
+// out of accounting (and budgeting) at the first rebuild.
+func (r *runState) installAggFull(st *idbState, pred string) error {
+	full := st.agg.materialize(pred)
+	full.SetLifecycle(r.db.Alloc(), storage.CatIDB)
+	if err := r.db.InstallReplacing(full); err != nil {
+		return err
+	}
+	r.db.MarkSpillable(pred)
+	return nil
+}
+
 // deltaPartitions picks the whole-tuple fan-out shared by every stage of
 // one predicate's delta pipeline this iteration (fused scatter, delta step,
 // ∆R, and R's carried partitioning).
@@ -481,7 +540,7 @@ func (r *runState) deltaPartitions(st *idbState, full *storage.Relation) int {
 	if p := r.opts().Partitions; p > 0 {
 		return storage.NormalizePartitions(p)
 	}
-	return optimizer.ChooseDeltaPartitions(full.NumTuples(), st.lastTmp, r.db.Pool().Workers())
+	return optimizer.ChooseDeltaPartitionsBudget(full.NumTuples(), st.lastTmp, r.db.Pool().Workers(), r.db.Headroom())
 }
 
 // chooseAlgo applies the configured DSD policy.
@@ -574,7 +633,7 @@ func (r *runState) aggNeedsFullRebuild(s analysis.Stratum, pred string) bool {
 
 func (r *runState) hook(s analysis.Stratum, iter int, pred string, tmp, delta int, algo exec.DiffAlgorithm, copies exec.CopySnapshot) {
 	if h := r.opts().IterHook; h != nil {
-		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo, Copy: copies})
+		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo, Copy: copies, Mem: r.db.MemSnapshot()})
 	}
 }
 

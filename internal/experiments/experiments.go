@@ -83,6 +83,11 @@ type Config struct {
 	// runs the staged dedup + set-difference sequence instead (the
 	// -fuse-delta=false ablation; zero value keeps fusion on).
 	StagedDelta bool
+	// ManagedBudgetBytes bounds the engine's live block-pool bytes (the
+	// -mem-budget flag): exceeding it spills cold partitions of full
+	// relations. Distinct from MemBudgetBytes, which models the *simulated*
+	// capacity at which the paper's comparison systems OOM.
+	ManagedBudgetBytes int64
 }
 
 func (c Config) workers() int {
@@ -295,6 +300,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.Partitions = cfg.Partitions
 		opts.BuildSerial = cfg.BuildSerial
 		opts.FuseDelta = !cfg.StagedDelta
+		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }
 		}
@@ -305,6 +311,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.Partitions = cfg.Partitions
 		opts.BuildSerial = cfg.BuildSerial
 		opts.FuseDelta = !cfg.StagedDelta
+		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		opts.Naive = true
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }

@@ -12,6 +12,7 @@ import (
 
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/memory"
 	"recstep/internal/quickstep/optimizer"
 	"recstep/internal/quickstep/plan"
 	"recstep/internal/quickstep/sql"
@@ -44,6 +45,11 @@ type Options struct {
 	// DisableIO skips the transaction manager entirely (no disk touched);
 	// used by unit tests and benchmarks that measure pure compute.
 	DisableIO bool
+	// MemBudgetBytes bounds live block-pool bytes. When exceeded, cold
+	// partitions of registered full relations spill to temp files and the
+	// optimizer shrinks radix fan-out. 0 disables the budget (block
+	// recycling and accounting stay on).
+	MemBudgetBytes int64
 }
 
 // Database is the QuickStep-like engine instance.
@@ -52,6 +58,7 @@ type Database struct {
 	cat   *storage.Catalog
 	stats *stats.Catalog
 	pool  *exec.Pool
+	mem   *memory.Manager
 	txn   *txn.Manager
 
 	mu      sync.Mutex // one query at a time, as in QuickStep
@@ -72,7 +79,9 @@ func Open(opts Options) (*Database, error) {
 		cat:   storage.NewCatalog(),
 		stats: stats.NewCatalog(opts.StatsBudgetTuples),
 		pool:  exec.NewPool(opts.Workers),
+		mem:   memory.NewManager(memory.Config{BudgetBytes: opts.MemBudgetBytes, SpillDir: opts.SpillDir}),
 	}
+	db.pool.SetAlloc(db.mem)
 	if !opts.DisableIO {
 		m, err := txn.NewManager(opts.EOST, opts.SpillDir)
 		if err != nil {
@@ -83,12 +92,15 @@ func Open(opts Options) (*Database, error) {
 	return db, nil
 }
 
-// Close releases spill resources.
+// Close releases spill resources and drains the block pool.
 func (db *Database) Close() error {
+	memErr := db.mem.Close()
 	if db.txn != nil {
-		return db.txn.Close()
+		if err := db.txn.Close(); err != nil {
+			return err
+		}
 	}
-	return nil
+	return memErr
 }
 
 // Catalog exposes the table catalog.
@@ -96,6 +108,50 @@ func (db *Database) Catalog() *storage.Catalog { return db.cat }
 
 // Pool exposes the worker pool (metrics sampling reads busy counts from it).
 func (db *Database) Pool() *exec.Pool { return db.pool }
+
+// Mem exposes the memory manager owning all tuple-block storage.
+func (db *Database) Mem() *memory.Manager { return db.mem }
+
+// Alloc returns the block lifecycle relations created outside the database
+// should allocate through to participate in pooling and accounting.
+func (db *Database) Alloc() storage.Lifecycle { return db.mem }
+
+// Headroom returns the bytes remaining under the memory budget (a very
+// large value when no budget is set).
+func (db *Database) Headroom() int64 { return db.mem.Headroom() }
+
+// MemSnapshot reads the memory manager gauges (live bytes by category,
+// peak, pool hit rates, spill/fault counters).
+func (db *Database) MemSnapshot() memory.Snapshot { return db.mem.Snapshot() }
+
+// MarkSpillable registers a table as a cold-partition spill candidate under
+// memory pressure. The engine marks the full recursive relations; with no
+// budget configured this is a no-op.
+func (db *Database) MarkSpillable(table string) {
+	if db.opts.MemBudgetBytes <= 0 {
+		return
+	}
+	if r, ok := db.cat.Get(table); ok {
+		db.mem.Register(r)
+	}
+}
+
+// EndIteration is the engine's epoch hook, called once per fixpoint
+// iteration at a quiescent point (no query in flight): retired view copies
+// from superseded PartitionedViews are recycled, the spill LRU epoch
+// advances, and any budget overshoot is reclaimed.
+func (db *Database) EndIteration() {
+	for _, name := range db.cat.Names() {
+		if r, ok := db.cat.Get(name); ok {
+			r.ReclaimRetired()
+			// Long fixpoints adopt one small ∆R block per partition per
+			// iteration; coalescing bounds the per-partition block count so
+			// pool-class padding never dominates R's footprint.
+			r.CoalescePartitions()
+		}
+	}
+	db.mem.EndEpoch()
+}
 
 // Txn exposes the transaction manager, or nil with DisableIO.
 func (db *Database) Txn() *txn.Manager { return db.txn }
@@ -183,10 +239,18 @@ func (db *Database) execStatement(st plan.Statement) (*storage.Relation, error) 
 			}
 			return nil, fmt.Errorf("quickstep: DROP of unknown table %q", s.Name)
 		}
+		r, _ := db.cat.Get(s.Name)
 		db.cat.Drop(s.Name)
 		db.stats.Drop(s.Name)
 		if db.txn != nil {
 			db.txn.Forget(s.Name)
+		}
+		if r != nil {
+			// Epoch reclamation: a dropped table (the per-iteration tmp, a
+			// UIE part table) releases its blocks back to the pool the moment
+			// it dies. Blocks shared into another relation survive through
+			// their remaining references.
+			r.Release()
 		}
 		return nil, nil
 	case plan.InsertValues:
@@ -219,6 +283,7 @@ func (db *Database) execStatement(st plan.Statement) (*storage.Relation, error) 
 		}
 		dst.AppendRelation(res)
 		db.pool.Copy.Adopted.Add(int64(res.NumTuples()))
+		res.Release() // transient result shell; dst holds the blocks now
 		if hint != nil {
 			if got, ok := dst.Partitioning(); !ok || !got.Equal(*hint) {
 				// Some branch could not honour the fused scatter: the
@@ -269,12 +334,20 @@ func (db *Database) runQuery(q *plan.Query, name string, part *storage.Partition
 	if len(outCols) != results[0].Arity() {
 		outCols = storage.NumberedColumns(results[0].Arity())
 	}
-	return exec.UnionAll(name, outCols, results...), nil
+	out := exec.UnionAll(name, outCols, results...)
+	for _, br := range results {
+		br.Release() // branch shells are dead; out retains their blocks
+	}
+	return out, nil
 }
 
 func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partitioning) (*storage.Relation, error) {
-	// Resolve and pre-filter base tables.
+	// Resolve and pre-filter base tables. owned marks relations this branch
+	// materialized itself (filtered inputs, join intermediates): they are
+	// released — blocks recycled — as soon as the next operator has consumed
+	// them, the operator-level half of epoch reclamation.
 	inputs := make([]*storage.Relation, len(br.Tables))
+	owned := make([]bool, len(br.Tables))
 	for i, t := range br.Tables {
 		r, ok := db.cat.Get(t)
 		if !ok {
@@ -282,11 +355,13 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 		}
 		if preds := br.PreFilter[i]; len(preds) > 0 {
 			r = exec.SelectProject(db.pool, r, preds, identityProjs(r.Arity()), t+"_filtered", r.ColNames())
+			owned[i] = true
 		}
 		inputs[i] = r
 	}
 
 	cur := inputs[0]
+	curOwned := owned[0]
 	width := br.Arities[0]
 	// The select list fuses into the last join when nothing follows it,
 	// avoiding one full materialization of the combined rows.
@@ -314,7 +389,14 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 			// the partitions the delta step consumes.
 			spec.OutPartitioning = part
 		}
-		cur = exec.HashJoin(db.pool, cur, right, spec)
+		next := exec.HashJoin(db.pool, cur, right, spec)
+		if curOwned {
+			cur.Release()
+		}
+		if owned[step+1] {
+			right.Release()
+		}
+		cur, curOwned = next, true
 		width += br.Arities[step+1]
 	}
 	if fuseFinal {
@@ -326,14 +408,26 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 		if !ok {
 			return nil, fmt.Errorf("quickstep: unknown table %q in NOT EXISTS", aj.Table)
 		}
+		innerOwned := false
 		if len(aj.InnerPreFilter) > 0 {
 			inner = exec.SelectProject(db.pool, inner, aj.InnerPreFilter, identityProjs(inner.Arity()), aj.Table+"_filtered", inner.ColNames())
+			innerOwned = true
 		}
-		cur = exec.AntiJoin(db.pool, cur, inner, aj.OuterKeys, aj.InnerKeys, nil, identityProjs(width), db.partitionsFor(inner.NumTuples()), name+"_anti", nil)
+		next := exec.AntiJoin(db.pool, cur, inner, aj.OuterKeys, aj.InnerKeys, nil, identityProjs(width), db.partitionsFor(inner.NumTuples()), name+"_anti", nil)
+		if curOwned {
+			cur.Release()
+		}
+		if innerOwned {
+			inner.Release()
+		}
+		cur, curOwned = next, true
 	}
 
 	if len(br.Aggs) > 0 {
 		agg := exec.HashAggregatePartitioned(db.pool, cur, br.GroupBy, br.Aggs, db.partitionsFor(cur.NumTuples()), name+"_agg", nil)
+		if curOwned {
+			cur.Release()
+		}
 		// Reorder to the select-list order.
 		projs := make([]expr.Expr, len(br.SelectOrder))
 		for i, so := range br.SelectOrder {
@@ -343,9 +437,15 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 				projs[i] = expr.Col{Index: so.Index}
 			}
 		}
-		return exec.SelectProjectPartitioned(db.pool, agg, nil, projs, part, name, nil), nil
+		out := exec.SelectProjectPartitioned(db.pool, agg, nil, projs, part, name, nil)
+		agg.Release()
+		return out, nil
 	}
-	return exec.SelectProjectPartitioned(db.pool, cur, nil, br.Projs, part, name, nil), nil
+	out := exec.SelectProjectPartitioned(db.pool, cur, nil, br.Projs, part, name, nil)
+	if curOwned {
+		cur.Release()
+	}
+	return out, nil
 }
 
 // chooseBuildSide applies the optimizer's build-side rule using catalog
@@ -376,7 +476,7 @@ func (db *Database) partitionsFor(buildTuples int) int {
 	if db.opts.Partitions > 0 {
 		return db.opts.Partitions
 	}
-	return optimizer.ChoosePartitions(buildTuples, db.pool.Workers())
+	return optimizer.ChoosePartitionsBudget(buildTuples, db.pool.Workers(), db.mem.Headroom())
 }
 
 // statTuples returns the cataloged tuple count for a base table, falling
@@ -451,9 +551,24 @@ func (db *Database) DeltaStep(tmp, full *storage.Relation, algo exec.DiffAlgorit
 }
 
 // Install registers a relation in the catalog (replacing any same-named
-// table) and marks it dirty.
+// table) and marks it dirty. Any replaced relation is left untouched (the
+// caller may still hold it).
 func (db *Database) Install(r *storage.Relation) error {
 	db.cat.Adopt(r)
+	return db.afterMutation(r.Name())
+}
+
+// InstallReplacing is Install plus epoch reclamation of the replaced
+// relation: its blocks are released back to the pool. The engine uses it at
+// the points of Algorithm 1 where the replaced table is provably dead — the
+// previous iteration’s ∆R (whose blocks live on inside R through their
+// adoption references) and superseded aggregate materializations.
+func (db *Database) InstallReplacing(r *storage.Relation) error {
+	old, _ := db.cat.Get(r.Name())
+	db.cat.Adopt(r)
+	if old != nil && old != r {
+		old.Release()
+	}
 	return db.afterMutation(r.Name())
 }
 

@@ -216,7 +216,7 @@ func HashAggregatePartitioned(pool *Pool, in *storage.Relation, groupBy []int, a
 		panic("exec: HashAggregate requires at least one aggregate")
 	}
 	view := PartitionRelation(pool, in, groupBy, parts)
-	col := newCollector(len(groupBy)+len(aggs), parts)
+	col := newCollector(pool, storage.CatIntermediate, len(groupBy)+len(aggs), parts)
 	pool.Run(parts, func(p int) {
 		local := make(map[string]*groupState)
 		keyBuf := make([]byte, 4*len(groupBy))

@@ -120,7 +120,7 @@ func Dedup(pool *Pool, in *storage.Relation, strategy DedupStrategy, estDistinct
 		return dedupSort(in, outName)
 	}
 	blocks := in.Blocks()
-	col := newCollector(in.Arity(), len(blocks))
+	col := newCollector(pool, storage.CatIntermediate, in.Arity(), len(blocks))
 	var set *tupleSet
 	if strategy == DedupGSCHT {
 		set = newTupleSet(in.Arity(), estDistinct)

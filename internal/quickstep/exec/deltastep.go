@@ -51,10 +51,13 @@ func DeltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, part
 	tv := PartitionRelation(pool, tmp, allCols, parts)
 	rv := PartitionRelationCarried(pool, full, allCols, parts)
 	estPart := estDistinct/parts + 1
-	col := newPartCollector(arity, parts, storage.Partitioning{KeyCols: allCols, Parts: parts}, &pool.Copy)
+	col := newPartCollector(pool, storage.CatDelta, arity, parts, storage.Partitioning{KeyCols: allCols, Parts: parts}, &pool.Copy)
 	pool.Run(parts, func(p int) {
 		deltaPartition(tv.Blocks(p), rv.Blocks(p), tv.Rows(p), rv.Rows(p),
 			algo, arity, estPart, col.sinkPart(p, p))
+		// Under a memory budget, R's partition becomes evictable the moment
+		// its pass completes — otherwise one delta step re-pins all of R.
+		rv.Cool(p)
 	})
 	return col.into(outName, tmp.ColNames())
 }
@@ -72,7 +75,7 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 	// fresh inserts — pure dedup when set starts empty, dedup + anti-probe
 	// when it was seeded with R.
 	dedupEmit := func(set *tupleSet) *storage.Relation {
-		col := newCollector(arity, len(tmpBlocks))
+		col := newCollector(pool, storage.CatDelta, arity, len(tmpBlocks))
 		pool.Run(len(tmpBlocks), func(task int) {
 			b := tmpBlocks[task]
 			emit := col.sink(task)
@@ -98,7 +101,7 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 		// the intersection by probing R against that same table, then
 		// anti-probe the candidates.
 		dset := newTupleSet(arity, min(tmpRows, estDistinct))
-		candCol := newCollector(arity, len(tmpBlocks))
+		candCol := newCollector(pool, storage.CatIntermediate, arity, len(tmpBlocks))
 		pool.Run(len(tmpBlocks), func(task int) {
 			b := tmpBlocks[task]
 			emit := candCol.sink(task)

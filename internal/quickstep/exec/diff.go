@@ -62,7 +62,7 @@ func partitionedDiff(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm
 	allCols := storage.AllCols(arity)
 	dv := PartitionRelation(pool, rdelta, allCols, parts)
 	rv := PartitionRelation(pool, r, allCols, parts)
-	col := newCollector(arity, parts)
+	col := newCollector(pool, storage.CatDelta, arity, parts)
 	pool.Run(parts, func(p int) {
 		emit := col.sink(p)
 		var ar setArena
@@ -129,7 +129,7 @@ func buildSet(pool *Pool, rel *storage.Relation) *tupleSet {
 // antiProbe emits rows of probe absent from set.
 func antiProbe(pool *Pool, probe *storage.Relation, set *tupleSet, outName string) *storage.Relation {
 	blocks := probe.Blocks()
-	col := newCollector(probe.Arity(), len(blocks))
+	col := newCollector(pool, storage.CatDelta, probe.Arity(), len(blocks))
 	pool.Run(len(blocks), func(task int) {
 		b := blocks[task]
 		emit := col.sink(task)

@@ -180,7 +180,7 @@ func (bt *buildTable) row(i int32) []int32 {
 // flat otherwise (sized per block task).
 func outCollector(pool *Pool, part *storage.Partitioning, arity, numBlocks int) *collector {
 	if part == nil {
-		return newCollector(arity, numBlocks)
+		return newCollector(pool, storage.CatIntermediate, arity, numBlocks)
 	}
 	sinks := pool.Workers()
 	if sinks > numBlocks {
@@ -189,7 +189,7 @@ func outCollector(pool *Pool, part *storage.Partitioning, arity, numBlocks int) 
 	if sinks < 1 {
 		sinks = 1
 	}
-	return newPartCollector(arity, sinks, *part, &pool.Copy)
+	return newPartCollector(pool, storage.CatIntermediate, arity, sinks, *part, &pool.Copy)
 }
 
 // joinTable routes probe rows to the hash table holding their key range —
@@ -339,7 +339,7 @@ func AntiJoin(pool *Pool, left, right *storage.Relation, leftKeys, rightKeys []i
 	}
 	jt := buildJoinTable(pool, right, rightKeys, parts, false)
 	blocks := left.Blocks()
-	col := newCollector(len(projs), len(blocks))
+	col := newCollector(pool, storage.CatIntermediate, len(projs), len(blocks))
 	pool.Run(len(blocks), func(task int) {
 		b := blocks[task]
 		emit := col.sink(task)

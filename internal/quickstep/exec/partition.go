@@ -54,7 +54,7 @@ func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 	perWorker := make([][][]*storage.Block, workers)
 	var nextBlock atomic.Int64
 	pool.RunWorkers(workers, func(worker, numWorkers int) {
-		w := newPartWriter(arity, keyCols, parts)
+		w := newPartWriter(pool, storage.CatIntermediate, arity, keyCols, parts)
 		for {
 			t := int(nextBlock.Add(1)) - 1
 			if t >= len(blocks) {
@@ -74,6 +74,9 @@ func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 			continue
 		}
 		for p, bs := range w {
+			for _, b := range bs {
+				b.Compact() // scatter copies may be cached for the whole run
+			}
 			merged[p] = append(merged[p], bs...)
 		}
 	}
@@ -81,9 +84,13 @@ func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 	pool.Copy.Scattered.Add(int64(v.NumTuples()))
 	// gen predates the block snapshot: if a mutation interleaved, the store
 	// is refused and the (still self-consistent) view is used uncached.
-	r.StorePartitionedView(v, gen)
+	// Exactly one store runs: double-registering a carried view would make
+	// the relation own its scatter copies twice and double-release them once
+	// block recycling reclaims owned views (the PR 2 aliasing audit).
 	if carry {
 		r.StoreCarriedView(v, gen)
+	} else {
+		r.StorePartitionedView(v, gen)
 	}
 	return v
 }

@@ -67,6 +67,10 @@ type Pool struct {
 
 	// Copy accumulates the pool's copy-accounting events.
 	Copy CopyCounters
+
+	// alloc, when set, routes every operator block allocation through the
+	// memory manager (recycling + accounting). Nil keeps plain heap blocks.
+	alloc storage.Lifecycle
 }
 
 // NewPool returns a pool with the given degree of parallelism; workers <= 0
@@ -80,6 +84,24 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the configured degree of parallelism.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetAlloc installs the block lifecycle (the memory manager) operators on
+// this pool allocate output blocks through. Call before running operators.
+func (p *Pool) SetAlloc(lc storage.Lifecycle) { p.alloc = lc }
+
+// Alloc returns the installed block lifecycle (nil = heap).
+func (p *Pool) Alloc() storage.Lifecycle { return p.alloc }
+
+// scatterHint is the initial row capacity of operator output blocks. Small
+// on purpose: a scatter keeps workers × partitions blocks open at once, and
+// near convergence most receive a handful of rows — the regrow ladder for
+// the partitions that do fill is served almost entirely by pool recycling.
+const scatterHint = 64
+
+// newBlock allocates one operator output block through the pool's lifecycle.
+func (p *Pool) newBlock(arity int, cat storage.Category, rowHint int) *storage.Block {
+	return storage.NewBlockIn(p.alloc, cat, arity, rowHint)
+}
 
 // BusyWorkers returns how many workers are currently executing tasks.
 func (p *Pool) BusyWorkers() int { return int(p.busy.Load()) }
@@ -156,15 +178,19 @@ type partWriter struct {
 	arity   int
 	keyCols []int
 	parts   int
+	pool    *Pool
+	cat     storage.Category
 	open    []*storage.Block
 	out     [][]*storage.Block
 }
 
-func newPartWriter(arity int, keyCols []int, parts int) *partWriter {
+func newPartWriter(pool *Pool, cat storage.Category, arity int, keyCols []int, parts int) *partWriter {
 	return &partWriter{
 		arity:   arity,
 		keyCols: keyCols,
 		parts:   parts,
+		pool:    pool,
+		cat:     cat,
 		open:    make([]*storage.Block, parts),
 		out:     make([][]*storage.Block, parts),
 	}
@@ -175,7 +201,7 @@ func (w *partWriter) write(row []int32) {
 	p := storage.PartitionOf(storage.PartitionHash(row, w.keyCols), w.parts)
 	blk := w.open[p]
 	if blk == nil || blk.Full() {
-		blk = storage.NewBlock(w.arity)
+		blk = w.pool.newBlock(w.arity, w.cat, scatterHint)
 		w.open[p] = blk
 		w.out[p] = append(w.out[p], blk)
 	}
@@ -192,22 +218,26 @@ func (w *partWriter) write(row []int32) {
 // workers × parts open blocks regardless of how many block tasks feed it.
 type collector struct {
 	arity  int
+	pool   *Pool
+	cat    storage.Category
 	part   *storage.Partitioning
 	copy   *CopyCounters
 	byTask [][]*storage.Block   // flat mode: [sink] -> blocks
 	parted [][][]*storage.Block // partitioned mode: [sink][partition] -> blocks
 }
 
-func newCollector(arity, tasks int) *collector {
-	return &collector{arity: arity, byTask: make([][]*storage.Block, tasks)}
+func newCollector(pool *Pool, cat storage.Category, arity, tasks int) *collector {
+	return &collector{arity: arity, pool: pool, cat: cat, byTask: make([][]*storage.Block, tasks)}
 }
 
 // newPartCollector returns a collector whose sinks scatter rows by part and
 // whose into() produces a relation carrying that partitioning. counters (if
 // non-nil) receive the scattered-tuple total.
-func newPartCollector(arity, sinks int, part storage.Partitioning, counters *CopyCounters) *collector {
+func newPartCollector(pool *Pool, cat storage.Category, arity, sinks int, part storage.Partitioning, counters *CopyCounters) *collector {
 	return &collector{
 		arity:  arity,
+		pool:   pool,
+		cat:    cat,
 		part:   &part,
 		copy:   counters,
 		parted: make([][][]*storage.Block, sinks),
@@ -223,7 +253,7 @@ func (c *collector) sink(task int) func(row []int32) {
 		room := 0
 		return func(row []int32) {
 			if room == 0 {
-				cur = storage.NewBlock(c.arity)
+				cur = c.pool.newBlock(c.arity, c.cat, scatterHint)
 				c.byTask[task] = append(c.byTask[task], cur)
 				room = storage.DefaultBlockRows
 			}
@@ -231,7 +261,7 @@ func (c *collector) sink(task int) func(row []int32) {
 			room--
 		}
 	}
-	w := newPartWriter(c.arity, c.part.KeyCols, c.part.Parts)
+	w := newPartWriter(c.pool, c.cat, c.arity, c.part.KeyCols, c.part.Parts)
 	c.parted[task] = w.out
 	return w.write
 }
@@ -275,7 +305,7 @@ func (c *collector) sinkPart(task, p int) func(row []int32) {
 	var cur *storage.Block
 	return func(row []int32) {
 		if cur == nil || cur.Full() {
-			cur = storage.NewBlock(c.arity)
+			cur = c.pool.newBlock(c.arity, c.cat, scatterHint)
 			out[p] = append(out[p], cur)
 		}
 		cur.Append(row)
@@ -293,6 +323,7 @@ func (c *collector) into(name string, colNames []string) *storage.Relation {
 	if c.part == nil {
 		for _, blocks := range c.byTask {
 			for _, b := range blocks {
+				b.Compact()
 				out.AdoptBlock(b)
 			}
 		}
@@ -303,6 +334,10 @@ func (c *collector) into(name string, colNames []string) *storage.Relation {
 	for _, byPart := range c.parted {
 		for p, bs := range byPart {
 			for _, b := range bs {
+				// Compact before sharing: near convergence each partition
+				// block holds a handful of rows, and these blocks are adopted
+				// into R, living for the rest of the run.
+				b.Compact()
 				scattered += int64(b.Rows())
 			}
 			merged[p] = append(merged[p], bs...)

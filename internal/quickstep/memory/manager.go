@@ -1,0 +1,401 @@
+package memory
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"recstep/internal/quickstep/storage"
+	"recstep/internal/relio"
+)
+
+// Config sizes a Manager.
+type Config struct {
+	// BudgetBytes bounds live pool bytes; exceeding it triggers cold-partition
+	// spilling of registered relations. 0 disables the budget (and spilling).
+	BudgetBytes int64
+	// SpillDir receives spilled-partition files; empty selects a fresh temp
+	// directory created lazily on first spill and removed by Close.
+	SpillDir string
+	// PoolBytes caps how many bytes the recycling free lists may retain.
+	// 0 selects BudgetBytes/4 when a budget is set, 256 MiB otherwise.
+	PoolBytes int64
+}
+
+// Manager owns all tuple-block memory of one database instance: it is the
+// storage.Lifecycle every operator allocates through, the accountant that
+// tracks live bytes per category against the budget, and the storage.Pager
+// that spills and faults cold partitions. All methods are safe for
+// concurrent use.
+type Manager struct {
+	budget    int64
+	poolCap   int64
+	perShard  int64
+	spillBase string
+	ownsDir   bool
+
+	shards [numShards]shard
+	rr     atomic.Uint32
+
+	live      [storage.NumCategories]atomic.Int64
+	liveTotal atomic.Int64
+	peak      atomic.Int64
+
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+	frees      atomic.Int64
+
+	epoch        atomic.Int64
+	spills       atomic.Int64
+	faults       atomic.Int64
+	spilledBytes atomic.Int64
+	spilledNow   atomic.Int64
+	fileSeq      atomic.Int64
+
+	dirOnce sync.Once
+	dirErr  error
+
+	reclaimMu  sync.Mutex
+	sealed     atomic.Bool
+	regMu      sync.Mutex
+	spillables []*storage.Relation
+
+	closed atomic.Bool
+}
+
+// NewManager creates a manager.
+func NewManager(cfg Config) *Manager {
+	pool := cfg.PoolBytes
+	if pool <= 0 {
+		if cfg.BudgetBytes > 0 {
+			pool = cfg.BudgetBytes / 4
+		} else {
+			pool = 256 << 20
+		}
+	}
+	return &Manager{
+		budget:    cfg.BudgetBytes,
+		poolCap:   pool,
+		perShard:  pool/numShards + 1,
+		spillBase: cfg.SpillDir,
+	}
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (m *Manager) Budget() int64 { return m.budget }
+
+// Headroom returns how many bytes remain under the budget; negative when
+// over, and a very large value when no budget is configured. The optimizer
+// consults it to shrink radix fan-out under pressure.
+func (m *Manager) Headroom() int64 {
+	if m.budget <= 0 {
+		return 1 << 62
+	}
+	return m.budget - m.liveTotal.Load()
+}
+
+// AllocData implements storage.Lifecycle: hand out a zero-length array with
+// at least capInt32s capacity, recycled when a matching class is pooled.
+// Under a budget, headroom for the allocation is reclaimed *first* (evicting
+// cold partitions), so the live-byte gauge — and its recorded peak — stays
+// under the budget whenever anything evictable remains.
+func (m *Manager) AllocData(cat storage.Category, capInt32s int) []int32 {
+	sizeBytes := int64(capInt32s) * 4
+	if c := classOf(capInt32s); c >= 0 {
+		sizeBytes = int64(classCap(c)) * 4
+	}
+	m.ensureHeadroom(sizeBytes)
+	var arr []int32
+	if c := classOf(capInt32s); c >= 0 {
+		want := classCap(c)
+		// Try the round-robin shard first, then sweep the others: a miss on
+		// the striped shard must not strand recycled arrays elsewhere.
+		start := m.rr.Add(1)
+		for i := uint32(0); i < numShards; i++ {
+			if got := m.shards[(start+i)%numShards].get(c); got != nil {
+				arr = got[:0]
+				break
+			}
+		}
+		if arr != nil {
+			m.poolHits.Add(1)
+		} else {
+			arr = make([]int32, 0, want)
+			m.poolMisses.Add(1)
+		}
+	} else {
+		arr = make([]int32, 0, capInt32s)
+		m.poolMisses.Add(1)
+	}
+	bytes := int64(cap(arr)) * 4
+	m.live[cat].Add(bytes)
+	total := m.liveTotal.Add(bytes)
+	for {
+		p := m.peak.Load()
+		if total <= p || m.peak.CompareAndSwap(p, total) {
+			break
+		}
+	}
+	return arr
+}
+
+// ensureHeadroom evicts cold partitions until the budget has room for an
+// allocation of want bytes. Over-budget allocators serialize on the reclaim
+// mutex — compounding a burst of concurrent allocations on top of an
+// in-flight eviction is exactly how a peak overshoots the budget. The wait
+// is bounded: a reclaimer that finds nothing evictable returns, and the
+// allocation proceeds over budget (correctness first — the budget is a
+// target the engine sheds toward, not a hard failure).
+func (m *Manager) ensureHeadroom(want int64) {
+	if m.budget <= 0 {
+		return
+	}
+	target := m.budget - want
+	if target < 0 {
+		target = 0
+	}
+	if m.liveTotal.Load() <= target {
+		return
+	}
+	m.reclaimMu.Lock()
+	defer m.reclaimMu.Unlock()
+	if m.liveTotal.Load() <= target {
+		return
+	}
+	m.reclaimTo(target)
+}
+
+// FreeData implements storage.Lifecycle: return an array to the pool (or the
+// heap when the retention cap is reached) and credit the accounting.
+func (m *Manager) FreeData(cat storage.Category, data []int32) {
+	if data == nil {
+		return
+	}
+	bytes := int64(cap(data)) * 4
+	m.live[cat].Add(-bytes)
+	m.liveTotal.Add(-bytes)
+	m.frees.Add(1)
+	n := cap(data)
+	if c := classOf(n); c >= 0 && classCap(c) == n && !m.closed.Load() {
+		sh := &m.shards[m.rr.Add(1)%numShards]
+		sh.put(c, data, m.perShard)
+	}
+}
+
+// Recat implements storage.Lifecycle: move bytes between category gauges.
+func (m *Manager) Recat(from, to storage.Category, bytes int64) {
+	m.live[from].Add(-bytes)
+	m.live[to].Add(bytes)
+}
+
+// Register makes a relation's cold carried-view partitions evictable when
+// the budget is exceeded. The engine registers the full recursive relations
+// (R of Algorithm 1); everything else stays purely in memory.
+func (m *Manager) Register(r *storage.Relation) {
+	r.EnableSpill(m)
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	m.spillables = append(m.spillables, r)
+}
+
+// StopSpilling permanently disables eviction — the engine calls it when the
+// fixpoint is done, before restoring result relations: without it, faulting
+// one result back in could push the budget over and re-evict another result
+// that was just restored.
+func (m *Manager) StopSpilling() { m.sealed.Store(true) }
+
+// EndEpoch advances the reclamation epoch — the engine calls it once per
+// fixpoint iteration, at a quiescent point. Partitions untouched since the
+// previous epoch become eligible for eviction; a budget overshoot is
+// reclaimed immediately.
+func (m *Manager) EndEpoch() {
+	m.epoch.Add(1)
+	if m.budget > 0 && m.liveTotal.Load() > m.budget {
+		m.reclaimMu.Lock()
+		m.reclaimTo(m.budget)
+		m.reclaimMu.Unlock()
+	}
+}
+
+// Epoch implements storage.Pager.
+func (m *Manager) Epoch() int64 { return m.epoch.Load() }
+
+// reclaimTo evicts least-recently-probed partitions until live bytes drop
+// to target or nothing evictable remains. Callers hold reclaimMu;
+// TryLock-style relation locking inside ColdestPartition/SpillPartition
+// keeps it deadlock-free against allocators that already hold a relation
+// mutex (they skip that relation and move on).
+func (m *Manager) reclaimTo(target int64) {
+	if m.sealed.Load() {
+		return
+	}
+	cur := m.epoch.Load()
+	// Candidate scans use TryLock against relations an operator may be
+	// touching right now; a miss is usually transient contention, not a lack
+	// of cold data, so retry briefly before concluding nothing is evictable.
+	misses := 0
+	for m.liveTotal.Load() > target {
+		m.regMu.Lock()
+		rels := append([]*storage.Relation(nil), m.spillables...)
+		m.regMu.Unlock()
+		var victim *storage.Relation
+		victimPart := -1
+		var victimTouch int64
+		for _, r := range rels {
+			p, touch, bytes, ok := r.ColdestPartition(cur)
+			if !ok || bytes == 0 {
+				continue
+			}
+			if victim == nil || touch < victimTouch {
+				victim, victimPart, victimTouch = r, p, touch
+			}
+		}
+		ok := false
+		if victim != nil {
+			_, ok = victim.SpillPartition(victimPart, m)
+		}
+		if ok {
+			misses = 0
+			continue
+		}
+		misses++
+		if misses > 8 {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// SpillBlocks implements storage.Pager: persist one partition's blocks to a
+// spill file.
+func (m *Manager) SpillBlocks(arity int, blocks []*storage.Block) (any, int64, error) {
+	dir, err := m.spillDir()
+	if err != nil {
+		return nil, 0, err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("part-%06d.spill", m.fileSeq.Add(1)))
+	bytes, err := relio.WriteBlocksFile(path, arity, blocks)
+	if err != nil {
+		os.Remove(path)
+		return nil, 0, err
+	}
+	m.spills.Add(1)
+	m.spilledBytes.Add(bytes)
+	m.spilledNow.Add(bytes)
+	return path, bytes, nil
+}
+
+// FaultBlocks implements storage.Pager: restore a spilled partition,
+// allocating through lc, and discard the file.
+func (m *Manager) FaultBlocks(token any, lc storage.Lifecycle, cat storage.Category, arity int) ([]*storage.Block, error) {
+	path := token.(string)
+	blocks, err := relio.ReadBlocksFile(path, lc, cat, arity)
+	if err != nil {
+		return nil, err
+	}
+	var sz int64
+	if fi, err := os.Stat(path); err == nil {
+		sz = fi.Size()
+	}
+	os.Remove(path)
+	m.faults.Add(1)
+	m.spilledNow.Add(-sz)
+	return blocks, nil
+}
+
+// DropSpill implements storage.Pager: discard a spilled partition that will
+// never be read again.
+func (m *Manager) DropSpill(token any) {
+	path := token.(string)
+	if fi, err := os.Stat(path); err == nil {
+		m.spilledNow.Add(-fi.Size())
+	}
+	os.Remove(path)
+}
+
+// spillDir lazily creates the spill directory.
+func (m *Manager) spillDir() (string, error) {
+	m.dirOnce.Do(func() {
+		if m.spillBase != "" {
+			m.dirErr = os.MkdirAll(m.spillBase, 0o755)
+			return
+		}
+		d, err := os.MkdirTemp("", "recstep-mem-*")
+		if err != nil {
+			m.dirErr = err
+			return
+		}
+		m.spillBase, m.ownsDir = d, true
+	})
+	return m.spillBase, m.dirErr
+}
+
+// Close drains the pool and removes the spill directory (when owned).
+func (m *Manager) Close() error {
+	m.closed.Store(true)
+	for i := range m.shards {
+		m.shards[i].drain()
+	}
+	if m.ownsDir && m.spillBase != "" {
+		return os.RemoveAll(m.spillBase)
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time reading of the manager's gauges and counters,
+// surfaced through engine Stats and IterInfo.
+type Snapshot struct {
+	// LiveBytes is the per-category live (allocated, unreleased) pool bytes.
+	LiveBytes [storage.NumCategories]int64
+	// LiveTotal and PeakLive aggregate across categories.
+	LiveTotal, PeakLive int64
+	// Budget echoes the configured budget (0 = unlimited).
+	Budget int64
+	// PoolHits/PoolMisses count recycled vs fresh block-array allocations;
+	// Frees counts arrays returned.
+	PoolHits, PoolMisses, Frees int64
+	// Spills/Faults count partition evictions and restorations;
+	// SpilledBytes is the cumulative volume written, SpilledNowBytes the
+	// volume currently on disk.
+	Spills, Faults                int64
+	SpilledBytes, SpilledNowBytes int64
+	// Epoch is the current reclamation epoch (fixpoint iteration count).
+	Epoch int64
+}
+
+// Snapshot reads the gauges.
+func (m *Manager) Snapshot() Snapshot {
+	s := Snapshot{
+		LiveTotal:       m.liveTotal.Load(),
+		PeakLive:        m.peak.Load(),
+		Budget:          m.budget,
+		PoolHits:        m.poolHits.Load(),
+		PoolMisses:      m.poolMisses.Load(),
+		Frees:           m.frees.Load(),
+		Spills:          m.spills.Load(),
+		Faults:          m.faults.Load(),
+		SpilledBytes:    m.spilledBytes.Load(),
+		SpilledNowBytes: m.spilledNow.Load(),
+		Epoch:           m.epoch.Load(),
+	}
+	for c := range s.LiveBytes {
+		s.LiveBytes[c] = m.live[c].Load()
+	}
+	return s
+}
+
+// Sub returns counter deltas since an earlier snapshot (gauges are copied
+// from the receiver).
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	d := s
+	d.PoolHits -= o.PoolHits
+	d.PoolMisses -= o.PoolMisses
+	d.Frees -= o.Frees
+	d.Spills -= o.Spills
+	d.Faults -= o.Faults
+	d.SpilledBytes -= o.SpilledBytes
+	return d
+}

@@ -1,0 +1,162 @@
+package memory
+
+import (
+	"reflect"
+	"testing"
+
+	"recstep/internal/quickstep/storage"
+)
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct{ n, cap int }{
+		{1, 64}, {64, 64}, {65, 128}, {128, 128}, {1000, 1024},
+		{1 << 20, 1 << 20}, {1<<22 - 1, 1 << 22}, {1 << 22, 1 << 22},
+	}
+	for _, c := range cases {
+		cl := classOf(c.n)
+		if cl < 0 {
+			t.Fatalf("classOf(%d) = %d", c.n, cl)
+		}
+		if got := classCap(cl); got != c.cap {
+			t.Errorf("classOf(%d) -> cap %d, want %d", c.n, got, c.cap)
+		}
+	}
+	if classOf(1<<22+1) != -1 {
+		t.Error("oversized request should be unpooled")
+	}
+}
+
+func TestAccountingAndRecycling(t *testing.T) {
+	m := NewManager(Config{})
+	a := m.AllocData(storage.CatDelta, 1000)
+	if cap(a) < 1000 {
+		t.Fatalf("cap %d < 1000", cap(a))
+	}
+	s := m.Snapshot()
+	if s.LiveBytes[storage.CatDelta] != int64(cap(a))*4 || s.LiveTotal != int64(cap(a))*4 {
+		t.Fatalf("accounting after alloc: %+v", s)
+	}
+	m.Recat(storage.CatDelta, storage.CatIDB, int64(cap(a))*4)
+	s = m.Snapshot()
+	if s.LiveBytes[storage.CatDelta] != 0 || s.LiveBytes[storage.CatIDB] != int64(cap(a))*4 {
+		t.Fatalf("recat did not move gauges: %+v", s)
+	}
+	m.FreeData(storage.CatIDB, a)
+	s = m.Snapshot()
+	if s.LiveTotal != 0 || s.LiveBytes[storage.CatIDB] != 0 {
+		t.Fatalf("accounting after free: %+v", s)
+	}
+	// A same-class alloc must be served from the free list.
+	hitsBefore := s.PoolHits
+	b := m.AllocData(storage.CatIntermediate, 1000)
+	if cap(b) != cap(a) {
+		t.Fatalf("recycled cap %d, want %d", cap(b), cap(a))
+	}
+	if got := m.Snapshot().PoolHits; got != hitsBefore+1 {
+		t.Fatalf("pool hits %d, want %d", got, hitsBefore+1)
+	}
+	if peak := m.Snapshot().PeakLive; peak != int64(cap(a))*4 {
+		t.Fatalf("peak %d, want %d", peak, int64(cap(a))*4)
+	}
+}
+
+// buildCarried assembles a relation that carries a whole-tuple partitioned
+// view with pool-allocated blocks — the shape of the fixpoint's full
+// relation R.
+func buildCarried(m *Manager, parts, rowsPerPart int) (*storage.Relation, []int32) {
+	blocks := make([][]*storage.Block, parts)
+	var all []int32
+	for p := 0; p < parts; p++ {
+		b := storage.NewBlockIn(m, storage.CatIDB, 2, rowsPerPart)
+		for i := 0; i < rowsPerPart; i++ {
+			row := []int32{int32(p), int32(i)}
+			b.Append(row)
+			all = append(all, row...)
+		}
+		blocks[p] = []*storage.Block{b}
+	}
+	r := storage.NewRelation("r", storage.NumberedColumns(2))
+	r.SetLifecycle(m, storage.CatIDB)
+	r.AdoptPartitioned(storage.NewPartitionedView(storage.AllCols(2), parts, blocks))
+	return r, all
+}
+
+func TestSpillFaultRoundTrip(t *testing.T) {
+	m := NewManager(Config{BudgetBytes: 1}) // everything over budget
+	defer m.Close()
+	const parts, rows = 8, 500
+	r, want := buildCarried(m, parts, rows)
+	m.Register(r)
+
+	// Partitions become evictable one epoch after their last touch.
+	m.EndEpoch()
+	m.EndEpoch()
+	if s := m.Snapshot(); s.Spills == 0 {
+		t.Fatalf("no spills under a 1-byte budget: %+v", s)
+	}
+	if r.SpilledPartitions() == 0 {
+		t.Fatal("no partitions recorded as spilled")
+	}
+
+	// Reading every partition through the carried view faults the data back
+	// in, byte-identical.
+	v, ok := r.CarriedView(storage.AllCols(2), parts)
+	if !ok {
+		t.Fatal("carried view lost")
+	}
+	got := make([]int32, 0, len(want))
+	for p := 0; p < parts; p++ {
+		for _, b := range v.Blocks(p) {
+			got = append(got, b.Data()...)
+		}
+	}
+	sortRows := func(d []int32) []int32 {
+		rel := storage.NewRelation("s", storage.NumberedColumns(2))
+		rel.AppendRows(d)
+		return rel.SortedRows()
+	}
+	if !reflect.DeepEqual(sortRows(got), sortRows(want)) {
+		t.Fatal("fault-back returned different tuples than were spilled")
+	}
+	if s := m.Snapshot(); s.Faults == 0 {
+		t.Fatalf("faults not counted: %+v", s)
+	}
+	if r.SpilledPartitions() != 0 {
+		t.Fatal("partitions still marked spilled after fault-back")
+	}
+}
+
+func TestFlatScanFaultsEverything(t *testing.T) {
+	m := NewManager(Config{BudgetBytes: 1})
+	defer m.Close()
+	r, want := buildCarried(m, 4, 200)
+	m.Register(r)
+	m.EndEpoch()
+	m.EndEpoch()
+	if r.SpilledPartitions() == 0 {
+		t.Fatal("setup: nothing spilled")
+	}
+	wantRel := storage.NewRelation("w", storage.NumberedColumns(2))
+	wantRel.AppendRows(want)
+	if !reflect.DeepEqual(r.SortedRows(), wantRel.SortedRows()) {
+		t.Fatal("flat scan after spill lost tuples")
+	}
+	if r.SpilledPartitions() != 0 {
+		t.Fatal("flat scan should fault every partition")
+	}
+}
+
+func TestHeadroom(t *testing.T) {
+	m := NewManager(Config{BudgetBytes: 1 << 20})
+	if m.Headroom() != 1<<20 {
+		t.Fatalf("headroom %d", m.Headroom())
+	}
+	a := m.AllocData(storage.CatIntermediate, 1<<18)
+	if got := m.Headroom(); got != 1<<20-int64(cap(a))*4 {
+		t.Fatalf("headroom %d after alloc", got)
+	}
+	un := NewManager(Config{})
+	if un.Headroom() < 1<<60 {
+		t.Fatal("unbudgeted headroom should be effectively infinite")
+	}
+}

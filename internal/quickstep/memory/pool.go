@@ -1,0 +1,89 @@
+// Package memory is the block-lifecycle subsystem of the QuickStep-like
+// substrate: a size-classed, sharded pool that recycles sealed storage
+// blocks, per-category live-byte accounting against a configurable budget,
+// and a spill manager that evicts cold partitions of full relations to temp
+// files when the budget is exceeded. It is the engine-side answer to the
+// paper's central observation that scaling in-memory Datalog is bounded by
+// memory, not CPU: QuickStep's block-based storage manager lets RecStep
+// aggressively reclaim evaluation intermediates, and this package gives our
+// engine the same lever.
+package memory
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size classes are powers of two in int32 units: 2^minClassBits (256 B) up
+// to 2^maxClassBits (16 MiB). The smallest classes exist for compacted
+// near-convergence delta blocks (a handful of rows per partition); requests
+// above the largest class are allocated exactly and never pooled (they are
+// rare: a single block never exceeds DefaultBlockRows rows).
+const (
+	minClassBits = 6
+	maxClassBits = 22
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// numShards spreads free-list contention across workers. Block allocation
+// happens once per ~16k emitted rows, so a small fixed shard count suffices.
+const numShards = 8
+
+// classOf returns the size-class index for a request of n int32s, or -1 when
+// the request exceeds the largest class.
+func classOf(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if b > maxClassBits {
+		return -1
+	}
+	return b - minClassBits
+}
+
+// classCap returns the capacity (in int32s) of class c.
+func classCap(c int) int { return 1 << (minClassBits + c) }
+
+// shard is one lock-striped set of per-class free lists.
+type shard struct {
+	mu      sync.Mutex
+	classes [numClasses][][]int32
+	bytes   int64 // bytes currently parked in this shard
+}
+
+// get pops a recycled array of class c, or nil.
+func (s *shard) get(c int) []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.classes[c]
+	if len(list) == 0 {
+		return nil
+	}
+	arr := list[len(list)-1]
+	s.classes[c] = list[:len(list)-1]
+	s.bytes -= int64(cap(arr)) * 4
+	return arr
+}
+
+// put parks an array for reuse unless the shard is at its retention cap.
+func (s *shard) put(c int, arr []int32, capBytes int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bytes+int64(cap(arr))*4 > capBytes {
+		return false
+	}
+	s.classes[c] = append(s.classes[c], arr)
+	s.bytes += int64(cap(arr)) * 4
+	return true
+}
+
+// drain empties the shard, returning the bytes dropped.
+func (s *shard) drain() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	freed := s.bytes
+	s.classes = [numClasses][][]int32{}
+	s.bytes = 0
+	return freed
+}

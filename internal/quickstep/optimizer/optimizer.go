@@ -52,6 +52,68 @@ func ChoosePartitions(buildTuples, workers int) int {
 	}
 }
 
+// Memory-headroom tiers for fan-out under budget pressure. Every partition
+// costs workers × open-block overhead during a scatter, so when the memory
+// manager reports little room under its budget the fan-out steps down
+// instead of letting scatter buffers push the run over — the paper's theme
+// of trading parallel granularity for fitting in RAM.
+const (
+	// headroomTight caps hash-build fan-out at 16.
+	headroomTight = 8 << 20
+	// headroomLow caps it at 64.
+	headroomLow = 64 << 20
+	// headroomMinPartition disables partitioning for plain hash builds
+	// entirely.
+	headroomMinPartition = 2 << 20
+)
+
+// capFanout applies the headroom tiers to a chosen partition count.
+func capFanout(parts int, headroom int64) int {
+	switch {
+	case headroom < headroomTight:
+		if parts > 16 {
+			parts = 16
+		}
+	case headroom < headroomLow:
+		if parts > 64 {
+			parts = 64
+		}
+	}
+	return parts
+}
+
+// ChoosePartitionsBudget is ChoosePartitions constrained by the memory
+// manager's remaining headroom: under pressure the fan-out shrinks, and with
+// almost no room the build runs unpartitioned (one shared table allocates no
+// scatter copies at all).
+func ChoosePartitionsBudget(buildTuples, workers int, headroom int64) int {
+	if headroom < headroomMinPartition {
+		return 1
+	}
+	return capFanout(ChoosePartitions(buildTuples, workers), headroom)
+}
+
+// ChooseDeltaPartitionsBudget is ChooseDeltaPartitions under a headroom
+// constraint. Unlike plain hash builds, the delta fan-out never drops below
+// 16 while partitioning is warranted at all: the carried whole-tuple
+// partitions are the unit of cold-partition spilling, so collapsing to a
+// flat layout under pressure would remove the engine's only way to shed
+// memory.
+func ChooseDeltaPartitionsBudget(rTuples, prevTmpTuples, workers int, headroom int64) int {
+	parts := ChooseDeltaPartitions(rTuples, prevTmpTuples, workers)
+	if parts <= 1 {
+		// The cardinality tiers would run flat — but when the full relation
+		// alone threatens the remaining headroom, partition it anyway:
+		// carried partitions are the unit of cold-partition spilling, and a
+		// flat R under a tight budget has no way to shed memory at all.
+		if int64(rTuples)*8 > headroom/4 {
+			return 16
+		}
+		return parts
+	}
+	return capFanout(parts, headroom)
+}
+
 // ChooseDeltaPartitions picks the whole-tuple radix fan-out one recursive
 // predicate uses for one fixpoint iteration. A single count is shared by
 // every stage of the delta pipeline — the fused scatter of the join output,

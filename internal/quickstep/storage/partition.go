@@ -91,12 +91,16 @@ func (p Partitioning) String() string {
 // each partition holds its tuples as an independent immutable block list.
 // Operators that consume a view own their partition exclusively, so builds
 // over it need no latches. Views are cached on the source Relation per
-// (key-set, partition-count) and invalidated on mutation.
+// (key-set, partition-count) and invalidated on mutation. A view installed
+// as a relation's *carried* partitioning gets an owner backpointer, through
+// which partition access routes so spilled partitions fault back in
+// transparently.
 type PartitionedView struct {
 	keyCols []int
 	parts   int
 	blocks  [][]*Block
 	rows    []int
+	owner   *Relation // set when installed as a relation's live view
 }
 
 // NewPartitionedView wraps scattered per-partition block lists. blocks must
@@ -127,26 +131,60 @@ func (v *PartitionedView) Partitioning() Partitioning {
 	return Partitioning{KeyCols: v.keyCols, Parts: v.parts}
 }
 
+// clone returns a shallow copy sharing block lists but with independent
+// identity (no owner). Installing a clone — rather than the source view
+// object — as another relation's carried view keeps ownership and spill
+// state strictly per-relation.
+func (v *PartitionedView) clone() *PartitionedView {
+	blocks := make([][]*Block, v.parts)
+	for p := range blocks {
+		blocks[p] = append([]*Block(nil), v.blocks[p]...)
+	}
+	return &PartitionedView{
+		keyCols: append([]int(nil), v.keyCols...),
+		parts:   v.parts,
+		blocks:  blocks,
+		rows:    append([]int(nil), v.rows...),
+	}
+}
+
 // mergeViews concatenates the per-partition block lists of two views with
-// identical partitioning. Blocks are shared, not copied.
+// identical partitioning. Blocks are shared, not copied. Row counts are
+// summed rather than recomputed so partitions of a spilled to-disk view keep
+// reporting their full cardinality.
 func mergeViews(a, b *PartitionedView) *PartitionedView {
 	blocks := make([][]*Block, a.parts)
+	rows := make([]int, a.parts)
 	for p := 0; p < a.parts; p++ {
 		bs := make([]*Block, 0, len(a.blocks[p])+len(b.blocks[p]))
 		bs = append(bs, a.blocks[p]...)
 		bs = append(bs, b.blocks[p]...)
 		blocks[p] = bs
+		rows[p] = a.rows[p] + b.rows[p]
 	}
-	return NewPartitionedView(a.keyCols, a.parts, blocks)
+	return &PartitionedView{
+		keyCols: append([]int(nil), a.keyCols...),
+		parts:   a.parts,
+		blocks:  blocks,
+		rows:    rows,
+	}
 }
 
 // KeyCols returns the columns the view is partitioned on. Read-only.
 func (v *PartitionedView) KeyCols() []int { return v.keyCols }
 
-// Blocks returns partition p's block list. Read-only.
-func (v *PartitionedView) Blocks(p int) []*Block { return v.blocks[p] }
+// Blocks returns partition p's block list. Read-only. When the view is a
+// relation's carried partitioning and partition p was spilled to disk, the
+// access faults it back in transparently and records the touch for the
+// LRU spill policy.
+func (v *PartitionedView) Blocks(p int) []*Block {
+	if r := v.owner; r != nil {
+		return r.partitionBlocks(v, p)
+	}
+	return v.blocks[p]
+}
 
-// Rows returns partition p's tuple count.
+// Rows returns partition p's tuple count, including spilled tuples.
 func (v *PartitionedView) Rows(p int) int { return v.rows[p] }
 
 // NumTuples returns the total tuple count across partitions.
@@ -183,43 +221,117 @@ func (r *Relation) CachedPartitionedView(keyCols []int, parts int) (v *Partition
 // the generation, and the now-stale view is silently not cached (the caller
 // still holds a consistent snapshot of the contents it scanned). Concurrent
 // stores for the same key at the same generation are harmless: both views
-// describe identical contents and the last one wins.
+// describe identical contents and the last one wins. The relation takes
+// ownership of the view's scatter-copy blocks: they are released when the
+// cache is invalidated (after the engine's retire/reclaim quiescence) or
+// when the relation is released.
 func (r *Relation) StorePartitionedView(v *PartitionedView, gen uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.gen != gen {
+		r.retireViewBlocksLocked(v)
 		return
 	}
 	if r.partViews == nil {
 		r.partViews = make(map[string]*PartitionedView)
 	}
 	r.partViews[partitionKey(v.keyCols, v.parts)] = v
+	for p := range v.blocks {
+		r.ownedView = append(r.ownedView, v.blocks[p]...)
+	}
 }
 
 // StoreCarriedView promotes a view built from the snapshot taken at mutation
 // generation gen to the relation's *carried* partitioning: subsequent
 // compatible partitioned appends merge into it instead of invalidating. A
-// relation carries at most one partitioning — promoting replaces the previous
-// one (the whole-tuple delta partitioning wins over transient join-key
-// views, which stay in the ordinary cache). Stale promotions (gen advanced)
-// are refused, exactly like StorePartitionedView.
+// relation carries at most one partitioning — promoting replaces the
+// previous one. Because the view's partitions are a scatter *copy* of the
+// current contents, the relation's flat block list is replaced by the view's
+// blocks: keeping both would double the footprint (the memory regression the
+// block pool exists to prevent). The superseded flat blocks and any
+// scatter copies owned for previously cached views are retired, to be
+// recycled at the next ReclaimRetired. Stale promotions (gen advanced) are
+// refused, exactly like StorePartitionedView.
 func (r *Relation) StoreCarriedView(v *PartitionedView, gen uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.gen != gen {
+		r.retireViewBlocksLocked(v)
 		return
 	}
-	if r.partViews == nil {
-		r.partViews = make(map[string]*PartitionedView)
+	if len(r.slots) != 0 {
+		// The promoted view was built from a fully faulted snapshot (the
+		// scatter read every tuple); stale slots here would mean the caller
+		// bypassed Blocks().
+		panic(fmt.Sprintf("storage: StoreCarriedView on %q with spilled partitions", r.name))
 	}
-	r.partViews[partitionKey(v.keyCols, v.parts)] = v
-	r.live = v
+	// Retire the old physical layout: the flat list is superseded by the
+	// scatter copy, and all previously cached views die with the cache reset.
+	// Blocks of v itself are excluded — when a previously cached view is
+	// promoted, its blocks move from view ownership to the flat list rather
+	// than being retired out from under it.
+	keep := make(map[*Block]struct{})
+	for p := range v.blocks {
+		for _, b := range v.blocks[p] {
+			keep[b] = struct{}{}
+		}
+	}
+	for _, b := range r.blocks {
+		if _, own := keep[b]; !own {
+			r.retired = append(r.retired, b)
+		}
+	}
+	for _, b := range r.ownedView {
+		if _, own := keep[b]; !own {
+			r.retired = append(r.retired, b)
+		}
+	}
+	r.ownedView = nil
+	r.open = nil
+	r.blocks = nil
+	rows := 0
+	for p := range v.blocks {
+		for _, b := range v.blocks[p] {
+			if b.Rows() == 0 {
+				continue
+			}
+			r.adoptCategoryLocked(b)
+			r.blocks = append(r.blocks, b)
+			rows += b.Rows()
+		}
+	}
+	r.rows = rows
+	r.installLiveLocked(v)
+}
+
+// retireViewBlocksLocked takes custody of a refused view's scatter-copy
+// blocks. The caller of the refused store still scans the view for the rest
+// of its query, so the blocks are retired — recycled at the next quiescent
+// ReclaimRetired — rather than leaked with their pool accounting charged
+// forever.
+func (r *Relation) retireViewBlocksLocked(v *PartitionedView) {
+	for p := range v.blocks {
+		r.retired = append(r.retired, v.blocks[p]...)
+	}
 }
 
 // invalidatePartitionsLocked drops all cached views and the carried
-// partitioning; callers hold r.mu.
+// partitioning; callers hold r.mu and must have faulted spilled partitions
+// back in first (flat mutations orphan spill slots otherwise). Scatter
+// copies owned for cached views are retired, not released: an in-flight
+// operator may still be scanning them, so they are recycled only at the
+// next quiescent ReclaimRetired.
 func (r *Relation) invalidatePartitionsLocked() {
+	if len(r.slots) != 0 {
+		panic(fmt.Sprintf("storage: invalidating partitions of %q with spilled data", r.name))
+	}
+	r.retired = append(r.retired, r.ownedView...)
+	r.ownedView = nil
 	r.partViews = nil
-	r.live = nil
+	if r.live != nil {
+		r.live.owner = nil
+		r.live = nil
+	}
+	r.touch = nil
 	r.gen++
 }

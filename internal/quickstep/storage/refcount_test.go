@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// poisonLifecycle is a test allocator that records every outstanding array,
+// fails on double-free, and poisons freed arrays so any reader still holding
+// one sees garbage instead of silently-correct stale data.
+type poisonLifecycle struct {
+	mu     sync.Mutex
+	live   map[*int32]int // first-element pointer -> cap
+	allocs int
+	frees  int
+}
+
+func newPoisonLifecycle() *poisonLifecycle {
+	return &poisonLifecycle{live: make(map[*int32]int)}
+}
+
+func (l *poisonLifecycle) AllocData(cat Category, capInt32s int) []int32 {
+	arr := make([]int32, 0, capInt32s)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.allocs++
+	l.live[&arr[:1][0]] = capInt32s
+	return arr
+}
+
+func (l *poisonLifecycle) FreeData(cat Category, data []int32) {
+	if data == nil {
+		return
+	}
+	full := data[:cap(data)]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := &full[0]
+	if _, ok := l.live[key]; !ok {
+		panic("poisonLifecycle: double free or foreign array")
+	}
+	delete(l.live, key)
+	l.frees++
+	for i := range full {
+		full[i] = -0x5EED
+	}
+}
+
+func (l *poisonLifecycle) Recat(from, to Category, bytes int64) {}
+
+func (l *poisonLifecycle) outstanding() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.live)
+}
+
+// fillRelation creates a pool-allocated relation with n two-column tuples.
+func fillRelation(lc Lifecycle, name string, n, seed int) *Relation {
+	r := NewRelation(name, NumberedColumns(2))
+	r.SetLifecycle(lc, CatIntermediate)
+	rows := make([]int32, 0, 2*n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, int32(seed+i), int32(seed+2*i))
+	}
+	r.AppendRows(rows)
+	return r
+}
+
+// The PR 2 aliasing audit: block-adopting AppendRelation shares blocks
+// between relations, so releasing one must not free (and poison) data the
+// other still scans, and releasing both must free each block exactly once.
+func TestAppendRelationSharedBlocksSurviveRelease(t *testing.T) {
+	lc := newPoisonLifecycle()
+	src := fillRelation(lc, "src", 5000, 1)
+	want := src.SortedRows()
+
+	dst := NewRelation("dst", NumberedColumns(2))
+	dst.SetLifecycle(lc, CatIntermediate)
+	dst.AppendRelation(src)
+
+	src.Release()
+	if got := dst.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatal("dst lost or corrupted rows after src release")
+	}
+	dst.Release()
+	if n := lc.outstanding(); n != 0 {
+		t.Fatalf("%d arrays leaked after releasing both relations", n)
+	}
+}
+
+// AdoptPartitioned relations alias their carried view's blocks from the flat
+// list; releasing such a relation must free every scatter block exactly once
+// (the double-ownership the single carried-store in partitionRelation
+// guards against).
+func TestAdoptPartitionedReleaseFreesOnce(t *testing.T) {
+	lc := newPoisonLifecycle()
+	parts := 8
+	blocks := make([][]*Block, parts)
+	var all []int32
+	for p := 0; p < parts; p++ {
+		b := NewBlockIn(lc, CatDelta, 2, 16)
+		for i := 0; i < 100; i++ {
+			row := []int32{int32(p), int32(i)}
+			b.Append(row)
+			all = append(all, row...)
+		}
+		blocks[p] = []*Block{b}
+	}
+	r := NewRelation("r", NumberedColumns(2))
+	r.SetLifecycle(lc, CatIDB)
+	r.AdoptPartitioned(NewPartitionedView(AllCols(2), parts, blocks))
+	if r.NumTuples() != parts*100 {
+		t.Fatalf("adopted %d tuples, want %d", r.NumTuples(), parts*100)
+	}
+	r.Release() // poisonLifecycle panics on double free
+	if n := lc.outstanding(); n != 0 {
+		t.Fatalf("%d arrays leaked", n)
+	}
+}
+
+// A carried-view merge chain (R ← R ⊎ ∆R across iterations) followed by
+// releases in engine order: each ∆R is released after adoption, R last.
+// Contents must stay intact throughout and no array may leak or double-free.
+func TestCarriedMergeReleaseChain(t *testing.T) {
+	lc := newPoisonLifecycle()
+	parts := 4
+	r := NewRelation("r", NumberedColumns(2))
+	r.SetLifecycle(lc, CatIDB)
+
+	var want []int32
+	var prevDelta *Relation
+	for iter := 0; iter < 20; iter++ {
+		blocks := make([][]*Block, parts)
+		for p := 0; p < parts; p++ {
+			b := NewBlockIn(lc, CatDelta, 2, 4)
+			for i := 0; i < 10; i++ {
+				row := []int32{int32(iter), int32(p*100 + i)}
+				b.Append(row)
+				want = append(want, row...)
+			}
+			blocks[p] = []*Block{b}
+		}
+		delta := NewRelation("delta", NumberedColumns(2))
+		delta.SetLifecycle(lc, CatDelta)
+		delta.AdoptPartitioned(NewPartitionedView(AllCols(2), parts, blocks))
+		r.AppendRelation(delta)
+		// Engine epoch: the previous iteration's ∆R dies once the new one
+		// is installed.
+		if prevDelta != nil {
+			prevDelta.Release()
+		}
+		prevDelta = delta
+		r.ReclaimRetired()
+		r.CoalescePartitions()
+	}
+	if prevDelta != nil {
+		prevDelta.Release()
+	}
+
+	got := r.SortedRows()
+	wantRel := NewRelation("want", NumberedColumns(2))
+	wantRel.AppendRows(want)
+	if !reflect.DeepEqual(got, wantRel.SortedRows()) {
+		t.Fatal("merge chain corrupted relation contents")
+	}
+	r.Release()
+	if n := lc.outstanding(); n != 0 {
+		t.Fatalf("%d arrays leaked", n)
+	}
+}
+
+// Run under -race (CI does): releasing a source relation while concurrent
+// readers scan a destination that shares its blocks must be safe — the
+// destination's references keep the blocks alive, and recycled arrays are
+// poisoned so a premature free would corrupt visibly.
+func TestConcurrentSharedReleaseRace(t *testing.T) {
+	lc := newPoisonLifecycle()
+	src := fillRelation(lc, "src", 20000, 7)
+	want := src.NumTuples()
+
+	dst := NewRelation("dst", NumberedColumns(2))
+	dst.SetLifecycle(lc, CatIntermediate)
+	dst.AppendRelation(src)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				n := 0
+				dst.ForEach(func(tu []int32) {
+					if tu[0] == -0x5EED {
+						panic("read poisoned (freed) block memory")
+					}
+					n++
+				})
+				if n != want {
+					panic("short read of shared relation")
+				}
+			}
+		}()
+	}
+	// Release the source concurrently with the readers; churn fresh
+	// allocations so any wrongly-freed array would be reused and poisoned.
+	src.Release()
+	for i := 0; i < 50; i++ {
+		scratch := fillRelation(lc, "scratch", 500, 1000*i)
+		scratch.Release()
+	}
+	wg.Wait()
+	dst.Release()
+	if n := lc.outstanding(); n != 0 {
+		t.Fatalf("%d arrays leaked", n)
+	}
+}

@@ -11,9 +11,22 @@ import (
 // lock-free (sealed blocks are immutable). RecStep relations are bags at the
 // storage level — set semantics are enforced by the dedup stage, exactly as in
 // the paper (UNION ALL plus a separate dedup call).
+//
+// Block ownership: every block in the flat list holds one reference, as does
+// every scatter-copy block owned on behalf of a cached partitioned view.
+// Sharing blocks between relations (AppendRelation, the ⊎ of Algorithm 1)
+// retains them, so releasing one holder never frees data another still scans.
+// Release returns every owned block to its pool; ReclaimRetired sweeps
+// superseded view copies at engine-chosen quiescent points.
 type Relation struct {
 	name     string
 	colNames []string
+
+	// lc/cat select where this relation's own appends allocate block memory
+	// and which accounting category they charge. Adopted blocks keep the
+	// lifecycle they were allocated with.
+	lc  Lifecycle
+	cat Category
 
 	mu     sync.Mutex
 	blocks []*Block
@@ -31,6 +44,17 @@ type Relation struct {
 	// per partition), so a relation that accumulates partition-native deltas
 	// never needs a re-scatter. Any flat mutation drops it.
 	live *PartitionedView
+	// ownedView holds scatter-copy blocks owned on behalf of cached
+	// (non-carried) views — data that duplicates the flat contents in a
+	// different physical layout. retired holds owned blocks whose views were
+	// superseded or invalidated; they may still be scanned by an in-flight
+	// operator, so they are released only at ReclaimRetired/Release.
+	ownedView []*Block
+	retired   []*Block
+	// Spill state (cold-partition eviction of the carried view); see spill.go.
+	pager Pager
+	slots map[int]*spillSlot
+	touch []int64
 }
 
 // NewRelation creates an empty relation. colNames fixes the arity; names are
@@ -40,6 +64,16 @@ func NewRelation(name string, colNames []string) *Relation {
 		panic("storage: relation needs at least one column")
 	}
 	return &Relation{name: name, colNames: append([]string(nil), colNames...)}
+}
+
+// SetLifecycle routes the relation's future block allocations through lc,
+// charged to cat. Blocks appended before the call keep their original
+// lifecycle. Blocks of a different category adopted later (e.g. ∆R blocks
+// entering an IDB relation) are re-categorized to cat.
+func (r *Relation) SetLifecycle(lc Lifecycle, cat Category) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lc, r.cat = lc, cat
 }
 
 // NumberedColumns returns n column names c0..c(n-1), for relations whose
@@ -71,7 +105,7 @@ func (r *Relation) ColIndex(name string) int {
 	return -1
 }
 
-// NumTuples returns the current tuple count.
+// NumTuples returns the current tuple count, including spilled partitions.
 func (r *Relation) NumTuples() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -79,11 +113,13 @@ func (r *Relation) NumTuples() int {
 }
 
 // Blocks returns a snapshot of the block list. The open tail block is sealed
-// first so every returned block is immutable.
+// first so every returned block is immutable; spilled partitions are faulted
+// back in (a flat scan touches the whole relation).
 func (r *Relation) Blocks() []*Block {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sealLocked()
+	r.faultAllLocked()
 	out := make([]*Block, len(r.blocks))
 	copy(out, r.blocks)
 	return out
@@ -95,6 +131,14 @@ func (r *Relation) sealLocked() {
 	}
 }
 
+// adoptCategoryLocked folds a foreign block into this relation's accounting
+// category (∆R blocks adopted into R become IDB bytes).
+func (r *Relation) adoptCategoryLocked(b *Block) {
+	if r.cat != CatIntermediate {
+		b.Recat(r.cat)
+	}
+}
+
 // Append adds a single tuple.
 func (r *Relation) Append(tuple []int32) {
 	r.mu.Lock()
@@ -102,8 +146,9 @@ func (r *Relation) Append(tuple []int32) {
 	if len(tuple) != len(r.colNames) {
 		panic(fmt.Sprintf("storage: tuple arity %d does not match relation %q arity %d", len(tuple), r.name, len(r.colNames)))
 	}
+	r.faultAllLocked()
 	if r.open == nil || r.open.Full() {
-		r.open = NewBlock(len(r.colNames))
+		r.open = NewBlockIn(r.lc, r.cat, len(r.colNames), 0)
 		r.blocks = append(r.blocks, r.open)
 	}
 	r.open.Append(tuple)
@@ -121,32 +166,37 @@ func (r *Relation) AppendRows(rows []int32) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sealLocked()
+	r.faultAllLocked()
 	stride := arity * DefaultBlockRows
 	for off := 0; off < len(rows); off += stride {
 		end := off + stride
 		if end > len(rows) {
 			end = len(rows)
 		}
-		chunk := make([]int32, end-off)
-		copy(chunk, rows[off:end])
-		r.blocks = append(r.blocks, BlockFromRows(arity, chunk))
+		b := NewBlockIn(r.lc, r.cat, arity, (end-off)/arity)
+		b.AppendBulk(rows[off:end])
+		r.blocks = append(r.blocks, b)
 	}
 	r.rows += len(rows) / arity
 	r.invalidatePartitionsLocked()
 }
 
 // AdoptBlock appends a block without copying. The caller relinquishes
-// ownership; the block must not be mutated afterwards.
+// ownership; the block must not be mutated afterwards. Empty blocks are
+// released back to their pool immediately.
 func (r *Relation) AdoptBlock(b *Block) {
 	if b.Arity() != len(r.colNames) {
 		panic(fmt.Sprintf("storage: block arity %d does not match relation %q arity %d", b.Arity(), r.name, len(r.colNames)))
 	}
 	if b.Rows() == 0 {
+		b.Release()
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sealLocked()
+	r.faultAllLocked()
+	r.adoptCategoryLocked(b)
 	r.blocks = append(r.blocks, b)
 	r.rows += b.Rows()
 	r.invalidatePartitionsLocked()
@@ -157,7 +207,9 @@ func (r *Relation) AdoptBlock(b *Block) {
 // carry the same partitioning (or the destination is empty and the source
 // carries one), the per-partition block lists are merged and the destination
 // keeps carrying that partitioning — the block-adopting append that lets the
-// fixpoint loop install partition-native deltas without a re-scatter.
+// fixpoint loop install partition-native deltas without a re-scatter. Shared
+// blocks are retained by the destination, so either relation can be released
+// without freeing data the other still holds.
 func (r *Relation) AppendRelation(other *Relation) {
 	if other.Arity() != r.Arity() {
 		panic(fmt.Sprintf("storage: arity mismatch appending %q to %q", other.name, r.name))
@@ -167,17 +219,31 @@ func (r *Relation) AppendRelation(other *Relation) {
 	defer r.mu.Unlock()
 	r.sealLocked()
 	wasEmpty := r.rows == 0
+	mergeable := view != nil &&
+		(wasEmpty || (r.live != nil && r.live.Partitioning().Equal(view.Partitioning())))
+	if !mergeable {
+		// The merge below keeps spill slots valid (partition indexing is
+		// preserved); any other append is a flat mutation and must restore
+		// spilled partitions before the carried view is dropped.
+		r.faultAllLocked()
+	}
 	for _, b := range blocks {
 		if b.Rows() == 0 {
 			continue
 		}
+		b.Retain()
+		r.adoptCategoryLocked(b)
 		r.blocks = append(r.blocks, b)
 		r.rows += b.Rows()
 	}
 	switch {
-	case view != nil && wasEmpty:
-		r.installLiveLocked(view)
-	case view != nil && r.live != nil && r.live.Partitioning().Equal(view.Partitioning()):
+	case mergeable && wasEmpty:
+		// Clone rather than share the view object: the destination's spill
+		// and ownership state must never alias another relation's (the PR 2
+		// aliasing audit — a shared view object would let one relation's
+		// release or spill mutate the other's carried partitioning).
+		r.installLiveLocked(view.clone())
+	case mergeable:
 		r.installLiveLocked(mergeViews(r.live, view))
 	default:
 		r.invalidatePartitionsLocked()
@@ -185,11 +251,14 @@ func (r *Relation) AppendRelation(other *Relation) {
 }
 
 // snapshot returns the sealed block list plus the carried partitioned view
-// (nil if none), both consistent with each other.
+// (nil if none), both consistent with each other. Spilled partitions are
+// faulted back first: the caller is about to scan (or share) the whole
+// contents.
 func (r *Relation) snapshot() ([]*Block, *PartitionedView) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sealLocked()
+	r.faultAllLocked()
 	out := make([]*Block, len(r.blocks))
 	copy(out, r.blocks)
 	return out, r.live
@@ -197,7 +266,9 @@ func (r *Relation) snapshot() ([]*Block, *PartitionedView) {
 
 // AdoptPartitioned installs a partitioned view's blocks as the relation's
 // contents without copying and carries the view's partitioning. The relation
-// must be empty; the caller relinquishes ownership of the view's blocks.
+// must be empty; the caller relinquishes ownership of the view's blocks (the
+// flat list takes their references, the view becomes an alias of the flat
+// contents).
 func (r *Relation) AdoptPartitioned(v *PartitionedView) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -209,6 +280,7 @@ func (r *Relation) AdoptPartitioned(v *PartitionedView) {
 			if b.Rows() == 0 {
 				continue
 			}
+			r.adoptCategoryLocked(b)
 			r.blocks = append(r.blocks, b)
 			r.rows += b.Rows()
 		}
@@ -239,19 +311,71 @@ func (r *Relation) CarriedView(keyCols []int, parts int) (*PartitionedView, bool
 
 // installLiveLocked replaces the carried view and resets the cache to hold
 // exactly it: the mutation generation advances (so stale in-flight view
-// builds are refused) while lookups for the carried key still hit.
+// builds are refused) while lookups for the carried key still hit. The
+// previous live view's blocks stay owned by the flat list (views installed
+// here alias the flat contents), so nothing is released.
 func (r *Relation) installLiveLocked(v *PartitionedView) {
 	r.gen++
+	if r.live != nil && r.live != v {
+		r.live.owner = nil
+	}
 	r.live = v
+	v.owner = r
 	r.partViews = map[string]*PartitionedView{partitionKey(v.keyCols, v.parts): v}
+	r.resizeTouchLocked(v.parts)
 }
 
-// Clear drops all tuples.
+// Clear drops all tuples, releasing every owned block and dropping any
+// spilled partition files.
 func (r *Relation) Clear() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.dropSlotsLocked()
+	for _, b := range r.blocks {
+		b.Release()
+	}
 	r.blocks, r.open, r.rows = nil, nil, 0
 	r.invalidatePartitionsLocked()
+	r.reclaimRetiredLocked()
+}
+
+// Release frees every block the relation owns — flat contents, scatter
+// copies owned on behalf of cached views, retired view copies and spilled
+// partition files — returning pool-allocated arrays for recycling. The
+// relation is empty afterwards. Blocks shared with other relations survive
+// (their references keep them alive); the caller must be the last reader of
+// blocks exclusive to this relation.
+func (r *Relation) Release() {
+	r.Clear()
+}
+
+// Restore faults every spilled partition back into memory. The engine calls
+// it on result relations before their database — and with it the spill
+// directory — is closed.
+func (r *Relation) Restore() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faultAllLocked()
+}
+
+// ReclaimRetired releases retired scatter-copy blocks (superseded or
+// invalidated partitioned views). The engine calls it at iteration
+// boundaries, when no operator can still hold a view built before the
+// mutation that retired them.
+func (r *Relation) ReclaimRetired() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reclaimRetiredLocked()
+}
+
+// reclaimRetiredLocked releases retired blocks only. Blocks in ownedView are
+// still referenced by live cache entries (an EDB's join-key views are reused
+// every iteration); they reach the retired list when the cache drops them.
+func (r *Relation) reclaimRetiredLocked() {
+	for _, b := range r.retired {
+		b.Release()
+	}
+	r.retired = nil
 }
 
 // Rows materializes every tuple into one row-major slice. Intended for tests,

@@ -4,6 +4,7 @@ package relio
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -97,4 +98,103 @@ func WriteTSVFile(path string, rel *storage.Relation) error {
 		return err
 	}
 	return f.Close()
+}
+
+// Spill-file format: the binary block format the memory manager uses to
+// evict cold partitions. Layout mirrors storage's table format — a small
+// header (magic, arity, row count) followed by little-endian row-major int32
+// data — but reads reconstruct pool-allocated blocks instead of a Relation.
+
+const spillMagic = uint32(0x5350494C) // "SPIL"
+
+// WriteBlocksFile persists a partition's blocks to path.
+func WriteBlocksFile(path string, arity int, blocks []*storage.Block) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(f)
+	rows := 0
+	for _, b := range blocks {
+		rows += b.Rows()
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(arity))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(rows))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return 0, err
+	}
+	// Encode whole blocks into one reusable byte buffer per block: this runs
+	// synchronously on the eviction path, where per-value bufio round-trips
+	// would dominate.
+	var enc []byte
+	written := int64(len(hdr))
+	for _, b := range blocks {
+		data := b.Data()
+		if need := 4 * len(data); cap(enc) < need {
+			enc = make([]byte, need)
+		}
+		enc = enc[:4*len(data)]
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(enc[i*4:], uint32(v))
+		}
+		if _, err := bw.Write(enc); err != nil {
+			f.Close()
+			return 0, err
+		}
+		written += int64(len(enc))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return written, f.Close()
+}
+
+// ReadBlocksFile restores blocks written by WriteBlocksFile, allocating
+// their backing arrays through lc under cat (nil lc selects the heap).
+func ReadBlocksFile(path string, lc storage.Lifecycle, cat storage.Category, arity int) ([]*storage.Block, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("relio: reading spill header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != spillMagic {
+		return nil, fmt.Errorf("relio: bad spill magic in %s", path)
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[4:])); got != arity {
+		return nil, fmt.Errorf("relio: spill arity %d, want %d", got, arity)
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[8:]))
+	var blocks []*storage.Block
+	chunk := make([]int32, arity*storage.DefaultBlockRows)
+	raw := make([]byte, 4*len(chunk))
+	for read := 0; read < rows; {
+		n := storage.DefaultBlockRows
+		if rows-read < n {
+			n = rows - read
+		}
+		// One bulk read + decode per block: the fault path blocks a running
+		// operator, so per-value reads are not acceptable there.
+		rb := raw[:4*n*arity]
+		if _, err := io.ReadFull(br, rb); err != nil {
+			return nil, fmt.Errorf("relio: reading spill data: %w", err)
+		}
+		cb := chunk[:n*arity]
+		for i := range cb {
+			cb[i] = int32(binary.LittleEndian.Uint32(rb[i*4:]))
+		}
+		b := storage.NewBlockIn(lc, cat, arity, n)
+		b.AppendBulk(cb)
+		blocks = append(blocks, b)
+		read += n
+	}
+	return blocks, nil
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package recstep
+
+// raceEnabled reports whether the race detector build tag is active; the
+// strict peak-vs-budget assertion is skipped under -race, whose scheduler
+// instrumentation widens the windows in which the reclaimer cannot acquire a
+// contended relation.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package recstep
+
+// raceEnabled reports whether the race detector build tag is active.
+const raceEnabled = true
