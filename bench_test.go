@@ -345,33 +345,48 @@ func BenchmarkEngineTC(b *testing.B) {
 // every probe matches at most one build row, so hash construction dominates
 // the measurement). The serial arm reproduces the shared-hash-table limiter
 // the paper identifies; the partitioned arm is the radix-partitioned
-// contention-free build. Each iteration re-wraps the build side in a fresh
-// relation (block-sharing, no copy) so the cached partitioned view never
-// carries across iterations and the scatter cost is measured every time.
+// contention-free build; the carried arm hands the build a relation already
+// carrying the join-key partitioning — the state ∆R is in when it exits the
+// fused delta step — so the per-partition tables index the carried blocks
+// in place with zero scatter (compare against partitioned, which is the
+// -carry-join-parts=false regime). Each iteration re-wraps the build side
+// in a fresh relation (block-sharing, no copy) so no cached view persists
+// across iterations; the carried arm rebuilds its carried state per
+// iteration outside the timer.
 func BenchmarkJoinBuildScaling(b *testing.B) {
 	arc := graphs.GnP(900, 0.02, 5)
 	tc := native.TC(arc, 0)
+	keys := []int{0, 1}
 	spec := exec.JoinSpec{
-		LeftKeys:  []int{0, 1},
-		RightKeys: []int{0, 1},
+		LeftKeys:  keys,
+		RightKeys: keys,
 		BuildLeft: false,
 		Projs:     []expr.Expr{expr.Col{Index: 0}, expr.Col{Index: 1}},
 		OutName:   "hit",
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		pool := exec.NewPool(workers)
-		for _, mode := range []string{"serial", "partitioned"} {
+		for _, mode := range []string{"serial", "partitioned", "carried"} {
 			s := spec
-			if mode == "serial" {
+			switch mode {
+			case "serial":
 				s.BuildSerial = true
-			} else {
+			default:
 				s.Partitions = optimizer.ChoosePartitions(tc.NumTuples(), workers)
+			}
+			if mode == "carried" && s.Partitions <= 1 {
+				continue // single worker never partitions; nothing to carry
 			}
 			b.Run(fmt.Sprintf("%s/workers-%d", mode, workers), func(b *testing.B) {
 				b.SetBytes(int64(tc.NumTuples() * 8))
 				for i := 0; i < b.N; i++ {
 					build := storage.NewRelation("tc", tc.ColNames())
 					build.AppendRelation(tc)
+					if mode == "carried" {
+						b.StopTimer()
+						exec.PartitionRelationCarried(pool, build, keys, s.Partitions)
+						b.StartTimer()
+					}
 					out := exec.HashJoin(pool, tc, build, s)
 					b.ReportMetric(float64(out.NumTuples()), "tuples")
 				}
@@ -384,11 +399,15 @@ func BenchmarkJoinBuildScaling(b *testing.B) {
 // the join output plus set difference against the full relation plus delta
 // materialization — comparing the fused partition-native DeltaStep against
 // the staged Dedup + SetDifference pipeline it replaces, across worker
-// counts and radix fan-outs. The join output is a duplicate-heavy TC-shaped
+// counts and radix fan-outs, plus a fused-carried arm where both inputs
+// arrive already scattered on a join-key partitioning (the fused-scatter
+// steady state with -carry-join-parts): the pass consumes the carried
+// partitions in place. The join output is a duplicate-heavy TC-shaped
 // relation; R overlaps about half of it (the mid-fixpoint regime where the
 // delta pipeline dominates iteration cost). Inputs are re-wrapped in fresh
 // relations every iteration so no carried or cached partitioning persists
-// and the full scatter cost is measured each time.
+// across iterations; the carried arm rebuilds its carried state per
+// iteration outside the timer.
 func BenchmarkDeltaStep(b *testing.B) {
 	arc := graphs.GnP(900, 0.02, 5)
 	tc := native.TC(arc, 0)
@@ -416,8 +435,12 @@ func BenchmarkDeltaStep(b *testing.B) {
 		mem := memory.NewManager(memory.Config{})
 		pool.SetAlloc(mem)
 		for _, parts := range []int{1, 16, 64} {
-			for _, mode := range []string{"fused", "staged"} {
+			for _, mode := range []string{"fused", "fused-carried", "staged"} {
+				if mode == "fused-carried" && parts <= 1 {
+					continue // nothing to carry without a fan-out
+				}
 				name := fmt.Sprintf("%s/workers-%d/parts-%d", mode, workers, parts)
+				deltaKeys := []int{1}
 				b.Run(name, func(b *testing.B) {
 					b.SetBytes(int64(tmpBase.NumTuples() * 8))
 					for n := 0; n < b.N; n++ {
@@ -426,9 +449,18 @@ func BenchmarkDeltaStep(b *testing.B) {
 						full := storage.NewRelation("r", storage.NumberedColumns(2))
 						full.AppendRelation(fullBase)
 						var delta *storage.Relation
-						if mode == "fused" {
-							delta = exec.DeltaStep(pool, tmp, full, exec.OPSD, parts, tc.NumTuples(), "delta")
-						} else {
+						switch mode {
+						case "fused":
+							delta = exec.DeltaStep(pool, tmp, full, exec.OPSD, storage.Partitioning{Parts: parts}, tc.NumTuples(), "delta")
+						case "fused-carried":
+							b.StopTimer()
+							tmp.SetLifecycle(mem, storage.CatIntermediate)
+							full.SetLifecycle(mem, storage.CatIDB)
+							exec.PartitionRelationCarried(pool, tmp, deltaKeys, parts)
+							exec.PartitionRelationCarried(pool, full, deltaKeys, parts)
+							b.StartTimer()
+							delta = exec.DeltaStep(pool, tmp, full, exec.OPSD, storage.Partitioning{KeyCols: deltaKeys, Parts: parts}, tc.NumTuples(), "delta")
+						default:
 							rdelta := exec.Dedup(pool, tmp, exec.DedupGSCHT, tc.NumTuples(), "rdelta")
 							delta = exec.SetDifferencePartitioned(pool, rdelta, full, exec.OPSD, parts, "delta")
 							rdelta.Release()

@@ -1,0 +1,233 @@
+package recstep
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"recstep/internal/core"
+	"recstep/internal/graphs"
+	"recstep/internal/programs"
+	"recstep/internal/quickstep/storage"
+)
+
+// Join-key-carried partitionings are a physical rewrite only: for every
+// benchmark program, every relation it derives must be identical with
+// carrying on and off, at every radix fan-out. The staged serial run is the
+// reference, exactly as in the fused-vs-staged equivalence suite.
+func TestCarriedMatchesRescatterAcrossPrograms(t *testing.T) {
+	names := make([]string, 0, len(programs.ByName))
+	for name := range programs.ByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			prog, err := programs.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edbs := fuseTestEDBs(name)
+
+			run := func(carry bool, parts int) map[string][]int32 {
+				t.Helper()
+				opts := core.DefaultOptions()
+				opts.Workers = 4
+				opts.CarryJoinParts = carry
+				opts.Partitions = parts
+				res, err := core.New(opts).Run(prog, edbs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make(map[string][]int32, len(res.Relations))
+				for rel, r := range res.Relations {
+					out[rel] = r.SortedRows()
+				}
+				return out
+			}
+
+			staged := func() map[string][]int32 {
+				t.Helper()
+				opts := core.DefaultOptions()
+				opts.Workers = 4
+				opts.FuseDelta = false
+				opts.CarryJoinParts = false
+				opts.Partitions = 1
+				res, err := core.New(opts).Run(prog, edbs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make(map[string][]int32, len(res.Relations))
+				for rel, r := range res.Relations {
+					out[rel] = r.SortedRows()
+				}
+				return out
+			}
+
+			want := staged()
+			for _, carry := range []bool{true, false} {
+				for _, parts := range []int{1, 16, 64} {
+					got := run(carry, parts)
+					for rel, rows := range want {
+						if !reflect.DeepEqual(got[rel], rows) {
+							t.Fatalf("carry=%v parts=%d: %s (%d rows) diverges from staged serial (%d rows)",
+								carry, parts, rel, len(got[rel]), len(rows))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// With carrying on, a TC fixpoint must never re-scatter the delta for a
+// join build: ∆R exits the delta step carrying the join-key partitioning
+// the next build wants, so across the whole run the only permissible build
+// scatter is the EDB's one-time view-cache fill (it happens the first
+// iteration the optimizer picks arc as the build side). The ablation must
+// keep paying per-iteration delta re-scatters — otherwise the counters
+// measure nothing.
+func TestCarriedZeroDeltaBuildScatters(t *testing.T) {
+	arc := graphs.GnP(150, 0.05, 23)
+	prog := programs.MustParse(programs.TC)
+	edbs := map[string]*storage.Relation{"arc": arc}
+
+	run := func(carry bool) core.Stats {
+		opts := core.DefaultOptions()
+		opts.Workers = 4
+		opts.Partitions = 16
+		opts.CarryJoinParts = carry
+		res, err := core.New(opts).Run(prog, edbs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+
+	stats := run(true)
+	// One EDB (arc) ⇒ at most one build scatter the whole run; every delta
+	// build must be served in place.
+	if stats.JoinBuildScatters > 1 {
+		t.Fatalf("carried run paid %d join-build scatters, want ≤ 1 (the EDB cache fill)", stats.JoinBuildScatters)
+	}
+	if stats.JoinBuildScattersAvoided == 0 {
+		t.Fatal("carried run reports no builds served from carried partitions; the counter is not measuring")
+	}
+
+	abl := run(false)
+	if abl.JoinBuildScatters <= stats.JoinBuildScatters {
+		t.Fatalf("ablation build scatters %d not above carried run's %d",
+			abl.JoinBuildScatters, stats.JoinBuildScatters)
+	}
+}
+
+// The carried keyset must be chosen per stratum and reported consistently:
+// ∆R and R of a linear-TC predicate end the run carrying a partitioning
+// keyed on the join column, not the whole tuple.
+func TestCarriedKeysetIsJoinKeyed(t *testing.T) {
+	arc := graphs.GnP(120, 0.05, 29)
+	prog := programs.MustParse(programs.TC)
+	opts := core.DefaultOptions()
+	opts.Workers = 4
+	opts.Partitions = 16
+	res, err := core.New(opts).Run(prog, map[string]*storage.Relation{"arc": arc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := res.Relations["tc"]
+	p, ok := tc.Partitioning()
+	if !ok {
+		t.Fatal("tc does not carry a partitioning at fixpoint")
+	}
+	// tc(x,y) :- tc(x,z), arc(z,y): the delta enters its join keyed on
+	// column 1, so that is what the carried partitioning must route on.
+	if want := []int32{1}; len(p.KeyCols) != 1 || p.KeyCols[0] != 1 {
+		t.Fatalf("tc carries keyset %v, want %v", p.KeyCols, want)
+	}
+	if p.Parts != 16 {
+		t.Fatalf("tc carries %d partitions, want 16", p.Parts)
+	}
+}
+
+// Recursive aggregates ride the same machinery: with the partition-parallel
+// merge the CC state, ∆R and the materialized relation are bucketed on the
+// group column, and the equivalence with the serial merge must be exact.
+func TestAggMergePartitionedMatchesSerial(t *testing.T) {
+	arc := graphs.Undirected(graphs.GnP(150, 0.04, 31))
+	for _, name := range []string{"cc", "sssp"} {
+		t.Run(name, func(t *testing.T) {
+			prog, err := programs.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edbs := map[string]*storage.Relation{"arc": arc}
+			if name == "sssp" {
+				edbs = map[string]*storage.Relation{
+					"arc": graphs.Weighted(graphs.GnP(150, 0.04, 31), 100, 7),
+					"id":  graphs.SingleSource(0),
+				}
+			}
+			var want map[string][]int32
+			for _, cfg := range []struct {
+				fuse  bool
+				parts int
+			}{{false, 1}, {true, 1}, {true, 16}, {true, 64}} {
+				opts := core.DefaultOptions()
+				opts.Workers = 4
+				opts.FuseDelta = cfg.fuse
+				opts.Partitions = cfg.parts
+				res, err := core.New(opts).Run(prog, edbs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make(map[string][]int32)
+				for rel, r := range res.Relations {
+					got[rel] = r.SortedRows()
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				for rel, rows := range want {
+					if !reflect.DeepEqual(got[rel], rows) {
+						t.Fatalf("fuse=%v parts=%d: %s diverges from serial merge (%d vs %d rows)",
+							cfg.fuse, cfg.parts, rel, len(got[rel])/2, len(rows)/2)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Spilling composes with join-key-carried partitionings: a budgeted TC run
+// whose carried partitions are keyed on the join column must still spill,
+// fault transparently, and converge to the unbudgeted result.
+func TestCarriedKeyedPartitionsSpillRoundTrip(t *testing.T) {
+	arc := graphs.GnP(200, 0.04, 37)
+	prog := programs.MustParse(programs.TC)
+	edbs := map[string]*storage.Relation{"arc": arc}
+
+	free := core.DefaultOptions()
+	free.Workers = 4
+	free.Partitions = 16
+	ref, err := core.New(free).Run(prog, edbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tight := free
+	tight.MemBudgetBytes = 1 << 20
+	tight.SpillDir = t.TempDir()
+	got, err := core.New(tight).Run(prog, edbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Mem.Spills == 0 {
+		t.Skip("budget did not trigger spilling at this scale")
+	}
+	if !reflect.DeepEqual(got.Relations["tc"].SortedRows(), ref.Relations["tc"].SortedRows()) {
+		t.Fatal("budgeted keyed-carried run diverges from unbudgeted result")
+	}
+	t.Logf("spills=%d faults=%d", got.Stats.Mem.Spills, got.Stats.Mem.Faults)
+}

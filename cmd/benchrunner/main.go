@@ -27,7 +27,9 @@ func main() {
 		partitions  = flag.Int("partitions", 0, "radix partition count for hash builds (0 = auto 1/16/64/256, 1 = off)")
 		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
 		fuseDelta   = flag.Bool("fuse-delta", true, "fused partition-native delta pipeline; false selects the staged dedup+diff ablation")
+		carryJoin   = flag.Bool("carry-join-parts", true, "carry join-key partitionings across iterations so hash builds reuse ∆R/R partitions in place; false re-scatters every build (ablation)")
 		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill under pressure (0 = unlimited)")
+		benchOut    = flag.String("bench-out", "BENCH_PR4.json", "path the benchjson experiment writes its machine-readable report to")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -37,6 +39,7 @@ func main() {
 		Partitions:         *partitions,
 		BuildSerial:        *buildSerial,
 		StagedDelta:        !*fuseDelta,
+		NoCarryJoinParts:   !*carryJoin,
 		ManagedBudgetBytes: *memBudget,
 	}
 
@@ -64,7 +67,7 @@ func main() {
 	order := []string{
 		"table1", "table3", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table4",
-		"copies", "peakmem",
+		"copies", "peakmem", "benchjson",
 	}
 
 	args := flag.Args()
@@ -76,6 +79,15 @@ func main() {
 		args = order
 	}
 	for _, name := range args {
+		if name == "benchjson" {
+			rep := experiments.BenchPR4(cfg)
+			if err := experiments.WriteBenchPR4(*benchOut, rep); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(experiments.BenchPR4Table(rep))
+			log.Printf("wrote %s", *benchOut)
+			continue
+		}
 		if name == "fig4" {
 			unified, individual, err := experiments.Fig4()
 			if err != nil {

@@ -56,6 +56,7 @@ func main() {
 		partitions  = flag.Int("partitions", 0, "radix partition count for hash builds (0 = auto 1/16/64/256, 1 = off)")
 		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
 		fuseDelta   = flag.Bool("fuse-delta", true, "fused partition-native delta pipeline; false selects the staged dedup+diff ablation")
+		carryJoin   = flag.Bool("carry-join-parts", true, "carry join-key partitionings across iterations so hash builds reuse ∆R/R partitions in place; false re-scatters every build (ablation)")
 		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill to temp files under pressure (0 = unlimited)")
 		verbose     = flag.Bool("v", false, "log per-iteration deltas")
 	)
@@ -127,12 +128,14 @@ func main() {
 	opts.Partitions = *partitions
 	opts.BuildSerial = *buildSerial
 	opts.FuseDelta = *fuseDelta
+	opts.CarryJoinParts = *carryJoin
 	opts.MemBudgetBytes = *memBudget
 	if *verbose {
 		opts.IterHook = func(ii core.IterInfo) {
-			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) scattered=%d adopted=%d flat=%d",
+			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) scattered=%d adopted=%d flat=%d buildsInPlace=%d buildScatters=%d",
 				ii.Stratum, ii.Iteration, ii.Pred, ii.TmpTuples, ii.Delta, ii.Algo,
-				ii.Copy.Scattered, ii.Copy.Adopted, ii.Copy.FlatMats)
+				ii.Copy.Scattered, ii.Copy.Adopted, ii.Copy.FlatMats,
+				ii.Copy.BuildScattersAvoided, ii.Copy.BuildScatters)
 		}
 	}
 
@@ -144,6 +147,8 @@ func main() {
 		res.Stats.Duration.Round(1e6), res.Stats.Iterations, res.Stats.Queries)
 	log.Printf("copies: %d tuples scattered, %d adopted without copy, %d flat materializations",
 		res.Stats.TuplesScattered, res.Stats.TuplesAdopted, res.Stats.FlatMaterializations)
+	log.Printf("join builds: %d served from carried/cached partitions, %d paid a scatter",
+		res.Stats.JoinBuildScattersAvoided, res.Stats.JoinBuildScatters)
 	log.Printf("memory: peak pool %d bytes, %d/%d block allocs recycled, %d spills / %d faults",
 		res.Stats.Mem.PeakLive, res.Stats.Mem.PoolHits, res.Stats.Mem.PoolHits+res.Stats.Mem.PoolMisses,
 		res.Stats.Mem.Spills, res.Stats.Mem.Faults)

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"recstep/internal/datalog/analysis"
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/optimizer"
 	"recstep/internal/quickstep/storage"
 )
 
@@ -14,14 +16,32 @@ import (
 // value; the delta is the set of groups whose value improved. MIN/MAX are
 // monotone under set growth, so this converges to the same fixpoint as
 // naive evaluation.
+//
+// The state is radix-partitioned on the group columns: a group's rows all
+// route to one partition, so each partition merges against its private
+// best-map with no locks — the partition-parallel aggregate merge that lets
+// CC and SSSP run the partition-native pipeline instead of the staged
+// serial one. The fan-out is fixed at the first merge (re-bucketing the
+// state would re-hash every group) and both ∆R and the materialized full
+// relation are emitted as carried partitioned relations, so the next
+// iteration's candidate query lands pre-partitioned (fused scatter) and its
+// hash builds over ∆R reuse the carried partitions in place. parallel=false
+// keeps the serial single-map path (the staged ablation).
 type aggMerge struct {
-	spec  *analysis.AggSpec
-	arity int
-	isMin bool
-	// best maps the packed group key to the current aggregate value.
-	best map[string]int32
-	// groups retains the group column values for materialization.
-	groups map[string][]int32
+	spec     *analysis.AggSpec
+	arity    int
+	isMin    bool
+	parallel bool
+	// fixedParts pins the fan-out (the -partitions override); 0 = choose
+	// from the first candidate's cardinality.
+	fixedParts int
+	// parts is the state fan-out: 0 = not yet chosen, 1 = serial.
+	parts int
+	// best maps the packed group key to the current aggregate value;
+	// groups retains the group column values for materialization. One map
+	// pair per partition (index 0 holds everything on the serial path).
+	best   []map[string]int32
+	groups []map[string][]int32
 }
 
 func newAggMerge(spec *analysis.AggSpec, arity int) *aggMerge {
@@ -29,12 +49,74 @@ func newAggMerge(spec *analysis.AggSpec, arity int) *aggMerge {
 		panic(fmt.Sprintf("core: recursive aggregate requires MIN or MAX, got %+v", spec))
 	}
 	return &aggMerge{
-		spec:   spec,
-		arity:  arity,
-		isMin:  spec.Func == "MIN",
-		best:   make(map[string]int32),
-		groups: make(map[string][]int32),
+		spec:  spec,
+		arity: arity,
+		isMin: spec.Func == "MIN",
 	}
+}
+
+// partitioning returns the descriptor the state is bucketed on, once a
+// partitioned fan-out has been fixed. The engine registers it as the output
+// partitioning of the candidate query, so candidates arrive pre-scattered.
+func (m *aggMerge) partitioning() (storage.Partitioning, bool) {
+	if m.parts <= 1 {
+		return storage.Partitioning{}, false
+	}
+	return storage.Partitioning{KeyCols: m.spec.GroupPos, Parts: m.parts}, true
+}
+
+// ensureState sizes the state fan-out for this merge. Frontier-expanding
+// aggregates (SSSP from a single source) start with near-empty candidates
+// and grow, so the fan-out is re-evaluated every merge and only ever
+// *upgraded*: raising it re-buckets the accumulated groups once per tier
+// (at most 1→16→64→256 over a whole run, O(groups) each), while
+// downgrades never happen — the carried ∆R partitioning must not thrash.
+func (m *aggMerge) ensureState(candTuples, workers int) {
+	want := 1
+	if m.parallel && len(m.spec.GroupPos) > 0 {
+		if m.fixedParts > 0 {
+			want = storage.NormalizePartitions(m.fixedParts)
+		} else {
+			want = optimizer.ChoosePartitions(candTuples, workers)
+		}
+	}
+	if m.parts == 0 {
+		m.parts = want
+		m.best = make([]map[string]int32, m.parts)
+		m.groups = make([]map[string][]int32, m.parts)
+		for p := 0; p < m.parts; p++ {
+			m.best[p] = make(map[string]int32)
+			m.groups[p] = make(map[string][]int32)
+		}
+		return
+	}
+	if want > m.parts {
+		m.rebucket(want)
+	}
+}
+
+// rebucket re-hashes every tracked group into a wider partition layout.
+func (m *aggMerge) rebucket(parts int) {
+	best := make([]map[string]int32, parts)
+	groups := make([]map[string][]int32, parts)
+	for p := 0; p < parts; p++ {
+		best[p] = make(map[string]int32)
+		groups[p] = make(map[string][]int32)
+	}
+	row := make([]int32, m.arity)
+	for p := 0; p < m.parts; p++ {
+		for k, vals := range m.groups[p] {
+			for i, gp := range m.spec.GroupPos {
+				row[gp] = vals[i]
+			}
+			np := storage.PartitionOf(storage.PartitionHash(row, m.spec.GroupPos), parts)
+			best[np][k] = m.best[p][k]
+			groups[np][k] = vals
+		}
+	}
+	m.parts = parts
+	m.best = best
+	m.groups = groups
 }
 
 func (m *aggMerge) key(row []int32, buf []byte) string {
@@ -46,25 +128,28 @@ func (m *aggMerge) key(row []int32, buf []byte) string {
 	return string(buf)
 }
 
-// merge folds the candidate relation into the state and returns the delta
-// relation (rows in head-term order) named deltaName.
-func (m *aggMerge) merge(cand *storage.Relation, deltaName string) *storage.Relation {
-	// Pass 1: best candidate per group (subqueries pre-aggregate, but
-	// different UNION ALL arms can emit the same group).
-	type candBest struct {
-		vals []int32
-		v    int32
-	}
+// candBest is the best candidate value seen for one group this iteration.
+type candBest struct {
+	vals []int32
+	v    int32
+}
+
+// mergePartition folds the candidate rows of one partition into that
+// partition's state maps and returns the improved groups as row-major delta
+// data, deterministically ordered. All state touched is partition-private.
+func (m *aggMerge) mergePartition(p int, forEach func(func(row []int32))) []int32 {
 	perGroup := make(map[string]*candBest)
 	buf := make([]byte, 0, 4*len(m.spec.GroupPos))
-	cand.ForEach(func(row []int32) {
+	// Pass 1: best candidate per group (subqueries pre-aggregate, but
+	// different UNION ALL arms can emit the same group).
+	forEach(func(row []int32) {
 		k := m.key(row, buf)
 		v := row[m.spec.Pos]
 		cb, ok := perGroup[k]
 		if !ok {
 			vals := make([]int32, len(m.spec.GroupPos))
-			for i, p := range m.spec.GroupPos {
-				vals[i] = row[p]
+			for i, gp := range m.spec.GroupPos {
+				vals[i] = row[gp]
 			}
 			perGroup[k] = &candBest{vals: vals, v: v}
 			return
@@ -80,24 +165,69 @@ func (m *aggMerge) merge(cand *storage.Relation, deltaName string) *storage.Rela
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	delta := storage.NewRelation(deltaName, storage.NumberedColumns(m.arity))
+	best, groups := m.best[p], m.groups[p]
+	out := make([]int32, 0, len(keys)*m.arity)
 	row := make([]int32, m.arity)
 	for _, k := range keys {
 		cb := perGroup[k]
-		cur, ok := m.best[k]
+		cur, ok := best[k]
 		if ok && !m.better(cb.v, cur) {
 			continue
 		}
-		m.best[k] = cb.v
+		best[k] = cb.v
 		if !ok {
-			m.groups[k] = cb.vals
+			groups[k] = cb.vals
 		}
-		for i, p := range m.spec.GroupPos {
-			row[p] = cb.vals[i]
+		for i, gp := range m.spec.GroupPos {
+			row[gp] = cb.vals[i]
 		}
 		row[m.spec.Pos] = cb.v
-		delta.Append(row)
+		out = append(out, row...)
 	}
+	return out
+}
+
+// merge folds the candidate relation into the state and returns the delta
+// relation named deltaName: the groups whose value improved. On the
+// partitioned path the candidate is consumed as group-column radix
+// partitions (reusing a carried partitioning when the candidate query
+// scattered its output at the source), partitions merge in parallel with
+// partition-affine scheduling, and ∆R is emitted partition-native — it
+// carries the group partitioning, so the next iteration's hash builds over
+// it need no scatter.
+func (m *aggMerge) merge(pool *exec.Pool, lc storage.Lifecycle, cand *storage.Relation, deltaName string) *storage.Relation {
+	m.ensureState(cand.NumTuples(), pool.Workers())
+	if m.parts <= 1 {
+		rows := m.mergePartition(0, cand.ForEach)
+		delta := storage.NewRelation(deltaName, storage.NumberedColumns(m.arity))
+		delta.SetLifecycle(lc, storage.CatDelta)
+		delta.AppendRows(rows)
+		return delta
+	}
+
+	view := exec.PartitionRelation(pool, cand, m.spec.GroupPos, m.parts)
+	blocks := make([][]*storage.Block, m.parts)
+	scattered := int64(0)
+	pool.RunPartitions(m.parts, func(p int) {
+		rows := m.mergePartition(p, func(fn func(row []int32)) {
+			for _, b := range view.Blocks(p) {
+				n := b.Rows()
+				for i := 0; i < n; i++ {
+					fn(b.Row(i))
+				}
+			}
+		})
+		blocks[p] = storage.BlocksFromRows(lc, storage.CatDelta, m.arity, rows)
+	})
+	for _, bs := range blocks {
+		for _, b := range bs {
+			scattered += int64(b.Rows())
+		}
+	}
+	pool.Copy.Scattered.Add(scattered)
+	delta := storage.NewRelation(deltaName, storage.NumberedColumns(m.arity))
+	delta.SetLifecycle(lc, storage.CatDelta)
+	delta.AdoptPartitioned(storage.NewPartitionedView(m.spec.GroupPos, m.parts, blocks))
 	return delta
 }
 
@@ -109,25 +239,52 @@ func (m *aggMerge) better(a, b int32) bool {
 }
 
 // materialize builds the predicate's full relation from the state: one row
-// per group holding the current best value.
-func (m *aggMerge) materialize(name string) *storage.Relation {
-	keys := make([]string, 0, len(m.best))
-	for k := range m.best {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+// per group holding the current best value. On the partitioned path the
+// relation is emitted partition-native and carries the group partitioning,
+// so joins against the full relation (programs that rebuild it every
+// iteration) reuse the partitions in place too.
+func (m *aggMerge) materialize(lc storage.Lifecycle, name string) *storage.Relation {
 	rel := storage.NewRelation(name, storage.NumberedColumns(m.arity))
-	row := make([]int32, m.arity)
-	for _, k := range keys {
-		vals := m.groups[k]
-		for i, p := range m.spec.GroupPos {
-			row[p] = vals[i]
-		}
-		row[m.spec.Pos] = m.best[k]
-		rel.Append(row)
+	rel.SetLifecycle(lc, storage.CatIDB)
+	if m.parts == 0 {
+		return rel
 	}
+	emit := func(p int) []int32 {
+		best, groups := m.best[p], m.groups[p]
+		keys := make([]string, 0, len(best))
+		for k := range best {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]int32, 0, len(keys)*m.arity)
+		row := make([]int32, m.arity)
+		for _, k := range keys {
+			vals := groups[k]
+			for i, gp := range m.spec.GroupPos {
+				row[gp] = vals[i]
+			}
+			row[m.spec.Pos] = best[k]
+			out = append(out, row...)
+		}
+		return out
+	}
+	if m.parts <= 1 {
+		rel.AppendRows(emit(0))
+		return rel
+	}
+	blocks := make([][]*storage.Block, m.parts)
+	for p := 0; p < m.parts; p++ {
+		blocks[p] = storage.BlocksFromRows(lc, storage.CatIDB, m.arity, emit(p))
+	}
+	rel.AdoptPartitioned(storage.NewPartitionedView(m.spec.GroupPos, m.parts, blocks))
 	return rel
 }
 
 // Size returns the number of groups tracked.
-func (m *aggMerge) Size() int { return len(m.best) }
+func (m *aggMerge) Size() int {
+	n := 0
+	for _, b := range m.best {
+		n += len(b)
+	}
+	return n
+}

@@ -5,8 +5,12 @@ import (
 	"testing"
 
 	"recstep/internal/datalog/analysis"
+	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/storage"
 )
+
+// aggPool is the worker pool unit merges run on (heap-backed blocks).
+var aggPool = exec.NewPool(2)
 
 func minSpec() *analysis.AggSpec {
 	return &analysis.AggSpec{Func: "MIN", Pos: 1, GroupPos: []int{0}}
@@ -22,7 +26,7 @@ func candRel(rows ...[]int32) *storage.Relation {
 
 func TestAggMergeFirstIterationEmitsAll(t *testing.T) {
 	m := newAggMerge(minSpec(), 2)
-	delta := m.merge(candRel([]int32{1, 10}, []int32{2, 20}), "d")
+	delta := m.merge(aggPool, nil, candRel([]int32{1, 10}, []int32{2, 20}), "d")
 	if delta.NumTuples() != 2 {
 		t.Fatalf("delta = %d tuples, want 2", delta.NumTuples())
 	}
@@ -33,15 +37,15 @@ func TestAggMergeFirstIterationEmitsAll(t *testing.T) {
 
 func TestAggMergeOnlyImprovementsEmit(t *testing.T) {
 	m := newAggMerge(minSpec(), 2)
-	m.merge(candRel([]int32{1, 10}, []int32{2, 20}), "d0")
+	m.merge(aggPool, nil, candRel([]int32{1, 10}, []int32{2, 20}), "d0")
 	// Group 1 improves (5 < 10); group 2 does not (25 > 20).
-	delta := m.merge(candRel([]int32{1, 5}, []int32{2, 25}), "d1")
+	delta := m.merge(aggPool, nil, candRel([]int32{1, 5}, []int32{2, 25}), "d1")
 	want := []int32{1, 5}
 	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("delta = %v, want %v", got, want)
 	}
 	// Equal value is not an improvement.
-	if got := m.merge(candRel([]int32{1, 5}), "d2").NumTuples(); got != 0 {
+	if got := m.merge(aggPool, nil, candRel([]int32{1, 5}), "d2").NumTuples(); got != 0 {
 		t.Fatalf("equal value emitted %d tuples", got)
 	}
 }
@@ -50,7 +54,7 @@ func TestAggMergeDuplicateGroupsWithinBatch(t *testing.T) {
 	m := newAggMerge(minSpec(), 2)
 	// The same group appears twice in one candidate batch (two UNION ALL
 	// arms); only the best survives, emitted once.
-	delta := m.merge(candRel([]int32{7, 30}, []int32{7, 10}, []int32{7, 20}), "d")
+	delta := m.merge(aggPool, nil, candRel([]int32{7, 30}, []int32{7, 10}, []int32{7, 20}), "d")
 	want := []int32{7, 10}
 	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("delta = %v, want %v", got, want)
@@ -59,9 +63,9 @@ func TestAggMergeDuplicateGroupsWithinBatch(t *testing.T) {
 
 func TestAggMergeMaterialize(t *testing.T) {
 	m := newAggMerge(minSpec(), 2)
-	m.merge(candRel([]int32{1, 10}, []int32{2, 20}), "d0")
-	m.merge(candRel([]int32{1, 5}), "d1")
-	rel := m.materialize("cc3")
+	m.merge(aggPool, nil, candRel([]int32{1, 10}, []int32{2, 20}), "d0")
+	m.merge(aggPool, nil, candRel([]int32{1, 5}), "d1")
+	rel := m.materialize(nil, "cc3")
 	want := []int32{1, 5, 2, 20}
 	if got := rel.SortedRows(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("materialized = %v, want %v", got, want)
@@ -74,8 +78,8 @@ func TestAggMergeMaterialize(t *testing.T) {
 func TestAggMergeMax(t *testing.T) {
 	spec := &analysis.AggSpec{Func: "MAX", Pos: 1, GroupPos: []int{0}}
 	m := newAggMerge(spec, 2)
-	m.merge(candRel([]int32{1, 10}), "d0")
-	delta := m.merge(candRel([]int32{1, 50}, []int32{1, 30}), "d1")
+	m.merge(aggPool, nil, candRel([]int32{1, 10}), "d0")
+	delta := m.merge(aggPool, nil, candRel([]int32{1, 50}, []int32{1, 30}), "d1")
 	want := []int32{1, 50}
 	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("max delta = %v, want %v", got, want)
@@ -86,7 +90,7 @@ func TestAggMergeAggAtFirstPosition(t *testing.T) {
 	// sssp-style layouts can place the aggregate anywhere; here at slot 0.
 	spec := &analysis.AggSpec{Func: "MIN", Pos: 0, GroupPos: []int{1}}
 	m := newAggMerge(spec, 2)
-	delta := m.merge(candRel([]int32{9, 1}, []int32{4, 1}), "d")
+	delta := m.merge(aggPool, nil, candRel([]int32{9, 1}, []int32{4, 1}), "d")
 	want := []int32{4, 1}
 	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("delta = %v, want %v", got, want)
@@ -109,9 +113,51 @@ func TestAggMergeMultiColumnGroups(t *testing.T) {
 	r.Append([]int32{1, 2, 30})
 	r.Append([]int32{1, 3, 40})
 	r.Append([]int32{1, 2, 10})
-	delta := m.merge(r, "d")
+	delta := m.merge(aggPool, nil, r, "d")
 	want := []int32{1, 2, 10, 1, 3, 40}
 	if got := delta.SortedRows(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("delta = %v, want %v", got, want)
+	}
+}
+
+// Frontier-expanding aggregates (SSSP from one source) start with a
+// near-empty candidate set: the fan-out must upgrade — re-bucketing the
+// accumulated state — once candidates grow, and the merge semantics must
+// be unchanged across the upgrade.
+func TestAggMergeUpgradesFanoutAndRebuckets(t *testing.T) {
+	wide := exec.NewPool(4)
+	m := newAggMerge(minSpec(), 2)
+	m.parallel = true
+
+	// Tiny first candidate: state starts serial.
+	m.merge(wide, nil, candRel([]int32{0, 0}), "d0")
+	if m.parts != 1 {
+		t.Fatalf("parts after tiny merge = %d, want 1", m.parts)
+	}
+
+	// A candidate past the partitioning threshold must upgrade the state.
+	big := storage.NewRelation("cand", storage.NumberedColumns(2))
+	rows := make([]int32, 0, 2<<15)
+	for i := 0; i < 1<<15; i++ {
+		rows = append(rows, int32(i%5000), int32(i))
+	}
+	big.AppendRows(rows)
+	m.merge(wide, nil, big, "d1")
+	if m.parts <= 1 {
+		t.Fatalf("parts after large merge = %d, want > 1 (upgrade did not happen)", m.parts)
+	}
+
+	// Group 0 was tracked before the upgrade with best value 0; it must
+	// survive re-bucketing (no improvement can beat 0 here).
+	if got := m.merge(wide, nil, candRel([]int32{0, 3}), "d2").NumTuples(); got != 0 {
+		t.Fatalf("pre-upgrade group lost its best value: emitted %d delta tuples", got)
+	}
+	// And the materialized state must equal a serial reference merge.
+	ref := newAggMerge(minSpec(), 2)
+	ref.merge(aggPool, nil, candRel([]int32{0, 0}), "r0")
+	ref.merge(aggPool, nil, big, "r1")
+	ref.merge(aggPool, nil, candRel([]int32{0, 3}), "r2")
+	if !reflect.DeepEqual(m.materialize(nil, "a").SortedRows(), ref.materialize(nil, "b").SortedRows()) {
+		t.Fatal("upgraded partitioned state diverges from serial reference")
 	}
 }

@@ -68,13 +68,22 @@ type Options struct {
 	// partitioning ablation; compare against the radix-partitioned default).
 	BuildSerial bool
 	// FuseDelta runs the partition-native delta pipeline: the join output is
-	// scattered at the source into whole-tuple radix partitions and a single
-	// fused per-partition pass (DeltaStep) replaces the staged dedup +
+	// scattered at the source into radix partitions and a single fused
+	// per-partition pass (DeltaStep) replaces the staged dedup +
 	// set-difference + delta materialization, so Rδ never exists as a flat
 	// relation. False selects the staged pipeline (the -fuse-delta=false
 	// ablation). Fusion requires the GSCHT dedup strategy (the fused pass
 	// embeds it); the lock-map and sort baselines always run staged.
 	FuseDelta bool
+	// CarryJoinParts keys the carried partitioning of each recursive
+	// predicate on the columns its joins build on (learned from the bound
+	// recursive plans once per stratum), instead of the whole tuple: ∆R
+	// exits the fused delta step already scattered on the keys the next
+	// iteration's hash builds probe, and those builds index the carried
+	// partition blocks in place — zero per-join re-scatter of the delta.
+	// False is the -carry-join-parts=false ablation (whole-tuple carrying,
+	// the PR 2/3 behaviour). Only meaningful with FuseDelta.
+	CarryJoinParts bool
 	// Alpha is the calibrated build/probe cost ratio for DSD (0 = default).
 	Alpha float64
 	// Naive disables semi-naive evaluation: every iteration re-evaluates
@@ -102,14 +111,15 @@ type Options struct {
 // calls "RecStep".
 func DefaultOptions() Options {
 	return Options{
-		UIE:           true,
-		OOF:           stats.ModeSelective,
-		DSD:           DSDDynamic,
-		EOST:          true,
-		Dedup:         exec.DedupGSCHT,
-		FuseDelta:     true,
-		MaxIterations: 1 << 20,
-		DisableIO:     true,
+		UIE:            true,
+		OOF:            stats.ModeSelective,
+		DSD:            DSDDynamic,
+		EOST:           true,
+		Dedup:          exec.DedupGSCHT,
+		FuseDelta:      true,
+		CarryJoinParts: true,
+		MaxIterations:  1 << 20,
+		DisableIO:      true,
 	}
 }
 
@@ -145,6 +155,11 @@ type Stats struct {
 	TuplesScattered      int64
 	TuplesAdopted        int64
 	FlatMaterializations int64
+	// Join-build scatter accounting (the join-key-carried partitionings):
+	// how many hash builds had to scatter their input versus how many were
+	// served in place from a carried or cached partitioned view.
+	JoinBuildScatters        int64
+	JoinBuildScattersAvoided int64
 	// Mem is the final memory-manager snapshot: peak live pool bytes, live
 	// bytes by category, pool hit/miss counts and spill/fault totals — the
 	// observability the paper's memory figures (3, 11, 14) rely on.
@@ -194,6 +209,7 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		Partitions:     e.opts.Partitions,
 		BuildSerial:    e.opts.BuildSerial,
 		MemBudgetBytes: e.opts.MemBudgetBytes,
+		CarryJoinParts: e.opts.CarryJoinParts,
 	})
 	if err != nil {
 		return nil, err
@@ -245,6 +261,8 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 	run.stats.TuplesScattered = copySnap.Scattered
 	run.stats.TuplesAdopted = copySnap.Adopted
 	run.stats.FlatMaterializations = copySnap.FlatMats
+	run.stats.JoinBuildScatters = copySnap.BuildScatters
+	run.stats.JoinBuildScattersAvoided = copySnap.BuildScattersAvoided
 	run.stats.Duration = time.Since(run.start)
 	out.Stats = run.stats
 	return out, nil
@@ -330,11 +348,44 @@ func (r *runState) evalStratum(s analysis.Stratum) error {
 		}
 		if q.RecursiveAgg {
 			st.agg = newAggMerge(r.res.Preds[q.Pred].Agg, q.Arity)
+			// The partition-parallel merge rides the fused pipeline flag:
+			// the staged ablation keeps the serial single-map merge.
+			st.agg.parallel = r.opts().FuseDelta
+			st.agg.fixedParts = r.opts().Partitions
 			// Naive evaluation always reads the full relation, so the
 			// aggregate's materialization must track every iteration.
 			st.rebuildEachIter = r.opts().Naive || r.aggNeedsFullRebuild(s, q.Pred)
 		}
 		states[q.Pred] = st
+	}
+
+	// Join-key-carried partitionings: bind the stratum's recursive queries
+	// once (no execution) to learn which key columns the fixpoint's joins
+	// build on, then fix each predicate's carried keyset for the whole
+	// stratum — the same descriptor then serves the fused scatter, the
+	// delta step, ∆R, R's carried view and the next iteration's hash
+	// builds. A predicate's keysets come from every query of the stratum
+	// (its delta feeds other predicates' rules too). The keyset must stay
+	// stable across iterations: R ⊎ ∆R merges carried views only when their
+	// partitionings match.
+	if r.opts().CarryJoinParts && r.opts().FuseDelta && !r.opts().Naive {
+		usage := make(map[string][][]int)
+		for i := range queries {
+			if queries[i].Rec.Unified == "" {
+				continue
+			}
+			u, err := r.db.PlanJoinKeys(queries[i].Rec.Unified)
+			if err != nil {
+				return err
+			}
+			for table, keysets := range u {
+				usage[table] = append(usage[table], keysets...)
+			}
+		}
+		for _, st := range states {
+			keysets := append(append([][]int{}, usage[st.q.Pred]...), usage[st.q.Delta]...)
+			st.keyCols = optimizer.ChooseJoinKeyCols(st.q.Arity, keysets)
+		}
 	}
 
 	for iter := 1; ; iter++ {
@@ -391,6 +442,11 @@ type idbState struct {
 	chooser         *optimizer.DiffChooser
 	agg             *aggMerge
 	rebuildEachIter bool
+	// keyCols is the stratum-stable keyset the predicate's carried
+	// partitioning routes on — the join-key columns when every recursive
+	// build agrees on one keyset, the whole tuple otherwise (or when the
+	// carry-join-parts ablation is off). Nil selects the whole tuple.
+	keyCols []int
 	// lastTmp is the previous iteration's join-output size — the
 	// slowly-changing estimate the delta fan-out choice uses before the
 	// current Rt exists.
@@ -422,13 +478,20 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	// (lock-map, sort) force the staged pipeline — otherwise their ablation
 	// would silently measure nothing.
 	fuse := r.opts().FuseDelta && st.agg == nil && r.opts().Dedup == exec.DedupGSCHT
-	parts := 1
+	part := storage.Partitioning{Parts: 1}
 	if fuse {
-		parts = r.deltaPartitions(st, full)
-		if parts > 1 {
-			r.db.SetOutputPartitioning(q.Tmp, storage.Partitioning{
-				KeyCols: storage.AllCols(q.Arity), Parts: parts,
-			})
+		part = r.deltaPartitioning(st, full)
+		if part.Parts > 1 {
+			r.db.SetOutputPartitioning(q.Tmp, part)
+			defer r.db.ClearOutputPartitioning(q.Tmp)
+		}
+	} else if st.agg != nil {
+		// Partition-parallel aggregate merge: once the state fan-out is
+		// fixed (first merge), candidates land pre-scattered on the group
+		// columns and ∆R exits carrying that partitioning for the next
+		// iteration's joins.
+		if ap, ok := st.agg.partitioning(); ok {
+			r.db.SetOutputPartitioning(q.Tmp, ap)
 			defer r.db.ClearOutputPartitioning(q.Tmp)
 		}
 	}
@@ -452,7 +515,7 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	var delta *storage.Relation
 	algo := exec.OPSD
 	if st.agg != nil {
-		delta = st.agg.merge(tmp, q.Delta)
+		delta = st.agg.merge(r.db.Pool(), r.db.Alloc(), tmp, q.Delta)
 		if st.rebuildEachIter {
 			if err := r.installAggFull(st, q.Pred); err != nil {
 				return 0, err
@@ -476,7 +539,7 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 			// OPSD — one more way stale statistics degrade plans, exactly
 			// the regime that ablation studies.
 			algo = r.chooseAlgo(st, fullStats.NumTuples, est)
-			delta = r.db.DeltaStep(tmp, full, algo, parts, est, q.Delta)
+			delta = r.db.DeltaStep(tmp, full, algo, part, est, q.Delta)
 			st.chooser.Observe(est, est-delta.NumTuples())
 		} else {
 			rdelta := r.db.Dedup(tmp, est, q.Pred+"_rdelta")
@@ -524,8 +587,7 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 // this, the relation whose growth dominates aggregate programs would drop
 // out of accounting (and budgeting) at the first rebuild.
 func (r *runState) installAggFull(st *idbState, pred string) error {
-	full := st.agg.materialize(pred)
-	full.SetLifecycle(r.db.Alloc(), storage.CatIDB)
+	full := st.agg.materialize(r.db.Alloc(), pred)
 	if err := r.db.InstallReplacing(full); err != nil {
 		return err
 	}
@@ -533,14 +595,23 @@ func (r *runState) installAggFull(st *idbState, pred string) error {
 	return nil
 }
 
-// deltaPartitions picks the whole-tuple fan-out shared by every stage of
-// one predicate's delta pipeline this iteration (fused scatter, delta step,
-// ∆R, and R's carried partitioning).
-func (r *runState) deltaPartitions(st *idbState, full *storage.Relation) int {
+// deltaPartitioning picks the partitioning shared by every stage of one
+// predicate's delta pipeline this iteration (fused scatter, delta step, ∆R,
+// R's carried view, and — when the keyset is join-key-carried — the next
+// iteration's hash builds). The fan-out may shift with cardinality; the
+// keyset is stratum-stable.
+func (r *runState) deltaPartitioning(st *idbState, full *storage.Relation) storage.Partitioning {
+	parts := 0
 	if p := r.opts().Partitions; p > 0 {
-		return storage.NormalizePartitions(p)
+		parts = storage.NormalizePartitions(p)
+	} else {
+		parts = optimizer.ChooseDeltaPartitionsBudget(full.NumTuples(), st.lastTmp, r.db.Pool().Workers(), r.db.Headroom())
 	}
-	return optimizer.ChooseDeltaPartitionsBudget(full.NumTuples(), st.lastTmp, r.db.Pool().Workers(), r.db.Headroom())
+	keyCols := st.keyCols
+	if len(keyCols) == 0 {
+		keyCols = storage.AllCols(st.q.Arity)
+	}
+	return storage.Partitioning{KeyCols: keyCols, Parts: parts}
 }
 
 // chooseAlgo applies the configured DSD policy.

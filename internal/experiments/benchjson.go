@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"recstep/internal/baselines/native"
+	"recstep/internal/graphs"
+	"recstep/internal/quickstep/exec"
+	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/memory"
+	"recstep/internal/quickstep/storage"
+)
+
+// BenchArm is one measured configuration of a PR 4 microbenchmark: a
+// (fan-out, carried-vs-rescatter) pair with its timing, allocation and
+// copy-accounting readings.
+type BenchArm struct {
+	Name        string `json:"name"`
+	Parts       int    `json:"parts"`
+	Carried     bool   `json:"carried"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// BuildsInPlace / BuildScatters are per-op hash-build counts served
+	// from carried partitions versus paid as a scatter pass.
+	BuildsInPlace int64 `json:"builds_in_place_per_op"`
+	BuildScatters int64 `json:"build_scatters_per_op"`
+	// TuplesScattered is the per-op scatter copy volume.
+	TuplesScattered int64 `json:"tuples_scattered_per_op"`
+}
+
+// BenchReport is the machine-readable output of the PR 4 bench smoke:
+// join-build and delta-step cost with join-key partitionings carried versus
+// re-scattered every operation, at fan-outs 16 and 64.
+type BenchReport struct {
+	Workload  string     `json:"workload"`
+	Workers   int        `json:"workers"`
+	JoinBuild []BenchArm `json:"join_build"`
+	DeltaStep []BenchArm `json:"delta_step"`
+}
+
+// benchArm runs fn under testing.Benchmark and folds the copy-counter
+// deltas fn accumulated over its *timed* sections into per-op readings —
+// untimed per-op setup (building the carried state) stays out of both the
+// clock and the counters. fn must reset acc at its start: testing.Benchmark
+// reruns it with growing b.N, and only the final run's accumulation pairs
+// with the reported N.
+func benchArm(name string, parts int, carried bool, fn func(b *testing.B, acc *exec.CopySnapshot)) BenchArm {
+	var acc exec.CopySnapshot
+	r := testing.Benchmark(func(b *testing.B) { fn(b, &acc) })
+	n := int64(r.N)
+	if n == 0 {
+		n = 1
+	}
+	return BenchArm{
+		Name:            name,
+		Parts:           parts,
+		Carried:         carried,
+		NsPerOp:         r.NsPerOp(),
+		AllocsPerOp:     r.AllocsPerOp(),
+		BytesPerOp:      r.AllocedBytesPerOp(),
+		BuildsInPlace:   acc.BuildScattersAvoided / n,
+		BuildScatters:   acc.BuildScatters / n,
+		TuplesScattered: acc.Scattered / n,
+	}
+}
+
+// addTimed accumulates the counter movement of one timed section.
+func addTimed(acc *exec.CopySnapshot, pre, post exec.CopySnapshot) {
+	d := post.Sub(pre)
+	acc.Scattered += d.Scattered
+	acc.Adopted += d.Adopted
+	acc.FlatMats += d.FlatMats
+	acc.BuildScatters += d.BuildScatters
+	acc.BuildScattersAvoided += d.BuildScattersAvoided
+}
+
+// BenchPR4 measures the join-key-carried partitioning win in isolation. The
+// workload is the TC delta-cancellation shape: the build side is a
+// transitive closure indexed on one key column. The carried arm hands the
+// build a relation that already carries the join-key partitioning (the
+// state ∆R is in when it exits the fused delta step); the re-scatter arm
+// wraps the input freshly every op so every build pays the scatter — the
+// -carry-join-parts=false regime.
+func BenchPR4(cfg Config) BenchReport {
+	n := 700
+	if cfg.Quick {
+		n = 300
+	}
+	arc := graphs.GnP(n, 0.02, 5)
+	tc := native.TC(arc, 0)
+	workers := cfg.workers()
+	pool := exec.NewPool(workers)
+	mem := memory.NewManager(memory.Config{})
+	pool.SetAlloc(mem)
+
+	rep := BenchReport{
+		Workload: fmt.Sprintf("tc(gnp-%d-0.02), %d tuples", n, tc.NumTuples()),
+		Workers:  workers,
+	}
+	// Join-build arms use the delta-cancellation shape (build indexed on
+	// both columns, at most one match per probe) so hash construction —
+	// the phase carrying saves — dominates the measurement rather than
+	// probe output volume.
+	buildKeys := []int{0, 1}
+	spec := exec.JoinSpec{
+		LeftKeys:  buildKeys,
+		RightKeys: buildKeys,
+		BuildLeft: false,
+		Projs:     []expr.Expr{expr.Col{Index: 0}, expr.Col{Index: 1}},
+		OutName:   "out",
+	}
+
+	for _, parts := range []int{16, 64} {
+		for _, carried := range []bool{true, false} {
+			s := spec
+			s.Partitions = parts
+			name := fmt.Sprintf("join-build/parts-%d/", parts)
+			if carried {
+				name += "carried"
+			} else {
+				name += "rescatter"
+			}
+			rep.JoinBuild = append(rep.JoinBuild, benchArm(name, parts, carried, func(b *testing.B, acc *exec.CopySnapshot) {
+				b.ReportAllocs()
+				*acc = exec.CopySnapshot{}
+				b.StopTimer()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					build := storage.NewRelation("tc", tc.ColNames())
+					build.SetLifecycle(mem, storage.CatIDB)
+					build.AppendRelation(tc)
+					if carried {
+						// The state ∆R is in when carried: partitions
+						// already scattered on the join keys.
+						exec.PartitionRelationCarried(pool, build, buildKeys, parts)
+					}
+					pre := pool.Copy.Snapshot()
+					b.StartTimer()
+					out := exec.HashJoin(pool, tc, build, s)
+					b.StopTimer()
+					addTimed(acc, pre, pool.Copy.Snapshot())
+					out.Release()
+					build.Release()
+				}
+			}))
+		}
+	}
+
+	// Delta-step arms carry a single-column join keyset — the shape the
+	// engine chooses for TC, where the next iteration's build keys on ∆R's
+	// second column.
+	deltaKeys := []int{1}
+	tmpBase := storage.NewRelation("tmp", storage.NumberedColumns(2))
+	tmpBase.AppendRelation(tc)
+	tmpBase.AppendRelation(tc)
+	for _, parts := range []int{16, 64} {
+		for _, carried := range []bool{true, false} {
+			part := storage.Partitioning{KeyCols: deltaKeys, Parts: parts}
+			name := fmt.Sprintf("delta-step/parts-%d/", parts)
+			if carried {
+				name += "carried"
+			} else {
+				name += "rescatter"
+			}
+			rep.DeltaStep = append(rep.DeltaStep, benchArm(name, parts, carried, func(b *testing.B, acc *exec.CopySnapshot) {
+				b.ReportAllocs()
+				*acc = exec.CopySnapshot{}
+				b.StopTimer()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tmp := storage.NewRelation("tmp", storage.NumberedColumns(2))
+					tmp.SetLifecycle(mem, storage.CatIntermediate)
+					tmp.AppendRelation(tmpBase)
+					full := storage.NewRelation("r", storage.NumberedColumns(2))
+					full.SetLifecycle(mem, storage.CatIDB)
+					full.AppendRelation(arc)
+					if carried {
+						// Fused-scatter state: both inputs arrive carrying
+						// the join-key partitioning.
+						exec.PartitionRelationCarried(pool, tmp, deltaKeys, parts)
+						exec.PartitionRelationCarried(pool, full, deltaKeys, parts)
+					}
+					pre := pool.Copy.Snapshot()
+					b.StartTimer()
+					delta := exec.DeltaStep(pool, tmp, full, exec.OPSD, part, tc.NumTuples(), "delta")
+					b.StopTimer()
+					addTimed(acc, pre, pool.Copy.Snapshot())
+					delta.Release()
+					tmp.Release()
+					full.Release()
+				}
+			}))
+		}
+	}
+	return rep
+}
+
+// WriteBenchPR4 renders the report as indented JSON at path.
+func WriteBenchPR4(path string, rep BenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchPR4Table renders the report as a printable table (the benchrunner's
+// human-readable echo of BENCH_PR4.json).
+func BenchPR4Table(rep BenchReport) Table {
+	tbl := Table{
+		Title:  "Join-key-carried partitionings — " + rep.Workload,
+		Header: []string{"benchmark", "ns/op", "allocs/op", "tuples scattered/op", "builds in place/op"},
+	}
+	for _, arm := range append(append([]BenchArm{}, rep.JoinBuild...), rep.DeltaStep...) {
+		tbl.Rows = append(tbl.Rows, []string{
+			arm.Name,
+			fmt.Sprintf("%d", arm.NsPerOp),
+			fmt.Sprintf("%d", arm.AllocsPerOp),
+			fmt.Sprintf("%d", arm.TuplesScattered),
+			fmt.Sprintf("%d", arm.BuildsInPlace),
+		})
+	}
+	tbl.Notes = append(tbl.Notes, "carried arms hand the operator inputs that already carry the join-key partitioning; rescatter arms pay the per-op scatter (the -carry-join-parts=false regime)")
+	return tbl
+}

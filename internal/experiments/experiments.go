@@ -83,6 +83,11 @@ type Config struct {
 	// runs the staged dedup + set-difference sequence instead (the
 	// -fuse-delta=false ablation; zero value keeps fusion on).
 	StagedDelta bool
+	// NoCarryJoinParts disables join-key-carried partitionings: every
+	// partitioned hash build re-scatters its input instead of reusing the
+	// partitions ∆R/R already carry (the -carry-join-parts=false ablation;
+	// zero value keeps carrying on).
+	NoCarryJoinParts bool
 	// ManagedBudgetBytes bounds the engine's live block-pool bytes (the
 	// -mem-budget flag): exceeding it spills cold partitions of full
 	// relations. Distinct from MemBudgetBytes, which models the *simulated*
@@ -300,6 +305,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.Partitions = cfg.Partitions
 		opts.BuildSerial = cfg.BuildSerial
 		opts.FuseDelta = !cfg.StagedDelta
+		opts.CarryJoinParts = !cfg.NoCarryJoinParts
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }
@@ -311,6 +317,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.Partitions = cfg.Partitions
 		opts.BuildSerial = cfg.BuildSerial
 		opts.FuseDelta = !cfg.StagedDelta
+		opts.CarryJoinParts = !cfg.NoCarryJoinParts
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		opts.Naive = true
 		if sampler != nil {

@@ -72,6 +72,7 @@ func PeakMem(cfg Config) Table {
 		opts.Partitions = cfg.Partitions
 		opts.BuildSerial = cfg.BuildSerial
 		opts.FuseDelta = !cfg.StagedDelta
+		opts.CarryJoinParts = !cfg.NoCarryJoinParts
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 
 		runtime.GC()

@@ -50,6 +50,13 @@ type Options struct {
 	// optimizer shrinks radix fan-out. 0 disables the budget (block
 	// recycling and accounting stay on).
 	MemBudgetBytes int64
+	// CarryJoinParts lets a hash-join build reuse a partitioning the build
+	// side already carries on exactly the join keys: the join's fan-out is
+	// overridden to the carried one, so the per-partition tables are built
+	// straight over the carried blocks with zero tuple movement. False is
+	// the -carry-join-parts=false ablation: every partitioned build
+	// re-scatters its input (the PR 2/3 behaviour).
+	CarryJoinParts bool
 }
 
 // Database is the QuickStep-like engine instance.
@@ -366,6 +373,17 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 	// The select list fuses into the last join when nothing follows it,
 	// avoiding one full materialization of the combined rows.
 	fuseFinal := len(br.Joins) > 0 && len(br.AntiJoins) == 0 && len(br.Aggs) == 0
+	// Grouped aggregation fed by a join gets the fused scatter too: the
+	// last join emits its (identity-projected) output pre-partitioned on
+	// the GROUP BY columns, so the partitioned aggregation consumes the
+	// carried partitions with zero re-scatter — the same
+	// carry-don't-rebuild rule the delta pipeline follows. The fan-out is
+	// fixed here, before the output exists, from the larger input's
+	// cardinality (an equality join's output is probe-sized in the
+	// delta-rule shapes that matter).
+	var aggPart *storage.Partitioning
+	fuseAgg := db.opts.CarryJoinParts && len(br.Joins) > 0 && len(br.AntiJoins) == 0 &&
+		len(br.Aggs) > 0 && len(br.GroupBy) > 0
 	for step := 0; step < len(br.Joins); step++ {
 		right := inputs[step+1]
 		js := br.Joins[step]
@@ -384,10 +402,29 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 			Projs:       projs,
 			OutName:     fmt.Sprintf("%s_j%d", name, step),
 		}
+		// Join-key-carried fast path: when the build side already carries a
+		// partitioning on exactly the join keys (∆R exiting the fused delta
+		// step keyed for this very build), adopt its fan-out so the build
+		// indexes the carried partition blocks in place — no re-scatter.
+		if buildLeft {
+			spec.Partitions = db.carriedBuildParts(cur, js.LeftKeys, spec.Partitions)
+		} else {
+			spec.Partitions = db.carriedBuildParts(right, js.RightKeys, spec.Partitions)
+		}
 		if fuseFinal && step == len(br.Joins)-1 {
 			// Fused scatter: the probe emits the branch output directly into
 			// the partitions the delta step consumes.
 			spec.OutPartitioning = part
+		}
+		if fuseAgg && step == len(br.Joins)-1 {
+			est := cur.NumTuples()
+			if rt := right.NumTuples(); rt > est {
+				est = rt
+			}
+			if p := db.partitionsFor(est); p > 1 {
+				aggPart = &storage.Partitioning{KeyCols: br.GroupBy, Parts: p}
+				spec.OutPartitioning = aggPart
+			}
 		}
 		next := exec.HashJoin(db.pool, cur, right, spec)
 		if curOwned {
@@ -413,7 +450,8 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 			inner = exec.SelectProject(db.pool, inner, aj.InnerPreFilter, identityProjs(inner.Arity()), aj.Table+"_filtered", inner.ColNames())
 			innerOwned = true
 		}
-		next := exec.AntiJoin(db.pool, cur, inner, aj.OuterKeys, aj.InnerKeys, nil, identityProjs(width), db.partitionsFor(inner.NumTuples()), name+"_anti", nil)
+		innerParts := db.carriedBuildParts(inner, aj.InnerKeys, db.partitionsFor(inner.NumTuples()))
+		next := exec.AntiJoin(db.pool, cur, inner, aj.OuterKeys, aj.InnerKeys, nil, identityProjs(width), innerParts, name+"_anti", nil)
 		if curOwned {
 			cur.Release()
 		}
@@ -424,7 +462,13 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 	}
 
 	if len(br.Aggs) > 0 {
-		agg := exec.HashAggregatePartitioned(db.pool, cur, br.GroupBy, br.Aggs, db.partitionsFor(cur.NumTuples()), name+"_agg", nil)
+		aggParts := db.partitionsFor(cur.NumTuples())
+		if aggPart != nil {
+			// The join output carries the group-by partitioning; aggregate
+			// at exactly that fan-out so the carried view serves the pass.
+			aggParts = aggPart.Parts
+		}
+		agg := exec.HashAggregatePartitioned(db.pool, cur, br.GroupBy, br.Aggs, aggParts, name+"_agg", nil)
 		if curOwned {
 			cur.Release()
 		}
@@ -465,6 +509,21 @@ func (db *Database) chooseBuildSide(cur *storage.Relation, br *plan.Branch, step
 		return true, leftTuples
 	}
 	return false, rightTuples
+}
+
+// carriedBuildParts overrides a hash build's chosen fan-out with the one the
+// build relation already carries on exactly the join keys, so the build is
+// served from carried partition blocks without a scatter pass. Returns the
+// fallback fan-out when carrying is disabled (the ablation), the build is
+// forced serial, or the carried keyset does not match the join keys.
+func (db *Database) carriedBuildParts(build *storage.Relation, keys []int, fallback int) int {
+	if !db.opts.CarryJoinParts || db.opts.BuildSerial || len(keys) == 0 {
+		return fallback
+	}
+	if p, ok := build.Partitioning(); ok && p.Parts > 1 && storage.KeyColsEqual(p.KeyCols, keys) {
+		return p.Parts
+	}
+	return fallback
 }
 
 // partitionsFor resolves the radix partition count for a hash build of the
@@ -539,15 +598,73 @@ func (db *Database) Diff(rdelta, r *storage.Relation, algo exec.DiffAlgorithm, o
 }
 
 // DeltaStep fuses Algorithm 1's dedup(Rt) + (Rδ − R) sequence into one
-// per-partition pass over parts whole-tuple radix partitions — the
-// partition-native replacement for the staged Dedup + Diff call pair. The
-// fan-out must match the output partitioning registered for Rt's producing
-// query so the carried partitions are consumed without a re-scatter; the
-// returned ∆R carries the same partitioning, so AppendTo(R, ∆R) keeps R
-// partition-native for the next iteration. estDistinct is the OOF estimate
-// of |Rδ| (dedup pre-sizing, exactly as in Dedup).
-func (db *Database) DeltaStep(tmp, full *storage.Relation, algo exec.DiffAlgorithm, parts, estDistinct int, outName string) *storage.Relation {
-	return exec.DeltaStep(db.pool, tmp, full, algo, parts, estDistinct, outName)
+// per-partition pass over part's radix partitions — the partition-native
+// replacement for the staged Dedup + Diff call pair. part must match the
+// output partitioning registered for Rt's producing query so the carried
+// partitions are consumed without a re-scatter; its key columns may be a
+// join-key subset of the tuple (any keyset co-locates equal tuples), in
+// which case the returned ∆R exits already scattered on the columns the
+// next iteration's hash builds key on. ∆R carries the same partitioning, so
+// AppendTo(R, ∆R) keeps R partition-native for the next iteration.
+// estDistinct is the OOF estimate of |Rδ| (dedup pre-sizing, exactly as in
+// Dedup).
+func (db *Database) DeltaStep(tmp, full *storage.Relation, algo exec.DiffAlgorithm, part storage.Partitioning, estDistinct int, outName string) *storage.Relation {
+	return exec.DeltaStep(db.pool, tmp, full, algo, part, estDistinct, outName)
+}
+
+// PlanJoinKeys parses and binds one query (without executing it) and
+// reports, per input table, the distinct join-key column sets under which
+// the table enters a hash build or probe *directly* — as the first FROM
+// item of a branch, the right side of any join step, or the inner side of
+// an anti-join. The engine runs it once per stratum over the recursive
+// queries to learn which key columns the fixpoint's joins will want each
+// recursive relation partitioned on, before choosing the partitioning that
+// is carried through the delta pipeline. Key positions where the table only
+// enters as part of an accumulated join prefix are not attributable to the
+// table alone and are ignored (a carried partitioning could not serve those
+// builds anyway).
+func (db *Database) PlanJoinKeys(q string) (map[string][][]int, error) {
+	st, err := sql.Parse(q, db.schemaFn)
+	if err != nil {
+		return nil, err
+	}
+	var query *plan.Query
+	switch s := st.(type) {
+	case plan.InsertSelect:
+		query = s.Query
+	case plan.SelectStmt:
+		query = s.Query
+	default:
+		return nil, fmt.Errorf("quickstep: PlanJoinKeys wants a query, got %T", st)
+	}
+	usage := make(map[string][][]int)
+	add := func(table string, keys []int) {
+		if len(keys) == 0 {
+			return
+		}
+		for _, k := range usage[table] {
+			if storage.KeyColsEqual(k, keys) {
+				return
+			}
+		}
+		usage[table] = append(usage[table], append([]int(nil), keys...))
+	}
+	for _, br := range query.Branches {
+		for i, js := range br.Joins {
+			if i == 0 {
+				// Step 0's left keys index table 0's own row.
+				add(br.Tables[0], js.LeftKeys)
+			}
+			add(br.Tables[i+1], js.RightKeys)
+		}
+		for _, aj := range br.AntiJoins {
+			add(aj.Table, aj.InnerKeys)
+			if len(br.Joins) == 0 && len(br.Tables) > 0 {
+				add(br.Tables[0], aj.OuterKeys)
+			}
+		}
+	}
+	return usage, nil
 }
 
 // Install registers a relation in the catalog (replacing any same-named

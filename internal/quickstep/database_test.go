@@ -375,3 +375,75 @@ func TestArithmeticInSelect(t *testing.T) {
 		t.Fatalf("arith = %v, want %v", got, want)
 	}
 }
+
+func TestPlanJoinKeys(t *testing.T) {
+	db := openTest(t)
+	if err := db.ExecScript(`
+		CREATE TABLE arc (x INT, y INT);
+		CREATE TABLE tc (x INT, y INT);
+		CREATE TABLE tc_d (x INT, y INT)`); err != nil {
+		t.Fatal(err)
+	}
+	// Linear-TC shape: the delta enters keyed on its column 1, arc on 0.
+	usage, err := db.PlanJoinKeys("INSERT INTO tc SELECT t.x, a.y FROM tc_d AS t, arc AS a WHERE t.y = a.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := usage["tc_d"]; !reflect.DeepEqual(got, [][]int{{1}}) {
+		t.Fatalf("tc_d keysets = %v, want [[1]]", got)
+	}
+	if got := usage["arc"]; !reflect.DeepEqual(got, [][]int{{0}}) {
+		t.Fatalf("arc keysets = %v, want [[0]]", got)
+	}
+
+	// Non-linear shape: the full relation enters keyed on column 0 in the
+	// same statement; both usages must be reported, deduplicated.
+	usage, err = db.PlanJoinKeys(
+		"SELECT t.x, f.y FROM tc_d AS t, tc AS f WHERE t.y = f.x UNION ALL SELECT t.x, f.y FROM tc_d AS t, tc AS f WHERE t.y = f.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := usage["tc"]; !reflect.DeepEqual(got, [][]int{{0}}) {
+		t.Fatalf("tc keysets = %v, want [[0]] (deduplicated across branches)", got)
+	}
+	if got := usage["tc_d"]; !reflect.DeepEqual(got, [][]int{{1}}) {
+		t.Fatalf("tc_d keysets = %v, want [[1]]", got)
+	}
+
+	if _, err := db.PlanJoinKeys("DROP TABLE arc"); err == nil {
+		t.Fatal("PlanJoinKeys accepted a non-query statement")
+	}
+}
+
+func TestCarriedBuildPartsOverride(t *testing.T) {
+	db, err := Open(Options{Workers: 4, DisableIO: true, CarryJoinParts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(`
+		CREATE TABLE probe (x INT, y INT);
+		CREATE TABLE build (x INT, y INT)`); err != nil {
+		t.Fatal(err)
+	}
+	build, _ := db.Catalog().Get("build")
+	probe, _ := db.Catalog().Get("probe")
+	rows := make([]int32, 0, 4000)
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, int32(i), int32(i%97))
+	}
+	build.AppendRows(rows)
+	probe.AppendRows(rows[:400])
+	// The optimizer builds on the smaller side — probe here. Carry a
+	// join-key partitioning on it, then join on exactly those keys: the
+	// build must be served in place, no scatter.
+	exec.PartitionRelationCarried(db.Pool(), probe, []int{0}, 32)
+	before := db.CopySnapshot()
+	if _, err := db.ExecSQL("SELECT p.y, b.y FROM probe AS p, build AS b WHERE p.x = b.x"); err != nil {
+		t.Fatal(err)
+	}
+	d := db.CopySnapshot().Sub(before)
+	if d.BuildScattersAvoided != 1 || d.BuildScatters != 0 {
+		t.Fatalf("carried join build: avoided=%d scatters=%d, want 1/0", d.BuildScattersAvoided, d.BuildScatters)
+	}
+}

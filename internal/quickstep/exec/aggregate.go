@@ -217,7 +217,7 @@ func HashAggregatePartitioned(pool *Pool, in *storage.Relation, groupBy []int, a
 	}
 	view := PartitionRelation(pool, in, groupBy, parts)
 	col := newCollector(pool, storage.CatIntermediate, len(groupBy)+len(aggs), parts)
-	pool.Run(parts, func(p int) {
+	pool.RunPartitions(parts, func(p int) {
 		local := make(map[string]*groupState)
 		keyBuf := make([]byte, 4*len(groupBy))
 		accumulateBlocks(view.Blocks(p), groupBy, aggs, local, keyBuf)

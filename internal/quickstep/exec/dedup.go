@@ -57,17 +57,30 @@ type setArena struct {
 	buf  []byte
 }
 
-func newTupleSet(arity, estDistinct int) *tupleSet {
+// newTupleSet allocates a set through lc (nil = Go heap), so engine dedup
+// tables are budget-accounted and their arrays recycled on release.
+func newTupleSet(lc storage.Lifecycle, arity, estDistinct int) *tupleSet {
 	s := &tupleSet{arity: arity}
 	switch {
 	case arity <= 2:
-		s.t64 = gscht.NewTable64(estDistinct)
+		s.t64 = gscht.NewTable64In(lc, storage.CatIntermediate, estDistinct)
 	case arity <= 4:
-		s.t128 = gscht.NewTable128(estDistinct)
+		s.t128 = gscht.NewTable128In(lc, storage.CatIntermediate, estDistinct)
 	default:
 		s.generic = make(map[string]struct{}, estDistinct)
 	}
 	return s
+}
+
+// release returns the set's table memory to its lifecycle pool. The set must
+// be quiescent and is unusable afterwards.
+func (s *tupleSet) release() {
+	if s.t64 != nil {
+		s.t64.Release()
+	}
+	if s.t128 != nil {
+		s.t128.Release()
+	}
 }
 
 func (s *tupleSet) insert(row []int32, ar *setArena) bool {
@@ -123,7 +136,7 @@ func Dedup(pool *Pool, in *storage.Relation, strategy DedupStrategy, estDistinct
 	col := newCollector(pool, storage.CatIntermediate, in.Arity(), len(blocks))
 	var set *tupleSet
 	if strategy == DedupGSCHT {
-		set = newTupleSet(in.Arity(), estDistinct)
+		set = newTupleSet(pool.alloc, in.Arity(), estDistinct)
 	} else {
 		// Coarse locked map baseline: force the generic path regardless of
 		// arity so every insert serializes on one mutex.
@@ -141,7 +154,9 @@ func Dedup(pool *Pool, in *storage.Relation, strategy DedupStrategy, estDistinct
 			}
 		}
 	})
-	return col.into(outName, in.ColNames())
+	out := col.into(outName, in.ColNames())
+	set.release()
+	return out
 }
 
 // dedupSort sorts the materialized table and drops equal neighbours.

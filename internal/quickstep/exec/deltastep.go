@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"recstep/internal/quickstep/storage"
 )
 
@@ -27,18 +29,36 @@ import (
 //     large R is avoided exactly as in Algorithm 5, without materializing
 //     the staged r = R ∩ Rδ relation.
 //
-// ∆R is emitted directly into per-partition blocks of the same whole-tuple
-// partitioning, so the returned relation carries it: R ← R ⊎ ∆R merges
-// partition block lists without copying and the *next* iteration's DeltaStep
-// finds R pre-partitioned. estDistinct is the OOF estimate of |Rδ| used to
-// pre-size the per-partition tables. parts <= 1 runs the same fused pass
-// over the raw block lists with no scatter and a flat result.
-func DeltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, parts, estDistinct int, outName string) *storage.Relation {
+// ∆R is emitted directly into per-partition blocks of the same partitioning,
+// so the returned relation carries it: R ← R ⊎ ∆R merges partition block
+// lists without copying and the *next* iteration's DeltaStep finds R
+// pre-partitioned.
+//
+// part describes the radix partitioning every stage of the pass uses. Its
+// key columns need not span the whole tuple: any key subset routes equal
+// tuples to equal partitions, so the per-partition dedup and set difference
+// stay correct under a *join-key* partitioning — the carried-partitioning
+// optimization that lets ∆R exit the delta step already scattered on the
+// columns the next iteration's hash builds probe on, eliminating the
+// per-join re-scatter of the hottest relation in the fixpoint. Empty
+// KeyCols selects the whole-tuple layout. estDistinct is the OOF estimate
+// of |Rδ| used to pre-size the per-partition tables. part.Parts <= 1 runs
+// the same fused pass over the raw block lists with no scatter and a flat
+// result. Per-partition passes are scheduled partition-affine, so the same
+// worker revisits the same partition of R every iteration.
+func DeltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, part storage.Partitioning, estDistinct int, outName string) *storage.Relation {
 	if tmp.Arity() != full.Arity() {
 		panic("exec: delta step arity mismatch")
 	}
 	arity := tmp.Arity()
-	parts = storage.NormalizePartitions(parts)
+	parts := storage.NormalizePartitions(part.Parts)
+	keyCols := part.KeyCols
+	if len(keyCols) == 0 {
+		keyCols = storage.AllCols(arity)
+	}
+	if !(storage.Partitioning{KeyCols: keyCols, Parts: parts}).CoLocatesEqualTuples(arity) {
+		panic(fmt.Sprintf("exec: delta partitioning %v incompatible with arity %d", keyCols, arity))
+	}
 	if estDistinct <= 0 {
 		estDistinct = tmp.NumTuples()
 	}
@@ -47,13 +67,12 @@ func DeltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, part
 		return deltaShared(pool, tmp, full, algo, arity, estDistinct, outName)
 	}
 
-	allCols := storage.AllCols(arity)
-	tv := PartitionRelation(pool, tmp, allCols, parts)
-	rv := PartitionRelationCarried(pool, full, allCols, parts)
+	tv := PartitionRelation(pool, tmp, keyCols, parts)
+	rv := PartitionRelationCarried(pool, full, keyCols, parts)
 	estPart := estDistinct/parts + 1
-	col := newPartCollector(pool, storage.CatDelta, arity, parts, storage.Partitioning{KeyCols: allCols, Parts: parts}, &pool.Copy)
-	pool.Run(parts, func(p int) {
-		deltaPartition(tv.Blocks(p), rv.Blocks(p), tv.Rows(p), rv.Rows(p),
+	col := newPartCollector(pool, storage.CatDelta, arity, parts, storage.Partitioning{KeyCols: keyCols, Parts: parts}, &pool.Copy)
+	pool.RunPartitions(parts, func(p int) {
+		deltaPartition(pool, tv.Blocks(p), rv.Blocks(p), tv.Rows(p), rv.Rows(p),
 			algo, arity, estPart, col.sinkPart(p, p))
 		// Under a memory budget, R's partition becomes evictable the moment
 		// its pass completes — otherwise one delta step re-pins all of R.
@@ -95,12 +114,15 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 	case tmpRows == 0:
 		return storage.NewRelation(outName, tmp.ColNames())
 	case rRows == 0:
-		return dedupEmit(newTupleSet(arity, estDistinct))
+		set := newTupleSet(pool.alloc, arity, estDistinct)
+		out := dedupEmit(set)
+		set.release()
+		return out
 	case algo == TPSD && tmpRows < rRows:
 		// TPSD flavour: dedup Rt into a table plus candidate relation, mark
 		// the intersection by probing R against that same table, then
 		// anti-probe the candidates.
-		dset := newTupleSet(arity, min(tmpRows, estDistinct))
+		dset := newTupleSet(pool.alloc, arity, min(tmpRows, estDistinct))
 		candCol := newCollector(pool, storage.CatIntermediate, arity, len(tmpBlocks))
 		pool.Run(len(tmpBlocks), func(task int) {
 			b := tmpBlocks[task]
@@ -115,7 +137,7 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 			}
 		})
 		cand := candCol.into(outName, tmp.ColNames())
-		inter := newTupleSet(arity, min(cand.NumTuples(), rRows))
+		inter := newTupleSet(pool.alloc, arity, min(cand.NumTuples(), rRows))
 		rBlocks := full.Blocks()
 		pool.Run(len(rBlocks), func(task int) {
 			b := rBlocks[task]
@@ -128,11 +150,15 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 				}
 			}
 		})
-		return antiProbe(pool, cand, inter, outName)
+		dset.release()
+		out := antiProbe(pool, cand, inter, outName)
+		inter.release()
+		cand.Release()
+		return out
 	default:
 		// OPSD flavour: seed the shared table with R in parallel, then one
 		// insert-if-absent per Rt tuple answers dedup and diff at once.
-		set := newTupleSet(arity, rRows+estDistinct)
+		set := newTupleSet(pool.alloc, arity, rRows+estDistinct)
 		rBlocks := full.Blocks()
 		pool.Run(len(rBlocks), func(task int) {
 			b := rBlocks[task]
@@ -142,58 +168,66 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 				set.insert(b.Row(i), &ar)
 			}
 		})
-		return dedupEmit(set)
+		out := dedupEmit(set)
+		set.release()
+		return out
 	}
 }
 
 // deltaPartition runs the fused dedup + set-difference pass over one
-// partition. All state is private to the calling worker.
-func deltaPartition(tmpBlocks, rBlocks []*storage.Block, tmpRows, rRows int, algo DiffAlgorithm, arity, estDistinct int, emit func(row []int32)) {
+// partition. All state is private to the calling worker; the dedup tables
+// allocate through the pool's lifecycle and are recycled when the partition
+// pass finishes.
+func deltaPartition(pool *Pool, tmpBlocks, rBlocks []*storage.Block, tmpRows, rRows int, algo DiffAlgorithm, arity, estDistinct int, emit func(row []int32)) {
 	var ar setArena
 	if tmpRows == 0 {
 		return
 	}
 	if rRows == 0 {
 		// Nothing to subtract: the pass degenerates to pure dedup.
-		set := newTupleSet(arity, estDistinct)
+		set := newTupleSet(pool.alloc, arity, estDistinct)
 		forEachBlockRow(tmpBlocks, func(row []int32) {
 			if set.insert(row, &ar) {
 				emit(row)
 			}
 		})
+		set.release()
 		return
 	}
 	if algo == TPSD && tmpRows < rRows {
 		// TPSD flavour: dedup Rt into a table + candidate buffer, then let R
 		// anti-mark the table's tuples via an intersection set.
-		dset := newTupleSet(arity, min(tmpRows, estDistinct))
+		dset := newTupleSet(pool.alloc, arity, min(tmpRows, estDistinct))
 		cand := make([]int32, 0, min(tmpRows, estDistinct)*arity)
 		forEachBlockRow(tmpBlocks, func(row []int32) {
 			if dset.insert(row, &ar) {
 				cand = append(cand, row...)
 			}
 		})
-		inter := newTupleSet(arity, min(len(cand)/arity, rRows))
+		inter := newTupleSet(pool.alloc, arity, min(len(cand)/arity, rRows))
 		forEachBlockRow(rBlocks, func(row []int32) {
 			if dset.contains(row, &ar) {
 				inter.insert(row, &ar)
 			}
 		})
+		dset.release()
 		for off := 0; off < len(cand); off += arity {
 			row := cand[off : off+arity]
 			if !inter.contains(row, &ar) {
 				emit(row)
 			}
 		}
+		inter.release()
 		return
 	}
 	// OPSD flavour: seed the dedup table with R, then a fresh insert of an
 	// Rt tuple proves it is both new within Rt and absent from R.
-	set := newTupleSet(arity, rRows+estDistinct)
+	set := newTupleSet(pool.alloc, arity, rRows+estDistinct)
 	insertBlocks(rBlocks, set, &ar)
 	forEachBlockRow(tmpBlocks, func(row []int32) {
 		if set.insert(row, &ar) {
 			emit(row)
 		}
 	})
+	set.release()
 }

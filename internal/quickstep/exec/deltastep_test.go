@@ -35,6 +35,10 @@ func deltaInputs(n int, seed int64) (tmp, full *storage.Relation) {
 	return tmp, full
 }
 
+// wtp is the whole-tuple partitioning descriptor at the given fan-out
+// (empty key columns select all columns inside DeltaStep).
+func wtp(parts int) storage.Partitioning { return storage.Partitioning{Parts: parts} }
+
 // staged runs the pipeline DeltaStep replaces: Dedup then SetDifference.
 func stagedDelta(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, parts int) *storage.Relation {
 	rdelta := Dedup(pool, tmp, DedupGSCHT, tmp.NumTuples(), "rdelta")
@@ -50,7 +54,7 @@ func TestDeltaStepMatchesStaged(t *testing.T) {
 	for _, algo := range []DiffAlgorithm{OPSD, TPSD} {
 		for _, parts := range []int{1, 4, 16, 64} {
 			t.Run(fmt.Sprintf("%s/parts-%d", algo, parts), func(t *testing.T) {
-				got := DeltaStep(pool, tmp, full, algo, parts, tmp.NumTuples(), "delta").SortedRows()
+				got := DeltaStep(pool, tmp, full, algo, wtp(parts), tmp.NumTuples(), "delta").SortedRows()
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("fused delta (%d rows) diverges from staged (%d rows)",
 						len(got)/2, len(want)/2)
@@ -65,11 +69,11 @@ func TestDeltaStepDegenerateInputs(t *testing.T) {
 	empty := storage.NewRelation("e", storage.NumberedColumns(2))
 	tmp, full := deltaInputs(500, 3)
 
-	if got := DeltaStep(pool, empty, full, OPSD, 16, 0, "d"); got.NumTuples() != 0 {
+	if got := DeltaStep(pool, empty, full, OPSD, wtp(16), 0, "d"); got.NumTuples() != 0 {
 		t.Fatalf("empty tmp produced %d tuples", got.NumTuples())
 	}
 	// Empty R degenerates to pure dedup.
-	got := DeltaStep(pool, tmp, empty, TPSD, 16, 0, "d").SortedRows()
+	got := DeltaStep(pool, tmp, empty, TPSD, wtp(16), 0, "d").SortedRows()
 	want := Dedup(NewPool(1), tmp, DedupSort, 0, "d").SortedRows()
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("delta step over empty R does not match pure dedup")
@@ -84,7 +88,7 @@ func TestDeltaStepCarriesPartitioning(t *testing.T) {
 	pool := NewPool(4)
 	tmp, full := deltaInputs(3000, 7)
 	const parts = 16
-	delta := DeltaStep(pool, tmp, full, OPSD, parts, tmp.NumTuples(), "delta")
+	delta := DeltaStep(pool, tmp, full, OPSD, wtp(parts), tmp.NumTuples(), "delta")
 	p, ok := delta.Partitioning()
 	if !ok {
 		t.Fatal("fused delta does not carry a partitioning")
@@ -180,7 +184,7 @@ func TestDeltaStepRace(t *testing.T) {
 	tmp, full := deltaInputs(20000, 21)
 	want := stagedDelta(NewPool(1), tmp, full, OPSD, 1).SortedRows()
 	for _, algo := range []DiffAlgorithm{OPSD, TPSD} {
-		got := DeltaStep(pool, tmp, full, algo, 64, tmp.NumTuples(), "delta")
+		got := DeltaStep(pool, tmp, full, algo, wtp(64), tmp.NumTuples(), "delta")
 		if !reflect.DeepEqual(got.SortedRows(), want) {
 			t.Fatalf("%s: concurrent fused delta diverges from staged serial", algo)
 		}

@@ -63,7 +63,7 @@ func partitionedDiff(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm
 	dv := PartitionRelation(pool, rdelta, allCols, parts)
 	rv := PartitionRelation(pool, r, allCols, parts)
 	col := newCollector(pool, storage.CatDelta, arity, parts)
-	pool.Run(parts, func(p int) {
+	pool.RunPartitions(parts, func(p int) {
 		emit := col.sink(p)
 		var ar setArena
 		dBlocks, rBlocks := dv.Blocks(p), rv.Blocks(p)
@@ -75,18 +75,19 @@ func partitionedDiff(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm
 		var set *tupleSet
 		if algo == TPSD && dv.Rows(p) < rv.Rows(p) {
 			// TPSD phase 1 on the smaller input: r∩ = R ∩ Rδ.
-			bset := newTupleSet(arity, dv.Rows(p))
+			bset := newTupleSet(pool.alloc, arity, dv.Rows(p))
 			insertBlocks(dBlocks, bset, &ar)
-			inter := newTupleSet(arity, dv.Rows(p))
+			inter := newTupleSet(pool.alloc, arity, dv.Rows(p))
 			forEachBlockRow(rBlocks, func(row []int32) {
 				if bset.contains(row, &ar) {
 					inter.insert(row, &ar)
 				}
 			})
+			bset.release()
 			set = inter
 		} else {
 			// OPSD (or TPSD whose smaller input is R): build on R directly.
-			set = newTupleSet(arity, rv.Rows(p))
+			set = newTupleSet(pool.alloc, arity, rv.Rows(p))
 			insertBlocks(rBlocks, set, &ar)
 		}
 		forEachBlockRow(dBlocks, func(row []int32) {
@@ -94,6 +95,7 @@ func partitionedDiff(pool *Pool, rdelta, r *storage.Relation, algo DiffAlgorithm
 				emit(row)
 			}
 		})
+		set.release()
 	})
 	return col.into(outName, rdelta.ColNames())
 }
@@ -112,8 +114,9 @@ func insertBlocks(blocks []*storage.Block, set *tupleSet, ar *setArena) {
 }
 
 // buildSet inserts every tuple of rel into a fresh tupleSet, in parallel.
+// The caller owns the set and releases it when done.
 func buildSet(pool *Pool, rel *storage.Relation) *tupleSet {
-	set := newTupleSet(rel.Arity(), rel.NumTuples())
+	set := newTupleSet(pool.alloc, rel.Arity(), rel.NumTuples())
 	blocks := rel.Blocks()
 	pool.Run(len(blocks), func(task int) {
 		b := blocks[task]
@@ -147,7 +150,9 @@ func antiProbe(pool *Pool, probe *storage.Relation, set *tupleSet, outName strin
 
 func opsd(pool *Pool, rdelta, r *storage.Relation, outName string) *storage.Relation {
 	hs := buildSet(pool, r) // hash table over the full relation — the cost OPSD pays
-	return antiProbe(pool, rdelta, hs, outName)
+	out := antiProbe(pool, rdelta, hs, outName)
+	hs.release()
+	return out
 }
 
 func tpsd(pool *Pool, rdelta, r *storage.Relation, outName string) *storage.Relation {
@@ -157,7 +162,7 @@ func tpsd(pool *Pool, rdelta, r *storage.Relation, outName string) *storage.Rela
 		build, probe = rdelta, r
 	}
 	bset := buildSet(pool, build)
-	inter := newTupleSet(rdelta.Arity(), rdelta.NumTuples())
+	inter := newTupleSet(pool.alloc, rdelta.Arity(), rdelta.NumTuples())
 	blocks := probe.Blocks()
 	pool.Run(len(blocks), func(task int) {
 		b := blocks[task]
@@ -170,8 +175,11 @@ func tpsd(pool *Pool, rdelta, r *storage.Relation, outName string) *storage.Rela
 			}
 		}
 	})
+	bset.release()
 	// Phase 2: ∆R = Rδ − r∩.
-	return antiProbe(pool, rdelta, inter, outName)
+	out := antiProbe(pool, rdelta, inter, outName)
+	inter.release()
+	return out
 }
 
 // MeasureBuildProbe times one hash-set build over build and one probe pass
@@ -198,6 +206,7 @@ func MeasureBuildProbe(pool *Pool, build, probe *storage.Relation) (buildNsPerTu
 		hits.Add(local) // keep the probe loop from being optimized away
 	})
 	probeDur := time.Since(t1)
+	set.release()
 
 	bn, pn := build.NumTuples(), probe.NumTuples()
 	if bn == 0 || pn == 0 {

@@ -204,16 +204,27 @@ type joinTable struct {
 // buildJoinTable constructs the build side of a join. With parts > 1 and not
 // serial, the relation is radix-partitioned on the key columns and each
 // partition's table is built by one worker over data it owns exclusively —
-// no latches, no shared map, no CAS retries.
+// no latches, no shared map, no CAS retries. When the relation already
+// carries (or has cached) a partitioning on exactly the join keys — the
+// join-key-carried fast path — the tables are built straight over the
+// carried partition blocks and no tuple moves; the build-scatter counters
+// record which of the two regimes each build hit. Per-partition builds run
+// partition-affine, so across iterations the same worker re-builds over the
+// same partition's blocks.
 func buildJoinTable(pool *Pool, r *storage.Relation, keys []int, parts int, serial bool) *joinTable {
 	parts = storage.NormalizePartitions(parts)
 	if serial || parts <= 1 {
 		return &joinTable{parts: 1, single: buildHash(r, keys)}
 	}
-	view := PartitionRelation(pool, r, keys, parts)
+	view, scattered := partitionRelation(pool, r, keys, parts, false)
+	if scattered {
+		pool.Copy.BuildScatters.Add(1)
+	} else {
+		pool.Copy.BuildScattersAvoided.Add(1)
+	}
 	jt := &joinTable{parts: parts, tables: make([]*buildTable, parts)}
 	arity := r.Arity()
-	pool.Run(parts, func(p int) {
+	pool.RunPartitions(parts, func(p int) {
 		jt.tables[p] = buildHashBlocks(view.Blocks(p), arity, view.Rows(p), keys)
 	})
 	return jt

@@ -14,7 +14,8 @@ import (
 // lists are concatenated afterwards — partition p's tuples may span blocks
 // written by different workers, but every block has exactly one writer.
 func PartitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int) *storage.PartitionedView {
-	return partitionRelation(pool, r, keyCols, parts, false)
+	v, _ := partitionRelation(pool, r, keyCols, parts, false)
+	return v
 }
 
 // PartitionRelationCarried is PartitionRelation plus carry promotion: the
@@ -24,23 +25,27 @@ func PartitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 // when a fan-out shift forces one re-scatter, R comes out carrying the new
 // partitioning and every later R ← R ⊎ ∆R keeps it alive.
 func PartitionRelationCarried(pool *Pool, r *storage.Relation, keyCols []int, parts int) *storage.PartitionedView {
-	return partitionRelation(pool, r, keyCols, parts, true)
+	v, _ := partitionRelation(pool, r, keyCols, parts, true)
+	return v
 }
 
-func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int, carry bool) *storage.PartitionedView {
+// partitionRelation reports whether it had to perform a scatter pass
+// (scattered=false means a carried or cached view served the request with
+// zero tuple movement) so callers can maintain the build-scatter accounting.
+func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int, carry bool) (view *storage.PartitionedView, scattered bool) {
 	parts = storage.NormalizePartitions(parts)
 	// A relation carrying a compatible partitioning (produced by a fused
 	// upstream scatter, or accumulated by block-adopting appends) needs no
 	// work at all.
 	if v, ok := r.CarriedView(keyCols, parts); ok {
-		return v
+		return v, false
 	}
 	v, gen, ok := r.CachedPartitionedView(keyCols, parts)
 	if ok {
 		if carry {
 			r.StoreCarriedView(v, gen)
 		}
-		return v
+		return v, false
 	}
 	arity := r.Arity()
 	blocks := r.Blocks()
@@ -92,5 +97,5 @@ func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 	} else {
 		r.StorePartitionedView(v, gen)
 	}
-	return v
+	return v, true
 }

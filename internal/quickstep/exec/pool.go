@@ -32,28 +32,41 @@ type CopyCounters struct {
 	// could not honour the requested output partitioning. The fused pipeline
 	// drives this to zero.
 	FlatMats atomic.Int64
+	// BuildScatters counts hash-join build sides that had to be scattered
+	// into radix partitions because no carried or cached view matched the
+	// join keys — the per-join re-partition pass the join-key-carried
+	// partitionings exist to eliminate.
+	BuildScatters atomic.Int64
+	// BuildScattersAvoided counts hash-join builds served directly from a
+	// carried or cached partitioned view — zero tuples moved.
+	BuildScattersAvoided atomic.Int64
 }
 
 // CopySnapshot is a point-in-time reading of CopyCounters.
 type CopySnapshot struct {
-	Scattered, Adopted, FlatMats int64
+	Scattered, Adopted, FlatMats        int64
+	BuildScatters, BuildScattersAvoided int64
 }
 
 // Snapshot reads the counters.
 func (c *CopyCounters) Snapshot() CopySnapshot {
 	return CopySnapshot{
-		Scattered: c.Scattered.Load(),
-		Adopted:   c.Adopted.Load(),
-		FlatMats:  c.FlatMats.Load(),
+		Scattered:            c.Scattered.Load(),
+		Adopted:              c.Adopted.Load(),
+		FlatMats:             c.FlatMats.Load(),
+		BuildScatters:        c.BuildScatters.Load(),
+		BuildScattersAvoided: c.BuildScattersAvoided.Load(),
 	}
 }
 
 // Sub returns the counter deltas since an earlier snapshot.
 func (s CopySnapshot) Sub(o CopySnapshot) CopySnapshot {
 	return CopySnapshot{
-		Scattered: s.Scattered - o.Scattered,
-		Adopted:   s.Adopted - o.Adopted,
-		FlatMats:  s.FlatMats - o.FlatMats,
+		Scattered:            s.Scattered - o.Scattered,
+		Adopted:              s.Adopted - o.Adopted,
+		FlatMats:             s.FlatMats - o.FlatMats,
+		BuildScatters:        s.BuildScatters - o.BuildScatters,
+		BuildScattersAvoided: s.BuildScattersAvoided - o.BuildScattersAvoided,
 	}
 }
 
@@ -140,6 +153,61 @@ func (p *Pool) Run(numTasks int, fn func(task int)) {
 				fn(t)
 			}
 		}()
+	}
+	wg.Wait()
+}
+
+// RunPartitions executes fn(p) once for every partition p in [0, parts) with
+// partition-affine scheduling: worker w owns the stripe of partitions
+// congruent to w modulo the worker count, so across operators — and across
+// fixpoint iterations, where partition counts are carried — the same worker
+// slot revisits the same partitions' blocks and private tables. This is the
+// pure-Go approximation of NUMA-aware partition placement: goroutine w keeps
+// partition w's working set warm in whatever core's cache the runtime keeps
+// it on, instead of partitions migrating between workers every pass under a
+// shared task counter. A worker that drains its stripe steals unclaimed
+// partitions from the others (skew fallback), so wall-clock never degrades
+// below the shared-counter schedule; claims are CAS-guarded, so every
+// partition runs exactly once.
+func (p *Pool) RunPartitions(parts int, fn func(part int)) {
+	if parts <= 0 {
+		return
+	}
+	n := p.workers
+	if n > parts {
+		n = parts
+	}
+	if n == 1 {
+		p.busy.Add(1)
+		for q := 0; q < parts; q++ {
+			fn(q)
+		}
+		p.busy.Add(-1)
+		return
+	}
+	claimed := make([]atomic.Bool, parts)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.busy.Add(1)
+			defer p.busy.Add(-1)
+			// Own stripe first — the sticky assignment.
+			for q := w; q < parts; q += n {
+				if claimed[q].CompareAndSwap(false, true) {
+					fn(q)
+				}
+			}
+			// Stripe drained: steal whatever is still unclaimed, scanning
+			// from the next stripe over so thieves spread out.
+			for i := 0; i < parts; i++ {
+				q := (w + 1 + i) % parts
+				if claimed[q].CompareAndSwap(false, true) {
+					fn(q)
+				}
+			}
+		}(w)
 	}
 	wg.Wait()
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"math/rand"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"recstep/internal/quickstep/expr"
@@ -104,5 +105,39 @@ func TestGSCHTDedupRace(t *testing.T) {
 	if !reflect.DeepEqual(out.SortedRows(), want.SortedRows()) {
 		t.Fatalf("concurrent GSCHT dedup kept %d tuples, sort baseline %d",
 			out.NumTuples(), want.NumTuples())
+	}
+}
+
+// TestRunPartitionsExactlyOnce hammers the partition-affine scheduler:
+// every partition must run exactly once regardless of worker count, skew,
+// or how much stealing the skew forces. Run under -race (CI) this also
+// checks that stripe claims and steals share no unsynchronized state.
+func TestRunPartitionsExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		for _, parts := range []int{1, 3, 16, 64, 256} {
+			pool := NewPool(workers)
+			ran := make([]atomic.Int32, parts)
+			pool.RunPartitions(parts, func(p int) {
+				// Heavy skew: partition 0 does ~1000x the work of the rest,
+				// so its owner's stripe must be stolen by the other workers.
+				n := 10
+				if p == 0 {
+					n = 10000
+				}
+				s := 0
+				for i := 0; i < n; i++ {
+					s += i
+				}
+				if s < 0 {
+					t.Error("impossible")
+				}
+				ran[p].Add(1)
+			})
+			for p := range ran {
+				if got := ran[p].Load(); got != 1 {
+					t.Fatalf("workers=%d parts=%d: partition %d ran %d times", workers, parts, p, got)
+				}
+			}
+		}
 	}
 }

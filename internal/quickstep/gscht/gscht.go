@@ -5,16 +5,25 @@
 // Tuples of small fixed arity are packed into a compact concatenated key —
 // 8 bytes for up to two int32 attributes, 16 bytes for up to four — so the
 // key is the tuple: no separate ⟨key,value⟩ pair, no pointer back to the
-// original row, and no stored hash code. Buckets hold only a head pointer and
+// original row, and no stored hash code. Buckets hold only a head index and
 // are pre-allocated from an estimated distinct count, minimizing chain
 // conflicts. Inserts are latch-free: a compare-and-swap on the bucket head
 // publishes each node, and losers re-walk the chain so duplicates are never
 // admitted (the "conflict with memory contention → wait until the other one
 // finishes insertion" arrow in Figure 5 becomes a CAS retry).
+//
+// Chain nodes live in int32 slabs and link by slab index rather than
+// pointer, so both the bucket array and the node storage allocate through a
+// storage.Lifecycle: tables built by the engine are budget-accounted by the
+// memory manager and their arrays are recycled on Release instead of landing
+// on the Go heap — and the garbage collector never scans a chain.
 package gscht
 
 import (
+	"sync"
 	"sync/atomic"
+
+	"recstep/internal/quickstep/storage"
 )
 
 // PackKey64 concatenates up to two int32 attributes into one 64-bit compact
@@ -64,60 +73,184 @@ func PackKey128(tuple []int32) Key128 {
 	}
 }
 
-type node64 struct {
-	key  uint64
-	next *node64
+// Node slab layout. Nodes are fixed-stride runs of int32s inside 4096-int32
+// (16 KiB) chunks — exactly one block-pool size class, so recycled chunk
+// arrays carry no padding waste. The stride is a power of two so locating a
+// node is two shifts, no division.
+//
+//	node64:  [keyLo, keyHi, next, _]                      stride 4
+//	node128: [loLo, loHi, hiLo, hiHi, next, _, _, _]      stride 8
+//
+// next holds the successor's node index + 1 (0 terminates the chain), the
+// same encoding bucket heads use, so an empty bucket array is all zeros —
+// cleared with one memclr when a recycled array is adopted.
+const (
+	chunkInt32s   = 4096
+	chunkShift64  = 10 // 1024 nodes of stride 4 per chunk
+	chunkShift128 = 9  // 512 nodes of stride 8 per chunk
+)
+
+// slabs owns the node storage of one table: a copy-on-grow spine of fixed
+// size chunks. The spine pointer is swapped atomically so readers chasing a
+// just-published node index always observe the chunk that holds it (the
+// chunk is appended and the spine published before any node inside it can
+// win a bucket CAS).
+type slabs struct {
+	mu    sync.Mutex
+	spine atomic.Pointer[[][]int32]
+	next  int32 // first unassigned node index (guarded by mu)
 }
 
-// Arena64 is a per-worker slab allocator for chain nodes. Handing each
-// worker its own arena keeps the hot insert path allocation-free and avoids
-// false sharing between threads, while nodes stay reachable for the table's
-// lifetime.
-type Arena64 struct {
-	slab []node64
-}
-
-func (a *Arena64) new(key uint64) *node64 {
-	if len(a.slab) == 0 {
-		a.slab = make([]node64, 1024)
+// grow appends one chunk and returns the base index of its nodes. The
+// spine's backing array is shared between successive published headers:
+// readers never index past their own header's length, so writing the next
+// slot in place is safe, and the array is copied only on capacity doubling
+// — O(chunks) total spine work instead of O(chunks²).
+func (s *slabs) grow(lc storage.Lifecycle, cat storage.Category, nodesPerChunk int32) (chunk []int32, base int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunk = allocInt32s(lc, cat, chunkInt32s)
+	var sp [][]int32
+	if old := s.spine.Load(); old != nil {
+		sp = *old
 	}
-	n := &a.slab[0]
-	a.slab = a.slab[1:]
-	n.key = key
-	return n
+	if len(sp) == cap(sp) {
+		grown := make([][]int32, len(sp), 2*len(sp)+4)
+		copy(grown, sp)
+		sp = grown
+	}
+	sp = append(sp, chunk)
+	s.spine.Store(&sp)
+	base = s.next
+	if base > 1<<31-1-nodesPerChunk {
+		// Node indexes are int32 (half the footprint of pointers); a single
+		// table needing more than 2^31 nodes (~34 GB of slabs) should fail
+		// loudly here, not wrap negative and corrupt a chain.
+		panic("gscht: table exceeds 2^31 chain nodes")
+	}
+	s.next += nodesPerChunk
+	return chunk, base
+}
+
+// release returns every chunk to the lifecycle pool.
+func (s *slabs) release(lc storage.Lifecycle, cat storage.Category) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp := s.spine.Load(); sp != nil {
+		for _, chunk := range *sp {
+			freeInt32s(lc, cat, chunk)
+		}
+	}
+	s.spine.Store(nil)
+	s.next = 0
+}
+
+// allocInt32s hands out a full-length array of n int32s through lc (nil
+// selects the Go heap). Pool arrays come back with stale contents; callers
+// that need zeroed memory clear it themselves.
+func allocInt32s(lc storage.Lifecycle, cat storage.Category, n int) []int32 {
+	if lc == nil {
+		return make([]int32, n)
+	}
+	arr := lc.AllocData(cat, n)
+	return arr[:n]
+}
+
+func freeInt32s(lc storage.Lifecycle, cat storage.Category, arr []int32) {
+	if lc != nil && arr != nil {
+		lc.FreeData(cat, arr)
+	}
+}
+
+// Arena64 is the per-worker allocation cursor for 64-bit chain nodes: each
+// worker claims chunk-sized runs of the table's index space under a short
+// lock, then bump-allocates privately. The zero value is ready to use; an
+// arena re-targets itself when first used against a different table (the
+// unused tail of the previous chunk stays owned — and accounted — by that
+// table until its Release).
+type Arena64 struct {
+	owner *Table64
+	chunk []int32
+	base  int32
+	used  int32
+}
+
+// new claims one node, writes the key, and returns its index.
+func (a *Arena64) new(t *Table64, key uint64) int32 {
+	if a.owner != t || a.used >= 1<<chunkShift64 {
+		a.chunk, a.base = t.nodes.grow(t.lc, t.cat, 1<<chunkShift64)
+		a.owner, a.used = t, 0
+	}
+	idx := a.base + a.used
+	off := int(a.used) << 2
+	a.chunk[off] = int32(uint32(key))
+	a.chunk[off+1] = int32(uint32(key >> 32))
+	a.used++
+	return idx
 }
 
 // Table64 is the CCK-GSCHT for 64-bit compact keys.
 type Table64 struct {
-	buckets []atomic.Pointer[node64]
+	lc      storage.Lifecycle
+	cat     storage.Category
+	buckets []int32 // head node index + 1; 0 = empty chain; atomic access
 	mask    uint64
 	size    atomic.Int64
+	nodes   slabs
 }
 
-// NewTable64 pre-allocates buckets for roughly estDistinct keys. Per the
-// paper the bucket array is sized "as large as possible when there is enough
-// memory" to minimize conflicts; we allocate the next power of two above
-// 2×estDistinct (min 1024).
+// NewTable64 pre-allocates buckets for roughly estDistinct keys on the Go
+// heap. Per the paper the bucket array is sized "as large as possible when
+// there is enough memory" to minimize conflicts; we allocate the next power
+// of two above 2×estDistinct (min 1024).
 func NewTable64(estDistinct int) *Table64 {
+	return NewTable64In(nil, storage.CatIntermediate, estDistinct)
+}
+
+// NewTable64In is NewTable64 with the bucket array and node slabs allocated
+// through lc under cat — budget-accounted and, on Release, recycled.
+func NewTable64In(lc storage.Lifecycle, cat storage.Category, estDistinct int) *Table64 {
+	n := bucketCount(estDistinct)
+	b := allocInt32s(lc, cat, n)
+	clear(b)
+	return &Table64{lc: lc, cat: cat, buckets: b, mask: uint64(n - 1)}
+}
+
+func bucketCount(estDistinct int) int {
 	n := nextPow2(2 * estDistinct)
 	if n < 1024 {
 		n = 1024
 	}
-	return &Table64{buckets: make([]atomic.Pointer[node64], n), mask: uint64(n - 1)}
+	return n
 }
 
-// fibMix spreads a compact key across buckets with one multiply-shift
-// (Fibonacci hashing). The compact key itself *is* the hash value — no hash
-// of the tuple contents is computed, per the paper — the multiply only
-// redistributes its bits so that structured keys (e.g. the x<<32|y pairs of
-// a transitive closure, where x and y are correlated) do not collapse onto
-// a few chains.
+// fibMix spreads a compact key across buckets. The compact key itself *is*
+// the hash value — no hash of the tuple contents is computed, per the paper
+// — the mix only redistributes its bits. A plain Fibonacci multiply is not
+// enough here: for a packed x<<32|y key the high half shifts out of the
+// product's low bits, so bucket bits would depend on y alone — and under a
+// join-key-carried partitioning a partition holds only a handful of
+// distinct y values, collapsing the table onto a few chains. The xor-folds
+// around the multiply (the murmur-style finalizer) give every key bit
+// influence over every bucket bit for the cost of two shifts.
 const fibMult = 0x9E3779B97F4A7C15
 
-func fibMix(key uint64) uint64 { return key * fibMult }
+func fibMix(key uint64) uint64 {
+	key ^= key >> 33
+	key *= fibMult
+	key ^= key >> 29
+	return key
+}
 
 func (t *Table64) bucketIndex(key uint64) uint64 {
 	return (fibMix(key) >> 16) & t.mask
+}
+
+// node locates node idx inside the slab spine: chunk data plus the node's
+// int32 offset within it.
+func (t *Table64) node(idx int32) ([]int32, int) {
+	sp := *t.nodes.spine.Load()
+	return sp[idx>>chunkShift64], int(idx&(1<<chunkShift64-1)) << 2
 }
 
 // InsertIfAbsent adds key if not present, returning true when the key was
@@ -125,19 +258,22 @@ func (t *Table64) bucketIndex(key uint64) uint64 {
 // arena.
 func (t *Table64) InsertIfAbsent(key uint64, arena *Arena64) bool {
 	b := &t.buckets[t.bucketIndex(key)]
-	var fresh *node64
+	fresh := int32(0)
 	for {
-		head := b.Load()
-		for n := head; n != nil; n = n.next {
-			if n.key == key {
+		head := atomic.LoadInt32(b)
+		for n := head; n != 0; {
+			chunk, off := t.node(n - 1)
+			if uint64(uint32(chunk[off]))|uint64(uint32(chunk[off+1]))<<32 == key {
 				return false
 			}
+			n = chunk[off+2]
 		}
-		if fresh == nil {
-			fresh = arena.new(key)
+		if fresh == 0 {
+			fresh = arena.new(t, key) + 1
 		}
-		fresh.next = head
-		if b.CompareAndSwap(head, fresh) {
+		fc, fo := t.node(fresh - 1)
+		fc[fo+2] = head
+		if atomic.CompareAndSwapInt32(b, head, fresh) {
 			t.size.Add(1)
 			return true
 		}
@@ -149,10 +285,12 @@ func (t *Table64) InsertIfAbsent(key uint64, arena *Arena64) bool {
 // Contains reports whether key is present. Safe to run concurrently with
 // inserts (it may miss keys inserted after the call starts).
 func (t *Table64) Contains(key uint64) bool {
-	for n := t.buckets[t.bucketIndex(key)].Load(); n != nil; n = n.next {
-		if n.key == key {
+	for n := atomic.LoadInt32(&t.buckets[t.bucketIndex(key)]); n != 0; {
+		chunk, off := t.node(n - 1)
+		if uint64(uint32(chunk[off]))|uint64(uint32(chunk[off+1]))<<32 == key {
 			return true
 		}
+		n = chunk[off+2]
 	}
 	return false
 }
@@ -163,62 +301,95 @@ func (t *Table64) Len() int { return int(t.size.Load()) }
 // Buckets returns the bucket count (for tests and memory accounting).
 func (t *Table64) Buckets() int { return len(t.buckets) }
 
-type node128 struct {
-	key  Key128
-	next *node128
+// Release returns the bucket array and every node slab to the table's
+// lifecycle pool. The table must be quiescent; it is unusable afterwards.
+// Heap-backed tables (nil lifecycle) leave reclamation to the collector.
+func (t *Table64) Release() {
+	t.nodes.release(t.lc, t.cat)
+	freeInt32s(t.lc, t.cat, t.buckets)
+	t.buckets = nil
+	t.mask = 0
 }
 
-// Arena128 is the per-worker slab allocator for 128-bit chain nodes.
+// Arena128 is the per-worker allocation cursor for 128-bit chain nodes.
 type Arena128 struct {
-	slab []node128
+	owner *Table128
+	chunk []int32
+	base  int32
+	used  int32
 }
 
-func (a *Arena128) new(key Key128) *node128 {
-	if len(a.slab) == 0 {
-		a.slab = make([]node128, 1024)
+func (a *Arena128) new(t *Table128, key Key128) int32 {
+	if a.owner != t || a.used >= 1<<chunkShift128 {
+		a.chunk, a.base = t.nodes.grow(t.lc, t.cat, 1<<chunkShift128)
+		a.owner, a.used = t, 0
 	}
-	n := &a.slab[0]
-	a.slab = a.slab[1:]
-	n.key = key
-	return n
+	idx := a.base + a.used
+	off := int(a.used) << 3
+	a.chunk[off] = int32(uint32(key.Lo))
+	a.chunk[off+1] = int32(uint32(key.Lo >> 32))
+	a.chunk[off+2] = int32(uint32(key.Hi))
+	a.chunk[off+3] = int32(uint32(key.Hi >> 32))
+	a.used++
+	return idx
 }
 
 // Table128 is the CCK-GSCHT for 128-bit compact keys (arity 3–4).
 type Table128 struct {
-	buckets []atomic.Pointer[node128]
+	lc      storage.Lifecycle
+	cat     storage.Category
+	buckets []int32
 	mask    uint64
 	size    atomic.Int64
+	nodes   slabs
 }
 
-// NewTable128 pre-allocates buckets as NewTable64 does.
+// NewTable128 pre-allocates buckets as NewTable64 does, on the Go heap.
 func NewTable128(estDistinct int) *Table128 {
-	n := nextPow2(2 * estDistinct)
-	if n < 1024 {
-		n = 1024
-	}
-	return &Table128{buckets: make([]atomic.Pointer[node128], n), mask: uint64(n - 1)}
+	return NewTable128In(nil, storage.CatIntermediate, estDistinct)
+}
+
+// NewTable128In allocates the table through lc under cat.
+func NewTable128In(lc storage.Lifecycle, cat storage.Category, estDistinct int) *Table128 {
+	n := bucketCount(estDistinct)
+	b := allocInt32s(lc, cat, n)
+	clear(b)
+	return &Table128{lc: lc, cat: cat, buckets: b, mask: uint64(n - 1)}
 }
 
 func (t *Table128) bucketIndex(k Key128) uint64 {
 	return (fibMix(k.Lo^fibMix(k.Hi)) >> 16) & t.mask
 }
 
+func (t *Table128) node(idx int32) ([]int32, int) {
+	sp := *t.nodes.spine.Load()
+	return sp[idx>>chunkShift128], int(idx&(1<<chunkShift128-1)) << 3
+}
+
+func matches128(chunk []int32, off int, key Key128) bool {
+	return uint64(uint32(chunk[off]))|uint64(uint32(chunk[off+1]))<<32 == key.Lo &&
+		uint64(uint32(chunk[off+2]))|uint64(uint32(chunk[off+3]))<<32 == key.Hi
+}
+
 // InsertIfAbsent adds key if not present, returning true when newly inserted.
 func (t *Table128) InsertIfAbsent(key Key128, arena *Arena128) bool {
 	b := &t.buckets[t.bucketIndex(key)]
-	var fresh *node128
+	fresh := int32(0)
 	for {
-		head := b.Load()
-		for n := head; n != nil; n = n.next {
-			if n.key == key {
+		head := atomic.LoadInt32(b)
+		for n := head; n != 0; {
+			chunk, off := t.node(n - 1)
+			if matches128(chunk, off, key) {
 				return false
 			}
+			n = chunk[off+4]
 		}
-		if fresh == nil {
-			fresh = arena.new(key)
+		if fresh == 0 {
+			fresh = arena.new(t, key) + 1
 		}
-		fresh.next = head
-		if b.CompareAndSwap(head, fresh) {
+		fc, fo := t.node(fresh - 1)
+		fc[fo+4] = head
+		if atomic.CompareAndSwapInt32(b, head, fresh) {
 			t.size.Add(1)
 			return true
 		}
@@ -227,16 +398,26 @@ func (t *Table128) InsertIfAbsent(key Key128, arena *Arena128) bool {
 
 // Contains reports whether key is present.
 func (t *Table128) Contains(key Key128) bool {
-	for n := t.buckets[t.bucketIndex(key)].Load(); n != nil; n = n.next {
-		if n.key == key {
+	for n := atomic.LoadInt32(&t.buckets[t.bucketIndex(key)]); n != 0; {
+		chunk, off := t.node(n - 1)
+		if matches128(chunk, off, key) {
 			return true
 		}
+		n = chunk[off+4]
 	}
 	return false
 }
 
 // Len returns the number of distinct keys inserted.
 func (t *Table128) Len() int { return int(t.size.Load()) }
+
+// Release returns the table's arrays to its lifecycle pool.
+func (t *Table128) Release() {
+	t.nodes.release(t.lc, t.cat)
+	freeInt32s(t.lc, t.cat, t.buckets)
+	t.buckets = nil
+	t.mask = 0
+}
 
 func nextPow2(n int) int {
 	if n <= 1 {

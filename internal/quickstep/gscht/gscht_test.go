@@ -1,6 +1,8 @@
 package gscht
 
 import (
+	"recstep/internal/quickstep/storage"
+
 	"math/rand"
 	"sync"
 	"testing"
@@ -225,5 +227,100 @@ func TestTable64DistinctProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// countingLifecycle is a minimal storage.Lifecycle for accounting tests.
+type countingLifecycle struct {
+	mu     sync.Mutex
+	live   int64
+	allocs int
+	frees  int
+}
+
+func (c *countingLifecycle) AllocData(cat storage.Category, capInt32s int) []int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.allocs++
+	c.live += int64(capInt32s) * 4
+	return make([]int32, 0, capInt32s)
+}
+
+func (c *countingLifecycle) FreeData(cat storage.Category, data []int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frees++
+	c.live -= int64(cap(data)) * 4
+}
+
+func (c *countingLifecycle) Recat(from, to storage.Category, bytes int64) {}
+
+// A lifecycle-backed table must charge every bucket array and node slab to
+// the lifecycle and credit all of it back on Release — the contract the
+// memory manager's budget accounting relies on.
+func TestTable64LifecycleAccounting(t *testing.T) {
+	lc := &countingLifecycle{}
+	tab := NewTable64In(lc, storage.CatIntermediate, 1<<12)
+	var a Arena64
+	const n = 30000 // spans many node chunks
+	for i := 0; i < n; i++ {
+		tab.InsertIfAbsent(uint64(i*7), &a)
+	}
+	if lc.live <= 0 {
+		t.Fatalf("live bytes %d, want > 0 while table alive", lc.live)
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tab.Len(), n)
+	}
+	tab.Release()
+	if lc.live != 0 {
+		t.Fatalf("live bytes %d after Release, want 0", lc.live)
+	}
+	if lc.frees != lc.allocs {
+		t.Fatalf("frees %d != allocs %d after Release", lc.frees, lc.allocs)
+	}
+}
+
+func TestTable128LifecycleAccounting(t *testing.T) {
+	lc := &countingLifecycle{}
+	tab := NewTable128In(lc, storage.CatIntermediate, 1<<10)
+	var a Arena128
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tab.InsertIfAbsent(PackKey128([]int32{int32(i), int32(i * 3), int32(i * 5)}), &a)
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tab.Len(), n)
+	}
+	tab.Release()
+	if lc.live != 0 {
+		t.Fatalf("live bytes %d after Release, want 0", lc.live)
+	}
+}
+
+// One arena reused against several tables (the fused delta pass creates up
+// to three sets per partition) must re-target cleanly; the abandoned chunk
+// tail stays owned by its original table and is reclaimed by its Release.
+func TestArenaRetargetsAcrossTables(t *testing.T) {
+	lc := &countingLifecycle{}
+	t1 := NewTable64In(lc, storage.CatIntermediate, 16)
+	t2 := NewTable64In(lc, storage.CatIntermediate, 16)
+	var a Arena64
+	for i := 0; i < 100; i++ {
+		t1.InsertIfAbsent(uint64(i), &a)
+		t2.InsertIfAbsent(uint64(i)<<20, &a)
+	}
+	if t1.Len() != 100 || t2.Len() != 100 {
+		t.Fatalf("lens = %d, %d, want 100, 100", t1.Len(), t2.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if !t1.Contains(uint64(i)) || !t2.Contains(uint64(i)<<20) {
+			t.Fatalf("key %d missing after arena re-targeting", i)
+		}
+	}
+	t1.Release()
+	t2.Release()
+	if lc.live != 0 {
+		t.Fatalf("live bytes %d after both releases, want 0", lc.live)
 	}
 }

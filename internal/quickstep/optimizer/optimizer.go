@@ -114,6 +114,46 @@ func ChooseDeltaPartitionsBudget(rTuples, prevTmpTuples, workers int, headroom i
 	return capFanout(parts, headroom)
 }
 
+// ChooseJoinKeyCols reconciles the delta pipeline's partitioning keyset with
+// the join builds of the coming iterations: given the join-key column sets
+// under which a recursive predicate's relations (∆R and R) enter hash
+// builds directly (collected from the bound recursive plans, once per
+// stratum), it picks the key columns the carried partitioning should route
+// on. Any non-empty keyset co-locates equal tuples, so the delta step's
+// dedup and set difference are correct under every candidate; the choice is
+// purely about which downstream build gets served scatter-free:
+//
+//   - One keyset used everywhere → carry exactly it. ∆R exits the delta
+//     step scattered on the keys the next iteration's build probes, and the
+//     build indexes the carried blocks in place (zero re-scatter — the
+//     FlowLog observation that carrying index structure across incremental
+//     iterations beats rebuilding it).
+//   - Conflicting keysets (the predicate joins on different columns in
+//     different rules, e.g. same-generation's sg(p,q) joined on p and on q)
+//     → fall back to the whole-tuple layout: no single partitioning can
+//     serve both builds, and whole-tuple routing at least spreads skewed
+//     key values across partitions for the delta pass itself.
+//   - No direct join usage → whole-tuple layout.
+func ChooseJoinKeyCols(arity int, keysets [][]int) []int {
+	var chosen []int
+	for _, ks := range keysets {
+		if len(ks) == 0 {
+			continue
+		}
+		if chosen == nil {
+			chosen = ks
+			continue
+		}
+		if !storage.KeyColsEqual(chosen, ks) {
+			return storage.AllCols(arity)
+		}
+	}
+	if chosen == nil {
+		return storage.AllCols(arity)
+	}
+	return append([]int(nil), chosen...)
+}
+
 // ChooseDeltaPartitions picks the whole-tuple radix fan-out one recursive
 // predicate uses for one fixpoint iteration. A single count is shared by
 // every stage of the delta pipeline — the fused scatter of the join output,

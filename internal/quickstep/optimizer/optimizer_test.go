@@ -130,3 +130,30 @@ func TestChoosePartitionsTiers(t *testing.T) {
 		}
 	}
 }
+
+func TestChooseJoinKeyCols(t *testing.T) {
+	cases := []struct {
+		name    string
+		arity   int
+		keysets [][]int
+		want    []int
+	}{
+		{"consensus single col", 2, [][]int{{1}, {1}}, []int{1}},
+		{"conflict falls back to whole tuple", 2, [][]int{{0}, {1}}, []int{0, 1}},
+		{"no usage falls back", 3, nil, []int{0, 1, 2}},
+		{"empty keysets ignored", 2, [][]int{{}, {1}}, []int{1}},
+		{"multi-col consensus", 3, [][]int{{0, 2}, {0, 2}}, []int{0, 2}},
+		{"order conflict falls back", 2, [][]int{{0, 1}, {1, 0}}, []int{0, 1}},
+	}
+	for _, c := range cases {
+		got := ChooseJoinKeyCols(c.arity, c.keysets)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+}

@@ -70,11 +70,39 @@ func AllCols(arity int) []int {
 
 // Equal reports whether two partitionings route every tuple identically.
 func (p Partitioning) Equal(o Partitioning) bool {
-	if p.Parts != o.Parts || len(p.KeyCols) != len(o.KeyCols) {
+	return p.Parts == o.Parts && KeyColsEqual(p.KeyCols, o.KeyCols)
+}
+
+// KeyColsEqual reports whether two key-column lists are identical — same
+// columns in the same order, the condition for identical radix routing
+// (PartitionHash mixes columns order-sensitively).
+func KeyColsEqual(a, b []int) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	for i, c := range p.KeyCols {
-		if c != o.KeyCols[i] {
+	for i, c := range a {
+		if c != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoLocatesEqualTuples reports whether the partitioning routes identical
+// tuples of the given arity to the same partition — the compatibility
+// requirement of the whole-tuple delta-pipeline operators (dedup, set
+// difference). Any non-empty key subset within the arity qualifies: equal
+// tuples agree on every column, so they hash identically under any
+// key-column selection. This is what lets a *join-key* partitioning be
+// carried through the fused delta step in place of the whole-tuple layout;
+// DeltaStep asserts it, catching planner bugs that attribute combined-row
+// key positions to a base relation.
+func (p Partitioning) CoLocatesEqualTuples(arity int) bool {
+	if len(p.KeyCols) == 0 {
+		return false
+	}
+	for _, c := range p.KeyCols {
+		if c < 0 || c >= arity {
 			return false
 		}
 	}

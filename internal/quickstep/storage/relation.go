@@ -156,6 +156,28 @@ func (r *Relation) Append(tuple []int32) {
 	r.invalidatePartitionsLocked()
 }
 
+// BlocksFromRows packs row-major tuple data into sealed blocks of at most
+// DefaultBlockRows rows each, allocated through lc under cat. The single
+// block-splitting implementation behind AppendRows and the partition-native
+// emitters (the aggregate merge's per-partition ∆R blocks).
+func BlocksFromRows(lc Lifecycle, cat Category, arity int, rows []int32) []*Block {
+	if len(rows)%arity != 0 {
+		panic(fmt.Sprintf("storage: row data length %d not divisible by arity %d", len(rows), arity))
+	}
+	var out []*Block
+	stride := arity * DefaultBlockRows
+	for off := 0; off < len(rows); off += stride {
+		end := off + stride
+		if end > len(rows) {
+			end = len(rows)
+		}
+		b := NewBlockIn(lc, cat, arity, (end-off)/arity)
+		b.AppendBulk(rows[off:end])
+		out = append(out, b)
+	}
+	return out
+}
+
 // AppendRows bulk-appends row-major tuple data, splitting it into blocks. The
 // data is copied.
 func (r *Relation) AppendRows(rows []int32) {
@@ -167,16 +189,7 @@ func (r *Relation) AppendRows(rows []int32) {
 	defer r.mu.Unlock()
 	r.sealLocked()
 	r.faultAllLocked()
-	stride := arity * DefaultBlockRows
-	for off := 0; off < len(rows); off += stride {
-		end := off + stride
-		if end > len(rows) {
-			end = len(rows)
-		}
-		b := NewBlockIn(r.lc, r.cat, arity, (end-off)/arity)
-		b.AppendBulk(rows[off:end])
-		r.blocks = append(r.blocks, b)
-	}
+	r.blocks = append(r.blocks, BlocksFromRows(r.lc, r.cat, arity, rows)...)
 	r.rows += len(rows) / arity
 	r.invalidatePartitionsLocked()
 }

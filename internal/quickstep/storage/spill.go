@@ -126,9 +126,13 @@ func (r *Relation) partitionBlocks(v *PartitionedView, p int) []*Block {
 }
 
 // faultAllLocked restores every spilled partition — the prelude to any flat
-// scan or flat mutation. Flat access never runs concurrently with partition
-// reads of the same relation (queries against a table are serialized with
-// mutations of it), so no slot can be mid-fault here.
+// scan or flat mutation. A flat scan can race *partition* reads of the same
+// relation: UNION ALL branches run concurrently, and with join-key-carried
+// partitionings one branch's hash build faults individual partitions (via
+// partitionBlocks) while another branch flat-scans the relation as its probe
+// side. A slot found mid-fault is therefore waited out — the faulting reader
+// installs the blocks and closes slot.done — rather than treated as a
+// protocol violation.
 func (r *Relation) faultAllLocked() {
 	if r.pager == nil {
 		return
@@ -140,20 +144,29 @@ func (r *Relation) faultAllLocked() {
 	for i := range r.touch {
 		r.touch[i] = now
 	}
-	if len(r.slots) == 0 {
-		return
-	}
-	for p, slot := range r.slots {
-		if slot.faulting {
-			panic("storage: flat access to " + r.name + " raced a partition fault")
+	for len(r.slots) > 0 {
+		var inFlight chan struct{}
+		for _, slot := range r.slots {
+			if slot.faulting {
+				inFlight = slot.done
+				break
+			}
 		}
-		blocks, err := r.pager.FaultBlocks(slot.token, r.lc, r.cat, len(r.colNames))
-		if err != nil {
-			panic("storage: faulting spilled partition of " + r.name + ": " + err.Error())
+		if inFlight != nil {
+			r.mu.Unlock()
+			<-inFlight
+			r.mu.Lock()
+			continue // the slot map changed under us; re-scan
 		}
-		delete(r.slots, p)
-		r.live.blocks[p] = append(blocks, r.live.blocks[p]...)
-		r.blocks = append(r.blocks, blocks...)
+		for p, slot := range r.slots {
+			blocks, err := r.pager.FaultBlocks(slot.token, r.lc, r.cat, len(r.colNames))
+			if err != nil {
+				panic("storage: faulting spilled partition of " + r.name + ": " + err.Error())
+			}
+			delete(r.slots, p)
+			r.live.blocks[p] = append(blocks, r.live.blocks[p]...)
+			r.blocks = append(r.blocks, blocks...)
+		}
 	}
 }
 
