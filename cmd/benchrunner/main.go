@@ -28,8 +28,9 @@ func main() {
 		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
 		fuseDelta   = flag.Bool("fuse-delta", true, "fused partition-native delta pipeline; false selects the staged dedup+diff ablation")
 		carryJoin   = flag.Bool("carry-join-parts", true, "carry join-key partitionings across iterations so hash builds reuse ∆R/R partitions in place; false re-scatters every build (ablation)")
+		secondary   = flag.Bool("secondary-carry", true, "carry a second partitioned view for predicates whose recursive joins use conflicting keysets; false falls back to whole-tuple partitioning (ablation)")
 		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill under pressure (0 = unlimited)")
-		benchOut    = flag.String("bench-out", "BENCH_PR4.json", "path the benchjson experiment writes its machine-readable report to")
+		benchOut    = flag.String("bench-out", "BENCH_PR5.json", "path the benchjson experiment writes its machine-readable report to")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -40,6 +41,7 @@ func main() {
 		BuildSerial:        *buildSerial,
 		StagedDelta:        !*fuseDelta,
 		NoCarryJoinParts:   !*carryJoin,
+		NoSecondaryCarry:   !*secondary,
 		ManagedBudgetBytes: *memBudget,
 	}
 
@@ -80,11 +82,11 @@ func main() {
 	}
 	for _, name := range args {
 		if name == "benchjson" {
-			rep := experiments.BenchPR4(cfg)
-			if err := experiments.WriteBenchPR4(*benchOut, rep); err != nil {
+			rep := experiments.BenchCarry(cfg)
+			if err := experiments.WriteBenchReport(*benchOut, rep); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println(experiments.BenchPR4Table(rep))
+			fmt.Println(experiments.BenchCarryTable(rep))
 			log.Printf("wrote %s", *benchOut)
 			continue
 		}

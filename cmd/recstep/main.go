@@ -57,6 +57,7 @@ func main() {
 		buildSerial = flag.Bool("build-serial", false, "force the serial shared-table join build (partitioning ablation)")
 		fuseDelta   = flag.Bool("fuse-delta", true, "fused partition-native delta pipeline; false selects the staged dedup+diff ablation")
 		carryJoin   = flag.Bool("carry-join-parts", true, "carry join-key partitionings across iterations so hash builds reuse ∆R/R partitions in place; false re-scatters every build (ablation)")
+		secondary   = flag.Bool("secondary-carry", true, "carry a second partitioned view for predicates whose recursive joins use conflicting keysets; false falls back to whole-tuple partitioning (ablation)")
 		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill to temp files under pressure (0 = unlimited)")
 		verbose     = flag.Bool("v", false, "log per-iteration deltas")
 	)
@@ -129,12 +130,13 @@ func main() {
 	opts.BuildSerial = *buildSerial
 	opts.FuseDelta = *fuseDelta
 	opts.CarryJoinParts = *carryJoin
+	opts.SecondaryCarry = *secondary
 	opts.MemBudgetBytes = *memBudget
 	if *verbose {
 		opts.IterHook = func(ii core.IterInfo) {
-			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) scattered=%d adopted=%d flat=%d buildsInPlace=%d buildScatters=%d",
+			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) scattered=%d (sec=%d) adopted=%d flat=%d buildsInPlace=%d buildScatters=%d",
 				ii.Stratum, ii.Iteration, ii.Pred, ii.TmpTuples, ii.Delta, ii.Algo,
-				ii.Copy.Scattered, ii.Copy.Adopted, ii.Copy.FlatMats,
+				ii.Copy.Scattered, ii.Copy.SecondaryScattered, ii.Copy.Adopted, ii.Copy.FlatMats,
 				ii.Copy.BuildScattersAvoided, ii.Copy.BuildScatters)
 		}
 	}

@@ -84,6 +84,18 @@ type Options struct {
 	// False is the -carry-join-parts=false ablation (whole-tuple carrying,
 	// the PR 2/3 behaviour). Only meaningful with FuseDelta.
 	CarryJoinParts bool
+	// SecondaryCarry generalizes CarryJoinParts to predicates whose
+	// recursive rules join the same relation on *conflicting* keysets
+	// (CSPA's valueFlow joins on column 0 in some rules and column 1 in
+	// others): instead of falling back to whole-tuple partitioning, the
+	// optimizer ranks the keysets by builds served, the delta pipeline
+	// routes on the top one, and a second carried view on the runner-up is
+	// maintained by the dual-route delta step — one extra scatter copy of
+	// ∆R per iteration buys zero per-iteration build scatters for both join
+	// shapes. False is the -secondary-carry=false ablation (whole-tuple
+	// fallback on conflict, the PR 4 behaviour). Only meaningful with
+	// CarryJoinParts and FuseDelta.
+	SecondaryCarry bool
 	// Alpha is the calibrated build/probe cost ratio for DSD (0 = default).
 	Alpha float64
 	// Naive disables semi-naive evaluation: every iteration re-evaluates
@@ -118,6 +130,7 @@ func DefaultOptions() Options {
 		Dedup:          exec.DedupGSCHT,
 		FuseDelta:      true,
 		CarryJoinParts: true,
+		SecondaryCarry: true,
 		MaxIterations:  1 << 20,
 		DisableIO:      true,
 	}
@@ -160,6 +173,16 @@ type Stats struct {
 	// served in place from a carried or cached partitioned view.
 	JoinBuildScatters        int64
 	JoinBuildScattersAvoided int64
+	// SecondaryScattered is the subset of TuplesScattered copied into
+	// secondary carried views — the extra per-iteration copy a
+	// conflicting-keyset predicate pays so both of its join shapes build
+	// scatter-free.
+	SecondaryScattered int64
+	// JoinBuildsByKeyset breaks the build counters down by (relation,
+	// keyset) — see exec.BuildKey — so the copy experiments can show
+	// exactly which predicate and join shape still pays per-iteration
+	// build scatters.
+	JoinBuildsByKeyset map[string]exec.BuildCount
 	// Mem is the final memory-manager snapshot: peak live pool bytes, live
 	// bytes by category, pool hit/miss counts and spill/fault totals — the
 	// observability the paper's memory figures (3, 11, 14) rely on.
@@ -210,6 +233,7 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		BuildSerial:    e.opts.BuildSerial,
 		MemBudgetBytes: e.opts.MemBudgetBytes,
 		CarryJoinParts: e.opts.CarryJoinParts,
+		SecondaryCarry: e.opts.SecondaryCarry,
 	})
 	if err != nil {
 		return nil, err
@@ -263,6 +287,8 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 	run.stats.FlatMaterializations = copySnap.FlatMats
 	run.stats.JoinBuildScatters = copySnap.BuildScatters
 	run.stats.JoinBuildScattersAvoided = copySnap.BuildScattersAvoided
+	run.stats.SecondaryScattered = copySnap.SecondaryScattered
+	run.stats.JoinBuildsByKeyset = copySnap.BuildDetail
 	run.stats.Duration = time.Since(run.start)
 	out.Stats = run.stats
 	return out, nil
@@ -384,7 +410,15 @@ func (r *runState) evalStratum(s analysis.Stratum) error {
 		}
 		for _, st := range states {
 			keysets := append(append([][]int{}, usage[st.q.Pred]...), usage[st.q.Delta]...)
-			st.keyCols = optimizer.ChooseJoinKeyCols(st.q.Arity, keysets)
+			if r.opts().SecondaryCarry {
+				// Ranked choice: route the delta pipeline on the keyset
+				// serving the most builds and maintain the runner-up as a
+				// secondary carried view, instead of punting conflicting
+				// predicates to the whole-tuple layout.
+				st.keyCols, st.secCols = optimizer.ChooseCarryKeysets(st.q.Arity, keysets)
+			} else {
+				st.keyCols = optimizer.ChooseJoinKeyCols(st.q.Arity, keysets)
+			}
 		}
 	}
 
@@ -447,6 +481,17 @@ type idbState struct {
 	// build agrees on one keyset, the whole tuple otherwise (or when the
 	// carry-join-parts ablation is off). Nil selects the whole tuple.
 	keyCols []int
+	// secCols is the runner-up keyset of a conflicting-keyset predicate,
+	// maintained as a secondary carried view by the dual-route delta step.
+	// Nil when there is no conflict or secondary carrying is off.
+	secCols []int
+	// secDelivered/lastSecParts record that the previous iteration ran the
+	// dual route at that fan-out; secCooldown parks the rebuild path after
+	// the reclaimer evicts a secondary the engine just delivered (see
+	// evalIDB's pressure-drop detection).
+	secDelivered bool
+	lastSecParts int
+	secCooldown  int
 	// lastTmp is the previous iteration's join-output size — the
 	// slowly-changing estimate the delta fan-out choice uses before the
 	// current Rt exists.
@@ -479,9 +524,52 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	// would silently measure nothing.
 	fuse := r.opts().FuseDelta && st.agg == nil && r.opts().Dedup == exec.DedupGSCHT
 	part := storage.Partitioning{Parts: 1}
+	var sec storage.Partitioning
 	if fuse {
 		part = r.deltaPartitioning(st, full)
 		if part.Parts > 1 {
+			// Conflicting-keyset predicate: the secondary view shares the
+			// iteration's fan-out so R ⊎ ∆R can merge both views. The
+			// headroom gate applies only to *building* R's secondary (a
+			// full |R|-sized copy): maintaining one R already carries
+			// costs just the delta-sized dual route, and its bytes are
+			// already in the live gauge — gating on |R| there would retire
+			// the healthy view via the merge and rebuild it next iteration,
+			// a full re-scatter every other iteration. Under real pressure
+			// the reclaimer drops the view first, `carried` turns false,
+			// and the route parks until headroom returns.
+			if len(st.secCols) > 0 {
+				want := storage.Partitioning{KeyCols: st.secCols, Parts: part.Parts}
+				have, ok := full.SecondaryPartitioning()
+				carried := ok && have.Equal(want)
+				if !carried && st.secDelivered && st.lastSecParts == part.Parts {
+					// R lost the secondary we delivered at this very
+					// fan-out: the reclaimer evicted it under pressure.
+					// Park the rebuild for a few iterations — paying a
+					// full |R| re-scatter that the next pressure spike
+					// evicts again is strictly worse than the ablation.
+					st.secCooldown = secondaryRebuildCooldown
+				}
+				st.secDelivered = false
+				switch {
+				case carried:
+					// Maintenance is delta-sized and the view's bytes are
+					// already in the live gauge — no headroom gate here.
+					sec = want
+				case st.secCooldown > 0:
+					st.secCooldown--
+				case r.db.Headroom() >= full.EstimatedBytes():
+					sec = want
+					if full.NumTuples() > 0 {
+						// First iteration, a fan-out shift, or recovery
+						// after the cooldown: scatter R once.
+						r.db.EnsureSecondaryCarry(q.Pred, want)
+					}
+				}
+				if sec.Parts > 1 {
+					st.secDelivered, st.lastSecParts = true, part.Parts
+				}
+			}
 			r.db.SetOutputPartitioning(q.Tmp, part)
 			defer r.db.ClearOutputPartitioning(q.Tmp)
 		}
@@ -539,7 +627,11 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 			// OPSD — one more way stale statistics degrade plans, exactly
 			// the regime that ablation studies.
 			algo = r.chooseAlgo(st, fullStats.NumTuples, est)
-			delta = r.db.DeltaStep(tmp, full, algo, part, est, q.Delta)
+			if sec.Parts > 1 {
+				delta = r.db.DeltaStepDual(tmp, full, algo, part, sec, est, q.Delta)
+			} else {
+				delta = r.db.DeltaStep(tmp, full, algo, part, est, q.Delta)
+			}
 			st.chooser.Observe(est, est-delta.NumTuples())
 		} else {
 			rdelta := r.db.Dedup(tmp, est, q.Pred+"_rdelta")
@@ -594,6 +686,16 @@ func (r *runState) installAggFull(st *idbState, pred string) error {
 	r.db.MarkSpillable(pred)
 	return nil
 }
+
+// secondaryRebuildCooldown is how many iterations the engine keeps a
+// predicate's dual route parked after the memory reclaimer evicted a
+// secondary view the engine had just delivered. The eviction is the
+// pressure signal; rebuilding immediately (a full |R| scatter) would hand
+// the next allocation spike the same view to evict — one |R| copy per
+// iteration, worse than not carrying at all. Bounding rebuilds to one per
+// cooldown window keeps the worst case at |R|/(cooldown+1) extra copies
+// per iteration while still recovering when pressure genuinely lifts.
+const secondaryRebuildCooldown = 4
 
 // deltaPartitioning picks the partitioning shared by every stage of one
 // predicate's delta pipeline this iteration (fused scatter, delta step, ∆R,

@@ -14,7 +14,7 @@ import (
 	"recstep/internal/quickstep/storage"
 )
 
-// BenchArm is one measured configuration of a PR 4 microbenchmark: a
+// BenchArm is one measured configuration of a carry microbenchmark: a
 // (fan-out, carried-vs-rescatter) pair with its timing, allocation and
 // copy-accounting readings.
 type BenchArm struct {
@@ -28,18 +28,26 @@ type BenchArm struct {
 	// from carried partitions versus paid as a scatter pass.
 	BuildsInPlace int64 `json:"builds_in_place_per_op"`
 	BuildScatters int64 `json:"build_scatters_per_op"`
-	// TuplesScattered is the per-op scatter copy volume.
-	TuplesScattered int64 `json:"tuples_scattered_per_op"`
+	// TuplesScattered is the per-op scatter copy volume;
+	// SecondaryScattered is the subset copied into secondary carried views
+	// (the dual-route delta step's extra copy).
+	TuplesScattered    int64 `json:"tuples_scattered_per_op"`
+	SecondaryScattered int64 `json:"secondary_scattered_per_op"`
 }
 
-// BenchReport is the machine-readable output of the PR 4 bench smoke:
-// join-build and delta-step cost with join-key partitionings carried versus
-// re-scattered every operation, at fan-outs 16 and 64.
+// BenchReport is the machine-readable output of the bench smoke
+// (BENCH_PR5.json): join-build and delta-step cost with join-key
+// partitionings carried versus re-scattered every operation, plus the
+// secondary-carry arms — a build keyed on the *conflicting* keyset served
+// from the secondary carried view versus paying a scatter, and the
+// dual-route delta step versus the single-route one — at fan-outs 16 and 64.
 type BenchReport struct {
-	Workload  string     `json:"workload"`
-	Workers   int        `json:"workers"`
-	JoinBuild []BenchArm `json:"join_build"`
-	DeltaStep []BenchArm `json:"delta_step"`
+	Workload       string     `json:"workload"`
+	Workers        int        `json:"workers"`
+	JoinBuild      []BenchArm `json:"join_build"`
+	DeltaStep      []BenchArm `json:"delta_step"`
+	SecondaryBuild []BenchArm `json:"secondary_build"`
+	DeltaStepDual  []BenchArm `json:"delta_step_dual"`
 }
 
 // benchArm runs fn under testing.Benchmark and folds the copy-counter
@@ -56,15 +64,16 @@ func benchArm(name string, parts int, carried bool, fn func(b *testing.B, acc *e
 		n = 1
 	}
 	return BenchArm{
-		Name:            name,
-		Parts:           parts,
-		Carried:         carried,
-		NsPerOp:         r.NsPerOp(),
-		AllocsPerOp:     r.AllocsPerOp(),
-		BytesPerOp:      r.AllocedBytesPerOp(),
-		BuildsInPlace:   acc.BuildScattersAvoided / n,
-		BuildScatters:   acc.BuildScatters / n,
-		TuplesScattered: acc.Scattered / n,
+		Name:               name,
+		Parts:              parts,
+		Carried:            carried,
+		NsPerOp:            r.NsPerOp(),
+		AllocsPerOp:        r.AllocsPerOp(),
+		BytesPerOp:         r.AllocedBytesPerOp(),
+		BuildsInPlace:      acc.BuildScattersAvoided / n,
+		BuildScatters:      acc.BuildScatters / n,
+		TuplesScattered:    acc.Scattered / n,
+		SecondaryScattered: acc.SecondaryScattered / n,
 	}
 }
 
@@ -76,16 +85,17 @@ func addTimed(acc *exec.CopySnapshot, pre, post exec.CopySnapshot) {
 	acc.FlatMats += d.FlatMats
 	acc.BuildScatters += d.BuildScatters
 	acc.BuildScattersAvoided += d.BuildScattersAvoided
+	acc.SecondaryScattered += d.SecondaryScattered
 }
 
-// BenchPR4 measures the join-key-carried partitioning win in isolation. The
+// BenchCarry measures the join-key-carried partitioning win in isolation. The
 // workload is the TC delta-cancellation shape: the build side is a
 // transitive closure indexed on one key column. The carried arm hands the
 // build a relation that already carries the join-key partitioning (the
 // state ∆R is in when it exits the fused delta step); the re-scatter arm
 // wraps the input freshly every op so every build pays the scatter — the
 // -carry-join-parts=false regime.
-func BenchPR4(cfg Config) BenchReport {
+func BenchCarry(cfg Config) BenchReport {
 	n := 700
 	if cfg.Quick {
 		n = 300
@@ -196,11 +206,107 @@ func BenchPR4(cfg Config) BenchReport {
 			}))
 		}
 	}
+
+	// Secondary-build arms: the CSPA valueFlow shape — the build relation
+	// carries its primary partitioning on column 0, but this join builds on
+	// column 1 (the conflicting keyset). With secondary carrying the build
+	// is served in place from the secondary view; the fallback arm pays the
+	// scatter every op (the -secondary-carry=false regime).
+	primKeys := []int{0}
+	confKeys := []int{1}
+	// arc probes (small side) so hash construction over the carried build —
+	// the phase secondary carrying saves — dominates the measurement.
+	secSpec := exec.JoinSpec{
+		LeftKeys:  primKeys,
+		RightKeys: confKeys,
+		BuildLeft: false,
+		Projs:     []expr.Expr{expr.Col{Index: 0}, expr.Col{Index: 3}},
+		OutName:   "out",
+	}
+	for _, parts := range []int{16, 64} {
+		for _, carried := range []bool{true, false} {
+			s := secSpec
+			s.Partitions = parts
+			name := fmt.Sprintf("secondary-build/parts-%d/", parts)
+			if carried {
+				name += "carried"
+			} else {
+				name += "fallback"
+			}
+			rep.SecondaryBuild = append(rep.SecondaryBuild, benchArm(name, parts, carried, func(b *testing.B, acc *exec.CopySnapshot) {
+				b.ReportAllocs()
+				*acc = exec.CopySnapshot{}
+				b.StopTimer()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					build := storage.NewRelation("vf", tc.ColNames())
+					build.SetLifecycle(mem, storage.CatIDB)
+					build.AppendRelation(tc)
+					exec.PartitionRelationCarried(pool, build, primKeys, parts)
+					if carried {
+						exec.EnsureSecondaryCarry(pool, build, confKeys, parts)
+					}
+					pre := pool.Copy.Snapshot()
+					b.StartTimer()
+					out := exec.HashJoin(pool, arc, build, s)
+					b.StopTimer()
+					addTimed(acc, pre, pool.Copy.Snapshot())
+					out.Release()
+					build.Release()
+				}
+			}))
+		}
+	}
+
+	// Dual-route delta-step arms price the maintenance half: the same fused
+	// pass, with and without the extra secondary scatter copy of the
+	// accepted delta.
+	for _, parts := range []int{16, 64} {
+		for _, dual := range []bool{true, false} {
+			part := storage.Partitioning{KeyCols: deltaKeys, Parts: parts}
+			sec := storage.Partitioning{KeyCols: []int{0}, Parts: parts}
+			name := fmt.Sprintf("delta-step-dual/parts-%d/", parts)
+			if dual {
+				name += "dual"
+			} else {
+				name += "single"
+			}
+			rep.DeltaStepDual = append(rep.DeltaStepDual, benchArm(name, parts, dual, func(b *testing.B, acc *exec.CopySnapshot) {
+				b.ReportAllocs()
+				*acc = exec.CopySnapshot{}
+				b.StopTimer()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tmp := storage.NewRelation("tmp", storage.NumberedColumns(2))
+					tmp.SetLifecycle(mem, storage.CatIntermediate)
+					tmp.AppendRelation(tmpBase)
+					full := storage.NewRelation("r", storage.NumberedColumns(2))
+					full.SetLifecycle(mem, storage.CatIDB)
+					full.AppendRelation(arc)
+					exec.PartitionRelationCarried(pool, tmp, deltaKeys, parts)
+					exec.PartitionRelationCarried(pool, full, deltaKeys, parts)
+					pre := pool.Copy.Snapshot()
+					b.StartTimer()
+					var delta *storage.Relation
+					if dual {
+						delta = exec.DeltaStepDual(pool, tmp, full, exec.OPSD, part, sec, tc.NumTuples(), "delta")
+					} else {
+						delta = exec.DeltaStep(pool, tmp, full, exec.OPSD, part, tc.NumTuples(), "delta")
+					}
+					b.StopTimer()
+					addTimed(acc, pre, pool.Copy.Snapshot())
+					delta.Release()
+					tmp.Release()
+					full.Release()
+				}
+			}))
+		}
+	}
 	return rep
 }
 
-// WriteBenchPR4 renders the report as indented JSON at path.
-func WriteBenchPR4(path string, rep BenchReport) error {
+// WriteBenchReport renders the report as indented JSON at path.
+func WriteBenchReport(path string, rep BenchReport) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -208,22 +314,28 @@ func WriteBenchPR4(path string, rep BenchReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// BenchPR4Table renders the report as a printable table (the benchrunner's
-// human-readable echo of BENCH_PR4.json).
-func BenchPR4Table(rep BenchReport) Table {
+// BenchCarryTable renders the report as a printable table (the
+// benchrunner's human-readable echo of BENCH_PR5.json).
+func BenchCarryTable(rep BenchReport) Table {
 	tbl := Table{
-		Title:  "Join-key-carried partitionings — " + rep.Workload,
-		Header: []string{"benchmark", "ns/op", "allocs/op", "tuples scattered/op", "builds in place/op"},
+		Title:  "Carried partitionings (primary + secondary) — " + rep.Workload,
+		Header: []string{"benchmark", "ns/op", "allocs/op", "tuples scattered/op", "sec scattered/op", "builds in place/op"},
 	}
-	for _, arm := range append(append([]BenchArm{}, rep.JoinBuild...), rep.DeltaStep...) {
+	arms := append(append([]BenchArm{}, rep.JoinBuild...), rep.DeltaStep...)
+	arms = append(append(arms, rep.SecondaryBuild...), rep.DeltaStepDual...)
+	for _, arm := range arms {
 		tbl.Rows = append(tbl.Rows, []string{
 			arm.Name,
 			fmt.Sprintf("%d", arm.NsPerOp),
 			fmt.Sprintf("%d", arm.AllocsPerOp),
 			fmt.Sprintf("%d", arm.TuplesScattered),
+			fmt.Sprintf("%d", arm.SecondaryScattered),
 			fmt.Sprintf("%d", arm.BuildsInPlace),
 		})
 	}
-	tbl.Notes = append(tbl.Notes, "carried arms hand the operator inputs that already carry the join-key partitioning; rescatter arms pay the per-op scatter (the -carry-join-parts=false regime)")
+	tbl.Notes = append(tbl.Notes,
+		"carried arms hand the operator inputs that already carry the join-key partitioning; rescatter arms pay the per-op scatter (the -carry-join-parts=false regime)",
+		"secondary-build arms build on the keyset that *conflicts* with the carried primary: the carried arm is served by the secondary view, the fallback arm re-scatters (-secondary-carry=false)",
+		"delta-step-dual arms price the dual route itself: the extra secondary scatter copy per delta step")
 	return tbl
 }

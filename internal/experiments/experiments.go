@@ -88,6 +88,12 @@ type Config struct {
 	// partitions ∆R/R already carry (the -carry-join-parts=false ablation;
 	// zero value keeps carrying on).
 	NoCarryJoinParts bool
+	// NoSecondaryCarry disables secondary carried views: predicates whose
+	// recursive joins use conflicting keysets fall back to whole-tuple
+	// partitioning and the losing keyset's builds re-scatter (the
+	// -secondary-carry=false ablation; zero value keeps secondary carrying
+	// on).
+	NoSecondaryCarry bool
 	// ManagedBudgetBytes bounds the engine's live block-pool bytes (the
 	// -mem-budget flag): exceeding it spills cold partitions of full
 	// relations. Distinct from MemBudgetBytes, which models the *simulated*
@@ -306,6 +312,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.BuildSerial = cfg.BuildSerial
 		opts.FuseDelta = !cfg.StagedDelta
 		opts.CarryJoinParts = !cfg.NoCarryJoinParts
+		opts.SecondaryCarry = !cfg.NoSecondaryCarry
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }
@@ -318,6 +325,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.BuildSerial = cfg.BuildSerial
 		opts.FuseDelta = !cfg.StagedDelta
 		opts.CarryJoinParts = !cfg.NoCarryJoinParts
+		opts.SecondaryCarry = !cfg.NoSecondaryCarry
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		opts.Naive = true
 		if sampler != nil {

@@ -57,6 +57,14 @@ type Options struct {
 	// the -carry-join-parts=false ablation: every partitioned build
 	// re-scatters its input (the PR 2/3 behaviour).
 	CarryJoinParts bool
+	// SecondaryCarry lets a relation carry a *second* partitioned view on a
+	// different keyset — the dual-route delta step maintains it for
+	// predicates whose recursive joins build on conflicting key columns, so
+	// both join shapes are served from carried partitions. False is the
+	// -secondary-carry=false ablation: conflicting-keyset predicates keep
+	// only a single carried view and the losing keyset's builds re-scatter
+	// (the PR 4 behaviour). Only meaningful with CarryJoinParts.
+	SecondaryCarry bool
 }
 
 // Database is the QuickStep-like engine instance.
@@ -146,8 +154,19 @@ func (db *Database) MarkSpillable(table string) {
 // EndIteration is the engine's epoch hook, called once per fixpoint
 // iteration at a quiescent point (no query in flight): retired view copies
 // from superseded PartitionedViews are recycled, the spill LRU epoch
-// advances, and any budget overshoot is reclaimed.
+// advances, and any budget overshoot is reclaimed. Eviction order under
+// pressure: secondary carried views are dropped first — they are pure
+// redundancy (a second scatter copy of data the primary layout already
+// holds), so shedding one costs at most a future re-scatter, while spilling
+// a primary partition (EndEpoch's fallback) costs a disk write plus a
+// fault. The quiescent point is what makes the drop safe to release this
+// epoch: no in-flight operator can still be scanning the view's blocks.
 func (db *Database) EndIteration() {
+	// Recycle this iteration's retired garbage *before* reading the budget
+	// signal: superseded view copies still count in the live gauge until
+	// reclaimed, and deciding to shed secondaries on bytes that are freed
+	// two lines later would drop views the budget actually has room for
+	// (and pay a full |R| rebuild next iteration).
 	for _, name := range db.cat.Names() {
 		if r, ok := db.cat.Get(name); ok {
 			r.ReclaimRetired()
@@ -155,6 +174,17 @@ func (db *Database) EndIteration() {
 			// iteration; coalescing bounds the per-partition block count so
 			// pool-class padding never dominates R's footprint.
 			r.CoalescePartitions()
+		}
+	}
+	if db.mem.OverBudget() {
+		for _, name := range db.cat.Names() {
+			if r, ok := db.cat.Get(name); ok && r.DropSecondaryView() {
+				db.mem.NoteSecondaryDrop()
+				// Quiescent point: nothing can still scan the dropped view,
+				// so its blocks are recycled now — the bytes come off the
+				// gauge before EndEpoch decides whether spilling is needed.
+				r.ReclaimRetired()
+			}
 		}
 	}
 	db.mem.EndEpoch()
@@ -199,6 +229,12 @@ func (db *Database) outputPartitioning(table string) (storage.Partitioning, bool
 	p, ok := db.outParts[table]
 	return p, ok
 }
+
+// FilteredSuffix names the transient relations runBranch materializes for
+// pre-filtered join inputs ("<table>_filtered"). The copy-accounting
+// experiments use it to exclude those intermediates from the carried-build
+// metrics — no carried partitioning could ever serve them.
+const FilteredSuffix = "_filtered"
 
 // schemaFn adapts the catalog for the SQL binder.
 func (db *Database) schemaFn(table string) ([]string, bool) {
@@ -361,7 +397,7 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 			return nil, fmt.Errorf("quickstep: unknown table %q", t)
 		}
 		if preds := br.PreFilter[i]; len(preds) > 0 {
-			r = exec.SelectProject(db.pool, r, preds, identityProjs(r.Arity()), t+"_filtered", r.ColNames())
+			r = exec.SelectProject(db.pool, r, preds, identityProjs(r.Arity()), t+FilteredSuffix, r.ColNames())
 			owned[i] = true
 		}
 		inputs[i] = r
@@ -447,7 +483,7 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 		}
 		innerOwned := false
 		if len(aj.InnerPreFilter) > 0 {
-			inner = exec.SelectProject(db.pool, inner, aj.InnerPreFilter, identityProjs(inner.Arity()), aj.Table+"_filtered", inner.ColNames())
+			inner = exec.SelectProject(db.pool, inner, aj.InnerPreFilter, identityProjs(inner.Arity()), aj.Table+FilteredSuffix, inner.ColNames())
 			innerOwned = true
 		}
 		innerParts := db.carriedBuildParts(inner, aj.InnerKeys, db.partitionsFor(inner.NumTuples()))
@@ -494,9 +530,12 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 
 // chooseBuildSide applies the optimizer's build-side rule using catalog
 // statistics for base tables (which OOF keeps fresh — or not, under OOF-NA)
-// and actual counts for just-created intermediates. It returns the decision
-// plus the chosen side's cardinality estimate, which also drives the radix
-// partition count.
+// and actual counts for just-created intermediates, plus the keyset-aware
+// override: when the sizes are close, the side already carrying a
+// partitioning on exactly its join keys builds — in-place table
+// construction over slightly more tuples beats a scatter pass over slightly
+// fewer. It returns the decision plus the chosen side's cardinality
+// estimate, which also drives the radix partition count.
 func (db *Database) chooseBuildSide(cur *storage.Relation, br *plan.Branch, step int, right *storage.Relation) (buildLeft bool, buildTuples int) {
 	var leftTuples int
 	if step == 0 {
@@ -505,10 +544,34 @@ func (db *Database) chooseBuildSide(cur *storage.Relation, br *plan.Branch, step
 		leftTuples = cur.NumTuples() // freshly materialized intermediate
 	}
 	rightTuples := db.statTuples(br.Tables[step+1], right)
-	if optimizer.ChooseBuildLeft(leftTuples, rightTuples) {
+	js := br.Joins[step]
+	leftCarried, rightCarried := false, false
+	if db.opts.CarryJoinParts && !db.opts.BuildSerial {
+		// Only step 0's left keys index a base relation's own row; later
+		// steps' left side is an accumulated intermediate that never
+		// carries a view.
+		leftCarried = step == 0 && db.carriedMatch(cur, js.LeftKeys)
+		rightCarried = db.carriedMatch(right, js.RightKeys)
+	}
+	if optimizer.PreferCarriedBuild(leftTuples, rightTuples, leftCarried, rightCarried) {
 		return true, leftTuples
 	}
 	return false, rightTuples
+}
+
+// carriedMatch reports whether the relation carries a multi-partition view
+// — primary or secondary — routed on exactly the given join keys.
+func (db *Database) carriedMatch(r *storage.Relation, keys []int) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	if p, ok := r.Partitioning(); ok && p.Parts > 1 && storage.KeyColsEqual(p.KeyCols, keys) {
+		return true
+	}
+	if p, ok := r.SecondaryPartitioning(); ok && p.Parts > 1 && storage.KeyColsEqual(p.KeyCols, keys) {
+		return true
+	}
+	return false
 }
 
 // carriedBuildParts overrides a hash build's chosen fan-out with the one the
@@ -521,6 +584,12 @@ func (db *Database) carriedBuildParts(build *storage.Relation, keys []int, fallb
 		return fallback
 	}
 	if p, ok := build.Partitioning(); ok && p.Parts > 1 && storage.KeyColsEqual(p.KeyCols, keys) {
+		return p.Parts
+	}
+	// Conflicting-keyset predicates carry a second view; a build keyed on
+	// the secondary keyset adopts its fan-out the same way, and the scatter
+	// short-circuit inside the build serves it from the secondary blocks.
+	if p, ok := build.SecondaryPartitioning(); ok && p.Parts > 1 && storage.KeyColsEqual(p.KeyCols, keys) {
 		return p.Parts
 	}
 	return fallback
@@ -610,6 +679,41 @@ func (db *Database) Diff(rdelta, r *storage.Relation, algo exec.DiffAlgorithm, o
 // Dedup).
 func (db *Database) DeltaStep(tmp, full *storage.Relation, algo exec.DiffAlgorithm, part storage.Partitioning, estDistinct int, outName string) *storage.Relation {
 	return exec.DeltaStep(db.pool, tmp, full, algo, part, estDistinct, outName)
+}
+
+// DeltaStepDual is DeltaStep with a secondary carried partitioning: accepted
+// ∆R rows are scattered into both layouts inside the same fused pass, and
+// the returned relation carries sec as its secondary view alongside part —
+// the maintenance half of secondary carrying for conflicting-keyset
+// predicates. With SecondaryCarry disabled (the ablation) it degrades to
+// the plain DeltaStep.
+func (db *Database) DeltaStepDual(tmp, full *storage.Relation, algo exec.DiffAlgorithm, part, sec storage.Partitioning, estDistinct int, outName string) *storage.Relation {
+	if !db.opts.SecondaryCarry {
+		return exec.DeltaStep(db.pool, tmp, full, algo, part, estDistinct, outName)
+	}
+	return exec.DeltaStepDual(db.pool, tmp, full, algo, part, sec, estDistinct, outName)
+}
+
+// EnsureSecondaryCarry makes a table carry a secondary partitioned view on
+// sec, scattering once if missing — the recovery path after a fan-out shift
+// invalidated the carried views or budget pressure dropped the secondary.
+// In the steady state it is a no-op: R adopts ∆R's secondary view through
+// the block-sharing merge, so no scatter runs here. Skipped (returns false)
+// under the ablation, and under a memory budget whose headroom cannot fit
+// the extra copy — secondary views are the first eviction candidates, so
+// building one the manager would immediately drop again is pure thrash.
+func (db *Database) EnsureSecondaryCarry(table string, sec storage.Partitioning) bool {
+	if !db.opts.SecondaryCarry {
+		return false
+	}
+	r, ok := db.cat.Get(table)
+	if !ok {
+		return false
+	}
+	if db.opts.MemBudgetBytes > 0 && db.mem.Headroom() < r.EstimatedBytes() {
+		return false
+	}
+	return exec.EnsureSecondaryCarry(db.pool, r, sec.KeyCols, sec.Parts)
 }
 
 // PlanJoinKeys parses and binds one query (without executing it) and

@@ -222,6 +222,7 @@ func buildJoinTable(pool *Pool, r *storage.Relation, keys []int, parts int, seri
 	} else {
 		pool.Copy.BuildScattersAvoided.Add(1)
 	}
+	pool.Copy.NoteBuild(r.Name(), keys, scattered)
 	jt := &joinTable{parts: parts, tables: make([]*buildTable, parts)}
 	arity := r.Arity()
 	pool.RunPartitions(parts, func(p int) {

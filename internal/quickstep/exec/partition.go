@@ -47,6 +47,27 @@ func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 		}
 		return v, false
 	}
+	v, gen = scatterView(pool, r, keyCols, parts)
+	// gen predates the block snapshot: if a mutation interleaved, the store
+	// is refused and the (still self-consistent) view is used uncached.
+	// Exactly one store runs: double-registering a carried view would make
+	// the relation own its scatter copies twice and double-release them once
+	// block recycling reclaims owned views (the PR 2 aliasing audit).
+	if carry {
+		r.StoreCarriedView(v, gen)
+	} else {
+		r.StorePartitionedView(v, gen)
+	}
+	return v, true
+}
+
+// scatterView performs the parallel scatter pass: every tuple of r is copied
+// into a worker-private block of its radix partition, and the per-worker
+// block lists are concatenated into a fresh view. Returns the view plus the
+// mutation generation observed *before* the snapshot, for the gen-guarded
+// store protocols.
+func scatterView(pool *Pool, r *storage.Relation, keyCols []int, parts int) (*storage.PartitionedView, uint64) {
+	gen := r.Generation()
 	arity := r.Arity()
 	blocks := r.Blocks()
 	workers := pool.Workers()
@@ -85,17 +106,30 @@ func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 			merged[p] = append(merged[p], bs...)
 		}
 	}
-	v = storage.NewPartitionedView(keyCols, parts, merged)
+	v := storage.NewPartitionedView(keyCols, parts, merged)
 	pool.Copy.Scattered.Add(int64(v.NumTuples()))
-	// gen predates the block snapshot: if a mutation interleaved, the store
-	// is refused and the (still self-consistent) view is used uncached.
-	// Exactly one store runs: double-registering a carried view would make
-	// the relation own its scatter copies twice and double-release them once
-	// block recycling reclaims owned views (the PR 2 aliasing audit).
-	if carry {
-		r.StoreCarriedView(v, gen)
-	} else {
-		r.StorePartitionedView(v, gen)
+	return v, gen
+}
+
+// EnsureSecondaryCarry makes r carry a secondary partitioned view routed on
+// (keyCols, parts), scattering once if it does not already. The engine calls
+// it on the full relation R of a conflicting-keyset predicate before the
+// first dual-route delta step; afterwards every R ← R ⊎ ∆R merge keeps the
+// view alive (∆R exits DeltaStepDual carrying the matching secondary), so
+// the scatter here is paid once per fixpoint, not once per iteration.
+// Returns whether the relation now serves (keyCols, parts) from a carried
+// view.
+func EnsureSecondaryCarry(pool *Pool, r *storage.Relation, keyCols []int, parts int) bool {
+	parts = storage.NormalizePartitions(parts)
+	if parts <= 1 || len(keyCols) == 0 {
+		return false
 	}
-	return v, true
+	if _, ok := r.CarriedView(keyCols, parts); ok {
+		return true
+	}
+	v, gen := scatterView(pool, r, keyCols, parts)
+	pool.Copy.SecondaryScattered.Add(int64(v.NumTuples()))
+	r.StoreSecondaryView(v, gen)
+	_, ok := r.CarriedView(keyCols, parts)
+	return ok
 }

@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,34 +41,105 @@ type CopyCounters struct {
 	// BuildScattersAvoided counts hash-join builds served directly from a
 	// carried or cached partitioned view — zero tuples moved.
 	BuildScattersAvoided atomic.Int64
+	// SecondaryScattered counts the subset of Scattered copied into
+	// *secondary* carried views — the extra per-iteration copy a
+	// conflicting-keyset predicate pays so both of its join shapes build
+	// scatter-free.
+	SecondaryScattered atomic.Int64
+
+	// buildDetail breaks the build counters down by (relation, keyset) so
+	// the copy-accounting experiments can show exactly which predicate and
+	// join shape still pays per-iteration build scatters. Guarded by mu;
+	// updated once per hash build, never per tuple.
+	mu          sync.Mutex
+	buildDetail map[string]BuildCount
+}
+
+// BuildCount tallies the partitioned hash builds of one (relation, keyset)
+// pair: how many had to scatter the input versus how many were served in
+// place from a carried or cached view.
+type BuildCount struct {
+	Scatters, InPlace int64
+}
+
+// BuildKey renders the (relation, keyset) identity used by the per-build
+// breakdown, e.g. "valueFlow[1]".
+func BuildKey(name string, keys []int) string {
+	return fmt.Sprintf("%s%v", name, keys)
+}
+
+// NoteBuild records one partitioned hash build over relation name keyed on
+// keys, and whether it paid a scatter pass.
+func (c *CopyCounters) NoteBuild(name string, keys []int, scattered bool) {
+	k := BuildKey(name, keys)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.buildDetail == nil {
+		c.buildDetail = make(map[string]BuildCount)
+	}
+	bc := c.buildDetail[k]
+	if scattered {
+		bc.Scatters++
+	} else {
+		bc.InPlace++
+	}
+	c.buildDetail[k] = bc
 }
 
 // CopySnapshot is a point-in-time reading of CopyCounters.
 type CopySnapshot struct {
 	Scattered, Adopted, FlatMats        int64
 	BuildScatters, BuildScattersAvoided int64
+	SecondaryScattered                  int64
+	// BuildDetail maps BuildKey(relation, keyset) to that pair's build
+	// tallies.
+	BuildDetail map[string]BuildCount
 }
 
 // Snapshot reads the counters.
 func (c *CopyCounters) Snapshot() CopySnapshot {
-	return CopySnapshot{
+	s := CopySnapshot{
 		Scattered:            c.Scattered.Load(),
 		Adopted:              c.Adopted.Load(),
 		FlatMats:             c.FlatMats.Load(),
 		BuildScatters:        c.BuildScatters.Load(),
 		BuildScattersAvoided: c.BuildScattersAvoided.Load(),
+		SecondaryScattered:   c.SecondaryScattered.Load(),
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buildDetail) > 0 {
+		s.BuildDetail = make(map[string]BuildCount, len(c.buildDetail))
+		for k, v := range c.buildDetail {
+			s.BuildDetail[k] = v
+		}
+	}
+	return s
 }
 
-// Sub returns the counter deltas since an earlier snapshot.
+// Sub returns the counter deltas since an earlier snapshot. Per-build
+// detail entries that did not move are dropped from the result.
 func (s CopySnapshot) Sub(o CopySnapshot) CopySnapshot {
-	return CopySnapshot{
+	d := CopySnapshot{
 		Scattered:            s.Scattered - o.Scattered,
 		Adopted:              s.Adopted - o.Adopted,
 		FlatMats:             s.FlatMats - o.FlatMats,
 		BuildScatters:        s.BuildScatters - o.BuildScatters,
 		BuildScattersAvoided: s.BuildScattersAvoided - o.BuildScattersAvoided,
+		SecondaryScattered:   s.SecondaryScattered - o.SecondaryScattered,
 	}
+	for k, v := range s.BuildDetail {
+		v.Scatters -= o.BuildDetail[k].Scatters
+		v.InPlace -= o.BuildDetail[k].InPlace
+		if v.Scatters == 0 && v.InPlace == 0 {
+			continue
+		}
+		if d.BuildDetail == nil {
+			d.BuildDetail = make(map[string]BuildCount)
+		}
+		d.BuildDetail[k] = v
+	}
+	return d
 }
 
 // Pool is a bounded worker pool for block-parallel operator execution. It

@@ -48,12 +48,13 @@ type Manager struct {
 	poolMisses atomic.Int64
 	frees      atomic.Int64
 
-	epoch        atomic.Int64
-	spills       atomic.Int64
-	faults       atomic.Int64
-	spilledBytes atomic.Int64
-	spilledNow   atomic.Int64
-	fileSeq      atomic.Int64
+	epoch          atomic.Int64
+	spills         atomic.Int64
+	faults         atomic.Int64
+	secondaryDrops atomic.Int64
+	spilledBytes   atomic.Int64
+	spilledNow     atomic.Int64
+	fileSeq        atomic.Int64
 
 	dirOnce sync.Once
 	dirErr  error
@@ -201,6 +202,19 @@ func (m *Manager) Register(r *storage.Relation) {
 	m.spillables = append(m.spillables, r)
 }
 
+// OverBudget reports whether live pool bytes currently exceed the budget
+// (always false with no budget, or once eviction is sealed). The engine
+// consults it at quiescent points to decide whether to shed the cheapest
+// redundancy first — secondary carried views — before EndEpoch's
+// cold-partition spilling pays disk I/O.
+func (m *Manager) OverBudget() bool {
+	return m.budget > 0 && !m.sealed.Load() && m.liveTotal.Load() > m.budget
+}
+
+// NoteSecondaryDrop records one secondary carried view dropped under budget
+// pressure — the eviction that must precede any primary-partition spill.
+func (m *Manager) NoteSecondaryDrop() { m.secondaryDrops.Add(1) }
+
 // StopSpilling permanently disables eviction — the engine calls it when the
 // fixpoint is done, before restoring result relations: without it, faulting
 // one result back in could push the budget over and re-evict another result
@@ -231,6 +245,21 @@ func (m *Manager) Epoch() int64 { return m.epoch.Load() }
 func (m *Manager) reclaimTo(target int64) {
 	if m.sealed.Load() {
 		return
+	}
+	// Eviction order: secondary carried views go first. They are pure
+	// redundancy — a second scatter copy of data the primary layout already
+	// holds — so they are retired (recycled at the next quiescent epoch,
+	// since an in-flight operator may still scan them) before any primary
+	// partition pays a disk write. Dropping also keeps the dual-route
+	// pipeline from rebuilding them while pressure lasts: a relation whose
+	// secondary is gone ignores incoming ∆R secondaries on merge.
+	m.regMu.Lock()
+	spillables := append([]*storage.Relation(nil), m.spillables...)
+	m.regMu.Unlock()
+	for _, r := range spillables {
+		if r.TryDropSecondaryView() {
+			m.secondaryDrops.Add(1)
+		}
 	}
 	cur := m.epoch.Load()
 	// Candidate scans use TryLock against relations an operator may be
@@ -362,6 +391,9 @@ type Snapshot struct {
 	// volume currently on disk.
 	Spills, Faults                int64
 	SpilledBytes, SpilledNowBytes int64
+	// SecondaryDrops counts secondary carried views dropped under budget
+	// pressure — the eviction step that runs before any partition spills.
+	SecondaryDrops int64
 	// Epoch is the current reclamation epoch (fixpoint iteration count).
 	Epoch int64
 }
@@ -377,6 +409,7 @@ func (m *Manager) Snapshot() Snapshot {
 		Frees:           m.frees.Load(),
 		Spills:          m.spills.Load(),
 		Faults:          m.faults.Load(),
+		SecondaryDrops:  m.secondaryDrops.Load(),
 		SpilledBytes:    m.spilledBytes.Load(),
 		SpilledNowBytes: m.spilledNow.Load(),
 		Epoch:           m.epoch.Load(),
@@ -396,6 +429,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.Frees -= o.Frees
 	d.Spills -= o.Spills
 	d.Faults -= o.Faults
+	d.SecondaryDrops -= o.SecondaryDrops
 	d.SpilledBytes -= o.SpilledBytes
 	return d
 }

@@ -6,6 +6,7 @@ package optimizer
 
 import (
 	"math/rand"
+	"sort"
 
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/storage"
@@ -16,6 +17,37 @@ import (
 // so stale statistics (OOF-NA) produce stale — possibly wrong — choices.
 func ChooseBuildLeft(leftTuples, rightTuples int) bool {
 	return leftTuples <= rightTuples
+}
+
+// carriedBuildFactor bounds the keyset-aware build-side override: a side
+// whose carried partitioning matches its join keys is preferred over the
+// strictly smaller side only while it is at most this many times larger.
+// Building in place costs ~α per tuple over the carried side; building the
+// other side costs ~α per tuple *plus* a scatter copy (≈ one probe, so
+// ≈ α+1 per tuple with α≈2) — the in-place build wins until the carried
+// side is roughly (α+1)/α ≈ 1.5× larger, and 2× keeps a margin for the
+// statistics being estimates.
+const carriedBuildFactor = 2
+
+// PreferCarriedBuild applies the keyset-aware build-side override on top of
+// ChooseBuildLeft: when exactly one join input already carries a
+// partitioning on its join keys and the cardinalities are close (within
+// carriedBuildFactor), the carried side builds — its hash tables are
+// indexed straight over carried partition blocks with zero tuple movement,
+// which beats a slightly smaller build that must pay a scatter pass first.
+// With no carried side (or both carried) the pure size rule decides.
+func PreferCarriedBuild(leftTuples, rightTuples int, leftCarried, rightCarried bool) bool {
+	buildLeft := ChooseBuildLeft(leftTuples, rightTuples)
+	if leftCarried == rightCarried || leftTuples <= 0 || rightTuples <= 0 {
+		return buildLeft
+	}
+	if leftCarried && rightTuples*carriedBuildFactor >= leftTuples {
+		return true
+	}
+	if rightCarried && leftTuples*carriedBuildFactor >= rightTuples {
+		return false
+	}
+	return buildLeft
 }
 
 // Partition-count tiers for the radix-partitioned parallel build. The build
@@ -152,6 +184,76 @@ func ChooseJoinKeyCols(arity int, keysets [][]int) []int {
 		return storage.AllCols(arity)
 	}
 	return append([]int(nil), chosen...)
+}
+
+// RankJoinKeysets returns the distinct non-empty keysets of a predicate's
+// direct hash-build usage, ranked by how many builds each serves per
+// iteration (occurrence count, descending; ties keep first-appearance
+// order). The count is the copy-accounting estimate behind the carry
+// choice: every occurrence is one hash build per iteration that a carried
+// partitioning on that keyset serves with zero tuple movement.
+func RankJoinKeysets(keysets [][]int) [][]int {
+	type ranked struct {
+		keys  []int
+		count int
+		order int
+	}
+	var distinct []ranked
+	for _, ks := range keysets {
+		if len(ks) == 0 {
+			continue
+		}
+		found := false
+		for i := range distinct {
+			if storage.KeyColsEqual(distinct[i].keys, ks) {
+				distinct[i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			distinct = append(distinct, ranked{keys: append([]int(nil), ks...), count: 1, order: len(distinct)})
+		}
+	}
+	sort.SliceStable(distinct, func(a, b int) bool {
+		if distinct[a].count != distinct[b].count {
+			return distinct[a].count > distinct[b].count
+		}
+		return distinct[a].order < distinct[b].order
+	})
+	out := make([][]int, len(distinct))
+	for i, d := range distinct {
+		out[i] = d.keys
+	}
+	return out
+}
+
+// ChooseCarryKeysets is the ranked, two-view generalization of
+// ChooseJoinKeyCols: instead of falling back to the whole-tuple layout when
+// a predicate's recursive joins build on conflicting keysets, it selects up
+// to two of them — the primary (most builds served), which routes the delta
+// pipeline and becomes R's carried partitioning, and a secondary, which R
+// and ∆R maintain as an extra carried view via the dual-route delta step.
+//
+// The cost cutoff comes from copy accounting: maintaining a secondary view
+// costs one extra scatter copy of ∆R per iteration (the dual route) plus one
+// initial scatter of R, while every build it serves saves a scatter of the
+// *build side* (R or ∆R, both at least ∆R-sized) per iteration. A secondary
+// keyset with at least one direct build use therefore always at least breaks
+// even, and strictly wins whenever the build side is the accumulated R —
+// so the cutoff is one use; keysets ranked third or lower stay unserved
+// (their builds re-scatter, exactly as under the whole-tuple fallback).
+// With no conflict the choice degenerates to ChooseJoinKeyCols: primary =
+// the consensus keyset (or the whole tuple), no secondary.
+func ChooseCarryKeysets(arity int, keysets [][]int) (primary, secondary []int) {
+	ranked := RankJoinKeysets(keysets)
+	if len(ranked) == 0 {
+		return storage.AllCols(arity), nil
+	}
+	if len(ranked) == 1 {
+		return ranked[0], nil
+	}
+	return ranked[0], ranked[1]
 }
 
 // ChooseDeltaPartitions picks the whole-tuple radix fan-out one recursive

@@ -157,3 +157,101 @@ func TestChooseJoinKeyCols(t *testing.T) {
 		}
 	}
 }
+
+func keysetsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRankJoinKeysets(t *testing.T) {
+	cases := []struct {
+		name    string
+		keysets [][]int
+		want    [][]int
+	}{
+		{"empty", nil, nil},
+		{"single", [][]int{{1}}, [][]int{{1}}},
+		{"dedup keeps one", [][]int{{1}, {1}, {1}}, [][]int{{1}}},
+		{"majority first", [][]int{{1}, {0}, {0}, {1}, {0}}, [][]int{{0}, {1}}},
+		{"tie keeps first-seen order", [][]int{{1}, {0}}, [][]int{{1}, {0}}},
+		{"empty keysets ignored", [][]int{{}, {0}, {}}, [][]int{{0}}},
+		{"order-sensitive distinctness", [][]int{{0, 1}, {1, 0}, {0, 1}}, [][]int{{0, 1}, {1, 0}}},
+		{"three ranked", [][]int{{2}, {0}, {0}, {1}, {1}, {0}}, [][]int{{0}, {1}, {2}}},
+	}
+	for _, c := range cases {
+		if got := RankJoinKeysets(c.keysets); !keysetsEqual(got, c.want) {
+			t.Fatalf("%s: RankJoinKeysets(%v) = %v, want %v", c.name, c.keysets, got, c.want)
+		}
+	}
+}
+
+func TestChooseCarryKeysets(t *testing.T) {
+	cases := []struct {
+		name          string
+		arity         int
+		keysets       [][]int
+		wantPrimary   []int
+		wantSecondary []int
+	}{
+		{"no usage falls back to whole tuple, no secondary", 3, nil, []int{0, 1, 2}, nil},
+		{"consensus keeps single keyset, no secondary", 2, [][]int{{1}, {1}}, []int{1}, nil},
+		// The CSPA valueFlow shape: column 0 serves four builds per
+		// iteration, column 1 serves two — rank picks 0 as the delta route
+		// and maintains 1 as the secondary carried view.
+		{"conflict ranks by builds served", 2, [][]int{{0}, {0}, {1}, {0}, {1}, {0}}, []int{0}, []int{1}},
+		{"tie breaks by first appearance", 2, [][]int{{1}, {0}}, []int{1}, []int{0}},
+		// Third-ranked keysets stay unserved: only the top two carry.
+		{"only top two carry", 2, [][]int{{0}, {0}, {1}, {1}, {0, 1}}, []int{0}, []int{1}},
+	}
+	for _, c := range cases {
+		p, s := ChooseCarryKeysets(c.arity, c.keysets)
+		got := [][]int{p}
+		want := [][]int{c.wantPrimary}
+		if s != nil {
+			got = append(got, s)
+		}
+		if c.wantSecondary != nil {
+			want = append(want, c.wantSecondary)
+		}
+		if !keysetsEqual(got, want) {
+			t.Fatalf("%s: ChooseCarryKeysets(%d, %v) = (%v, %v), want (%v, %v)",
+				c.name, c.arity, c.keysets, p, s, c.wantPrimary, c.wantSecondary)
+		}
+	}
+}
+
+func TestPreferCarriedBuild(t *testing.T) {
+	cases := []struct {
+		name                      string
+		left, right               int
+		leftCarried, rightCarried bool
+		wantBuildLeft             bool
+	}{
+		{"no carried side: smaller builds", 10, 20, false, false, true},
+		{"both carried: smaller builds", 10, 20, true, true, true},
+		{"carried left, close sizes: left builds despite being larger", 30, 20, true, false, true},
+		{"carried right, close sizes: right builds despite being larger", 20, 30, false, true, false},
+		{"carried side too large: size rule wins", 50, 20, true, false, false},
+		{"carried side at the 2x boundary still builds", 40, 20, true, false, true},
+		{"carried side smaller anyway", 10, 20, true, false, true},
+		{"zero cardinality disables the override", 0, 20, false, true, true},
+	}
+	for _, c := range cases {
+		if got := PreferCarriedBuild(c.left, c.right, c.leftCarried, c.rightCarried); got != c.wantBuildLeft {
+			t.Fatalf("%s: PreferCarriedBuild(%d, %d, %v, %v) = %v, want %v",
+				c.name, c.left, c.right, c.leftCarried, c.rightCarried, got, c.wantBuildLeft)
+		}
+	}
+}

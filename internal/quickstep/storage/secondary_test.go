@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scatterRows builds a partitioned view by routing each two-column row of
+// rows to its radix partition of (keyCols, parts), allocating through lc.
+func scatterRows(lc Lifecycle, cat Category, rows []int32, keyCols []int, parts int) *PartitionedView {
+	blocks := make([][]*Block, parts)
+	open := make([]*Block, parts)
+	for off := 0; off < len(rows); off += 2 {
+		row := rows[off : off+2]
+		p := PartitionOf(PartitionHash(row, keyCols), parts)
+		if open[p] == nil || open[p].Full() {
+			open[p] = NewBlockIn(lc, cat, 2, 0)
+			blocks[p] = append(blocks[p], open[p])
+		}
+		open[p].Append(row)
+	}
+	return NewPartitionedView(keyCols, parts, blocks)
+}
+
+// deltaLike builds a relation the way DeltaStepDual leaves ∆R: carrying a
+// primary partitioning on primCols and a secondary scatter copy on secCols.
+func deltaLike(lc Lifecycle, name string, rows []int32, primCols, secCols []int, parts int) *Relation {
+	r := NewRelation(name, NumberedColumns(2))
+	r.SetLifecycle(lc, CatDelta)
+	r.AdoptPartitioned(scatterRows(lc, CatDelta, rows, primCols, parts))
+	r.StoreSecondaryView(scatterRows(lc, CatDelta, rows, secCols, parts), r.Generation())
+	return r
+}
+
+func TestStoreSecondaryViewLookups(t *testing.T) {
+	lc := newPoisonLifecycle()
+	rows := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	r := deltaLike(lc, "d", rows, []int{0}, []int{1}, 4)
+
+	if p, ok := r.Partitioning(); !ok || !p.Equal(Partitioning{KeyCols: []int{0}, Parts: 4}) {
+		t.Fatalf("primary partitioning = %v, %v", p, ok)
+	}
+	if p, ok := r.SecondaryPartitioning(); !ok || !p.Equal(Partitioning{KeyCols: []int{1}, Parts: 4}) {
+		t.Fatalf("secondary partitioning = %v, %v", p, ok)
+	}
+	if _, ok := r.CarriedView([]int{0}, 4); !ok {
+		t.Fatal("primary keyset not served by CarriedView")
+	}
+	sv, ok := r.CarriedView([]int{1}, 4)
+	if !ok {
+		t.Fatal("secondary keyset not served by CarriedView")
+	}
+	// The secondary view holds every tuple exactly once, routed on its own
+	// keyset.
+	total := 0
+	for p := 0; p < sv.Parts(); p++ {
+		for _, b := range sv.Blocks(p) {
+			n := b.Rows()
+			total += n
+			for i := 0; i < n; i++ {
+				if got := PartitionOf(PartitionHash(b.Row(i), []int{1}), 4); got != p {
+					t.Fatalf("secondary row %v in partition %d, routes to %d", b.Row(i), p, got)
+				}
+			}
+		}
+	}
+	if total != len(rows)/2 {
+		t.Fatalf("secondary view holds %d tuples, want %d", total, len(rows)/2)
+	}
+	if _, ok := r.CarriedView([]int{1}, 8); ok {
+		t.Fatal("mismatched fan-out must not be served")
+	}
+
+	// A store duplicating the primary routing is refused (and its blocks
+	// retired, not leaked).
+	r.StoreSecondaryView(scatterRows(lc, CatDelta, rows, []int{0}, 4), r.Generation())
+	if p, _ := r.SecondaryPartitioning(); !KeyColsEqual(p.KeyCols, []int{1}) {
+		t.Fatalf("duplicate-routing store replaced the secondary: %v", p)
+	}
+	// A stale store (mutation interleaved) is refused too.
+	stale := r.Generation()
+	r.Append([]int32{9, 10})
+	r.StoreSecondaryView(scatterRows(lc, CatDelta, rows, []int{1}, 4), stale)
+	if _, ok := r.SecondaryPartitioning(); ok {
+		t.Fatal("stale secondary store accepted (and flat mutation should have dropped the old one)")
+	}
+
+	r.ReclaimRetired()
+	r.Release()
+	if n := lc.outstanding(); n != 0 {
+		t.Fatalf("%d arrays leaked", n)
+	}
+}
+
+func TestAppendRelationMaintainsSecondaryView(t *testing.T) {
+	lc := newPoisonLifecycle()
+	prim, sec := []int{0}, []int{1}
+	d1 := deltaLike(lc, "d1", []int32{1, 2, 3, 4}, prim, sec, 4)
+	d2 := deltaLike(lc, "d2", []int32{5, 6, 7, 8}, prim, sec, 4)
+	d3 := NewRelation("d3", NumberedColumns(2)) // no secondary
+	d3.SetLifecycle(lc, CatDelta)
+	d3.AdoptPartitioned(scatterRows(lc, CatDelta, []int32{9, 10}, prim, 4))
+
+	r := NewRelation("r", NumberedColumns(2))
+	r.SetLifecycle(lc, CatIDB)
+
+	// Empty-destination append adopts a clone of the source's secondary.
+	r.AppendRelation(d1)
+	if _, ok := r.CarriedView(sec, 4); !ok {
+		t.Fatal("append into empty relation did not adopt the secondary view")
+	}
+	// Compatible append merges it.
+	r.AppendRelation(d2)
+	sv, ok := r.CarriedView(sec, 4)
+	if !ok {
+		t.Fatal("compatible append dropped the secondary view")
+	}
+	if n := sv.NumTuples(); n != 4 {
+		t.Fatalf("merged secondary view holds %d tuples, want 4", n)
+	}
+	// Releasing the sources must not free data r still serves: the merge
+	// retained the shared blocks.
+	d1.Release()
+	d2.Release()
+	if got := r.SortedRows(); !reflect.DeepEqual(got, []int32{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("contents after source release: %v", got)
+	}
+	sv, _ = r.CarriedView(sec, 4)
+	total := 0
+	for p := 0; p < sv.Parts(); p++ {
+		for _, b := range sv.Blocks(p) {
+			total += b.Rows()
+		}
+	}
+	if total != 4 {
+		t.Fatalf("secondary view corrupted by source release: %d tuples", total)
+	}
+
+	// A compatible append whose source lacks the secondary drops it — the
+	// copy would be stale otherwise.
+	r.AppendRelation(d3)
+	if _, ok := r.CarriedView(sec, 4); ok {
+		t.Fatal("append without matching secondary left a stale secondary view")
+	}
+	if _, ok := r.CarriedView(prim, 4); !ok {
+		t.Fatal("primary carried view should survive the merge")
+	}
+
+	d3.Release()
+	r.ReclaimRetired()
+	r.Release()
+	if n := lc.outstanding(); n != 0 {
+		t.Fatalf("%d arrays leaked", n)
+	}
+}
+
+func TestDropSecondaryViewRetiresBlocks(t *testing.T) {
+	lc := newPoisonLifecycle()
+	r := deltaLike(lc, "r", []int32{1, 2, 3, 4, 5, 6}, []int{0}, []int{1}, 4)
+	want := r.SortedRows()
+
+	if !r.DropSecondaryView() {
+		t.Fatal("DropSecondaryView found nothing to drop")
+	}
+	if r.DropSecondaryView() {
+		t.Fatal("second drop should be a no-op")
+	}
+	if _, ok := r.SecondaryPartitioning(); ok {
+		t.Fatal("secondary still reported after drop")
+	}
+	before := lc.outstanding()
+	r.ReclaimRetired()
+	if lc.outstanding() >= before {
+		t.Fatal("retired secondary blocks were not recycled")
+	}
+	// The primary contents are untouched.
+	if got := r.SortedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("contents changed by secondary drop: %v != %v", got, want)
+	}
+	if _, ok := r.CarriedView([]int{0}, 4); !ok {
+		t.Fatal("primary carried view lost")
+	}
+	r.Release()
+	if n := lc.outstanding(); n != 0 {
+		t.Fatalf("%d arrays leaked", n)
+	}
+}

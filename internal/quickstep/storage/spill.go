@@ -434,6 +434,86 @@ func (r *Relation) CoalescePartitions() {
 		}
 		r.mu.Unlock()
 	}
+	r.coalesceSecondary()
+}
+
+// coalesceSecondary applies the same small-block rewrite to the secondary
+// carried view. Its partitions fragment exactly like the primary's — one
+// small ∆R scatter block adopted per partition per iteration — but its
+// blocks live outside the flat list, so the pass only rewrites the view's
+// own lists. Same quiescence requirement as CoalescePartitions.
+func (r *Relation) coalesceSecondary() {
+	r.mu.Lock()
+	if r.sec == nil {
+		r.mu.Unlock()
+		return
+	}
+	arity := len(r.colNames)
+	parts := r.sec.parts
+	r.mu.Unlock()
+
+	const chunkRows = 2 * coalesceSmallRows
+	for p := 0; p < parts; p++ {
+		r.mu.Lock()
+		if r.sec == nil || r.sec.parts != parts {
+			r.mu.Unlock()
+			return
+		}
+		var smalls []*Block
+		var keep []*Block
+		for _, b := range r.sec.blocks[p] {
+			// Shared blocks (the newest ∆R secondary scatter, still held by
+			// the delta table's own secondary view) are skipped, exactly as
+			// in the primary pass.
+			if b.Rows() < coalesceSmallRows && b.Refs() == 1 {
+				smalls = append(smalls, b)
+			} else {
+				keep = append(keep, b)
+			}
+		}
+		if len(smalls) < coalesceMinRun {
+			r.mu.Unlock()
+			continue
+		}
+		r.sec.blocks[p] = keep
+		r.mu.Unlock()
+
+		rows := 0
+		for _, b := range smalls {
+			rows += b.Rows()
+		}
+		var merged []*Block
+		var cur *Block
+		for _, b := range smalls {
+			if cur == nil || cur.Rows()+b.Rows() > chunkRows {
+				if cur != nil {
+					cur.Compact()
+				}
+				hint := rows
+				if hint > chunkRows {
+					hint = chunkRows
+				}
+				cur = NewBlockIn(r.lc, r.cat, arity, hint)
+				merged = append(merged, cur)
+			}
+			cur.AppendBulk(b.Data())
+			rows -= b.Rows()
+			b.Release()
+		}
+		if cur != nil {
+			cur.Compact()
+		}
+
+		r.mu.Lock()
+		if r.sec != nil && r.sec.parts == parts {
+			r.sec.blocks[p] = append(r.sec.blocks[p], merged...)
+		} else {
+			for _, b := range merged {
+				b.Release()
+			}
+		}
+		r.mu.Unlock()
+	}
 }
 
 // SpilledPartitions reports how many partitions are currently on disk.

@@ -1,0 +1,87 @@
+// Command checkdocs fails (exit 1) when any Go package in the repository
+// lacks a package-level doc comment. CI runs it so every package keeps the
+// godoc entry point the architecture documentation links into: a package
+// whose role cannot be stated in a doc comment is a package whose role the
+// next contributor has to reverse-engineer.
+//
+// A package passes when at least one of its files attaches a doc comment to
+// the package clause ("// Package foo ..." for libraries, "// Command foo
+// ..." for main packages — the conventional godoc forms, though any
+// non-empty doc comment counts). Test files can carry the comment for
+// white-box test helpers, but external-test packages ("foo_test") are not
+// required to have one.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	// pkgDoc maps a package's (directory, name) to whether any of its files
+	// carries a package doc comment.
+	type pkgKey struct{ dir, name string }
+	pkgDoc := make(map[pkgKey]bool)
+
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		name := f.Name.Name
+		if strings.HasSuffix(name, "_test") {
+			return nil
+		}
+		key := pkgKey{dir: filepath.Dir(path), name: name}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			pkgDoc[key] = true
+		} else if _, seen := pkgDoc[key]; !seen {
+			pkgDoc[key] = false
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(2)
+	}
+
+	var missing []string
+	for key, ok := range pkgDoc {
+		if !ok {
+			missing = append(missing, fmt.Sprintf("%s (package %s)", key.dir, key.name))
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "checkdocs: packages missing a package-level doc comment:")
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("checkdocs: %d packages documented\n", len(pkgDoc))
+}
