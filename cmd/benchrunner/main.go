@@ -30,7 +30,11 @@ func main() {
 		carryJoin   = flag.Bool("carry-join-parts", true, "carry join-key partitionings across iterations so hash builds reuse ∆R/R partitions in place; false re-scatters every build (ablation)")
 		secondary   = flag.Bool("secondary-carry", true, "carry a second partitioned view for predicates whose recursive joins use conflicting keysets; false falls back to whole-tuple partitioning (ablation)")
 		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill under pressure (0 = unlimited)")
+		columnar    = flag.Bool("columnar", true, "batch-at-a-time kernels over columnar block slabs; false selects the row-layout tuple-at-a-time ablation")
 		benchOut    = flag.String("bench-out", "BENCH_PR5.json", "path the benchjson experiment writes its machine-readable report to")
+		batchOut    = flag.String("batch-out", "BENCH_PR6.json", "path the benchbatch experiment writes its machine-readable report to")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile covering the selected experiments to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile after the selected experiments to this file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -42,8 +46,20 @@ func main() {
 		StagedDelta:        !*fuseDelta,
 		NoCarryJoinParts:   !*carryJoin,
 		NoSecondaryCarry:   !*secondary,
+		NoColumnar:         !*columnar,
 		ManagedBudgetBytes: *memBudget,
+		CPUProfile:         *cpuProfile,
+		MemProfile:         *memProfile,
 	}
+	stopProfiles, err := cfg.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	type runner func(experiments.Config) experiments.Table
 	table := map[string]runner{
@@ -69,7 +85,7 @@ func main() {
 	order := []string{
 		"table1", "table3", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table4",
-		"copies", "peakmem", "benchjson",
+		"copies", "peakmem", "benchjson", "benchbatch",
 	}
 
 	args := flag.Args()
@@ -88,6 +104,15 @@ func main() {
 			}
 			fmt.Println(experiments.BenchCarryTable(rep))
 			log.Printf("wrote %s", *benchOut)
+			continue
+		}
+		if name == "benchbatch" {
+			rep := experiments.BenchBatch(cfg)
+			if err := experiments.WriteBenchBatchReport(*batchOut, rep); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(experiments.BenchBatchTable(rep))
+			log.Printf("wrote %s", *batchOut)
 			continue
 		}
 		if name == "fig4" {

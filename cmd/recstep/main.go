@@ -20,6 +20,7 @@ import (
 
 	"recstep/internal/core"
 	"recstep/internal/datalog/parser"
+	"recstep/internal/experiments"
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/stats"
 	"recstep/internal/quickstep/storage"
@@ -59,6 +60,9 @@ func main() {
 		carryJoin   = flag.Bool("carry-join-parts", true, "carry join-key partitionings across iterations so hash builds reuse ∆R/R partitions in place; false re-scatters every build (ablation)")
 		secondary   = flag.Bool("secondary-carry", true, "carry a second partitioned view for predicates whose recursive joins use conflicting keysets; false falls back to whole-tuple partitioning (ablation)")
 		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill to temp files under pressure (0 = unlimited)")
+		columnar    = flag.Bool("columnar", true, "batch-at-a-time kernels over columnar block slabs with per-worker pool magazines; false selects the row-layout tuple-at-a-time ablation")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 		verbose     = flag.Bool("v", false, "log per-iteration deltas")
 	)
 	facts := factFlags{}
@@ -131,6 +135,7 @@ func main() {
 	opts.FuseDelta = *fuseDelta
 	opts.CarryJoinParts = *carryJoin
 	opts.SecondaryCarry = *secondary
+	opts.Columnar = *columnar
 	opts.MemBudgetBytes = *memBudget
 	if *verbose {
 		opts.IterHook = func(ii core.IterInfo) {
@@ -141,7 +146,15 @@ func main() {
 		}
 	}
 
+	stopProfiles, err := experiments.Config{CPUProfile: *cpuProfile, MemProfile: *memProfile}.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	res, err := core.New(opts).Run(prog, edbs)
+	if perr := stopProfiles(); perr != nil {
+		log.Fatal(perr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

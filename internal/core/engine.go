@@ -96,6 +96,12 @@ type Options struct {
 	// fallback on conflict, the PR 4 behaviour). Only meaningful with
 	// CarryJoinParts and FuseDelta.
 	SecondaryCarry bool
+	// Columnar enables the batch-at-a-time kernel paths in the engine:
+	// columnar layouts for re-read blocks, batched GSCHT inserts/probes,
+	// selection-vector filters, bulk block emission and per-worker pool
+	// magazines. False is the -columnar=false ablation — the row-layout
+	// tuple-at-a-time inner loops.
+	Columnar bool
 	// Alpha is the calibrated build/probe cost ratio for DSD (0 = default).
 	Alpha float64
 	// Naive disables semi-naive evaluation: every iteration re-evaluates
@@ -131,6 +137,7 @@ func DefaultOptions() Options {
 		FuseDelta:      true,
 		CarryJoinParts: true,
 		SecondaryCarry: true,
+		Columnar:       true,
 		MaxIterations:  1 << 20,
 		DisableIO:      true,
 	}
@@ -234,6 +241,7 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		MemBudgetBytes: e.opts.MemBudgetBytes,
 		CarryJoinParts: e.opts.CarryJoinParts,
 		SecondaryCarry: e.opts.SecondaryCarry,
+		Columnar:       e.opts.Columnar,
 	})
 	if err != nil {
 		return nil, err

@@ -94,11 +94,21 @@ type Config struct {
 	// -secondary-carry=false ablation; zero value keeps secondary carrying
 	// on).
 	NoSecondaryCarry bool
+	// NoColumnar disables the batch-at-a-time kernel paths: the fixpoint
+	// inner loops run tuple-at-a-time over the row-major layout, with no
+	// batched GSCHT inserts/probes, no selection vectors, no bulk block
+	// emission and no per-worker pool magazines (the -columnar=false
+	// ablation; zero value keeps batch kernels on).
+	NoColumnar bool
 	// ManagedBudgetBytes bounds the engine's live block-pool bytes (the
 	// -mem-budget flag): exceeding it spills cold partitions of full
 	// relations. Distinct from MemBudgetBytes, which models the *simulated*
 	// capacity at which the paper's comparison systems OOM.
 	ManagedBudgetBytes int64
+	// CPUProfile and MemProfile name files to receive pprof profiles of the
+	// run (the -cpuprofile/-memprofile flags); empty disables profiling.
+	CPUProfile string
+	MemProfile string
 }
 
 func (c Config) workers() int {
@@ -313,6 +323,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.FuseDelta = !cfg.StagedDelta
 		opts.CarryJoinParts = !cfg.NoCarryJoinParts
 		opts.SecondaryCarry = !cfg.NoSecondaryCarry
+		opts.Columnar = !cfg.NoColumnar
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }
@@ -326,6 +337,7 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.FuseDelta = !cfg.StagedDelta
 		opts.CarryJoinParts = !cfg.NoCarryJoinParts
 		opts.SecondaryCarry = !cfg.NoSecondaryCarry
+		opts.Columnar = !cfg.NoColumnar
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		opts.Naive = true
 		if sampler != nil {

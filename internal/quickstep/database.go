@@ -65,6 +65,12 @@ type Options struct {
 	// only a single carried view and the losing keyset's builds re-scatter
 	// (the PR 4 behaviour). Only meaningful with CarryJoinParts.
 	SecondaryCarry bool
+	// Columnar enables the batch-at-a-time kernel paths: columnar block
+	// layouts for re-read blocks, batched GSCHT inserts/probes, selection
+	// vectors, bulk block emission and per-worker pool magazines. False is
+	// the -columnar=false ablation — the row-layout tuple-at-a-time inner
+	// loops of PR 5 and earlier.
+	Columnar bool
 }
 
 // Database is the QuickStep-like engine instance.
@@ -97,6 +103,7 @@ func Open(opts Options) (*Database, error) {
 		mem:   memory.NewManager(memory.Config{BudgetBytes: opts.MemBudgetBytes, SpillDir: opts.SpillDir}),
 	}
 	db.pool.SetAlloc(db.mem)
+	db.pool.SetBatch(opts.Columnar)
 	if !opts.DisableIO {
 		m, err := txn.NewManager(opts.EOST, opts.SpillDir)
 		if err != nil {

@@ -103,12 +103,16 @@ type groupState struct {
 	states []aggState
 }
 
-// accumulateBlocks folds one block list into a local group table.
+// accumulateBlocks folds one block list into a local group table. The scan
+// walks each block's flat data directly in arity-strided chunks — the
+// grouping map dominates, but the chunked walk drops the per-row accessor
+// call and its bounds re-check.
 func accumulateBlocks(blocks []*storage.Block, groupBy []int, aggs []AggSpec, local map[string]*groupState, keyBuf []byte) {
 	for _, b := range blocks {
-		n := b.Rows()
-		for i := 0; i < n; i++ {
-			row := b.Row(i)
+		arity := b.Arity()
+		data := b.Data()
+		for off := 0; off < len(data); off += arity {
+			row := data[off : off+arity : off+arity]
 			k := packColsString(row, groupBy, keyBuf)
 			g, ok := local[k]
 			if !ok {

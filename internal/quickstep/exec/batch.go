@@ -1,0 +1,669 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/gscht"
+	"recstep/internal/quickstep/kernels"
+	"recstep/internal/quickstep/storage"
+)
+
+// The batch-at-a-time execution paths. Operators walk blocks in windows of
+// kernels.BatchRows rows and hand whole windows to the kernels package and
+// the batched GSCHT entry points: pack the window's keys in one branch-free
+// loop, insert/probe the table in one pass that hoists the hash arithmetic
+// out of the chain walks, select the surviving rows into a selection
+// vector, gather them into a row-major run and emit that run with one
+// AppendBulk copy. The tuple-at-a-time paths remain as the -columnar=false
+// ablation (and as the fallback for arities the compact keys cannot pack).
+
+// MinColumnarRows is the row count below which a block is consumed from its
+// row-major data even on the batch path: the column transpose costs a full
+// pass plus a pool allocation, which only pays off on blocks big enough to
+// amortize it — above the threshold the cached transpose is built once and
+// reused every time the (immutable) block is re-read, which for R's carried
+// partitions means every remaining fixpoint iteration. The optimizer's
+// layout choice (optimizer.UseBatchKernels) exposes the same gate to the
+// planning layer.
+const MinColumnarRows = 256
+
+// batchBuf is the per-pass scratch of the batch kernels: packed keys,
+// bucket indices, probe results, a selection vector and a gather buffer,
+// all sized for one kernels.BatchRows window at arity ≤ 4. Passes borrow
+// one from a sync.Pool so a 1024-partition delta step does not allocate a
+// thousand ~50 KiB scratch sets per iteration.
+type batchBuf struct {
+	keys   []uint64
+	lo, hi []uint64
+	hash   []uint64
+	bidx   []int32
+	hits   []bool
+	sel    []int32
+	gather []int32
+	scat   []int32
+	counts []int32
+	cols   [][]int32
+}
+
+var batchBufPool = sync.Pool{New: func() any {
+	n := kernels.BatchRows
+	return &batchBuf{
+		keys:   make([]uint64, n),
+		lo:     make([]uint64, n),
+		hi:     make([]uint64, n),
+		hash:   make([]uint64, n),
+		bidx:   make([]int32, n),
+		hits:   make([]bool, n),
+		sel:    make([]int32, 0, n),
+		gather: make([]int32, 4*n),
+		scat:   make([]int32, 4*n),
+		cols:   make([][]int32, 0, 8),
+	}
+}}
+
+func getBatchBuf() *batchBuf  { return batchBufPool.Get().(*batchBuf) }
+func putBatchBuf(b *batchBuf) { b.cols = b.cols[:0]; batchBufPool.Put(b) }
+
+// blockCols returns the per-column views of b when the cached transpose
+// pays (see MinColumnarRows), nil to pack from the row-major data.
+func blockCols(b *storage.Block, arity int, buf *batchBuf) [][]int32 {
+	if b.Rows() < MinColumnarRows {
+		return nil
+	}
+	cols := buf.cols[:0]
+	for c := 0; c < arity; c++ {
+		cols = append(cols, b.Col(c))
+	}
+	buf.cols = cols
+	return cols
+}
+
+// packWindow fills buf's key scratch for rows [off, off+bn) — from the
+// column views when cols is non-nil, in one strided pass over the row-major
+// data otherwise. Arity ≤ 2 lands in buf.keys, arity 3–4 in buf.hi/buf.lo.
+func packWindow(data []int32, cols [][]int32, arity, off, bn int, buf *batchBuf) {
+	if arity <= 2 {
+		if cols == nil {
+			kernels.PackRows64(data[off*arity:(off+bn)*arity], arity, buf.keys)
+		} else if arity == 1 {
+			kernels.PackKeys1(cols[0][off:off+bn], buf.keys)
+		} else {
+			kernels.PackKeys2(cols[0][off:off+bn], cols[1][off:off+bn], buf.keys)
+		}
+		return
+	}
+	if cols == nil {
+		kernels.PackRows128(data[off*arity:(off+bn)*arity], arity, buf.hi, buf.lo)
+	} else if arity == 3 {
+		kernels.PackKeys3(cols[0][off:off+bn], cols[1][off:off+bn], cols[2][off:off+bn], buf.hi, buf.lo)
+	} else {
+		kernels.PackKeys4(cols[0][off:off+bn], cols[1][off:off+bn], cols[2][off:off+bn], cols[3][off:off+bn], buf.hi, buf.lo)
+	}
+}
+
+// batchable reports whether the set is backed by a compact-key table the
+// batched GSCHT entry points can drive (arity ≤ 4; the generic locked map
+// stays tuple-at-a-time).
+func (s *tupleSet) batchable() bool { return s.t64 != nil || s.t128 != nil }
+
+// batchInsertBlocks inserts every tuple of blocks into set through the
+// batched GSCHT path, bulk-emitting each fresh tuple's row when emit is
+// non-nil. local selects the single-writer insert (partition-private
+// tables); useCols selects the cached column layout for blocks re-read
+// across iterations (R's carried partitions) — data scanned exactly once
+// packs straight from its row-major form.
+func batchInsertBlocks(set *tupleSet, blocks []*storage.Block, arity int, ar *setArena, local, useCols bool, buf *batchBuf, emit func(rows []int32)) {
+	for _, b := range blocks {
+		n := b.Rows()
+		if n == 0 {
+			continue
+		}
+		data := b.Data()
+		var cols [][]int32
+		if useCols {
+			cols = blockCols(b, arity, buf)
+		}
+		for off := 0; off < n; off += kernels.BatchRows {
+			bn := min(kernels.BatchRows, n-off)
+			packWindow(data, cols, arity, off, bn, buf)
+			sel := buf.sel[:0]
+			if set.t64 != nil {
+				keys := buf.keys[:bn]
+				if local {
+					sel = set.t64.InsertBatchLocal(keys, buf.bidx, &ar.a64, int32(off), sel)
+				} else {
+					sel = set.t64.InsertBatch(keys, buf.bidx, &ar.a64, int32(off), sel)
+				}
+			} else {
+				lo, hi := buf.lo[:bn], buf.hi[:bn]
+				if local {
+					sel = set.t128.InsertBatchLocal(lo, hi, buf.bidx, &ar.a128, int32(off), sel)
+				} else {
+					sel = set.t128.InsertBatch(lo, hi, buf.bidx, &ar.a128, int32(off), sel)
+				}
+			}
+			buf.sel = sel[:0]
+			if emit != nil && len(sel) > 0 {
+				emit(kernels.GatherSelect(data, arity, sel, buf.gather))
+			}
+		}
+	}
+}
+
+// batchBuildBlocks seeds set with blocks whose tuples the engine guarantees
+// distinct (R feeding an OPSD diff table: the fixpoint relation is
+// duplicate-free by construction), through the no-dup-check bulk-build
+// kernel. Single-writer only.
+func batchBuildBlocks(set *tupleSet, blocks []*storage.Block, arity int, ar *setArena, useCols bool, buf *batchBuf) {
+	for _, b := range blocks {
+		n := b.Rows()
+		if n == 0 {
+			continue
+		}
+		data := b.Data()
+		var cols [][]int32
+		if useCols {
+			cols = blockCols(b, arity, buf)
+		}
+		for off := 0; off < n; off += kernels.BatchRows {
+			bn := min(kernels.BatchRows, n-off)
+			packWindow(data, cols, arity, off, bn, buf)
+			if set.t64 != nil {
+				set.t64.InsertBatchBuild(buf.keys[:bn], buf.bidx, &ar.a64)
+			} else {
+				set.t128.InsertBatchBuild(buf.lo[:bn], buf.hi[:bn], buf.bidx, &ar.a128)
+			}
+		}
+	}
+}
+
+// batchAntiProbeBlocks bulk-emits the rows of blocks absent from set.
+func batchAntiProbeBlocks(set *tupleSet, blocks []*storage.Block, arity int, useCols bool, buf *batchBuf, emit func(rows []int32)) {
+	for _, b := range blocks {
+		n := b.Rows()
+		if n == 0 {
+			continue
+		}
+		data := b.Data()
+		var cols [][]int32
+		if useCols {
+			cols = blockCols(b, arity, buf)
+		}
+		for off := 0; off < n; off += kernels.BatchRows {
+			bn := min(kernels.BatchRows, n-off)
+			packWindow(data, cols, arity, off, bn, buf)
+			if set.t64 != nil {
+				set.t64.ProbeBatch(buf.keys[:bn], buf.bidx, buf.hits)
+			} else {
+				set.t128.ProbeBatch(buf.lo[:bn], buf.hi[:bn], buf.bidx, buf.hits)
+			}
+			sel := kernels.SelectMisses(buf.hits[:bn], int32(off), buf.sel[:0])
+			buf.sel = sel[:0]
+			if len(sel) > 0 {
+				emit(kernels.GatherSelect(data, arity, sel, buf.gather))
+			}
+		}
+	}
+}
+
+// batchAntiProbeRows is batchAntiProbeBlocks over a flat row-major buffer
+// (the TPSD candidate list).
+func batchAntiProbeRows(set *tupleSet, rows []int32, arity int, buf *batchBuf, emit func(rows []int32)) {
+	n := len(rows) / arity
+	for off := 0; off < n; off += kernels.BatchRows {
+		bn := min(kernels.BatchRows, n-off)
+		win := rows[off*arity : (off+bn)*arity]
+		if set.t64 != nil {
+			kernels.PackRows64(win, arity, buf.keys)
+			set.t64.ProbeBatch(buf.keys[:bn], buf.bidx, buf.hits)
+		} else {
+			kernels.PackRows128(win, arity, buf.hi, buf.lo)
+			set.t128.ProbeBatch(buf.lo[:bn], buf.hi[:bn], buf.bidx, buf.hits)
+		}
+		sel := kernels.SelectMisses(buf.hits[:bn], int32(off), buf.sel[:0])
+		buf.sel = sel[:0]
+		if len(sel) > 0 {
+			emit(kernels.GatherSelect(rows, arity, sel, buf.gather))
+		}
+	}
+}
+
+// batchIntersect probes bset with every tuple of blocks and inserts the
+// hits into inter — TPSD's intersection marking, r∩ = R ∩ Rδ. The hit keys
+// are compacted in place after the probe, so the insert pass runs over a
+// dense key batch.
+func batchIntersect(bset, inter *tupleSet, blocks []*storage.Block, arity int, ar *setArena, local, useCols bool, buf *batchBuf) {
+	for _, b := range blocks {
+		n := b.Rows()
+		if n == 0 {
+			continue
+		}
+		data := b.Data()
+		var cols [][]int32
+		if useCols {
+			cols = blockCols(b, arity, buf)
+		}
+		for off := 0; off < n; off += kernels.BatchRows {
+			bn := min(kernels.BatchRows, n-off)
+			packWindow(data, cols, arity, off, bn, buf)
+			if bset.t64 != nil {
+				bset.t64.ProbeBatch(buf.keys[:bn], buf.bidx, buf.hits)
+				m := 0
+				for i, h := range buf.hits[:bn] {
+					if h {
+						buf.keys[m] = buf.keys[i]
+						m++
+					}
+				}
+				if m == 0 {
+					continue
+				}
+				if local {
+					inter.t64.InsertBatchLocal(buf.keys[:m], buf.bidx, &ar.a64, 0, buf.sel[:0])
+				} else {
+					inter.t64.InsertBatch(buf.keys[:m], buf.bidx, &ar.a64, 0, buf.sel[:0])
+				}
+			} else {
+				bset.t128.ProbeBatch(buf.lo[:bn], buf.hi[:bn], buf.bidx, buf.hits)
+				m := 0
+				for i, h := range buf.hits[:bn] {
+					if h {
+						buf.lo[m] = buf.lo[i]
+						buf.hi[m] = buf.hi[i]
+						m++
+					}
+				}
+				if m == 0 {
+					continue
+				}
+				if local {
+					inter.t128.InsertBatchLocal(buf.lo[:m], buf.hi[:m], buf.bidx, &ar.a128, 0, buf.sel[:0])
+				} else {
+					inter.t128.InsertBatch(buf.lo[:m], buf.hi[:m], buf.bidx, &ar.a128, 0, buf.sel[:0])
+				}
+			}
+		}
+	}
+}
+
+// deltaPartitionBatch is the batched fused dedup + set-difference pass over
+// one partition: deltaPartition's semantics, kernel-at-a-time. lc is the
+// pass-private lifecycle (a per-worker magazine under a managed pool), emit
+// receives row-major runs of accepted ∆R rows.
+func deltaPartitionBatch(lc storage.Lifecycle, tmpBlocks, rBlocks []*storage.Block, tmpRows, rRows int, algo DiffAlgorithm, arity, estDistinct int, emit func(rows []int32)) {
+	if tmpRows == 0 {
+		return
+	}
+	buf := getBatchBuf()
+	defer putBatchBuf(buf)
+	var ar setArena
+	if rRows == 0 {
+		// Nothing to subtract: the pass degenerates to pure dedup.
+		set := newTupleSet(lc, arity, estDistinct)
+		batchInsertBlocks(set, tmpBlocks, arity, &ar, true, false, buf, emit)
+		set.release()
+		return
+	}
+	if algo == TPSD && tmpRows < rRows {
+		// TPSD flavour: dedup Rt into a table + candidate buffer, mark the
+		// intersection by probing R, anti-probe the candidates.
+		dset := newTupleSet(lc, arity, min(tmpRows, estDistinct))
+		cand := make([]int32, 0, min(tmpRows, estDistinct)*arity)
+		batchInsertBlocks(dset, tmpBlocks, arity, &ar, true, false, buf, func(rows []int32) {
+			cand = append(cand, rows...)
+		})
+		inter := newTupleSet(lc, arity, min(len(cand)/arity, rRows))
+		batchIntersect(dset, inter, rBlocks, arity, &ar, true, true, buf)
+		dset.release()
+		batchAntiProbeRows(inter, cand, arity, buf, emit)
+		inter.release()
+		return
+	}
+	// OPSD flavour: seed the dedup table with R (reading R's carried blocks
+	// through their cached column layout; R is duplicate-free, so the seed
+	// skips the dup-check walk entirely), then one batched insert pass over
+	// Rt answers dedup and diff at once.
+	set := newTupleSet(lc, arity, rRows+estDistinct)
+	batchBuildBlocks(set, rBlocks, arity, &ar, true, buf)
+	batchInsertBlocks(set, tmpBlocks, arity, &ar, true, false, buf, emit)
+	set.release()
+}
+
+// deltaSharedBatch is deltaShared on the batch path: the same shared
+// latch-free table semantics, with the concurrent batched inserts and bulk
+// block emission replacing the per-row closures.
+func deltaSharedBatch(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, arity, estDistinct int, outName string) *storage.Relation {
+	tmpBlocks := tmp.Blocks()
+	tmpRows, rRows := tmp.NumTuples(), full.NumTuples()
+	// A one-worker pool runs every task on a single goroutine, so the shared
+	// table has exactly one writer and the batch kernels can drop the CAS
+	// publish — the Local fast path the scalar shared loop has no analogue of.
+	local := pool.Workers() == 1
+
+	dedupEmit := func(set *tupleSet) *storage.Relation {
+		col := newCollector(pool, storage.CatDelta, arity, len(tmpBlocks))
+		pool.Run(len(tmpBlocks), func(task int) {
+			buf := getBatchBuf()
+			defer putBatchBuf(buf)
+			var ar setArena
+			batchInsertBlocks(set, tmpBlocks[task:task+1], arity, &ar, local, false, buf, col.sinkBulk(task))
+		})
+		return col.into(outName, tmp.ColNames())
+	}
+
+	switch {
+	case tmpRows == 0:
+		return storage.NewRelation(outName, tmp.ColNames())
+	case rRows == 0:
+		set := newTupleSet(pool.alloc, arity, estDistinct)
+		out := dedupEmit(set)
+		set.release()
+		return out
+	case algo == TPSD && tmpRows < rRows:
+		dset := newTupleSet(pool.alloc, arity, min(tmpRows, estDistinct))
+		candCol := newCollector(pool, storage.CatIntermediate, arity, len(tmpBlocks))
+		pool.Run(len(tmpBlocks), func(task int) {
+			buf := getBatchBuf()
+			defer putBatchBuf(buf)
+			var ar setArena
+			batchInsertBlocks(dset, tmpBlocks[task:task+1], arity, &ar, local, false, buf, candCol.sinkBulk(task))
+		})
+		cand := candCol.into(outName, tmp.ColNames())
+		inter := newTupleSet(pool.alloc, arity, min(cand.NumTuples(), rRows))
+		rBlocks := full.Blocks()
+		pool.Run(len(rBlocks), func(task int) {
+			buf := getBatchBuf()
+			defer putBatchBuf(buf)
+			var ar setArena
+			batchIntersect(dset, inter, rBlocks[task:task+1], arity, &ar, local, true, buf)
+		})
+		dset.release()
+		out := antiProbe(pool, cand, inter, outName)
+		inter.release()
+		cand.Release()
+		return out
+	default:
+		set := newTupleSet(pool.alloc, arity, rRows+estDistinct)
+		rBlocks := full.Blocks()
+		pool.Run(len(rBlocks), func(task int) {
+			buf := getBatchBuf()
+			defer putBatchBuf(buf)
+			var ar setArena
+			if local {
+				// One worker ⇒ single writer, and R is duplicate-free: the
+				// seed can bulk-build without dup checks.
+				batchBuildBlocks(set, rBlocks[task:task+1], arity, &ar, true, buf)
+			} else {
+				batchInsertBlocks(set, rBlocks[task:task+1], arity, &ar, false, true, buf, nil)
+			}
+		})
+		out := dedupEmit(set)
+		set.release()
+		return out
+	}
+}
+
+// colConstPred is a comparison between one column and one constant — the
+// predicate shape the selection-vector kernels evaluate without a per-row
+// expression walk.
+type colConstPred struct {
+	col int
+	op  int
+	val int32
+}
+
+// mirrorCmp flips a comparison across its operands (5 < x ⇔ x > 5).
+func mirrorCmp(op expr.CmpOp) int {
+	switch op {
+	case expr.LT:
+		return kernels.CmpGT
+	case expr.LE:
+		return kernels.CmpGE
+	case expr.GT:
+		return kernels.CmpLT
+	case expr.GE:
+		return kernels.CmpLE
+	default:
+		return int(op) // EQ and NE are symmetric
+	}
+}
+
+// colConstPreds extracts the column-vs-constant form of every predicate, or
+// reports that some predicate needs the general evaluator. The kernels Cmp*
+// codes mirror expr.CmpOp value-for-value, so the direct form converts with
+// a plain int cast.
+func colConstPreds(preds []expr.Cmp) ([]colConstPred, bool) {
+	out := make([]colConstPred, 0, len(preds))
+	for _, p := range preds {
+		if c, ok := p.L.(expr.Col); ok {
+			if l, ok := p.R.(expr.Lit); ok {
+				out = append(out, colConstPred{col: c.Index, op: int(p.Op), val: l.Value})
+				continue
+			}
+		}
+		if l, ok := p.L.(expr.Lit); ok {
+			if c, ok := p.R.(expr.Col); ok {
+				out = append(out, colConstPred{col: c.Index, op: mirrorCmp(p.Op), val: l.Value})
+				continue
+			}
+		}
+		return nil, false
+	}
+	return out, true
+}
+
+// batchSelectProject is the selection-vector scan: per window, the first
+// predicate filters its column into a selection vector, the remaining
+// predicates refine it in place, and the survivors are gathered through the
+// projection's columns in one column-at-a-time pass. Flat outputs land in
+// bulk; partitioned outputs route the gathered rows through the scatter
+// writer row-wise (the filter and gather still run batched).
+func batchSelectProject(pool *Pool, col *collector, blocks []*storage.Block, preds []colConstPred, idx []int) {
+	if len(blocks) == 0 {
+		return
+	}
+	scan := func(b *storage.Block, buf *batchBuf, emitBulk func(rows []int32)) {
+		n := b.Rows()
+		if n == 0 {
+			return
+		}
+		projCols := buf.cols[:0]
+		for _, c := range idx {
+			projCols = append(projCols, b.Col(c))
+		}
+		buf.cols = projCols
+		for off := 0; off < n; off += kernels.BatchRows {
+			bn := min(kernels.BatchRows, n-off)
+			var sel []int32
+			if len(preds) == 0 {
+				sel = buf.sel[:0]
+				for i := 0; i < bn; i++ {
+					sel = append(sel, int32(off+i))
+				}
+			} else {
+				p0 := preds[0]
+				sel = kernels.FilterCmp(b.Col(p0.col)[off:off+bn], p0.op, p0.val, int32(off), buf.sel[:0])
+				for _, p := range preds[1:] {
+					sel = kernels.RefineCmp(b.Col(p.col), p.op, p.val, sel)
+				}
+			}
+			buf.sel = sel[:0]
+			if len(sel) == 0 {
+				continue
+			}
+			emitBulk(kernels.GatherRows(projCols, sel, buf.gather))
+		}
+	}
+	if col.part == nil {
+		pool.Run(len(blocks), func(task int) {
+			buf := getBatchBuf()
+			defer putBatchBuf(buf)
+			scan(blocks[task], buf, col.sinkBulk(task))
+		})
+		return
+	}
+	var next atomic.Int64
+	pool.RunWorkers(len(blocks), func(worker, _ int) {
+		buf := getBatchBuf()
+		defer putBatchBuf(buf)
+		emit := col.sink(worker)
+		w := len(idx)
+		emitBulk := func(rows []int32) {
+			for off := 0; off < len(rows); off += w {
+				emit(rows[off : off+w])
+			}
+		}
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= len(blocks) {
+				return
+			}
+			scan(blocks[t], buf, emitBulk)
+		}
+	})
+}
+
+// batchJoinProbe drives one probe block through the join's build maps in
+// kernel-sized windows: the key columns are gathered into contiguous
+// scratch columns, packed and partition-hashed in batch loops, so the
+// per-row residue is only the map lookup and the match expansion. fn
+// receives each matching probe row with its build table and locator list.
+func batchJoinProbe(jt *joinTable, b *storage.Block, probeKeys []int, buf *batchBuf, fn func(row []int32, bt *buildTable, matches []int32)) {
+	n := b.Rows()
+	if n == 0 {
+		return
+	}
+	arity := b.Arity()
+	data := b.Data()
+	nk := len(probeKeys)
+	use64 := nk <= 2
+	kcols := buf.cols[:0]
+	for j := 0; j < nk; j++ {
+		kcols = append(kcols, buf.gather[j*kernels.BatchRows:(j+1)*kernels.BatchRows])
+	}
+	buf.cols = kcols
+	for off := 0; off < n; off += kernels.BatchRows {
+		bn := min(kernels.BatchRows, n-off)
+		for j, c := range probeKeys {
+			dst := kcols[j][:bn]
+			for i := range dst {
+				dst[i] = data[(off+i)*arity+c]
+			}
+			kcols[j] = dst
+		}
+		if use64 {
+			kernels.PackKeyCols(kcols, buf.keys)
+		} else {
+			kernels.PackKeyCols128(kcols, buf.hi, buf.lo)
+		}
+		if jt.parts > 1 {
+			kernels.HashColumns(kcols, buf.hash)
+		}
+		for i := 0; i < bn; i++ {
+			bt := jt.single
+			if jt.parts > 1 {
+				bt = jt.tables[storage.PartitionOf(buf.hash[i], jt.parts)]
+			}
+			var matches []int32
+			if use64 {
+				matches = bt.by64[buf.keys[i]]
+			} else {
+				matches = bt.by128[gscht.Key128{Hi: buf.hi[i], Lo: buf.lo[i]}]
+			}
+			if len(matches) == 0 {
+				continue
+			}
+			r := (off + i) * arity
+			fn(data[r:r+arity:r+arity], bt, matches)
+		}
+	}
+}
+
+// batchScatterBlock routes one block's rows into w's per-partition open
+// blocks a window at a time: gather the key columns, hash the whole window
+// in one branch-free pass, then counting-sort the window's rows into
+// partition-contiguous runs so each partition receives one chunked AppendBulk
+// copy instead of a bounds-checked per-row Append. This is the batch-mode
+// scatter — the per-row write path remains as the -columnar=false ablation.
+func batchScatterBlock(w *partWriter, data []int32, arity int, buf *batchBuf) {
+	n := len(data) / arity
+	if buf.counts == nil || len(buf.counts) < w.parts {
+		buf.counts = make([]int32, w.parts)
+	}
+	counts := buf.counts[:w.parts]
+	for off := 0; off < n; off += kernels.BatchRows {
+		bn := kernels.BatchRows
+		if n-off < bn {
+			bn = n - off
+		}
+		win := data[off*arity : (off+bn)*arity]
+		kernels.HashRows(win, arity, w.keyCols, buf.hash)
+		pid := buf.bidx[:bn]
+		for i := range pid {
+			pid[i] = int32(storage.PartitionOf(buf.hash[i], w.parts))
+		}
+		// Counting sort into partition-contiguous order.
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, p := range pid {
+			counts[p]++
+		}
+		base := int32(0)
+		for p := range counts {
+			c := counts[p]
+			counts[p] = base
+			base += c
+		}
+		// Reorder with per-arity unrolled copies: an 8–16 byte memmove call
+		// per row would dominate the whole pass.
+		scat := buf.scat[:bn*arity]
+		switch arity {
+		case 1:
+			for i, p := range pid {
+				d := counts[p]
+				counts[p]++
+				scat[d] = win[i]
+			}
+		case 2:
+			for i, p := range pid {
+				d := int(counts[p]) * 2
+				counts[p]++
+				r := i * 2
+				scat[d] = win[r]
+				scat[d+1] = win[r+1]
+			}
+		case 3:
+			for i, p := range pid {
+				d := int(counts[p]) * 3
+				counts[p]++
+				r := i * 3
+				scat[d] = win[r]
+				scat[d+1] = win[r+1]
+				scat[d+2] = win[r+2]
+			}
+		default:
+			for i, p := range pid {
+				d := int(counts[p]) * 4
+				counts[p]++
+				r := i * 4
+				scat[d] = win[r]
+				scat[d+1] = win[r+1]
+				scat[d+2] = win[r+2]
+				scat[d+3] = win[r+3]
+			}
+		}
+		// counts[p] now holds partition p's end offset; starts are the
+		// previous partition's end.
+		prev := 0
+		for p := 0; p < w.parts; p++ {
+			end := int(counts[p])
+			if end > prev {
+				w.writeBulk(p, scat[prev*arity:end*arity])
+			}
+			prev = end
+		}
+	}
+}

@@ -142,6 +142,18 @@ func Dedup(pool *Pool, in *storage.Relation, strategy DedupStrategy, estDistinct
 		// arity so every insert serializes on one mutex.
 		set = &tupleSet{arity: in.Arity(), generic: make(map[string]struct{}, estDistinct)}
 	}
+	if pool.batch && set.batchable() {
+		arity := in.Arity()
+		pool.Run(len(blocks), func(task int) {
+			buf := getBatchBuf()
+			defer putBatchBuf(buf)
+			var ar setArena
+			batchInsertBlocks(set, blocks[task:task+1], arity, &ar, false, false, buf, col.sinkBulk(task))
+		})
+		out := col.into(outName, in.ColNames())
+		set.release()
+		return out
+	}
 	pool.Run(len(blocks), func(task int) {
 		b := blocks[task]
 		emit := col.sink(task)

@@ -100,7 +100,33 @@ func deltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, part
 	if useSec {
 		secOut = make([][][]*storage.Block, parts)
 	}
+	batch := pool.batch && arity <= 4
 	pool.RunPartitions(parts, func(p int) {
+		if batch {
+			// Batch route: kernel-at-a-time pass with a pass-private magazine
+			// lifecycle and bulk ∆R emission.
+			lc, done := pool.passAlloc()
+			emitBulk := col.sinkPartBulk(p, p)
+			if useSec {
+				// Dual route: the accepted run lands in its primary partition
+				// block in bulk, then each row routes through a pass-private
+				// writer into its secondary partition block.
+				w := newPartWriter(pool, storage.CatDelta, arity, sec.KeyCols, secParts)
+				prim := emitBulk
+				emitBulk = func(rows []int32) {
+					prim(rows)
+					for off := 0; off < len(rows); off += arity {
+						w.write(rows[off : off+arity])
+					}
+				}
+				defer func() { secOut[p] = w.out }()
+			}
+			deltaPartitionBatch(lc, tv.Blocks(p), rv.Blocks(p), tv.Rows(p), rv.Rows(p),
+				algo, arity, estPart, emitBulk)
+			done()
+			rv.Cool(p)
+			return
+		}
 		emit := col.sinkPart(p, p)
 		if useSec {
 			// Dual route: the same accepted row lands in its primary
@@ -149,6 +175,9 @@ func deltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, part
 // parallelism off — the staged pipeline this replaces ran its dedup and
 // anti-probe concurrently, so the fused fallback does too.
 func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, arity, estDistinct int, outName string) *storage.Relation {
+	if pool.batch && arity <= 4 {
+		return deltaSharedBatch(pool, tmp, full, algo, arity, estDistinct, outName)
+	}
 	tmpBlocks := tmp.Blocks()
 	tmpRows, rRows := tmp.NumTuples(), full.NumTuples()
 
@@ -248,11 +277,14 @@ func deltaPartition(pool *Pool, tmpBlocks, rBlocks []*storage.Block, tmpRows, rR
 	if rRows == 0 {
 		// Nothing to subtract: the pass degenerates to pure dedup.
 		set := newTupleSet(pool.alloc, arity, estDistinct)
-		forEachBlockRow(tmpBlocks, func(row []int32) {
-			if set.insert(row, &ar) {
-				emit(row)
+		for _, b := range tmpBlocks {
+			data := b.Data()
+			for off := 0; off < len(data); off += arity {
+				if row := data[off : off+arity : off+arity]; set.insert(row, &ar) {
+					emit(row)
+				}
 			}
-		})
+		}
 		set.release()
 		return
 	}
@@ -261,17 +293,23 @@ func deltaPartition(pool *Pool, tmpBlocks, rBlocks []*storage.Block, tmpRows, rR
 		// anti-mark the table's tuples via an intersection set.
 		dset := newTupleSet(pool.alloc, arity, min(tmpRows, estDistinct))
 		cand := make([]int32, 0, min(tmpRows, estDistinct)*arity)
-		forEachBlockRow(tmpBlocks, func(row []int32) {
-			if dset.insert(row, &ar) {
-				cand = append(cand, row...)
+		for _, b := range tmpBlocks {
+			data := b.Data()
+			for off := 0; off < len(data); off += arity {
+				if row := data[off : off+arity : off+arity]; dset.insert(row, &ar) {
+					cand = append(cand, row...)
+				}
 			}
-		})
+		}
 		inter := newTupleSet(pool.alloc, arity, min(len(cand)/arity, rRows))
-		forEachBlockRow(rBlocks, func(row []int32) {
-			if dset.contains(row, &ar) {
-				inter.insert(row, &ar)
+		for _, b := range rBlocks {
+			data := b.Data()
+			for off := 0; off < len(data); off += arity {
+				if row := data[off : off+arity : off+arity]; dset.contains(row, &ar) {
+					inter.insert(row, &ar)
+				}
 			}
-		})
+		}
 		dset.release()
 		for off := 0; off < len(cand); off += arity {
 			row := cand[off : off+arity]
@@ -285,11 +323,19 @@ func deltaPartition(pool *Pool, tmpBlocks, rBlocks []*storage.Block, tmpRows, rR
 	// OPSD flavour: seed the dedup table with R, then a fresh insert of an
 	// Rt tuple proves it is both new within Rt and absent from R.
 	set := newTupleSet(pool.alloc, arity, rRows+estDistinct)
-	insertBlocks(rBlocks, set, &ar)
-	forEachBlockRow(tmpBlocks, func(row []int32) {
-		if set.insert(row, &ar) {
-			emit(row)
+	for _, b := range rBlocks {
+		data := b.Data()
+		for off := 0; off < len(data); off += arity {
+			set.insert(data[off:off+arity:off+arity], &ar)
 		}
-	})
+	}
+	for _, b := range tmpBlocks {
+		data := b.Data()
+		for off := 0; off < len(data); off += arity {
+			if row := data[off : off+arity : off+arity]; set.insert(row, &ar) {
+				emit(row)
+			}
+		}
+	}
 	set.release()
 }

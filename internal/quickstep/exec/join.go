@@ -269,18 +269,13 @@ func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage
 	idx, plainCols := colIndexes(spec.Projs)
 	blocks := probe.Blocks()
 	col := outCollector(pool, spec.OutPartitioning, len(spec.Projs), len(blocks))
+	batchProbe := pool.batch && len(probeKeys) <= 4
 	scatterRun(pool, col, blocks, func(b *storage.Block, emit func(row []int32)) {
 		combined := make([]int32, la+ra)
 		outRow := make([]int32, len(spec.Projs))
-		keyBuf := make([]byte, 4*len(probeKeys))
-		n := b.Rows()
-		for i := 0; i < n; i++ {
-			pr := b.Row(i)
-			bt, matches := jt.lookup(pr, probeKeys, keyBuf)
-			if len(matches) == 0 {
-				continue
-			}
-			// Lay the probe row into its logical half once per probe row.
+		// expand materializes one probe row's matches: probe half laid in
+		// once, then per match the build half, residual and projection.
+		expand := func(pr []int32, bt *buildTable, matches []int32) {
 			if spec.BuildLeft {
 				copy(combined[la:], pr)
 			} else {
@@ -307,6 +302,22 @@ func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage
 				}
 				emit(outRow)
 			}
+		}
+		if batchProbe {
+			buf := getBatchBuf()
+			batchJoinProbe(jt, b, probeKeys, buf, expand)
+			putBatchBuf(buf)
+			return
+		}
+		keyBuf := make([]byte, 4*len(probeKeys))
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			pr := b.Row(i)
+			bt, matches := jt.lookup(pr, probeKeys, keyBuf)
+			if len(matches) == 0 {
+				continue
+			}
+			expand(pr, bt, matches)
 		}
 	})
 	return col.into(spec.OutName, spec.OutCols)

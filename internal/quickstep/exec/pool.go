@@ -156,6 +156,11 @@ type Pool struct {
 	// alloc, when set, routes every operator block allocation through the
 	// memory manager (recycling + accounting). Nil keeps plain heap blocks.
 	alloc storage.Lifecycle
+
+	// batch selects the batch-at-a-time kernel paths (columnar key packing,
+	// batched GSCHT inserts/probes, bulk block emission, per-worker
+	// magazines). Off is the tuple-at-a-time row-layout ablation.
+	batch bool
 }
 
 // NewPool returns a pool with the given degree of parallelism; workers <= 0
@@ -164,7 +169,7 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers}
+	return &Pool{workers: workers, batch: true}
 }
 
 // Workers returns the configured degree of parallelism.
@@ -176,6 +181,30 @@ func (p *Pool) SetAlloc(lc storage.Lifecycle) { p.alloc = lc }
 
 // Alloc returns the installed block lifecycle (nil = heap).
 func (p *Pool) Alloc() storage.Lifecycle { return p.alloc }
+
+// SetBatch toggles the batch-at-a-time kernel paths (on by default). Off is
+// the row-layout tuple-at-a-time ablation (-columnar=false).
+func (p *Pool) SetBatch(on bool) { p.batch = on }
+
+// Batch reports whether batch kernels are enabled.
+func (p *Pool) Batch() bool { return p.batch }
+
+// passAlloc returns the lifecycle a pass-private structure (dedup table,
+// GSCHT node slabs) should allocate through, plus a release hook to call
+// when the pass ends. On the batch path with a magazine-capable manager the
+// lifecycle is a per-worker magazine, so the pass's alloc/free churn costs
+// one pool-shard lock per batch instead of one per array. The structure's
+// full lifetime — allocation through release — must stay on the calling
+// goroutine.
+func (p *Pool) passAlloc() (storage.Lifecycle, func()) {
+	if p.batch {
+		if ms, ok := p.alloc.(storage.MagazineSource); ok {
+			mag := ms.AcquireMagazine()
+			return mag, func() { ms.ReleaseMagazine(mag) }
+		}
+	}
+	return p.alloc, func() {}
+}
 
 // scatterHint is the initial row capacity of operator output blocks. Small
 // on purpose: a scatter keeps workers × partitions blocks open at once, and
@@ -348,6 +377,25 @@ func (w *partWriter) write(row []int32) {
 	blk.Append(row)
 }
 
+// writeBulk appends a partition-contiguous run of rows to partition p's open
+// block with chunked AppendBulk copies — the batch-mode scatter's emit half.
+func (w *partWriter) writeBulk(p int, rows []int32) {
+	for len(rows) > 0 {
+		blk := w.open[p]
+		if blk == nil || blk.Full() {
+			blk = w.pool.newBlock(w.arity, w.cat, scatterHint)
+			w.open[p] = blk
+			w.out[p] = append(w.out[p], blk)
+		}
+		n := (storage.DefaultBlockRows - blk.Rows()) * w.arity
+		if n > len(rows) {
+			n = len(rows)
+		}
+		blk.AppendBulk(rows[:n])
+		rows = rows[n:]
+	}
+}
+
 // collector gathers per-sink output blocks and assembles them into a result
 // relation without cross-sink synchronization on the hot path. With a
 // partitioning set, every sink routes rows into sink-private per-partition
@@ -449,6 +497,52 @@ func (c *collector) sinkPart(task, p int) func(row []int32) {
 			out[p] = append(out[p], cur)
 		}
 		cur.Append(row)
+	}
+}
+
+// sinkBulk returns the bulk counterpart of sink for flat collectors: the
+// emit function takes a row-major run of whole rows (a gathered batch) and
+// appends it across open blocks in block-sized copies instead of one Append
+// per row.
+func (c *collector) sinkBulk(task int) func(rows []int32) {
+	var cur *storage.Block
+	return func(rows []int32) {
+		for len(rows) > 0 {
+			if cur == nil || cur.Full() {
+				cur = c.pool.newBlock(c.arity, c.cat, scatterHint)
+				c.byTask[task] = append(c.byTask[task], cur)
+			}
+			n := (storage.DefaultBlockRows - cur.Rows()) * c.arity
+			if n > len(rows) {
+				n = len(rows)
+			}
+			cur.AppendBulk(rows[:n])
+			rows = rows[n:]
+		}
+	}
+}
+
+// sinkPartBulk is the bulk counterpart of sinkPart: whole gathered batches
+// land in one partition of one task with chunked AppendBulk copies.
+func (c *collector) sinkPartBulk(task, p int) func(rows []int32) {
+	if c.parted[task] == nil {
+		c.parted[task] = make([][]*storage.Block, c.part.Parts)
+	}
+	out := c.parted[task]
+	var cur *storage.Block
+	return func(rows []int32) {
+		for len(rows) > 0 {
+			if cur == nil || cur.Full() {
+				cur = c.pool.newBlock(c.arity, c.cat, scatterHint)
+				out[p] = append(out[p], cur)
+			}
+			n := (storage.DefaultBlockRows - cur.Rows()) * c.arity
+			if n > len(rows) {
+				n = len(rows)
+			}
+			cur.AppendBulk(rows[:n])
+			rows = rows[n:]
+		}
 	}
 }
 

@@ -1,0 +1,463 @@
+package gscht
+
+import "sync/atomic"
+
+// Batched table operations. Every entry point splits into two phases per
+// batch: a branch-free hash phase that computes all bucket indices with one
+// multiply-mix loop (vectorizable, no memory dependences), then a chain
+// phase that walks buckets. Splitting the phases keeps the hash loop out of
+// the chain walk's dependent-load shadow, so the out-of-order core overlaps
+// the bucket-array cache misses of consecutive probes — the memory-level
+// parallelism a tuple-at-a-time hash-then-chase loop forfeits.
+//
+// The *Local variants additionally drop every atomic: partition-private
+// tables in the fused delta step are built and probed by exactly one
+// goroutine for the lifetime of the partition pass, so the CAS publish of
+// the concurrent path is pure overhead there. Later readers of the same
+// partition are ordered behind the pass by the scheduler's happens-before
+// edge (the RunPartitions join), never by the table itself.
+
+// headBatch is the sub-batch width of the bucket-head preload passes: before
+// each run of chain walks, the heads of the next headBatch buckets are
+// loaded in one branch-free loop, then each non-empty chain's first node
+// (key and next link) in a second. The chain walk's data-dependent branches
+// (dup vs fresh) flush speculative lookahead on every mispredict, so the
+// walk loop alone cannot keep enough cache misses in flight; the preload
+// passes issue them all before the first branch, and a chain of length one —
+// the steady state of a table sized to its distinct count — resolves
+// entirely from the preloaded scratch.
+const headBatch = 256
+
+// nodePre64 holds one sub-batch of preloaded chain heads for Table64: the
+// head locator, the first node's packed key halves, and its next link.
+type nodePre64 struct {
+	heads, k0, k1, next [headBatch]int32
+}
+
+// load fills the scratch for keys [off, off+bn) — pass 1 gathers the bucket
+// heads with plain reads (single-writer tables), pass 2 the first node of
+// every non-empty chain. Returns the spine snapshot the node pass used; it
+// covers every node reachable from the gathered heads (taken after them),
+// so the caller's walks reuse it instead of re-loading the spine per node.
+func (p *nodePre64) load(t *Table64, bidx []int32, off, bn int) [][]int32 {
+	bx := bidx[off : off+bn]
+	for j, bi := range bx {
+		p.heads[j] = t.buckets[bi]
+	}
+	return p.loadNodes(t, bn)
+}
+
+// loadAtomic is load with atomic head reads (shared tables).
+func (p *nodePre64) loadAtomic(t *Table64, bidx []int32, off, bn int) [][]int32 {
+	bx := bidx[off : off+bn]
+	for j, bi := range bx {
+		p.heads[j] = atomic.LoadInt32(&t.buckets[bi])
+	}
+	return p.loadNodes(t, bn)
+}
+
+func (p *nodePre64) loadNodes(t *Table64, bn int) [][]int32 {
+	sp := t.spine()
+	for j := 0; j < bn; j++ {
+		if h := p.heads[j]; h != 0 {
+			chunk, o := nodeAt64(sp, h-1)
+			p.k0[j] = chunk[o]
+			p.k1[j] = chunk[o+1]
+			p.next[j] = chunk[o+2]
+		}
+	}
+	return sp
+}
+
+// walk reports whether k is in slot j's preloaded chain and returns the
+// chain head it covered (the snapshot for CAS or prefix re-checks). The
+// length-≤1 cases resolve inline from the scratch — a table sized to its
+// distinct count stays in that regime — and only longer chains fall through
+// to the out-of-line tail loop.
+func (p *nodePre64) walk(sp [][]int32, j int, k uint64) (dup bool, snap int32) {
+	snap = p.heads[j]
+	if snap == 0 {
+		return false, 0
+	}
+	if uint64(uint32(p.k0[j]))|uint64(uint32(p.k1[j]))<<32 == k {
+		return true, snap
+	}
+	n := p.next[j]
+	if n == 0 {
+		return false, snap
+	}
+	return walkTail64(sp, n, k), snap
+}
+
+// walkTail64 scans a chain from node locator n (already past the preloaded
+// first node) for k. Kept out of line so walk's length-≤1 fast path inlines
+// into the batch loops.
+//
+//go:noinline
+func walkTail64(sp [][]int32, n int32, k uint64) bool {
+	for n != 0 {
+		chunk, o := nodeAt64(sp, n-1)
+		if uint64(uint32(chunk[o]))|uint64(uint32(chunk[o+1]))<<32 == k {
+			return true
+		}
+		n = chunk[o+2]
+	}
+	return false
+}
+
+// bucketIndexBatch computes the bucket index of each key — the branch-free
+// hash phase. bidx must hold len(keys) entries.
+func (t *Table64) bucketIndexBatch(keys []uint64, bidx []int32) {
+	mask := t.mask
+	bidx = bidx[:len(keys)]
+	for i, k := range keys {
+		k ^= k >> 33
+		k *= fibMult
+		k ^= k >> 29
+		bidx[i] = int32((k >> 16) & mask)
+	}
+}
+
+// ProbeBatch reports, for each key, whether it is present. bidx is caller
+// scratch of at least len(keys) entries; hits must hold len(keys) entries.
+// Safe to run concurrently with inserts (like Contains, a probe may miss
+// keys inserted after the batch starts).
+func (t *Table64) ProbeBatch(keys []uint64, bidx []int32, hits []bool) {
+	t.bucketIndexBatch(keys, bidx)
+	hits = hits[:len(keys)]
+	var pre nodePre64
+	for off := 0; off < len(keys); off += headBatch {
+		bn := len(keys) - off
+		if bn > headBatch {
+			bn = headBatch
+		}
+		sp := pre.loadAtomic(t, bidx, off, bn)
+		for j := 0; j < bn; j++ {
+			hit, _ := pre.walk(sp, j, keys[off+j])
+			hits[off+j] = hit
+		}
+	}
+}
+
+// InsertBatchLocal inserts every absent key of the batch and appends the
+// batch-relative index (offset by base) of each newly inserted key to sel,
+// returning the extended selection vector. Single-writer: the caller must
+// be the only goroutine touching the table for the duration of the batch.
+// Duplicates within the batch are deduplicated (the first occurrence wins).
+func (t *Table64) InsertBatchLocal(keys []uint64, bidx []int32, arena *Arena64, base int32, sel []int32) []int32 {
+	t.bucketIndexBatch(keys, bidx)
+	inserted := int64(0)
+	var pre nodePre64
+	for off := 0; off < len(keys); off += headBatch {
+		bn := len(keys) - off
+		if bn > headBatch {
+			bn = headBatch
+		}
+		sp := pre.load(t, bidx, off, bn)
+		for j := 0; j < bn; j++ {
+			i := off + j
+			k := keys[i]
+			dup, snap := pre.walk(sp, j, k)
+			if dup {
+				continue
+			}
+			b := &t.buckets[bidx[i]]
+			head := *b
+			// A preceding key of this sub-batch may have grown the chain
+			// past the preloaded snapshot (a same-bucket duplicate the stale
+			// walk cannot see); re-check just the new prefix. Those prefix
+			// nodes may live in a chunk younger than sp, so this walk goes
+			// through the table's own spine.
+			for n := head; n != snap && n != 0; {
+				chunk, o := t.node(n - 1)
+				if uint64(uint32(chunk[o]))|uint64(uint32(chunk[o+1]))<<32 == k {
+					dup = true
+					break
+				}
+				n = chunk[o+2]
+			}
+			if dup {
+				continue
+			}
+			fresh, fc, fo := arena.newAt(t, k)
+			fc[fo+2] = head
+			*b = fresh + 1
+			inserted++
+			sel = append(sel, base+int32(i))
+		}
+	}
+	t.size.Add(inserted)
+	return sel
+}
+
+// InsertBatchBuild links every key into the table without any duplicate
+// check — the bulk-build kernel for sources the engine guarantees distinct
+// (R's blocks when seeding an OPSD diff table: the fixpoint relation is
+// maintained duplicate-free). Single-writer, like InsertBatchLocal. The
+// head preload warms the bucket lines; the link pass re-reads each head
+// from the (now cache-resident) bucket itself, so two same-bucket keys of
+// one sub-batch chain correctly.
+func (t *Table64) InsertBatchBuild(keys []uint64, bidx []int32, arena *Arena64) {
+	t.bucketIndexBatch(keys, bidx)
+	var heads [headBatch]int32
+	for off := 0; off < len(keys); off += headBatch {
+		bn := len(keys) - off
+		if bn > headBatch {
+			bn = headBatch
+		}
+		bx := bidx[off : off+bn]
+		for j, bi := range bx {
+			heads[j] = t.buckets[bi]
+		}
+		for j, bi := range bx {
+			// heads[j] is only the prefetch; the link reads the bucket itself
+			// (an L1 hit now) so same-bucket keys of one sub-batch chain
+			// correctly.
+			_ = heads[j]
+			b := &t.buckets[bi]
+			fresh, fc, fo := arena.newAt(t, keys[off+j])
+			fc[fo+2] = *b
+			*b = fresh + 1
+		}
+	}
+	t.size.Add(int64(len(keys)))
+}
+
+// InsertBatch is InsertBatchLocal for shared tables: node publication goes
+// through the bucket-head CAS, so any number of workers may run batches
+// concurrently. Semantics otherwise match InsertBatchLocal.
+func (t *Table64) InsertBatch(keys []uint64, bidx []int32, arena *Arena64, base int32, sel []int32) []int32 {
+	t.bucketIndexBatch(keys, bidx)
+	inserted := int64(0)
+	var pre nodePre64
+	for off := 0; off < len(keys); off += headBatch {
+		bn := len(keys) - off
+		if bn > headBatch {
+			bn = headBatch
+		}
+		sp := pre.loadAtomic(t, bidx, off, bn)
+		for j := 0; j < bn; j++ {
+			i := off + j
+			k := keys[i]
+			b := &t.buckets[bidx[i]]
+			// First attempt walks the preloaded chain; a hit there is final
+			// (chains only grow), and a miss publishes via CAS against the
+			// walked head, so any interleaved insert — another worker's or an
+			// earlier key of this sub-batch — fails the CAS and retries the
+			// full walk on a fresh load (through the table's own spine: the
+			// fresh chain may reach chunks younger than sp).
+			dup, head := pre.walk(sp, j, k)
+			if dup {
+				continue
+			}
+			fresh, fc, fo := arena.newAt(t, k)
+			fresh++
+			for {
+				fc[fo+2] = head
+				if atomic.CompareAndSwapInt32(b, head, fresh) {
+					inserted++
+					sel = append(sel, base+int32(i))
+					break
+				}
+				head = atomic.LoadInt32(b)
+				dup = false
+				for n := head; n != 0; {
+					chunk, o := t.node(n - 1)
+					if uint64(uint32(chunk[o]))|uint64(uint32(chunk[o+1]))<<32 == k {
+						dup = true
+						break
+					}
+					n = chunk[o+2]
+				}
+				if dup {
+					break
+				}
+			}
+		}
+	}
+	t.size.Add(inserted)
+	return sel
+}
+
+// bucketIndexBatch is the 128-bit hash phase over parallel lo/hi key slices.
+func (t *Table128) bucketIndexBatch(lo, hi []uint64, bidx []int32) {
+	mask := t.mask
+	hi = hi[:len(lo)]
+	bidx = bidx[:len(lo)]
+	for i, l := range lo {
+		h := hi[i]
+		h ^= h >> 33
+		h *= fibMult
+		h ^= h >> 29
+		k := l ^ h
+		k ^= k >> 33
+		k *= fibMult
+		k ^= k >> 29
+		bidx[i] = int32((k >> 16) & mask)
+	}
+}
+
+// ProbeBatch reports presence of each (lo[i], hi[i]) key.
+func (t *Table128) ProbeBatch(lo, hi []uint64, bidx []int32, hits []bool) {
+	t.bucketIndexBatch(lo, hi, bidx)
+	hits = hits[:len(lo)]
+	var heads [headBatch]int32
+	for off := 0; off < len(lo); off += headBatch {
+		bn := len(lo) - off
+		if bn > headBatch {
+			bn = headBatch
+		}
+		for j := 0; j < bn; j++ {
+			heads[j] = atomic.LoadInt32(&t.buckets[bidx[off+j]])
+		}
+		for j := 0; j < bn; j++ {
+			i := off + j
+			key := Key128{Hi: hi[i], Lo: lo[i]}
+			hit := false
+			for n := heads[j]; n != 0; {
+				chunk, o := t.node(n - 1)
+				if matches128(chunk, o, key) {
+					hit = true
+					break
+				}
+				n = chunk[o+4]
+			}
+			hits[i] = hit
+		}
+	}
+}
+
+// InsertBatchLocal is the single-writer batched insert for 128-bit keys.
+func (t *Table128) InsertBatchLocal(lo, hi []uint64, bidx []int32, arena *Arena128, base int32, sel []int32) []int32 {
+	t.bucketIndexBatch(lo, hi, bidx)
+	inserted := int64(0)
+	var heads [headBatch]int32
+	for off := 0; off < len(lo); off += headBatch {
+		bn := len(lo) - off
+		if bn > headBatch {
+			bn = headBatch
+		}
+		for j := 0; j < bn; j++ {
+			heads[j] = t.buckets[bidx[off+j]]
+		}
+		for j := 0; j < bn; j++ {
+			i := off + j
+			key := Key128{Hi: hi[i], Lo: lo[i]}
+			snap := heads[j]
+			dup := false
+			for n := snap; n != 0; {
+				chunk, o := t.node(n - 1)
+				if matches128(chunk, o, key) {
+					dup = true
+					break
+				}
+				n = chunk[o+4]
+			}
+			if dup {
+				continue
+			}
+			b := &t.buckets[bidx[i]]
+			head := *b
+			// Re-check the prefix a same-bucket predecessor of this
+			// sub-batch may have added past the snapshot.
+			for n := head; n != snap && n != 0; {
+				chunk, o := t.node(n - 1)
+				if matches128(chunk, o, key) {
+					dup = true
+					break
+				}
+				n = chunk[o+4]
+			}
+			if dup {
+				continue
+			}
+			fresh := arena.new(t, key) + 1
+			fc, fo := t.node(fresh - 1)
+			fc[fo+4] = head
+			*b = fresh
+			inserted++
+			sel = append(sel, base+int32(i))
+		}
+	}
+	t.size.Add(inserted)
+	return sel
+}
+
+// InsertBatchBuild is the 128-bit no-duplicate-check bulk build (see the
+// Table64 variant for the contract).
+func (t *Table128) InsertBatchBuild(lo, hi []uint64, bidx []int32, arena *Arena128) {
+	t.bucketIndexBatch(lo, hi, bidx)
+	var heads [headBatch]int32
+	for off := 0; off < len(lo); off += headBatch {
+		bn := len(lo) - off
+		if bn > headBatch {
+			bn = headBatch
+		}
+		bx := bidx[off : off+bn]
+		for j, bi := range bx {
+			heads[j] = t.buckets[bi]
+		}
+		for j, bi := range bx {
+			_ = heads[j]
+			b := &t.buckets[bi]
+			fresh := arena.new(t, Key128{Hi: hi[off+j], Lo: lo[off+j]}) + 1
+			fc, fo := t.node(fresh - 1)
+			fc[fo+4] = *b
+			*b = fresh
+		}
+	}
+	t.size.Add(int64(len(lo)))
+}
+
+// InsertBatch is the concurrent batched insert for 128-bit keys.
+func (t *Table128) InsertBatch(lo, hi []uint64, bidx []int32, arena *Arena128, base int32, sel []int32) []int32 {
+	t.bucketIndexBatch(lo, hi, bidx)
+	inserted := int64(0)
+	var heads [headBatch]int32
+	for off := 0; off < len(lo); off += headBatch {
+		bn := len(lo) - off
+		if bn > headBatch {
+			bn = headBatch
+		}
+		for j := 0; j < bn; j++ {
+			heads[j] = atomic.LoadInt32(&t.buckets[bidx[off+j]])
+		}
+		for j := 0; j < bn; j++ {
+			i := off + j
+			key := Key128{Hi: hi[i], Lo: lo[i]}
+			b := &t.buckets[bidx[i]]
+			// As in Table64.InsertBatch: the first walk uses the preloaded
+			// head, and the CAS against that head catches every interleaved
+			// publish.
+			head := heads[j]
+			fresh := int32(0)
+			for {
+				dup := false
+				for n := head; n != 0; {
+					chunk, o := t.node(n - 1)
+					if matches128(chunk, o, key) {
+						dup = true
+						break
+					}
+					n = chunk[o+4]
+				}
+				if dup {
+					break
+				}
+				if fresh == 0 {
+					fresh = arena.new(t, key) + 1
+				}
+				fc, fo := t.node(fresh - 1)
+				fc[fo+4] = head
+				if atomic.CompareAndSwapInt32(b, head, fresh) {
+					inserted++
+					sel = append(sel, base+int32(i))
+					break
+				}
+				head = atomic.LoadInt32(b)
+			}
+		}
+	}
+	t.size.Add(inserted)
+	return sel
+}

@@ -1,0 +1,58 @@
+package gscht
+
+import (
+	"fmt"
+	"testing"
+)
+
+// batchWindowBench mirrors the executor's batch window (kernels.BatchRows).
+const batchWindowBench = 1024
+
+// Batched-vs-scalar insert microbenchmarks across table footprints: "small"
+// sits in L2 (the per-partition regime of a fanned-out delta step), "large"
+// spills to L3/DRAM (the shared-table regime), which is where the preload
+// passes' memory-level parallelism should separate the two paths. Keys are
+// fibMix-scrambled so bucket order is random, and half the stream is
+// duplicates — the delta-step steady state.
+func BenchmarkInsertBatchLocal(b *testing.B) {
+	for _, distinct := range []int{1 << 15, 1 << 20} {
+		label := "small"
+		if distinct >= 1<<20 {
+			label = "large"
+		}
+		keys := make([]uint64, 2*distinct)
+		for i := range keys {
+			// i%distinct gives every key exactly one duplicate.
+			keys[i] = fibMix(uint64(i%distinct)) | 1
+		}
+		bidx := make([]int32, batchWindowBench)
+		sel := make([]int32, 0, batchWindowBench)
+		b.Run(fmt.Sprintf("batch/%s", label), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				t := NewTable64(distinct)
+				var arena Arena64
+				for off := 0; off < len(keys); off += batchWindowBench {
+					bn := min(batchWindowBench, len(keys)-off)
+					sel = t.InsertBatchLocal(keys[off:off+bn], bidx, &arena, 0, sel[:0])
+				}
+				if t.Len() != distinct {
+					b.Fatalf("inserted %d keys, want %d", t.Len(), distinct)
+				}
+			}
+			b.SetBytes(int64(len(keys) * 8))
+		})
+		b.Run(fmt.Sprintf("scalar/%s", label), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				t := NewTable64(distinct)
+				var arena Arena64
+				for _, k := range keys {
+					t.InsertIfAbsent(k, &arena)
+				}
+				if t.Len() != distinct {
+					b.Fatalf("inserted %d keys, want %d", t.Len(), distinct)
+				}
+			}
+			b.SetBytes(int64(len(keys) * 8))
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package gscht
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func batchKeys64(r *rand.Rand, n, domain int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(r.Intn(domain))<<32 | uint64(r.Intn(domain))
+	}
+	return keys
+}
+
+func TestInsertBatchLocalMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 255, 1024, 1025} {
+		keys := batchKeys64(r, n, 64) // small domain forces in-batch duplicates
+		ref := NewTable64(n)
+		var refAr Arena64
+		var wantSel []int32
+		for i, k := range keys {
+			if ref.InsertIfAbsent(k, &refAr) {
+				wantSel = append(wantSel, int32(i))
+			}
+		}
+
+		tab := NewTable64(n)
+		var ar Arena64
+		bidx := make([]int32, n)
+		sel := tab.InsertBatchLocal(keys, bidx, &ar, 0, nil)
+		if len(sel) != len(wantSel) {
+			t.Fatalf("n=%d: batch inserted %d, scalar %d", n, len(sel), len(wantSel))
+		}
+		for i := range sel {
+			if sel[i] != wantSel[i] {
+				t.Fatalf("n=%d i=%d: sel %d want %d", n, i, sel[i], wantSel[i])
+			}
+		}
+		if tab.Len() != ref.Len() {
+			t.Fatalf("n=%d: Len %d want %d", n, tab.Len(), ref.Len())
+		}
+		for _, k := range keys {
+			if !tab.Contains(k) {
+				t.Fatalf("n=%d: key %#x missing after batch insert", n, k)
+			}
+		}
+	}
+}
+
+func TestProbeBatch64(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 1023
+	keys := batchKeys64(r, n, 1000)
+	tab := NewTable64(n)
+	var ar Arena64
+	for i := 0; i < n; i += 2 {
+		tab.InsertIfAbsent(keys[i], &ar)
+	}
+	bidx := make([]int32, n)
+	hits := make([]bool, n)
+	tab.ProbeBatch(keys, bidx, hits)
+	for i, k := range keys {
+		if hits[i] != tab.Contains(k) {
+			t.Fatalf("i=%d key %#x: ProbeBatch %v, Contains %v", i, k, hits[i], tab.Contains(k))
+		}
+	}
+	// Empty batch is a no-op.
+	tab.ProbeBatch(nil, bidx, hits)
+}
+
+func TestInsertBatchConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const workers = 8
+	const perWorker = 4096
+	shared := batchKeys64(r, 512, 400) // overlap across workers
+	tab := NewTable64(workers * perWorker)
+	distinct := make(map[uint64]struct{})
+	batches := make([][]uint64, workers)
+	for w := range batches {
+		keys := make([]uint64, perWorker)
+		for i := range keys {
+			if r.Intn(2) == 0 {
+				keys[i] = shared[r.Intn(len(shared))]
+			} else {
+				keys[i] = uint64(w)<<48 | uint64(i)
+			}
+			distinct[keys[i]] = struct{}{}
+		}
+		batches[w] = keys
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(keys []uint64) {
+			defer wg.Done()
+			var ar Arena64
+			bidx := make([]int32, 256)
+			for off := 0; off < len(keys); off += 256 {
+				end := off + 256
+				if end > len(keys) {
+					end = len(keys)
+				}
+				tab.InsertBatch(keys[off:end], bidx, &ar, int32(off), nil)
+			}
+		}(batches[w])
+	}
+	wg.Wait()
+	if tab.Len() != len(distinct) {
+		t.Fatalf("Len %d, want %d distinct", tab.Len(), len(distinct))
+	}
+	for k := range distinct {
+		if !tab.Contains(k) {
+			t.Fatalf("key %#x missing after concurrent batch insert", k)
+		}
+	}
+}
+
+func batchKeys128(r *rand.Rand, n, domain int) (lo, hi []uint64) {
+	lo = make([]uint64, n)
+	hi = make([]uint64, n)
+	for i := range lo {
+		lo[i] = uint64(r.Intn(domain))<<32 | uint64(r.Intn(domain))
+		hi[i] = uint64(r.Intn(domain))
+	}
+	return lo, hi
+}
+
+func TestInsertBatchLocal128MatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 7, 255, 513} {
+		lo, hi := batchKeys128(r, n, 32)
+		ref := NewTable128(n)
+		var refAr Arena128
+		var wantSel []int32
+		for i := range lo {
+			if ref.InsertIfAbsent(Key128{Hi: hi[i], Lo: lo[i]}, &refAr) {
+				wantSel = append(wantSel, int32(i))
+			}
+		}
+
+		tab := NewTable128(n)
+		var ar Arena128
+		bidx := make([]int32, n)
+		sel := tab.InsertBatchLocal(lo, hi, bidx, &ar, 0, nil)
+		if len(sel) != len(wantSel) {
+			t.Fatalf("n=%d: batch inserted %d, scalar %d", n, len(sel), len(wantSel))
+		}
+		for i := range sel {
+			if sel[i] != wantSel[i] {
+				t.Fatalf("n=%d i=%d: sel %d want %d", n, i, sel[i], wantSel[i])
+			}
+		}
+		if tab.Len() != ref.Len() {
+			t.Fatalf("n=%d: Len %d want %d", n, tab.Len(), ref.Len())
+		}
+	}
+}
+
+func TestProbeAndInsertBatch128Concurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 2048
+	lo, hi := batchKeys128(r, n, 64)
+	distinct := make(map[Key128]struct{})
+	for i := range lo {
+		distinct[Key128{Hi: hi[i], Lo: lo[i]}] = struct{}{}
+	}
+	tab := NewTable128(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			var ar Arena128
+			bidx := make([]int32, 512)
+			part := n / 4
+			// Overlapping halves so workers race on the same keys.
+			a, b := off*part/2, off*part/2+part
+			tab.InsertBatch(lo[a:b], hi[a:b], bidx, &ar, int32(a), nil)
+		}(w)
+	}
+	wg.Wait()
+	bidx := make([]int32, n)
+	hits := make([]bool, n)
+	tab.ProbeBatch(lo, hi, bidx, hits)
+	for i := range lo {
+		want := tab.Contains(Key128{Hi: hi[i], Lo: lo[i]})
+		if hits[i] != want {
+			t.Fatalf("i=%d: ProbeBatch %v, Contains %v", i, hits[i], want)
+		}
+	}
+}

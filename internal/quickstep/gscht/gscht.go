@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"recstep/internal/quickstep/kernels"
 	"recstep/internal/quickstep/storage"
 )
 
@@ -177,16 +178,24 @@ type Arena64 struct {
 
 // new claims one node, writes the key, and returns its index.
 func (a *Arena64) new(t *Table64, key uint64) int32 {
+	idx, _, _ := a.newAt(t, key)
+	return idx
+}
+
+// newAt is new plus the node's chunk and offset, so batch inserts can write
+// the link field directly instead of re-resolving the index through the
+// spine (an atomic load and two dependent derefs per node).
+func (a *Arena64) newAt(t *Table64, key uint64) (idx int32, chunk []int32, off int) {
 	if a.owner != t || a.used >= 1<<chunkShift64 {
 		a.chunk, a.base = t.nodes.grow(t.lc, t.cat, 1<<chunkShift64)
 		a.owner, a.used = t, 0
 	}
-	idx := a.base + a.used
-	off := int(a.used) << 2
+	idx = a.base + a.used
+	off = int(a.used) << 2
 	a.chunk[off] = int32(uint32(key))
 	a.chunk[off+1] = int32(uint32(key >> 32))
 	a.used++
-	return idx
+	return idx, a.chunk, off
 }
 
 // Table64 is the CCK-GSCHT for 64-bit compact keys.
@@ -235,12 +244,9 @@ func bucketCount(estDistinct int) int {
 // influence over every bucket bit for the cost of two shifts.
 const fibMult = 0x9E3779B97F4A7C15
 
-func fibMix(key uint64) uint64 {
-	key ^= key >> 33
-	key *= fibMult
-	key ^= key >> 29
-	return key
-}
+// fibMix delegates to the shared kernels definition so the scalar insert
+// path and the batched kernels agree bit-for-bit on bucket choice.
+func fibMix(key uint64) uint64 { return kernels.Mix64(key) }
 
 func (t *Table64) bucketIndex(key uint64) uint64 {
 	return (fibMix(key) >> 16) & t.mask
@@ -250,6 +256,23 @@ func (t *Table64) bucketIndex(key uint64) uint64 {
 // int32 offset within it.
 func (t *Table64) node(idx int32) ([]int32, int) {
 	sp := *t.nodes.spine.Load()
+	return sp[idx>>chunkShift64], int(idx&(1<<chunkShift64-1)) << 2
+}
+
+// spine snapshots the slab spine for a run of node lookups. A snapshot taken
+// after a bucket head was read covers every node reachable from that head
+// (chunks are published to the spine before any node inside them can win a
+// bucket CAS), so batch loops hoist the atomic spine load out of their chain
+// walks. Nil only while the table has no nodes at all.
+func (t *Table64) spine() [][]int32 {
+	if sp := t.nodes.spine.Load(); sp != nil {
+		return *sp
+	}
+	return nil
+}
+
+// nodeAt is node against a hoisted spine snapshot.
+func nodeAt64(sp [][]int32, idx int32) ([]int32, int) {
 	return sp[idx>>chunkShift64], int(idx&(1<<chunkShift64-1)) << 2
 }
 

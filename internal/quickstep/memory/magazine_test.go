@@ -1,0 +1,127 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+
+	"recstep/internal/quickstep/storage"
+)
+
+func TestMagazineAllocFreeAccounting(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	mag := m.AcquireMagazine()
+	// Churn alloc/free pairs with a small working set, the pass-private
+	// pattern magazines serve: after the first few misses every alloc is a
+	// magazine hit.
+	var held [][]int32
+	for i := 0; i < 100; i++ {
+		held = append(held, mag.AllocData(storage.CatIntermediate, 1024))
+		if len(held) > 4 {
+			mag.FreeData(storage.CatIntermediate, held[0])
+			held = held[1:]
+		}
+	}
+	if got, want := m.Snapshot().LiveTotal, int64(len(held)*1024*4); got != want {
+		t.Fatalf("live %d, want %d", got, want)
+	}
+	for _, a := range held {
+		mag.FreeData(storage.CatIntermediate, a)
+	}
+	if got := m.Snapshot().LiveTotal; got != 0 {
+		t.Fatalf("live %d after frees, want 0", got)
+	}
+	m.ReleaseMagazine(mag)
+	s := m.Snapshot()
+	if s.MagHits == 0 {
+		t.Fatal("no magazine hits recorded")
+	}
+	// 100 alloc/free pairs through the magazine must cost far fewer shard
+	// visits than the 200 a direct path would pay.
+	if s.ShardGets+s.ShardPuts >= 100 {
+		t.Fatalf("magazine did not batch shard traffic: gets=%d puts=%d", s.ShardGets, s.ShardPuts)
+	}
+}
+
+func TestMagazineOversizedPassThrough(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	mag := m.AcquireMagazine()
+	defer m.ReleaseMagazine(mag)
+	big := mag.AllocData(storage.CatIntermediate, (1<<maxClassBits)+1)
+	if cap(big) < (1<<maxClassBits)+1 {
+		t.Fatalf("oversized alloc cap %d", cap(big))
+	}
+	mag.FreeData(storage.CatIntermediate, big)
+	if got := m.Snapshot().LiveTotal; got != 0 {
+		t.Fatalf("live %d after oversized free, want 0", got)
+	}
+}
+
+// TestMagazineConcurrentWorkers is the -race exercise: many workers each
+// own a private magazine and churn alloc/free against the one shared
+// manager, with refills and flushes hitting the same shards.
+func TestMagazineConcurrentWorkers(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			mag := m.AcquireMagazine()
+			defer m.ReleaseMagazine(mag)
+			var held [][]int32
+			for i := 0; i < 2000; i++ {
+				n := 64 << (uint(seed+i) % 5)
+				arr := mag.AllocData(storage.CatIntermediate, n)
+				arr = arr[:cap(arr)]
+				arr[0] = int32(i) // touch to catch double-handed arrays
+				held = append(held, arr)
+				if len(held) > 20 {
+					mag.FreeData(storage.CatIntermediate, held[0])
+					held = held[1:]
+				}
+			}
+			for _, a := range held {
+				mag.FreeData(storage.CatIntermediate, a)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Snapshot().LiveTotal; got != 0 {
+		t.Fatalf("live %d after all workers done, want 0", got)
+	}
+}
+
+// TestMagazineBlockPoison checks the refcount/poison contract end to end
+// through a magazine: a released block's data is nil'd and its bytes
+// credited, and a recycled array handed back out is independent.
+func TestMagazineBlockPoison(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	mag := m.AcquireMagazine()
+	defer m.ReleaseMagazine(mag)
+	b := storage.NewBlockIn(mag, storage.CatDelta, 2, 64)
+	b.Append([]int32{1, 2})
+	b.Retain()
+	b.Release()
+	if b.Rows() != 1 {
+		t.Fatal("block lost data while still referenced")
+	}
+	b.Release()
+	if b.Data() != nil {
+		t.Fatal("block data not poisoned after final release")
+	}
+	if got := m.Snapshot().LiveBytes[storage.CatDelta]; got != 0 {
+		t.Fatalf("delta live %d after release, want 0", got)
+	}
+	// The freed array must come back from the magazine for the next block.
+	hitsBefore := m.Snapshot().PoolHits
+	b2 := storage.NewBlockIn(mag, storage.CatDelta, 2, 64)
+	if got := m.Snapshot().PoolHits; got <= hitsBefore {
+		t.Fatalf("expected a magazine pool hit, hits %d -> %d", hitsBefore, got)
+	}
+	b2.Release()
+}

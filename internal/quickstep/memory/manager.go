@@ -48,6 +48,15 @@ type Manager struct {
 	poolMisses atomic.Int64
 	frees      atomic.Int64
 
+	// Shard-traffic and magazine counters. shardGets/shardPuts count free-list
+	// lock acquisitions (the contention the magazines exist to reduce);
+	// magHits counts allocations served from a magazine without touching a
+	// shard, magRefills the batched shard visits that restock them.
+	shardGets  atomic.Int64
+	shardPuts  atomic.Int64
+	magHits    atomic.Int64
+	magRefills atomic.Int64
+
 	epoch          atomic.Int64
 	spills         atomic.Int64
 	faults         atomic.Int64
@@ -116,6 +125,7 @@ func (m *Manager) AllocData(cat storage.Category, capInt32s int) []int32 {
 		// the striped shard must not strand recycled arrays elsewhere.
 		start := m.rr.Add(1)
 		for i := uint32(0); i < numShards; i++ {
+			m.shardGets.Add(1)
 			if got := m.shards[(start+i)%numShards].get(c); got != nil {
 				arr = got[:0]
 				break
@@ -131,7 +141,13 @@ func (m *Manager) AllocData(cat storage.Category, capInt32s int) []int32 {
 		arr = make([]int32, 0, capInt32s)
 		m.poolMisses.Add(1)
 	}
-	bytes := int64(cap(arr)) * 4
+	m.accountAlloc(cat, int64(cap(arr))*4)
+	return arr
+}
+
+// accountAlloc charges an allocation to the live gauges and records the
+// peak. Shared by the direct path and the per-worker magazines.
+func (m *Manager) accountAlloc(cat storage.Category, bytes int64) {
 	m.live[cat].Add(bytes)
 	total := m.liveTotal.Add(bytes)
 	for {
@@ -140,7 +156,12 @@ func (m *Manager) AllocData(cat storage.Category, capInt32s int) []int32 {
 			break
 		}
 	}
-	return arr
+}
+
+// accountFree credits a free against the live gauges.
+func (m *Manager) accountFree(cat storage.Category, bytes int64) {
+	m.live[cat].Add(-bytes)
+	m.liveTotal.Add(-bytes)
 }
 
 // ensureHeadroom evicts cold partitions until the budget has room for an
@@ -175,13 +196,12 @@ func (m *Manager) FreeData(cat storage.Category, data []int32) {
 	if data == nil {
 		return
 	}
-	bytes := int64(cap(data)) * 4
-	m.live[cat].Add(-bytes)
-	m.liveTotal.Add(-bytes)
+	m.accountFree(cat, int64(cap(data))*4)
 	m.frees.Add(1)
 	n := cap(data)
 	if c := classOf(n); c >= 0 && classCap(c) == n && !m.closed.Load() {
 		sh := &m.shards[m.rr.Add(1)%numShards]
+		m.shardPuts.Add(1)
 		sh.put(c, data, m.perShard)
 	}
 }
@@ -386,6 +406,11 @@ type Snapshot struct {
 	// PoolHits/PoolMisses count recycled vs fresh block-array allocations;
 	// Frees counts arrays returned.
 	PoolHits, PoolMisses, Frees int64
+	// ShardGets/ShardPuts count free-list shard lock acquisitions; MagHits
+	// counts allocations served by a per-worker magazine without any shard
+	// traffic, MagRefills the batched refills/flushes that restock them.
+	// Magazines working: MagHits high, ShardGets/ShardPuts low.
+	ShardGets, ShardPuts, MagHits, MagRefills int64
 	// Spills/Faults count partition evictions and restorations;
 	// SpilledBytes is the cumulative volume written, SpilledNowBytes the
 	// volume currently on disk.
@@ -407,6 +432,10 @@ func (m *Manager) Snapshot() Snapshot {
 		PoolHits:        m.poolHits.Load(),
 		PoolMisses:      m.poolMisses.Load(),
 		Frees:           m.frees.Load(),
+		ShardGets:       m.shardGets.Load(),
+		ShardPuts:       m.shardPuts.Load(),
+		MagHits:         m.magHits.Load(),
+		MagRefills:      m.magRefills.Load(),
 		Spills:          m.spills.Load(),
 		Faults:          m.faults.Load(),
 		SecondaryDrops:  m.secondaryDrops.Load(),
@@ -427,6 +456,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.PoolHits -= o.PoolHits
 	d.PoolMisses -= o.PoolMisses
 	d.Frees -= o.Frees
+	d.ShardGets -= o.ShardGets
+	d.ShardPuts -= o.ShardPuts
+	d.MagHits -= o.MagHits
+	d.MagRefills -= o.MagRefills
 	d.Spills -= o.Spills
 	d.Faults -= o.Faults
 	d.SecondaryDrops -= o.SecondaryDrops

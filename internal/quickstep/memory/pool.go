@@ -78,6 +78,49 @@ func (s *shard) put(c int, arr []int32, capBytes int64) bool {
 	return true
 }
 
+// getBatch pops up to want recycled arrays of class c under one lock
+// acquisition, appending them to *dst. Returns the number popped. The
+// per-worker magazines refill through this so a refill costs one shard
+// lock regardless of how many arrays it moves.
+func (s *shard) getBatch(c int, dst *[][]int32, want int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.classes[c]
+	n := want
+	if n > len(list) {
+		n = len(list)
+	}
+	if n == 0 {
+		return 0
+	}
+	taken := list[len(list)-n:]
+	*dst = append(*dst, taken...)
+	for i := range taken {
+		s.bytes -= int64(cap(taken[i])) * 4
+		taken[i] = nil
+	}
+	s.classes[c] = list[: len(list)-n : len(list)-n]
+	return n
+}
+
+// putBatch parks as many of the arrays as the retention cap allows under one
+// lock acquisition, returning how many were parked (the rest are the
+// caller's to drop to the garbage collector).
+func (s *shard) putBatch(c int, arrs [][]int32, capBytes int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parked := 0
+	for _, arr := range arrs {
+		if s.bytes+int64(cap(arr))*4 > capBytes {
+			break
+		}
+		s.classes[c] = append(s.classes[c], arr)
+		s.bytes += int64(cap(arr)) * 4
+		parked++
+	}
+	return parked
+}
+
 // drain empties the shard, returning the bytes dropped.
 func (s *shard) drain() int64 {
 	s.mu.Lock()

@@ -389,3 +389,15 @@ func synthetic(rng *rand.Rand, name string, n int) *storage.Relation {
 	r.AppendRows(rows)
 	return r
 }
+
+// UseBatchKernels is the planner-facing layout choice of the batch
+// execution path: whether a pass over rows tuples of the given arity should
+// run the batch kernels against a columnar read layout. The arity bound is
+// hard — the compact-key kernels pack at most four attributes — while the
+// row bound is the cached-transpose break-even (exec.MinColumnarRows):
+// below it a transpose costs more than the strided reads it replaces, so
+// the batch path reads row-major and only the kernel batching itself
+// applies.
+func UseBatchKernels(arity, rows int) bool {
+	return arity >= 1 && arity <= 4 && rows >= exec.MinColumnarRows
+}

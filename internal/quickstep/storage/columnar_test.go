@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// countingLC tracks net outstanding bytes so tests can assert the column
+// slab is recycled exactly once.
+type countingLC struct {
+	mu     sync.Mutex
+	allocs int
+	frees  int
+	live   int64
+}
+
+func (c *countingLC) AllocData(cat Category, capInt32s int) []int32 {
+	c.mu.Lock()
+	c.allocs++
+	c.live += int64(capInt32s) * 4
+	c.mu.Unlock()
+	return make([]int32, 0, capInt32s)
+}
+
+func (c *countingLC) FreeData(cat Category, data []int32) {
+	c.mu.Lock()
+	c.frees++
+	c.live -= int64(cap(data)) * 4
+	c.mu.Unlock()
+}
+
+func (c *countingLC) Recat(from, to Category, bytes int64) {}
+
+func fillBlock(b *Block, rows int) {
+	for i := 0; i < rows; i++ {
+		b.Append([]int32{int32(i), int32(i * 10), int32(i * 100)})
+	}
+}
+
+func TestColTransposesRows(t *testing.T) {
+	b := NewBlock(3)
+	fillBlock(b, 37)
+	for c := 0; c < 3; c++ {
+		col := b.Col(c)
+		if len(col) != 37 {
+			t.Fatalf("col %d: len %d want 37", c, len(col))
+		}
+		for i, v := range col {
+			if want := b.Row(i)[c]; v != want {
+				t.Fatalf("col %d row %d: got %d want %d", c, i, v, want)
+			}
+		}
+	}
+}
+
+func TestColInvalidatedByAppend(t *testing.T) {
+	b := NewBlock(3)
+	fillBlock(b, 10)
+	col0 := b.Col(0)
+	if len(col0) != 10 {
+		t.Fatalf("len %d want 10", len(col0))
+	}
+	b.Append([]int32{99, 990, 9900})
+	if b.HasCols() {
+		t.Fatal("column slab survived Append")
+	}
+	col0 = b.Col(0)
+	if len(col0) != 11 || col0[10] != 99 {
+		t.Fatalf("rebuilt col stale: len=%d tail=%d", len(col0), col0[10])
+	}
+}
+
+func TestColConcurrentBuild(t *testing.T) {
+	b := NewBlock(2)
+	for i := 0; i < 1000; i++ {
+		b.Append([]int32{int32(i), int32(-i)})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				c0, c1 := b.Col(0), b.Col(1)
+				for i := 0; i < 1000; i += 97 {
+					if c0[i] != int32(i) || c1[i] != int32(-i) {
+						t.Errorf("corrupt column read at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestColSlabRecycledOnRelease(t *testing.T) {
+	lc := &countingLC{}
+	b := NewBlockIn(lc, CatIntermediate, 3, 64)
+	fillBlock(b, 50)
+	_ = b.Col(1)
+	if !b.HasCols() {
+		t.Fatal("slab not built")
+	}
+	b.Release()
+	if lc.live != 0 {
+		t.Fatalf("leaked %d bytes after final Release (allocs=%d frees=%d)", lc.live, lc.allocs, lc.frees)
+	}
+}
