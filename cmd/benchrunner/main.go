@@ -31,8 +31,11 @@ func main() {
 		secondary   = flag.Bool("secondary-carry", true, "carry a second partitioned view for predicates whose recursive joins use conflicting keysets; false falls back to whole-tuple partitioning (ablation)")
 		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill under pressure (0 = unlimited)")
 		columnar    = flag.Bool("columnar", true, "batch-at-a-time kernels over columnar block slabs; false selects the row-layout tuple-at-a-time ablation")
+		joinOrder   = flag.Bool("join-order", true, "connectivity-driven greedy join ordering per rule arm, re-planned each iteration; false selects the textual FROM-order ablation")
+		wcoj        = flag.Bool("wcoj", true, "leapfrog worst-case-optimal join for cyclic rule bodies of >=3 atoms; false routes them through the pairwise hash-join chain")
 		benchOut    = flag.String("bench-out", "BENCH_PR5.json", "path the benchjson experiment writes its machine-readable report to")
 		batchOut    = flag.String("batch-out", "BENCH_PR6.json", "path the benchbatch experiment writes its machine-readable report to")
+		joinOut     = flag.String("joinorder-out", "BENCH_PR7.json", "path the benchjoinorder experiment writes its machine-readable report to")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile covering the selected experiments to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile after the selected experiments to this file")
 	)
@@ -47,6 +50,8 @@ func main() {
 		NoCarryJoinParts:   !*carryJoin,
 		NoSecondaryCarry:   !*secondary,
 		NoColumnar:         !*columnar,
+		NoJoinOrder:        !*joinOrder,
+		NoWCOJ:             !*wcoj,
 		ManagedBudgetBytes: *memBudget,
 		CPUProfile:         *cpuProfile,
 		MemProfile:         *memProfile,
@@ -85,7 +90,7 @@ func main() {
 	order := []string{
 		"table1", "table3", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table4",
-		"copies", "peakmem", "benchjson", "benchbatch",
+		"copies", "peakmem", "benchjson", "benchbatch", "benchjoinorder",
 	}
 
 	args := flag.Args()
@@ -113,6 +118,15 @@ func main() {
 			}
 			fmt.Println(experiments.BenchBatchTable(rep))
 			log.Printf("wrote %s", *batchOut)
+			continue
+		}
+		if name == "benchjoinorder" {
+			rep := experiments.BenchJoinOrder(cfg)
+			if err := experiments.WriteBenchJoinOrderReport(*joinOut, rep); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(experiments.BenchJoinOrderTable(rep))
+			log.Printf("wrote %s", *joinOut)
 			continue
 		}
 		if name == "fig4" {

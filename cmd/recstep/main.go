@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"recstep/internal/core"
@@ -61,6 +62,8 @@ func main() {
 		secondary   = flag.Bool("secondary-carry", true, "carry a second partitioned view for predicates whose recursive joins use conflicting keysets; false falls back to whole-tuple partitioning (ablation)")
 		memBudget   = flag.Int64("mem-budget", 0, "live block-pool byte budget; cold partitions of full relations spill to temp files under pressure (0 = unlimited)")
 		columnar    = flag.Bool("columnar", true, "batch-at-a-time kernels over columnar block slabs with per-worker pool magazines; false selects the row-layout tuple-at-a-time ablation")
+		joinOrder   = flag.Bool("join-order", true, "connectivity-driven greedy join ordering per rule arm, re-planned each iteration from live ∆ cardinalities; false selects the textual FROM-order ablation")
+		wcoj        = flag.Bool("wcoj", true, "leapfrog worst-case-optimal join for cyclic rule bodies of >=3 atoms; false routes them through the pairwise hash-join chain")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 		verbose     = flag.Bool("v", false, "log per-iteration deltas")
@@ -136,11 +139,13 @@ func main() {
 	opts.CarryJoinParts = *carryJoin
 	opts.SecondaryCarry = *secondary
 	opts.Columnar = *columnar
+	opts.JoinOrder = *joinOrder
+	opts.WCOJ = *wcoj
 	opts.MemBudgetBytes = *memBudget
 	if *verbose {
 		opts.IterHook = func(ii core.IterInfo) {
-			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) scattered=%d (sec=%d) adopted=%d flat=%d buildsInPlace=%d buildScatters=%d",
-				ii.Stratum, ii.Iteration, ii.Pred, ii.TmpTuples, ii.Delta, ii.Algo,
+			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) armsSkipped=%d scattered=%d (sec=%d) adopted=%d flat=%d buildsInPlace=%d buildScatters=%d",
+				ii.Stratum, ii.Iteration, ii.Pred, ii.TmpTuples, ii.Delta, ii.Algo, ii.ArmsSkipped,
 				ii.Copy.Scattered, ii.Copy.SecondaryScattered, ii.Copy.Adopted, ii.Copy.FlatMats,
 				ii.Copy.BuildScattersAvoided, ii.Copy.BuildScatters)
 		}
@@ -164,6 +169,20 @@ func main() {
 		res.Stats.TuplesScattered, res.Stats.TuplesAdopted, res.Stats.FlatMaterializations)
 	log.Printf("join builds: %d served from carried/cached partitions, %d paid a scatter",
 		res.Stats.JoinBuildScattersAvoided, res.Stats.JoinBuildScatters)
+	log.Printf("planner: %d empty-∆ arms skipped, peak join intermediate %d rows, wcoj rules %v",
+		res.Stats.ArmsSkipped, res.Stats.PeakJoinIntermediate, res.Stats.WCOJRules)
+	if *verbose {
+		rules := make([]string, 0, len(res.Stats.JoinOrdersByRule))
+		for name := range res.Stats.JoinOrdersByRule {
+			rules = append(rules, name)
+		}
+		sort.Strings(rules)
+		for _, name := range rules {
+			pc := res.Stats.JoinOrdersByRule[name]
+			log.Printf("plan %s: %s order %v over %v (%d iterations)",
+				name, pc.Strategy, pc.Order, pc.Tables, pc.Count)
+		}
+	}
 	log.Printf("memory: peak pool %d bytes, %d/%d block allocs recycled, %d spills / %d faults",
 		res.Stats.Mem.PeakLive, res.Stats.Mem.PoolHits, res.Stats.Mem.PoolHits+res.Stats.Mem.PoolMisses,
 		res.Stats.Mem.Spills, res.Stats.Mem.Faults)

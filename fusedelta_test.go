@@ -30,8 +30,10 @@ func fuseTestEDBs(program string) map[string]*storage.Relation {
 			"arc": graphs.Weighted(arc, 100, 7),
 			"id":  graphs.SingleSource(0),
 		}
-	case "aa":
+	case "aa", "aawide":
 		return pa.AndersenSized(80, 3)
+	case "tri", "clique4":
+		return map[string]*storage.Relation{"arc": graphs.Undirected(graphs.GnP(60, 0.12, 19))}
 	case "cspa":
 		return pa.CSPASized(pa.CSPAConfig{Vars: 120, AssignPer: 5, DerefRatio: 3, Seed: 13})
 	case "csda":

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -102,6 +103,17 @@ type Options struct {
 	// magazines. False is the -columnar=false ablation — the row-layout
 	// tuple-at-a-time inner loops.
 	Columnar bool
+	// JoinOrder enables the connectivity-driven greedy join-ordering pass:
+	// every rule arm's join chain is re-seeded from the most selective
+	// literal and grown by shared-variable connectivity, re-planned each
+	// iteration as ∆ cardinalities change, with early termination of arms
+	// whose intermediate comes back empty. False is the -join-order=false
+	// ablation — the textual FROM-order chain.
+	JoinOrder bool
+	// WCOJ routes cyclic rule bodies of ≥3 atoms (triangles, cliques) to
+	// the leapfrog worst-case-optimal join. False is the -wcoj=false
+	// ablation — cyclic bodies fall back to the (ordered) pairwise chain.
+	WCOJ bool
 	// Alpha is the calibrated build/probe cost ratio for DSD (0 = default).
 	Alpha float64
 	// Naive disables semi-naive evaluation: every iteration re-evaluates
@@ -138,6 +150,8 @@ func DefaultOptions() Options {
 		CarryJoinParts: true,
 		SecondaryCarry: true,
 		Columnar:       true,
+		JoinOrder:      true,
+		WCOJ:           true,
 		MaxIterations:  1 << 20,
 		DisableIO:      true,
 	}
@@ -158,6 +172,9 @@ type IterInfo struct {
 	// Mem is a point-in-time reading of the memory manager after the step:
 	// live pool bytes by category, budget headroom, spill/fault counters.
 	Mem memory.Snapshot
+	// ArmsSkipped counts the UNION ALL arms this step dropped before
+	// planning because their seeding ∆ relation was empty.
+	ArmsSkipped int
 }
 
 // Stats aggregates counters over one Run.
@@ -190,6 +207,19 @@ type Stats struct {
 	// exactly which predicate and join shape still pays per-iteration
 	// build scatters.
 	JoinBuildsByKeyset map[string]exec.BuildCount
+	// JoinOrdersByRule records, per rule arm (branch name), the atoms in
+	// textual order, the join order the optimizer last chose, the strategy
+	// (textual / greedy / wcoj) and how many iterations ran it.
+	JoinOrdersByRule map[string]quickstep.PlanChoice
+	// WCOJRules lists the arms evaluated by the leapfrog join.
+	WCOJRules []string
+	// ArmsSkipped counts UNION ALL arms skipped across the run because
+	// their seeding ∆ relation was empty (the early-exit arm filter).
+	ArmsSkipped int64
+	// PeakJoinIntermediate is the largest non-final pairwise join
+	// intermediate materialized anywhere in the run (rows) — the blow-up
+	// gauge the WCOJ path exists to keep bounded.
+	PeakJoinIntermediate int64
 	// Mem is the final memory-manager snapshot: peak live pool bytes, live
 	// bytes by category, pool hit/miss counts and spill/fault totals — the
 	// observability the paper's memory figures (3, 11, 14) rely on.
@@ -242,6 +272,8 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		CarryJoinParts: e.opts.CarryJoinParts,
 		SecondaryCarry: e.opts.SecondaryCarry,
 		Columnar:       e.opts.Columnar,
+		JoinOrder:      e.opts.JoinOrder,
+		WCOJ:           e.opts.WCOJ,
 	})
 	if err != nil {
 		return nil, err
@@ -297,6 +329,14 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 	run.stats.JoinBuildScattersAvoided = copySnap.BuildScattersAvoided
 	run.stats.SecondaryScattered = copySnap.SecondaryScattered
 	run.stats.JoinBuildsByKeyset = copySnap.BuildDetail
+	run.stats.JoinOrdersByRule = db.PlanChoices()
+	for name, pc := range run.stats.JoinOrdersByRule {
+		if pc.Strategy == "wcoj" {
+			run.stats.WCOJRules = append(run.stats.WCOJRules, name)
+		}
+	}
+	sort.Strings(run.stats.WCOJRules)
+	run.stats.PeakJoinIntermediate = db.PeakJoinIntermediate()
 	run.stats.Duration = time.Since(run.start)
 	out.Stats = run.stats
 	return out, nil
@@ -513,12 +553,22 @@ type idbState struct {
 func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit querygen.UnitQueries) (int, error) {
 	q := st.q
 	copyBase := r.db.CopySnapshot()
+	// Early-exit arm filter: a semi-naive arm seeded by an empty ∆ relation
+	// can only produce zero tuples, so it is dropped before any planning or
+	// execution. In multi-IDB strata deltas empty out at different
+	// iterations, leaving whole arms firing on nothing every iteration
+	// until the stratum converges.
+	unit, skipped := querygen.FilterArms(q.Tmp, unit, func(delta string) bool {
+		d, ok := r.db.Catalog().Get(delta)
+		return !ok || d.NumTuples() > 0
+	})
+	r.stats.ArmsSkipped += int64(skipped)
 	if unit.Subqueries == 0 {
 		// Nothing fires this phase; the delta is empty.
 		if err := r.db.InstallReplacing(storage.NewRelation(q.Delta, storage.NumberedColumns(q.Arity))); err != nil {
 			return 0, err
 		}
-		r.hook(s, iter, q.Pred, 0, 0, exec.OPSD, exec.CopySnapshot{})
+		r.hook(s, iter, q.Pred, 0, 0, exec.OPSD, exec.CopySnapshot{}, skipped)
 		return 0, nil
 	}
 
@@ -677,7 +727,7 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	}
 	n := delta.NumTuples()
 	r.stats.DeltaTuples += int64(n)
-	r.hook(s, iter, q.Pred, tmp.NumTuples(), n, algo, r.db.CopySnapshot().Sub(copyBase))
+	r.hook(s, iter, q.Pred, tmp.NumTuples(), n, algo, r.db.CopySnapshot().Sub(copyBase), skipped)
 	return n, nil
 }
 
@@ -812,9 +862,9 @@ func (r *runState) aggNeedsFullRebuild(s analysis.Stratum, pred string) bool {
 	return false
 }
 
-func (r *runState) hook(s analysis.Stratum, iter int, pred string, tmp, delta int, algo exec.DiffAlgorithm, copies exec.CopySnapshot) {
+func (r *runState) hook(s analysis.Stratum, iter int, pred string, tmp, delta int, algo exec.DiffAlgorithm, copies exec.CopySnapshot, skipped int) {
 	if h := r.opts().IterHook; h != nil {
-		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo, Copy: copies, Mem: r.db.MemSnapshot()})
+		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo, Copy: copies, Mem: r.db.MemSnapshot(), ArmsSkipped: skipped})
 	}
 }
 

@@ -1,0 +1,66 @@
+package querygen
+
+import (
+	"strings"
+	"testing"
+
+	"recstep/internal/programs"
+)
+
+// FilterArms must drop exactly the arms seeded from a rejected ∆ table and
+// reassemble consistent UIE and individual forms from the survivors.
+func TestFilterArmsDropsRejectedDeltaArms(t *testing.T) {
+	q := queriesFor(t, programs.CSPA, "valueFlow")
+	if len(q.Rec.Subs) != q.Rec.Subqueries || len(q.Rec.DeltaTables) != q.Rec.Subqueries {
+		t.Fatalf("Subs/DeltaTables misaligned: %d/%d arms, Subqueries=%d",
+			len(q.Rec.Subs), len(q.Rec.DeltaTables), q.Rec.Subqueries)
+	}
+	var maArms int
+	for _, d := range q.Rec.DeltaTables {
+		switch d {
+		case DeltaTable("memoryAlias"):
+			maArms++
+		case DeltaTable("valueFlow"):
+		default:
+			t.Fatalf("unexpected seeding delta %q", d)
+		}
+	}
+	if maArms == 0 {
+		t.Fatal("no valueFlow arm seeds from memoryAlias_mdelta; fixture lost its point")
+	}
+
+	kept, skipped := FilterArms(q.Tmp, q.Rec, func(delta string) bool {
+		return delta != DeltaTable("memoryAlias")
+	})
+	if skipped != maArms {
+		t.Fatalf("skipped %d arms, want %d", skipped, maArms)
+	}
+	if kept.Subqueries != q.Rec.Subqueries-maArms {
+		t.Fatalf("kept %d subqueries, want %d", kept.Subqueries, q.Rec.Subqueries-maArms)
+	}
+	if strings.Contains(kept.Unified, DeltaTable("memoryAlias")) {
+		t.Fatalf("unified still reads the rejected delta: %q", kept.Unified)
+	}
+	if got := strings.Count(kept.Unified, "UNION ALL"); got != kept.Subqueries-1 {
+		t.Fatalf("UNION ALL count = %d, want %d", got, kept.Subqueries-1)
+	}
+	if len(kept.Parts) != kept.Subqueries || len(kept.PartTables) != kept.Subqueries {
+		t.Fatalf("individual form has %d parts, want %d", len(kept.Parts), kept.Subqueries)
+	}
+	if !strings.Contains(kept.Unified, "INSERT INTO "+q.Tmp) {
+		t.Fatalf("unified inserts elsewhere: %q", kept.Unified)
+	}
+
+	// Keeping everything returns the input untouched.
+	same, skipped := FilterArms(q.Tmp, q.Rec, func(string) bool { return true })
+	if skipped != 0 || same.Unified != q.Rec.Unified {
+		t.Fatalf("keep-all changed the queries (skipped=%d)", skipped)
+	}
+
+	// Rejecting every ∆ leaves zero subqueries (init arms have no ∆ and
+	// would survive; the recursive phase has none).
+	none, skipped := FilterArms(q.Tmp, q.Rec, func(string) bool { return false })
+	if none.Subqueries != 0 || skipped != q.Rec.Subqueries {
+		t.Fatalf("reject-all: %d subqueries remain, %d skipped", none.Subqueries, skipped)
+	}
+}

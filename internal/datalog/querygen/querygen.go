@@ -43,6 +43,30 @@ type UnitQueries struct {
 	Merge      string
 	// Subqueries counts the UNION ALL arms.
 	Subqueries int
+	// Subs are the raw SELECT arms, aligned with DeltaTables: arm i seeds
+	// from delta table DeltaTables[i] ("" for init/full arms with no
+	// seeding ∆). The interpreter uses them to skip arms whose ∆ relation
+	// is empty before planning anything (see FilterArms).
+	Subs        []string
+	DeltaTables []string
+}
+
+// FilterArms returns a copy of u keeping only the arms whose seeding delta
+// table keep accepts (arms with no seeding ∆ are always kept), reassembled
+// into fresh UIE and individual forms, plus the number of arms dropped. tmp
+// is the destination temporary table the statements insert into.
+func FilterArms(tmp string, u UnitQueries, keep func(delta string) bool) (UnitQueries, int) {
+	kept := make([]armSub, 0, len(u.Subs))
+	for i, s := range u.Subs {
+		d := u.DeltaTables[i]
+		if d == "" || keep(d) {
+			kept = append(kept, armSub{sql: s, delta: d})
+		}
+	}
+	if len(kept) == len(u.Subs) {
+		return u, 0
+	}
+	return assemble(tmp, kept), len(u.Subs) - len(kept)
 }
 
 // IDBQueries bundles everything the interpreter needs per IDB per stratum.
@@ -88,18 +112,19 @@ func (g *Generator) StratumQueries(s analysis.Stratum) ([]IDBQueries, error) {
 		}
 	}
 	type sub struct {
-		sql  string
-		init bool
+		sql   string
+		init  bool
+		delta string
 	}
 	subsOf := make(map[string][]sub)
-	fullOf := make(map[string][]string)
+	fullOf := make(map[string][]armSub)
 	for _, ri := range s.RuleIdx {
 		rule := g.res.Program.Rules[ri]
 		full, err := g.subquery(rule, -1)
 		if err != nil {
 			return nil, err
 		}
-		fullOf[rule.HeadPred] = append(fullOf[rule.HeadPred], full)
+		fullOf[rule.HeadPred] = append(fullOf[rule.HeadPred], armSub{sql: full})
 		recPositions := g.sameStratumPositions(rule, s.Index)
 		if len(recPositions) == 0 {
 			subsOf[rule.HeadPred] = append(subsOf[rule.HeadPred], sub{sql: full, init: true})
@@ -110,18 +135,18 @@ func (g *Generator) StratumQueries(s analysis.Stratum) ([]IDBQueries, error) {
 			if err != nil {
 				return nil, err
 			}
-			subsOf[rule.HeadPred] = append(subsOf[rule.HeadPred], sub{sql: q, init: false})
+			subsOf[rule.HeadPred] = append(subsOf[rule.HeadPred], sub{sql: q, delta: DeltaTable(rule.Body[pos].Pred)})
 		}
 	}
 	var out []IDBQueries
 	for _, name := range s.IDBs {
 		iq := byPred[name]
-		var initSubs, recSubs []string
+		var initSubs, recSubs []armSub
 		for _, sb := range subsOf[name] {
 			if sb.init {
-				initSubs = append(initSubs, sb.sql)
+				initSubs = append(initSubs, armSub{sql: sb.sql})
 			} else {
-				recSubs = append(recSubs, sb.sql)
+				recSubs = append(recSubs, armSub{sql: sb.sql, delta: sb.delta})
 			}
 		}
 		iq.Init = assemble(iq.Tmp, initSubs)
@@ -133,18 +158,31 @@ func (g *Generator) StratumQueries(s analysis.Stratum) ([]IDBQueries, error) {
 	return out, nil
 }
 
+// armSub is one UNION ALL arm: its SELECT plus the delta table it seeds from
+// ("" for arms evaluating full relations only).
+type armSub struct {
+	sql   string
+	delta string
+}
+
 // assemble builds the UIE and individual forms from a list of subqueries.
-func assemble(tmp string, subs []string) UnitQueries {
+func assemble(tmp string, subs []armSub) UnitQueries {
 	if len(subs) == 0 {
 		return UnitQueries{}
 	}
 	u := UnitQueries{Subqueries: len(subs)}
-	u.Unified = fmt.Sprintf("INSERT INTO %s %s", tmp, strings.Join(subs, " UNION ALL "))
+	var arms []string
+	for _, s := range subs {
+		arms = append(arms, s.sql)
+		u.Subs = append(u.Subs, s.sql)
+		u.DeltaTables = append(u.DeltaTables, s.delta)
+	}
+	u.Unified = fmt.Sprintf("INSERT INTO %s %s", tmp, strings.Join(arms, " UNION ALL "))
 	var mergeArms []string
 	for i, s := range subs {
 		part := fmt.Sprintf("%s_%d", tmp, i)
 		u.PartTables = append(u.PartTables, part)
-		u.Parts = append(u.Parts, fmt.Sprintf("INSERT INTO %s %s", part, s))
+		u.Parts = append(u.Parts, fmt.Sprintf("INSERT INTO %s %s", part, s.sql))
 		mergeArms = append(mergeArms, "SELECT * FROM "+part)
 	}
 	u.Merge = fmt.Sprintf("INSERT INTO %s %s", tmp, strings.Join(mergeArms, " UNION ALL "))

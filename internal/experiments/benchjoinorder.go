@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"recstep/internal/core"
+	"recstep/internal/graphs"
+	"recstep/internal/pa"
+	"recstep/internal/programs"
+	"recstep/internal/quickstep/storage"
+)
+
+// JoinOrderArm is one full-fixpoint run of a workload under a planner arm:
+// greedy join ordering and/or the leapfrog WCOJ escape hatch on or off.
+type JoinOrderArm struct {
+	Name      string `json:"name"`
+	Workload  string `json:"workload"`
+	JoinOrder bool   `json:"join_order"`
+	WCOJ      bool   `json:"wcoj"`
+	Millis    int64  `json:"millis"`
+	Tuples    int    `json:"tuples"`
+	// PeakJoinRows is the largest non-final pairwise join intermediate the
+	// run materialized (core.Stats.PeakJoinIntermediate) — the blow-up the
+	// WCOJ path avoids building at all.
+	PeakJoinRows int64 `json:"peak_join_intermediate_rows"`
+	// ArmsSkipped counts UNION ALL arms dropped before planning because
+	// their seeding ∆ was empty.
+	ArmsSkipped int64    `json:"arms_skipped"`
+	WCOJRules   []string `json:"wcoj_rules,omitempty"`
+	Speedup     string   `json:"speedup_vs_ablation,omitempty"`
+}
+
+// BenchJoinOrderReport is the machine-readable output of the PR 7 bench
+// smoke (BENCH_PR7.json): end-to-end points-to runs with the greedy
+// join-ordering pass on versus the textual-FROM-order ablation, and cyclic
+// (triangle / 4-clique) runs with the leapfrog WCOJ on versus the pairwise
+// hash-join chain, including each arm's peak materialized join intermediate.
+type BenchJoinOrderReport struct {
+	Workers int `json:"workers"`
+	// Ordering holds the join-ordering arms (wide acyclic bodies); per
+	// workload the ordered arm is followed by the textual ablation.
+	Ordering         []JoinOrderArm `json:"join_ordering"`
+	OrderingSpeedups []string       `json:"join_ordering_speedups"`
+	// Cyclic holds the WCOJ arms (cyclic bodies); per workload the leapfrog
+	// arm is followed by the pairwise ablation.
+	Cyclic []JoinOrderArm `json:"wcoj_cyclic"`
+	// PeakRatios is, per cyclic workload, the pairwise arm's peak join
+	// intermediate over the leapfrog arm's (leapfrog materializes none, so
+	// a zero peak is reported against 1 row).
+	PeakRatios []string `json:"wcoj_peak_intermediate_ratios"`
+}
+
+// joinOrderRun is one timed fixpoint with full stats, best of two rounds,
+// each behind a GC fence (see benchBatchArm for why the fence matters on a
+// small box).
+func joinOrderRun(name string, w Workload, workers int, joinOrder, wcoj bool) JoinOrderArm {
+	prog, err := programs.Get(w.Program)
+	if err != nil {
+		panic(err)
+	}
+	arm := JoinOrderArm{Name: name, Workload: w.Name, JoinOrder: joinOrder, WCOJ: wcoj}
+	for round := 0; round < 2; round++ {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		opts.JoinOrder = joinOrder
+		opts.WCOJ = wcoj
+		runtime.GC()
+		t0 := time.Now()
+		res, err := core.New(opts).Run(prog, w.EDBs)
+		ms := time.Since(t0).Milliseconds()
+		if err != nil {
+			panic(fmt.Sprintf("benchjoinorder %s: %v", name, err))
+		}
+		if round == 0 || ms < arm.Millis {
+			arm.Millis = ms
+			arm.Tuples = res.Relations[w.Output].NumTuples()
+			arm.PeakJoinRows = res.Stats.PeakJoinIntermediate
+			arm.ArmsSkipped = res.Stats.ArmsSkipped
+			arm.WCOJRules = res.Stats.WCOJRules
+		}
+	}
+	return arm
+}
+
+// joinOrderWorkloads builds the wide-body point-to workloads: CSPA,
+// Andersen, and the aawide variant whose rules deliberately lead with the
+// big recursive atoms (the shape the ordering pass exists to fix).
+func joinOrderWorkloads(cfg Config) []Workload {
+	cspaVars, aaVars := 700, 500
+	if cfg.Quick {
+		cspaVars, aaVars = 250, 160
+	}
+	cspa := pa.CSPASized(pa.CSPAConfig{Vars: cspaVars, AssignPer: 13, DerefRatio: 3, Seed: 13})
+	aa := pa.AndersenSized(aaVars, 3)
+	return []Workload{
+		{Name: fmt.Sprintf("CSPA(%dv)", cspaVars), Program: "cspa", EDBs: cspa, Output: "valueFlow"},
+		{Name: fmt.Sprintf("AA(%dv)", aaVars), Program: "aa", EDBs: aa, Output: "pointsTo"},
+		{Name: fmt.Sprintf("AAWide(%dv)", aaVars), Program: "aawide", EDBs: aa, Output: "pointsTo"},
+	}
+}
+
+// wcojWorkloads builds the cyclic-body workloads over symmetric Gn-p graphs
+// (both arc directions present, so every undirected triangle/clique appears
+// in its canonical orientation).
+func wcojWorkloads(cfg Config) []Workload {
+	triN, triP := 900, 0.02
+	clqN, clqP := 220, 0.12
+	if cfg.Quick {
+		triN, triP = 220, 0.05
+		clqN, clqP = 90, 0.18
+	}
+	tri := graphs.Undirected(graphs.GnP(triN, triP, 11))
+	clq := graphs.Undirected(graphs.GnP(clqN, clqP, 11))
+	return []Workload{
+		{Name: fmt.Sprintf("TRI(G%d-%g)", triN, triP), Program: "tri",
+			EDBs: map[string]*storage.Relation{"arc": tri}, Output: "tri", Vertices: triN, Edges: tri.NumTuples()},
+		{Name: fmt.Sprintf("CLIQUE4(G%d-%g)", clqN, clqP), Program: "clique4",
+			EDBs: map[string]*storage.Relation{"arc": clq}, Output: "clique4", Vertices: clqN, Edges: clq.NumTuples()},
+	}
+}
+
+// BenchJoinOrder measures the PR 7 planner work end to end: the greedy
+// join-ordering pass against the textual-order ablation on wide points-to
+// programs, and the leapfrog WCOJ against the pairwise chain on cyclic
+// triangle/clique programs, with peak-intermediate readings for both.
+func BenchJoinOrder(cfg Config) BenchJoinOrderReport {
+	workers := cfg.workers()
+	rep := BenchJoinOrderReport{Workers: workers}
+
+	for _, w := range joinOrderWorkloads(cfg) {
+		on := joinOrderRun(w.Program+"/join-order", w, workers, true, true)
+		off := joinOrderRun(w.Program+"/textual", w, workers, false, true)
+		if on.Millis > 0 {
+			on.Speedup = fmt.Sprintf("%.2fx", float64(off.Millis)/float64(on.Millis))
+		}
+		rep.Ordering = append(rep.Ordering, on, off)
+		rep.OrderingSpeedups = append(rep.OrderingSpeedups,
+			fmt.Sprintf("%s: %s", w.Program, on.Speedup))
+	}
+
+	for _, w := range wcojWorkloads(cfg) {
+		on := joinOrderRun(w.Program+"/wcoj", w, workers, true, true)
+		off := joinOrderRun(w.Program+"/pairwise", w, workers, true, false)
+		if on.Millis > 0 {
+			on.Speedup = fmt.Sprintf("%.2fx", float64(off.Millis)/float64(on.Millis))
+		}
+		rep.Cyclic = append(rep.Cyclic, on, off)
+		onPeak := on.PeakJoinRows
+		if onPeak < 1 {
+			onPeak = 1
+		}
+		rep.PeakRatios = append(rep.PeakRatios,
+			fmt.Sprintf("%s: %.1fx (pairwise peak %d rows vs wcoj %d)",
+				w.Program, float64(off.PeakJoinRows)/float64(onPeak), off.PeakJoinRows, on.PeakJoinRows))
+	}
+	return rep
+}
+
+// WriteBenchJoinOrderReport renders the report as indented JSON at path.
+func WriteBenchJoinOrderReport(path string, rep BenchJoinOrderReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchJoinOrderTable renders the report as a printable table (the
+// benchrunner's human-readable echo of BENCH_PR7.json).
+func BenchJoinOrderTable(rep BenchJoinOrderReport) Table {
+	tbl := Table{
+		Title:  "Greedy join ordering & leapfrog WCOJ vs textual/pairwise ablations",
+		Header: []string{"arm", "workload", "time", "tuples", "peak join rows", "arms skipped", "speedup"},
+	}
+	row := func(a JoinOrderArm) {
+		tbl.Rows = append(tbl.Rows, []string{
+			a.Name, a.Workload, fmt.Sprintf("%d ms", a.Millis), fmt.Sprintf("%d", a.Tuples),
+			fmt.Sprintf("%d", a.PeakJoinRows), fmt.Sprintf("%d", a.ArmsSkipped), a.Speedup,
+		})
+	}
+	for _, a := range rep.Ordering {
+		row(a)
+	}
+	for _, a := range rep.Cyclic {
+		row(a)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"join-order arms re-seed every join chain from the most selective literal each iteration; textual arms are the -join-order=false FROM-order ablation",
+		"wcoj arms run cyclic bodies through the leapfrog multi-way intersection (no pairwise intermediates); pairwise arms are the -wcoj=false ablation",
+		"ordering speedups: "+fmt.Sprint(rep.OrderingSpeedups),
+		"peak intermediate ratios: "+fmt.Sprint(rep.PeakRatios))
+	return tbl
+}

@@ -94,6 +94,15 @@ type Config struct {
 	// -secondary-carry=false ablation; zero value keeps secondary carrying
 	// on).
 	NoSecondaryCarry bool
+	// NoJoinOrder disables the connectivity-driven greedy join-ordering
+	// pass: UNION ALL arms join in textual FROM order regardless of
+	// cardinalities (the -join-order=false ablation; zero value keeps
+	// ordering on).
+	NoJoinOrder bool
+	// NoWCOJ disables the leapfrog worst-case-optimal join escape hatch:
+	// cyclic bodies run the pairwise hash-join pipeline (the -wcoj=false
+	// ablation; zero value keeps the escape hatch on).
+	NoWCOJ bool
 	// NoColumnar disables the batch-at-a-time kernel paths: the fixpoint
 	// inner loops run tuple-at-a-time over the row-major layout, with no
 	// batched GSCHT inserts/probes, no selection vectors, no bulk block
@@ -324,6 +333,8 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.CarryJoinParts = !cfg.NoCarryJoinParts
 		opts.SecondaryCarry = !cfg.NoSecondaryCarry
 		opts.Columnar = !cfg.NoColumnar
+		opts.JoinOrder = !cfg.NoJoinOrder
+		opts.WCOJ = !cfg.NoWCOJ
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }
@@ -338,6 +349,8 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.CarryJoinParts = !cfg.NoCarryJoinParts
 		opts.SecondaryCarry = !cfg.NoSecondaryCarry
 		opts.Columnar = !cfg.NoColumnar
+		opts.JoinOrder = !cfg.NoJoinOrder
+		opts.WCOJ = !cfg.NoWCOJ
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
 		opts.Naive = true
 		if sampler != nil {

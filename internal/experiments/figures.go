@@ -554,6 +554,9 @@ func CopyAccounting(cfg Config) Table {
 			opts.FuseDelta = !mode.staged
 			opts.CarryJoinParts = mode.carry
 			opts.SecondaryCarry = mode.secnd
+			opts.Columnar = !cfg.NoColumnar
+			opts.JoinOrder = !cfg.NoJoinOrder
+			opts.WCOJ = !cfg.NoWCOJ
 			res, err := core.New(opts).Run(prog, w.EDBs)
 			if err != nil {
 				tbl.Rows = append(tbl.Rows, []string{w.Name, mode.name, "error", "-", "-", "-", "-", "-", "-", "-", "-"})

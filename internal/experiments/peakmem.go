@@ -29,8 +29,10 @@ func PeakMemEDBs(program string, scale int) map[string]*storage.Relation {
 			"arc": graphs.Weighted(arc, 100, 7),
 			"id":  graphs.SingleSource(0),
 		}
-	case "aa":
+	case "aa", "aawide":
 		return pa.AndersenSized(scale, 3)
+	case "tri", "clique4":
+		return map[string]*storage.Relation{"arc": graphs.Undirected(graphs.GnP(scale, 0.08, 19))}
 	case "cspa":
 		return pa.CSPASized(pa.CSPAConfig{Vars: scale, AssignPer: 5, DerefRatio: 3, Seed: 13})
 	case "csda":

@@ -92,19 +92,48 @@ tc(x, y) :- tc(x, z), arc(z, y).
 gtc(x, COUNT(y)) :- tc(x, y).
 `
 
+// Tri is triangle counting: a cyclic 3-atom body (the canonical worst-case-
+// optimal-join workload) followed by a per-vertex COUNT stratum. The ordering
+// comparisons keep each triangle to a single canonical orientation.
+const Tri = `
+tri(x, y, z) :- arc(x, y), arc(y, z), arc(x, z), x < y, y < z.
+tricount(x, COUNT(z)) :- tri(x, y, z).
+`
+
+// Clique4 is 4-clique listing: a 6-atom cyclic body whose pairwise plan
+// materializes large path intermediates the leapfrog join never builds.
+const Clique4 = `
+clique4(a, b, c, d) :- arc(a, b), arc(a, c), arc(a, d), arc(b, c), arc(b, d), arc(c, d), a < b, b < c, c < d.
+`
+
+// AAWide is Andersen's points-to with a deliberately hostile textual atom
+// order: every rule leads with the big recursive pointsTo atoms and buries
+// the small EDB filter atom last. Same fixpoint as Andersen; exists to make
+// the join-ordering pass measurable (the textual-order ablation must seed
+// each join chain from the largest relation).
+const AAWide = `
+pointsTo(y, x) :- addressOf(y, x).
+pointsTo(y, x) :- pointsTo(z, x), assign(y, z).
+pointsTo(y, w) :- pointsTo(x, z), pointsTo(z, w), load(y, x).
+pointsTo(z, w) :- pointsTo(y, z), pointsTo(x, w), store(y, x).
+`
+
 // ByName maps benchmark identifiers (as used in the paper's tables) to
 // program sources.
 var ByName = map[string]string{
-	"tc":    TC,
-	"sg":    SG,
-	"reach": Reach,
-	"cc":    CC,
-	"sssp":  SSSP,
-	"aa":    Andersen,
-	"cspa":  CSPA,
-	"csda":  CSDA,
-	"ntc":   NTC,
-	"gtc":   GTC,
+	"tc":      TC,
+	"sg":      SG,
+	"reach":   Reach,
+	"cc":      CC,
+	"sssp":    SSSP,
+	"aa":      Andersen,
+	"cspa":    CSPA,
+	"csda":    CSDA,
+	"ntc":     NTC,
+	"gtc":     GTC,
+	"tri":     Tri,
+	"clique4": Clique4,
+	"aawide":  AAWide,
 }
 
 // MustParse parses a program source, panicking on error; the embedded

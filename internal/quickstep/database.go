@@ -7,6 +7,7 @@ package quickstep
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -71,6 +72,28 @@ type Options struct {
 	// the -columnar=false ablation — the row-layout tuple-at-a-time inner
 	// loops of PR 5 and earlier.
 	Columnar bool
+	// JoinOrder enables the connectivity-driven greedy join-ordering pass:
+	// each branch's chain is re-seeded from the most selective literal and
+	// grown by shared-variable connectivity, re-planned every iteration as
+	// ∆ cardinalities change, with early termination when an intermediate
+	// comes back empty. False is the -join-order=false ablation — the
+	// textual FROM-order chain.
+	JoinOrder bool
+	// WCOJ routes cyclic bodies of ≥3 atoms (triangles, cliques) to the
+	// leapfrog worst-case-optimal multi-way join instead of any pairwise
+	// chain. False is the -wcoj=false ablation.
+	WCOJ bool
+}
+
+// PlanChoice records the join plan the optimizer picked for one branch: the
+// atoms in textual order, the chosen execution order (table names), the
+// strategy, and how many times the branch ran (re-planning happens per
+// iteration, so Count tracks iterations and Order the latest decision).
+type PlanChoice struct {
+	Tables   []string `json:"tables"`
+	Order    []string `json:"order"`
+	Strategy string   `json:"strategy"`
+	Count    int      `json:"count"`
 }
 
 // Database is the QuickStep-like engine instance.
@@ -91,7 +114,72 @@ type Database struct {
 	// delta step. Guarded by hintMu (registered outside the query lock).
 	hintMu   sync.Mutex
 	outParts map[string]storage.Partitioning
+
+	// plans records the latest join order and strategy per branch (branches
+	// of one query run concurrently, hence the lock). peakJoinRows is a
+	// high-water gauge of non-final join-intermediate cardinality — the
+	// number the WCOJ path exists to keep bounded.
+	planMu       sync.Mutex
+	plans        map[string]*PlanChoice
+	peakJoinRows atomic.Int64
 }
+
+// notePlan records the strategy and order chosen for a branch; single-table
+// branches are skipped (there is nothing to order).
+func (db *Database) notePlan(name string, br *plan.Branch, order []int, strategy optimizer.JoinStrategy) {
+	if len(br.Tables) < 2 {
+		return
+	}
+	names := make([]string, len(order))
+	for i, t := range order {
+		names[i] = br.Tables[t]
+	}
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
+	if db.plans == nil {
+		db.plans = make(map[string]*PlanChoice)
+	}
+	pc := db.plans[name]
+	if pc == nil {
+		pc = &PlanChoice{Tables: append([]string(nil), br.Tables...)}
+		db.plans[name] = pc
+	}
+	pc.Order = names
+	pc.Strategy = strategy.String()
+	pc.Count++
+}
+
+// PlanChoices snapshots the per-branch join-plan decisions recorded so far,
+// keyed by branch name (destination table + branch index).
+func (db *Database) PlanChoices() map[string]PlanChoice {
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
+	out := make(map[string]PlanChoice, len(db.plans))
+	for k, v := range db.plans {
+		c := *v
+		c.Order = append([]string(nil), v.Order...)
+		c.Tables = append([]string(nil), v.Tables...)
+		out[k] = c
+	}
+	return out
+}
+
+// notePeak raises the join-intermediate high-water gauge.
+func (db *Database) notePeak(n int) {
+	v := int64(n)
+	for {
+		cur := db.peakJoinRows.Load()
+		if v <= cur || db.peakJoinRows.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// PeakJoinIntermediate returns the largest non-final join-intermediate
+// cardinality materialized so far (rows). Final fused join outputs are the
+// branch result, not an intermediate, and are excluded; the leapfrog path
+// materializes no intermediates at all.
+func (db *Database) PeakJoinIntermediate() int64 { return db.peakJoinRows.Load() }
 
 // Open creates a database.
 func Open(opts Options) (*Database, error) {
@@ -410,12 +498,50 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 		inputs[i] = r
 	}
 
-	cur := inputs[0]
-	curOwned := owned[0]
-	width := br.Arities[0]
+	// Per-atom cardinalities drive the greedy ordering pass. Pre-filtered
+	// materializations use their live (post-filter) count; unfiltered base
+	// tables use catalog statistics. ∆-relations re-resolve from the catalog
+	// every iteration, so delta arms are ordered by the live delta count.
+	n := len(br.Tables)
+	cards := make([]int, n)
+	for i := range inputs {
+		if owned[i] {
+			cards[i] = inputs[i].NumTuples()
+		} else {
+			cards[i] = db.statTuples(br.Tables[i], inputs[i])
+		}
+	}
+	strategy := optimizer.ChooseJoinStrategy(br, db.opts.JoinOrder, db.opts.WCOJ)
+	if strategy == optimizer.JoinWCOJ {
+		db.notePlan(name, br, plan.IdentityOrder(n), strategy)
+		return db.runBranchWCOJ(br, inputs, owned, name, part)
+	}
+	order := plan.IdentityOrder(n)
+	if strategy == optimizer.JoinGreedy {
+		order = optimizer.OrderJoins(br, cards)
+	}
+	ord := plan.OrderSteps(br, order)
+	db.notePlan(name, br, order, strategy)
+	remap := func(i int) int { return ord.ColMap[i] }
+	projs := make([]expr.Expr, len(br.Projs))
+	for i, p := range br.Projs {
+		projs[i] = expr.Remap(p, remap)
+	}
+	groupBy := make([]int, len(br.GroupBy))
+	for i, g := range br.GroupBy {
+		groupBy[i] = ord.ColMap[g]
+	}
+	totalWidth := 0
+	for _, a := range br.Arities {
+		totalWidth += a
+	}
+
+	cur := inputs[order[0]]
+	curOwned := owned[order[0]]
+	width := br.Arities[order[0]]
 	// The select list fuses into the last join when nothing follows it,
 	// avoiding one full materialization of the combined rows.
-	fuseFinal := len(br.Joins) > 0 && len(br.AntiJoins) == 0 && len(br.Aggs) == 0
+	fuseFinal := len(ord.Steps) > 0 && len(br.AntiJoins) == 0 && len(br.Aggs) == 0
 	// Grouped aggregation fed by a join gets the fused scatter too: the
 	// last join emits its (identity-projected) output pre-partitioned on
 	// the GROUP BY columns, so the partitioned aggregation consumes the
@@ -425,16 +551,37 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 	// cardinality (an equality join's output is probe-sized in the
 	// delta-rule shapes that matter).
 	var aggPart *storage.Partitioning
-	fuseAgg := db.opts.CarryJoinParts && len(br.Joins) > 0 && len(br.AntiJoins) == 0 &&
+	fuseAgg := db.opts.CarryJoinParts && len(ord.Steps) > 0 && len(br.AntiJoins) == 0 &&
 		len(br.Aggs) > 0 && len(br.GroupBy) > 0
-	for step := 0; step < len(br.Joins); step++ {
-		right := inputs[step+1]
-		js := br.Joins[step]
-		projs := identityProjs(width + br.Arities[step+1])
-		if fuseFinal && step == len(br.Joins)-1 {
-			projs = br.Projs
+	earlyExit := false
+	for step := 0; step < len(ord.Steps); step++ {
+		js := ord.Steps[step]
+		right := inputs[js.Right]
+		// Early termination: an empty running intermediate cannot produce
+		// rows, so the remaining hash builds are pure waste. Substitute an
+		// empty combined-width relation and fall through to the (cheap)
+		// final stages, which preserve output arity and aggregate
+		// semantics over the empty input.
+		if db.opts.JoinOrder && cur.NumTuples() == 0 {
+			if curOwned {
+				cur.Release()
+			}
+			for s2 := step; s2 < len(ord.Steps); s2++ {
+				if t := ord.Steps[s2].Right; owned[t] {
+					inputs[t].Release()
+				}
+			}
+			e := storage.NewRelation(name+"_empty", storage.NumberedColumns(totalWidth))
+			e.SetLifecycle(db.mem, storage.CatIntermediate)
+			cur, curOwned, width = e, true, totalWidth
+			earlyExit = true
+			break
 		}
-		buildLeft, buildTuples := db.chooseBuildSide(cur, br, step, right)
+		stepProjs := identityProjs(width + br.Arities[js.Right])
+		if fuseFinal && step == len(ord.Steps)-1 {
+			stepProjs = projs
+		}
+		buildLeft, buildTuples := db.chooseBuildSide(cur, br, order[0], step, right, js)
 		spec := exec.JoinSpec{
 			LeftKeys:    js.LeftKeys,
 			RightKeys:   js.RightKeys,
@@ -442,7 +589,7 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 			Partitions:  db.partitionsFor(buildTuples),
 			BuildSerial: db.opts.BuildSerial,
 			Residual:    js.Residual,
-			Projs:       projs,
+			Projs:       stepProjs,
 			OutName:     fmt.Sprintf("%s_j%d", name, step),
 		}
 		// Join-key-carried fast path: when the build side already carries a
@@ -454,36 +601,43 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 		} else {
 			spec.Partitions = db.carriedBuildParts(right, js.RightKeys, spec.Partitions)
 		}
-		if fuseFinal && step == len(br.Joins)-1 {
+		if fuseFinal && step == len(ord.Steps)-1 {
 			// Fused scatter: the probe emits the branch output directly into
 			// the partitions the delta step consumes.
 			spec.OutPartitioning = part
 		}
-		if fuseAgg && step == len(br.Joins)-1 {
+		if fuseAgg && step == len(ord.Steps)-1 {
 			est := cur.NumTuples()
 			if rt := right.NumTuples(); rt > est {
 				est = rt
 			}
 			if p := db.partitionsFor(est); p > 1 {
-				aggPart = &storage.Partitioning{KeyCols: br.GroupBy, Parts: p}
+				aggPart = &storage.Partitioning{KeyCols: groupBy, Parts: p}
 				spec.OutPartitioning = aggPart
 			}
 		}
 		next := exec.HashJoin(db.pool, cur, right, spec)
+		if !(fuseFinal && step == len(ord.Steps)-1) {
+			db.notePeak(next.NumTuples())
+		}
 		if curOwned {
 			cur.Release()
 		}
-		if owned[step+1] {
+		if owned[js.Right] {
 			right.Release()
 		}
 		cur, curOwned = next, true
-		width += br.Arities[step+1]
+		width += br.Arities[js.Right]
 	}
-	if fuseFinal {
+	if fuseFinal && !earlyExit {
 		return cur, nil
 	}
 
 	for _, aj := range br.AntiJoins {
+		if cur.NumTuples() == 0 {
+			// Anti-joins only remove rows; nothing to remove from nothing.
+			break
+		}
 		inner, ok := db.cat.Get(aj.Table)
 		if !ok {
 			return nil, fmt.Errorf("quickstep: unknown table %q in NOT EXISTS", aj.Table)
@@ -493,8 +647,12 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 			inner = exec.SelectProject(db.pool, inner, aj.InnerPreFilter, identityProjs(inner.Arity()), aj.Table+FilteredSuffix, inner.ColNames())
 			innerOwned = true
 		}
+		outerKeys := make([]int, len(aj.OuterKeys))
+		for i, k := range aj.OuterKeys {
+			outerKeys[i] = ord.ColMap[k]
+		}
 		innerParts := db.carriedBuildParts(inner, aj.InnerKeys, db.partitionsFor(inner.NumTuples()))
-		next := exec.AntiJoin(db.pool, cur, inner, aj.OuterKeys, aj.InnerKeys, nil, identityProjs(width), innerParts, name+"_anti", nil)
+		next := exec.AntiJoin(db.pool, cur, inner, outerKeys, aj.InnerKeys, nil, identityProjs(width), innerParts, name+"_anti", nil)
 		if curOwned {
 			cur.Release()
 		}
@@ -511,26 +669,105 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 			// at exactly that fan-out so the carried view serves the pass.
 			aggParts = aggPart.Parts
 		}
-		agg := exec.HashAggregatePartitioned(db.pool, cur, br.GroupBy, br.Aggs, aggParts, name+"_agg", nil)
+		aggs := make([]exec.AggSpec, len(br.Aggs))
+		for i, a := range br.Aggs {
+			aggs[i] = a
+			if a.Arg != nil {
+				aggs[i].Arg = expr.Remap(a.Arg, remap)
+			}
+		}
+		agg := exec.HashAggregatePartitioned(db.pool, cur, groupBy, aggs, aggParts, name+"_agg", nil)
 		if curOwned {
 			cur.Release()
 		}
 		// Reorder to the select-list order.
-		projs := make([]expr.Expr, len(br.SelectOrder))
+		sel := make([]expr.Expr, len(br.SelectOrder))
 		for i, so := range br.SelectOrder {
 			if so.IsAgg {
-				projs[i] = expr.Col{Index: len(br.GroupBy) + so.Index}
+				sel[i] = expr.Col{Index: len(br.GroupBy) + so.Index}
 			} else {
-				projs[i] = expr.Col{Index: so.Index}
+				sel[i] = expr.Col{Index: so.Index}
 			}
 		}
-		out := exec.SelectProjectPartitioned(db.pool, agg, nil, projs, part, name, nil)
+		out := exec.SelectProjectPartitioned(db.pool, agg, nil, sel, part, name, nil)
 		agg.Release()
 		return out, nil
 	}
-	out := exec.SelectProjectPartitioned(db.pool, cur, nil, br.Projs, part, name, nil)
+	out := exec.SelectProjectPartitioned(db.pool, cur, nil, projs, part, name, nil)
 	if curOwned {
 		cur.Release()
+	}
+	return out, nil
+}
+
+// runBranchWCOJ evaluates a cyclic branch with the leapfrog worst-case-
+// optimal join: variables are the branch's equi-join classes, atoms
+// intersect simultaneously, and no pairwise intermediate exists. Only
+// reached for branches without aggregates or anti-joins (ChooseJoinStrategy
+// gates on that), so the set-semantics output feeds the dedup'd delta step
+// or final projection directly. The combined row is filled in declaration-
+// order coordinates, so projections and residuals bind without remapping.
+func (db *Database) runBranchWCOJ(br *plan.Branch, inputs []*storage.Relation, owned []bool, name string, part *storage.Partitioning) (*storage.Relation, error) {
+	classes := br.VarClasses()
+	varOf := map[int]int{}
+	var fill [][]int
+	atoms := make([]exec.LFAtom, len(br.Tables))
+	for t := range br.Tables {
+		vars := make([]int, br.Arities[t])
+		for c := range vars {
+			abs := br.Offsets[t] + c
+			k := classes[abs]
+			v, ok := varOf[k]
+			if !ok {
+				v = len(fill)
+				varOf[k] = v
+				fill = append(fill, nil)
+			}
+			fill[v] = append(fill[v], abs)
+			vars[c] = v
+		}
+		atoms[t] = exec.LFAtom{Rel: inputs[t], Vars: vars}
+	}
+	// Enumerate the most-shared variables first (they intersect the most
+	// atoms, shrinking candidate windows earliest); ties keep first-
+	// occurrence order, which variable ids already encode.
+	cnt := make([]int, len(fill))
+	for _, a := range atoms {
+		seen := map[int]bool{}
+		for _, v := range a.Vars {
+			if !seen[v] {
+				seen[v] = true
+				cnt[v]++
+			}
+		}
+	}
+	varOrder := make([]int, len(fill))
+	for i := range varOrder {
+		varOrder[i] = i
+	}
+	sort.SliceStable(varOrder, func(i, j int) bool { return cnt[varOrder[i]] > cnt[varOrder[j]] })
+	residual := make([]expr.Cmp, len(br.Body.Residuals))
+	for i, res := range br.Body.Residuals {
+		residual[i] = res.Cmp
+	}
+	totalWidth := 0
+	for _, a := range br.Arities {
+		totalWidth += a
+	}
+	out := exec.LeapfrogJoin(db.pool, exec.LeapfrogSpec{
+		Atoms:           atoms,
+		VarOrder:        varOrder,
+		FillCols:        fill,
+		Width:           totalWidth,
+		Residual:        residual,
+		Projs:           br.Projs,
+		OutName:         name,
+		OutPartitioning: part,
+	})
+	for i, r := range inputs {
+		if owned[i] {
+			r.Release()
+		}
 	}
 	return out, nil
 }
@@ -543,15 +780,14 @@ func (db *Database) runBranch(br *plan.Branch, name string, part *storage.Partit
 // construction over slightly more tuples beats a scatter pass over slightly
 // fewer. It returns the decision plus the chosen side's cardinality
 // estimate, which also drives the radix partition count.
-func (db *Database) chooseBuildSide(cur *storage.Relation, br *plan.Branch, step int, right *storage.Relation) (buildLeft bool, buildTuples int) {
+func (db *Database) chooseBuildSide(cur *storage.Relation, br *plan.Branch, seed, step int, right *storage.Relation, js plan.JoinStep) (buildLeft bool, buildTuples int) {
 	var leftTuples int
 	if step == 0 {
-		leftTuples = db.statTuples(br.Tables[0], cur)
+		leftTuples = db.statTuples(br.Tables[seed], cur)
 	} else {
 		leftTuples = cur.NumTuples() // freshly materialized intermediate
 	}
-	rightTuples := db.statTuples(br.Tables[step+1], right)
-	js := br.Joins[step]
+	rightTuples := db.statTuples(br.Tables[js.Right], right)
 	leftCarried, rightCarried := false, false
 	if db.opts.CarryJoinParts && !db.opts.BuildSerial {
 		// Only step 0's left keys index a base relation's own row; later
@@ -761,16 +997,57 @@ func (db *Database) PlanJoinKeys(q string) (map[string][][]int, error) {
 		usage[table] = append(usage[table], append([]int(nil), keys...))
 	}
 	for _, br := range query.Branches {
-		for i, js := range br.Joins {
-			if i == 0 {
-				// Step 0's left keys index table 0's own row.
-				add(br.Tables[0], js.LeftKeys)
+		// The join order is chosen at run time (per iteration), so the
+		// keysets a table may build under are derived from the order-free
+		// variable classes: for each partner u sharing a class with t, t can
+		// enter a build keyed on its columns in classes shared with u (t
+		// placed right after a prefix containing u), and keyed on all its
+		// shared columns at once (t placed last). Both candidate forms are
+		// reported; RankJoinKeysets and the carried-view chooser pick among
+		// them exactly as they picked among the textual-order keysets.
+		n := len(br.Tables)
+		classes := br.VarClasses()
+		classCols := make([]map[int][]int, n)
+		for t := 0; t < n; t++ {
+			classCols[t] = map[int][]int{}
+			for c := 0; c < br.Arities[t]; c++ {
+				k := classes[br.Offsets[t]+c]
+				classCols[t][k] = append(classCols[t][k], c)
 			}
-			add(br.Tables[i+1], js.RightKeys)
+		}
+		for t := 0; t < n; t++ {
+			var combined []int
+			for u := 0; u < n; u++ {
+				if u == t {
+					continue
+				}
+				var pair []int
+				for c := 0; c < br.Arities[t]; c++ {
+					k := classes[br.Offsets[t]+c]
+					if len(classCols[u][k]) > 0 {
+						pair = append(pair, c)
+					}
+				}
+				add(br.Tables[t], pair)
+				for _, c := range pair {
+					already := false
+					for _, x := range combined {
+						if x == c {
+							already = true
+							break
+						}
+					}
+					if !already {
+						combined = append(combined, c)
+					}
+				}
+			}
+			sort.Ints(combined)
+			add(br.Tables[t], combined)
 		}
 		for _, aj := range br.AntiJoins {
 			add(aj.Table, aj.InnerKeys)
-			if len(br.Joins) == 0 && len(br.Tables) > 0 {
+			if len(br.Tables) == 1 {
 				add(br.Tables[0], aj.OuterKeys)
 			}
 		}

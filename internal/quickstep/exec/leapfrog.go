@@ -1,0 +1,363 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"recstep/internal/quickstep/expr"
+	"recstep/internal/quickstep/storage"
+)
+
+// LFAtom is one relation participating in a leapfrog multi-way join. Vars
+// assigns a variable id to each column; columns sharing a variable id within
+// one atom are required pairwise-equal (rows violating that are dropped when
+// the atom's sorted index is built).
+type LFAtom struct {
+	Rel  *storage.Relation
+	Vars []int
+}
+
+// LeapfrogSpec describes a worst-case-optimal multi-way join: a simultaneous
+// intersection of all atoms, variable by variable in VarOrder, with no
+// pairwise intermediates. The output has set semantics — each distinct
+// variable binding is emitted once.
+type LeapfrogSpec struct {
+	Atoms []LFAtom
+	// VarOrder is the enumeration order, a permutation of the variable ids;
+	// every variable must appear in at least one atom.
+	VarOrder []int
+	// FillCols[v] lists the output-row positions that receive variable v's
+	// value (one per column in v's equivalence class).
+	FillCols [][]int
+	// Width is the combined output row width (sum of atom arities).
+	Width int
+	// Residual predicates over the filled combined row; each is evaluated
+	// as soon as the deepest variable it reads is bound.
+	Residual []expr.Cmp
+	Projs    []expr.Expr
+	OutName  string
+	OutCols  []string
+	// OutPartitioning scatters the emitted rows at the source, as in
+	// HashJoin's fused final projection.
+	OutPartitioning *storage.Partitioning
+}
+
+// lfIndex is one atom's sorted index: its tuples projected onto its distinct
+// variables (in enumeration order), lexicographically sorted and deduped,
+// flat row-major. Built once per LeapfrogJoin call per distinct (relation,
+// projection) pair — atoms repeating the same relation share one index.
+type lfIndex struct {
+	data  []int32
+	width int
+	rows  int
+}
+
+func (ix *lfIndex) at(row, lvl int) int32 { return ix.data[row*ix.width+lvl] }
+
+// seekGE returns the first row in [lo, hi) whose level value is >= x.
+func (ix *lfIndex) seekGE(lo, hi, lvl int, x int64) int {
+	return lo + sort.Search(hi-lo, func(i int) bool { return int64(ix.at(lo+i, lvl)) >= x })
+}
+
+// seekGT returns the first row in [lo, hi) whose level value is > x.
+func (ix *lfIndex) seekGT(lo, hi, lvl int, x int64) int {
+	return lo + sort.Search(hi-lo, func(i int) bool { return int64(ix.at(lo+i, lvl)) > x })
+}
+
+// buildLFIndex projects r onto one source column per level (cols[l][0]),
+// dropping rows where a level's extra columns (repeated variable) disagree,
+// then sorts and dedups.
+func buildLFIndex(r *storage.Relation, cols [][]int) *lfIndex {
+	w := len(cols)
+	flatIn := r.Rows()
+	ar := r.Arity()
+	n := len(flatIn) / ar
+	flat := make([]int32, 0, n*w)
+	for i := 0; i < n; i++ {
+		row := flatIn[i*ar : (i+1)*ar]
+		ok := true
+		for _, cs := range cols {
+			for _, c := range cs[1:] {
+				if row[c] != row[cs[0]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, cs := range cols {
+			flat = append(flat, row[cs[0]])
+		}
+	}
+	m := len(flat) / w
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra := flat[idx[a]*w : idx[a]*w+w]
+		rb := flat[idx[b]*w : idx[b]*w+w]
+		for k := 0; k < w; k++ {
+			if ra[k] != rb[k] {
+				return ra[k] < rb[k]
+			}
+		}
+		return false
+	})
+	data := make([]int32, 0, len(flat))
+	for _, id := range idx {
+		row := flat[id*w : id*w+w]
+		if len(data) >= w {
+			prev := data[len(data)-w:]
+			same := true
+			for k := 0; k < w; k++ {
+				if prev[k] != row[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue
+			}
+		}
+		data = append(data, row...)
+	}
+	return &lfIndex{data: data, width: w, rows: len(data) / w}
+}
+
+// lfAt locates one atom's participation at one enumeration depth.
+type lfAt struct {
+	atom  int
+	level int
+}
+
+// lfRun is one worker's private enumeration state. ranges[a][l] is the
+// candidate row window a parent-level match assigned to atom a's level l;
+// it is written only when level l-1 matches and read only at l's depth.
+// win[d] holds the current depth's live seek cursors — a visit-local copy of
+// each active atom's window, because one parent window is re-entered many
+// times (once per binding of the depths in between) and the enumeration is
+// only monotonic within a single visit. The shared indexes are read-only.
+type lfRun struct {
+	spec       *LeapfrogSpec
+	idx        []*lfIndex
+	byDepth    [][]lfAt
+	resByDepth [][]expr.Cmp
+	ranges     [][][2]int
+	win        [][][2]int
+	rowBuf     []int32
+	outRow     []int32
+	emit       func([]int32)
+}
+
+func (r *lfRun) enumerate(d int, minX, maxX int64) {
+	active := r.byDepth[d]
+	win := r.win[d]
+	x := minX
+	for i, a := range active {
+		// An atom whose first level binds at this depth starts from its full
+		// index; deeper levels start from the window the parent match set.
+		if a.level == 0 {
+			win[i] = [2]int{0, r.idx[a.atom].rows}
+		} else {
+			win[i] = r.ranges[a.atom][a.level]
+		}
+		lo, hi := win[i][0], win[i][1]
+		if lo >= hi {
+			return
+		}
+		if v := int64(r.idx[a.atom].at(lo, a.level)); v > x {
+			x = v
+		}
+	}
+	last := d == len(r.spec.VarOrder)-1
+	v := r.spec.VarOrder[d]
+	for x <= maxX {
+		// Leapfrog to the next value present in every active atom: seek each
+		// to >= x; any overshoot raises x and restarts the round.
+		matched := true
+		for i, a := range active {
+			ix := r.idx[a.atom]
+			rg := &win[i]
+			lo := ix.seekGE(rg[0], rg[1], a.level, x)
+			rg[0] = lo
+			if lo >= rg[1] {
+				return
+			}
+			if val := int64(ix.at(lo, a.level)); val > x {
+				x = val
+				matched = false
+			}
+		}
+		if !matched {
+			continue
+		}
+		for i, a := range active {
+			ix := r.idx[a.atom]
+			rg := win[i]
+			end := ix.seekGT(rg[0], rg[1], a.level, x)
+			r.ranges[a.atom][a.level+1] = [2]int{rg[0], end}
+		}
+		for _, c := range r.spec.FillCols[v] {
+			r.rowBuf[c] = int32(x)
+		}
+		if expr.All(r.resByDepth[d], r.rowBuf) {
+			if last {
+				for i, p := range r.spec.Projs {
+					r.outRow[i] = p.Eval(r.rowBuf)
+				}
+				r.emit(r.outRow)
+			} else {
+				r.enumerate(d+1, math.MinInt64, math.MaxInt64)
+			}
+		}
+		x++
+	}
+}
+
+// LeapfrogJoin evaluates the multi-way join by simultaneous sorted
+// intersection (leapfrog triejoin): each atom is sorted once on its
+// variables in enumeration order, then the variables are bound one at a time
+// by intersecting the participating atoms' candidate windows with
+// binary-search seeks. No pairwise intermediate is ever materialized, so a
+// cyclic pattern's cost is bounded by its worst-case output size rather than
+// by its largest pairwise sub-join. Parallelism partitions the first
+// variable's value range across workers; each worker enumerates its slice
+// with private range stacks over the shared read-only indexes.
+func LeapfrogJoin(pool *Pool, spec LeapfrogSpec) *storage.Relation {
+	numVars := len(spec.VarOrder)
+	depthOf := make(map[int]int, numVars)
+	for d, v := range spec.VarOrder {
+		depthOf[v] = d
+	}
+
+	// Build one sorted index per distinct (relation, projection); atoms over
+	// the same relation with the same variable shape share it.
+	type ixKey struct {
+		rel  *storage.Relation
+		perm string
+	}
+	cache := map[ixKey]*lfIndex{}
+	idx := make([]*lfIndex, len(spec.Atoms))
+	byDepth := make([][]lfAt, numVars)
+	for ai, a := range spec.Atoms {
+		// Distinct variables of the atom, in enumeration order; each level
+		// keeps every source column of its variable (extras are equality-
+		// filtered during the index build).
+		colsByVar := map[int][]int{}
+		var vars []int
+		for c, v := range a.Vars {
+			if len(colsByVar[v]) == 0 {
+				vars = append(vars, v)
+			}
+			colsByVar[v] = append(colsByVar[v], c)
+		}
+		sort.Slice(vars, func(i, j int) bool { return depthOf[vars[i]] < depthOf[vars[j]] })
+		cols := make([][]int, len(vars))
+		perm := ""
+		for l, v := range vars {
+			cols[l] = colsByVar[v]
+			byDepth[depthOf[v]] = append(byDepth[depthOf[v]], lfAt{atom: ai, level: l})
+			for _, c := range cols[l] {
+				perm += fmt.Sprintf("%d.", c)
+			}
+			perm += "/"
+		}
+		k := ixKey{rel: a.Rel, perm: perm}
+		ix, ok := cache[k]
+		if !ok {
+			ix = buildLFIndex(a.Rel, cols)
+			cache[k] = ix
+		}
+		idx[ai] = ix
+	}
+	for d := 0; d < numVars; d++ {
+		if len(byDepth[d]) == 0 {
+			panic(fmt.Sprintf("exec: leapfrog variable %d appears in no atom", spec.VarOrder[d]))
+		}
+	}
+
+	// Schedule each residual at the depth its deepest variable binds.
+	posVar := make([]int, spec.Width)
+	for v, cols := range spec.FillCols {
+		for _, c := range cols {
+			posVar[c] = v
+		}
+	}
+	resByDepth := make([][]expr.Cmp, numVars)
+	for _, cmp := range spec.Residual {
+		d := 0
+		for _, c := range append(expr.Columns(cmp.L), expr.Columns(cmp.R)...) {
+			if dd := depthOf[posVar[c]]; dd > d {
+				d = dd
+			}
+		}
+		resByDepth[d] = append(resByDepth[d], cmp)
+	}
+
+	col := outCollector(pool, spec.OutPartitioning, len(spec.Projs), pool.Workers())
+	empty := false
+	for _, ix := range idx {
+		if ix.rows == 0 {
+			empty = true
+		}
+	}
+	if !empty {
+		// Partition the first variable's candidate values (taken from one
+		// participating atom — a superset of the intersection) into chunks;
+		// workers steal chunks and enumerate them independently.
+		a0 := byDepth[0][0]
+		ix0 := idx[a0.atom]
+		var vals []int32
+		for row := 0; row < ix0.rows; row++ {
+			v := ix0.at(row, a0.level)
+			if len(vals) == 0 || vals[len(vals)-1] != v {
+				vals = append(vals, v)
+			}
+		}
+		numChunks := pool.Workers() * 4
+		if numChunks > len(vals) {
+			numChunks = len(vals)
+		}
+		var next atomic.Int64
+		pool.RunWorkers(numChunks, func(worker, _ int) {
+			run := &lfRun{
+				spec:       &spec,
+				idx:        idx,
+				byDepth:    byDepth,
+				resByDepth: resByDepth,
+				rowBuf:     make([]int32, spec.Width),
+				outRow:     make([]int32, len(spec.Projs)),
+				emit:       col.sink(worker),
+			}
+			run.ranges = make([][][2]int, len(spec.Atoms))
+			for ai := range spec.Atoms {
+				run.ranges[ai] = make([][2]int, idx[ai].width+1)
+			}
+			run.win = make([][][2]int, numVars)
+			for d := range run.win {
+				run.win[d] = make([][2]int, len(byDepth[d]))
+			}
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := c * len(vals) / numChunks
+				hi := (c + 1) * len(vals) / numChunks
+				if lo >= hi {
+					continue
+				}
+				run.enumerate(0, int64(vals[lo]), int64(vals[hi-1]))
+			}
+		})
+	}
+	return col.into(spec.OutName, spec.OutCols)
+}

@@ -207,3 +207,23 @@ func Shift(e Expr, delta int) Expr {
 func ShiftCmp(c Cmp, delta int) Cmp {
 	return Cmp{Op: c.Op, L: Shift(c.L, delta), R: Shift(c.R, delta)}
 }
+
+// Remap returns a copy of e with every column index rewritten through f.
+// The join-ordering pass uses it to move expressions from declaration-order
+// combined coordinates into the coordinates of a reordered join chain.
+func Remap(e Expr, f func(int) int) Expr {
+	switch v := e.(type) {
+	case Col:
+		return Col{Index: f(v.Index), Name: v.Name}
+	case Lit:
+		return v
+	case Arith:
+		return Arith{Op: v.Op, L: Remap(v.L, f), R: Remap(v.R, f)}
+	}
+	panic(fmt.Sprintf("expr: unknown expression type %T", e))
+}
+
+// RemapCmp rewrites both sides of a predicate through f.
+func RemapCmp(c Cmp, f func(int) int) Cmp {
+	return Cmp{Op: c.Op, L: Remap(c.L, f), R: Remap(c.R, f)}
+}

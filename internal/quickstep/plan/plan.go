@@ -1,9 +1,12 @@
 // Package plan defines the bound query representation produced by the SQL
 // binder and executed by the database facade. A Query is a UNION ALL of
-// branches; each branch is a left-deep join pipeline (in FROM order) with
-// pushed-down single-table filters, residual predicates, optional anti-joins
-// (from NOT EXISTS, i.e. stratified negation), optional grouped aggregation,
-// and a final projection.
+// branches; each branch carries an order-free join body (BodyRep: equi-join
+// edges and residual predicates in declaration-order coordinates) with
+// pushed-down single-table filters, optional anti-joins (from NOT EXISTS,
+// i.e. stratified negation), optional grouped aggregation, and a final
+// projection. OrderSteps linearizes a branch into concrete JoinSteps for
+// whatever join order the optimizer picks; Cyclic detects the cyclic bodies
+// the executor may route to the leapfrog WCOJ instead.
 package plan
 
 import (
@@ -32,9 +35,11 @@ type Branch struct {
 	// expressed over that table's own row (indices 0..arity-1).
 	PreFilter map[int][]expr.Cmp
 
-	// Joins holds len(Tables)-1 steps; step i joins the combined prefix of
-	// tables 0..i with table i+1.
-	Joins []JoinStep
+	// Body is the order-free join structure of the branch: equi-join edges
+	// between table columns and multi-table residual predicates, both in
+	// declaration-order coordinates. The executor compiles it into concrete
+	// JoinSteps for whatever join order the optimizer picks (OrderSteps).
+	Body BodyRep
 
 	// AntiJoins are applied after all positive joins, in order.
 	AntiJoins []AntiJoinStep
@@ -59,14 +64,239 @@ type SelectOut struct {
 	Index int
 }
 
+// BodyRep is the order-free representation of a branch's join structure.
+// The binder emits it instead of baking the textual FROM order into key
+// offsets; OrderSteps compiles it into a concrete left-deep chain for any
+// permutation of the tables.
+type BodyRep struct {
+	// Edges are the column-equality constraints between distinct tables
+	// (the equi-join keys), in table-local coordinates.
+	Edges []EquiEdge
+	// Residuals are the remaining multi-table predicates, in
+	// declaration-order combined coordinates.
+	Residuals []ResidualPred
+}
+
+// EquiEdge equates column LCol of table LTab with column RCol of table RTab
+// (table-local column indices, LTab < RTab).
+type EquiEdge struct {
+	LTab, LCol, RTab, RCol int
+}
+
+// ResidualPred is a non-equi (or non-column) predicate spanning several
+// tables. Cmp is expressed over the declaration-order combined row; Tables
+// lists the FROM indexes it reads, ascending.
+type ResidualPred struct {
+	Cmp    expr.Cmp
+	Tables []int
+}
+
 // JoinStep describes one binary join of the running prefix with the next
 // table.
 type JoinStep struct {
+	// Right is the FROM index (into Branch.Tables) of the table this step
+	// joins onto the running prefix.
+	Right int
 	// LeftKeys index into the combined prefix row; RightKeys into the new
 	// table's row. Empty keys produce a cross product.
 	LeftKeys, RightKeys []int
 	// Residual predicates over the (prefix ++ new table) combined row.
 	Residual []expr.Cmp
+}
+
+// Ordered is a branch's join chain compiled for one specific table order.
+type Ordered struct {
+	// Order is a permutation of the FROM indexes; Order[0] is the seed.
+	Order []int
+	// Steps has len(Order)-1 entries; Steps[i] joins the prefix of
+	// Order[0..i] with Order[i+1], with offsets resolved for this order.
+	Steps []JoinStep
+	// ColMap maps declaration-order combined column indices to this
+	// order's combined coordinates (for projections, group-bys, anti-join
+	// outer keys and any expression bound in declaration coordinates).
+	ColMap []int
+}
+
+// VarClasses unions the branch's equi-edges into variable classes and
+// returns, for each declaration-order combined column, its class
+// representative (an arbitrary but stable column index in the class).
+func (br *Branch) VarClasses() []int {
+	total := 0
+	for _, a := range br.Arities {
+		total += a
+	}
+	parent := make([]int, total)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range br.Body.Edges {
+		a := find(br.Offsets[e.LTab] + e.LCol)
+		b := find(br.Offsets[e.RTab] + e.RCol)
+		if a != b {
+			parent[b] = a
+		}
+	}
+	out := make([]int, total)
+	for i := range out {
+		out[i] = find(i)
+	}
+	return out
+}
+
+// Cyclic reports whether the branch's join graph is cyclic in the
+// hypergraph sense: treating each variable class as a hyperedge over the
+// tables it touches, some class reconnects tables already connected through
+// other classes. A star (many atoms sharing one variable) is acyclic; a
+// triangle is cyclic.
+func Cyclic(br *Branch) bool {
+	n := len(br.Tables)
+	if n < 3 {
+		return false
+	}
+	classes := br.VarClasses()
+	tablesByClass := map[int][]int{}
+	for t := 0; t < n; t++ {
+		for c := 0; c < br.Arities[t]; c++ {
+			k := classes[br.Offsets[t]+c]
+			ts := tablesByClass[k]
+			if len(ts) == 0 || ts[len(ts)-1] != t {
+				tablesByClass[k] = append(ts, t)
+			}
+		}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Deterministic class iteration order keeps the (boolean) answer
+	// stable; iterate columns, visiting each class once.
+	seen := map[int]bool{}
+	for abs := range classes {
+		k := classes[abs]
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ts := tablesByClass[k]
+		for i := 1; i < len(ts); i++ {
+			a, b := find(ts[0]), find(ts[i])
+			if a == b {
+				return true
+			}
+			parent[b] = a
+		}
+	}
+	return false
+}
+
+// OrderSteps compiles the branch's body into a concrete left-deep join
+// chain for the given table order. Keys are derived from variable classes
+// with a "placed representative" per class: when a table is placed, each of
+// its columns whose class already has a placed member equates against that
+// member's position, which enforces all (including transitive) equalities
+// exactly once. Residual predicates attach to the earliest step at which
+// every table they read is placed.
+func OrderSteps(br *Branch, order []int) Ordered {
+	n := len(br.Tables)
+	classes := br.VarClasses()
+	total := len(classes)
+	colMap := make([]int, total)
+	newOff := make([]int, n)
+	pos := make([]int, n)
+	off := 0
+	for p, t := range order {
+		pos[t] = p
+		newOff[t] = off
+		off += br.Arities[t]
+	}
+	for t := 0; t < n; t++ {
+		for c := 0; c < br.Arities[t]; c++ {
+			colMap[br.Offsets[t]+c] = newOff[t] + c
+		}
+	}
+	ord := Ordered{Order: order, ColMap: colMap}
+	if n > 1 {
+		ord.Steps = make([]JoinStep, n-1)
+	}
+	eq := func(a, b int) expr.Cmp {
+		return expr.Cmp{Op: expr.EQ, L: expr.Col{Index: a}, R: expr.Col{Index: b}}
+	}
+	rep := map[int]int{} // class -> declaration-abs index of placed member
+	tableOf := func(abs int) int {
+		t := n - 1
+		for ; t > 0 && abs < br.Offsets[t]; t-- {
+		}
+		return t
+	}
+	for p, t := range order {
+		step := p - 1
+		if step >= 0 {
+			ord.Steps[step].Right = t
+		}
+		for c := 0; c < br.Arities[t]; c++ {
+			abs := br.Offsets[t] + c
+			k := classes[abs]
+			r, ok := rep[k]
+			if !ok {
+				rep[k] = abs
+				continue
+			}
+			switch {
+			case step < 0:
+				// Two seed columns in one class (only possible via a
+				// transitive path through a later table): enforce on the
+				// first join step's combined row.
+				ord.Steps[0].Residual = append(ord.Steps[0].Residual, eq(colMap[r], colMap[abs]))
+			case tableOf(r) == t:
+				// Both ends live in the table being placed; hash keys must
+				// reference the prefix, so keep it as a step residual.
+				ord.Steps[step].Residual = append(ord.Steps[step].Residual, eq(colMap[r], colMap[abs]))
+			default:
+				ord.Steps[step].LeftKeys = append(ord.Steps[step].LeftKeys, colMap[r])
+				ord.Steps[step].RightKeys = append(ord.Steps[step].RightKeys, c)
+			}
+		}
+	}
+	for _, res := range br.Body.Residuals {
+		last := 0
+		for _, t := range res.Tables {
+			if pos[t] > last {
+				last = pos[t]
+			}
+		}
+		step := last - 1
+		if step < 0 {
+			step = 0
+		}
+		remapped := expr.RemapCmp(res.Cmp, func(i int) int { return colMap[i] })
+		ord.Steps[step].Residual = append(ord.Steps[step].Residual, remapped)
+	}
+	return ord
+}
+
+// IdentityOrder returns the textual FROM order 0..n-1 (the ablation order).
+func IdentityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // AntiJoinStep removes combined rows that have a match in Table (the bound

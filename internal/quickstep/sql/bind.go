@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"sort"
 
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/expr"
@@ -194,7 +195,6 @@ func bindBranch(s *astSelect, schema SchemaFn) (*plan.Branch, []string, error) {
 	}
 	br := &plan.Branch{
 		PreFilter: make(map[int][]expr.Cmp),
-		Joins:     make([]plan.JoinStep, len(s.from)-1),
 	}
 	for i, f := range s.from {
 		br.Tables = append(br.Tables, f.table)
@@ -270,30 +270,31 @@ func classifyCmp(b *binder, br *plan.Branch, v *astCmp) error {
 		br.PreFilter[t] = append(br.PreFilter[t], expr.ShiftCmp(cmp, -b.offsets[t]))
 		return nil
 	}
-	maxT := 0
-	for t := range tabs {
-		if t > maxT {
-			maxT = t
-		}
-	}
-	step := maxT - 1
-	// Equi-join key: bare column = bare column, exactly one side in maxT.
+	// Equi-join edge: bare column = bare column across two distinct tables.
+	// Everything else multi-table becomes an order-free residual; the
+	// executor attaches it to the earliest step covering its tables.
 	lc, lok := l.(expr.Col)
 	rc, rok := r.(expr.Col)
 	if v.op == expr.EQ && lok && rok {
 		lt, rt := b.tableOf(lc.Index), b.tableOf(rc.Index)
-		if lt == maxT && rt < maxT {
-			br.Joins[step].LeftKeys = append(br.Joins[step].LeftKeys, rc.Index)
-			br.Joins[step].RightKeys = append(br.Joins[step].RightKeys, lc.Index-b.offsets[maxT])
-			return nil
-		}
-		if rt == maxT && lt < maxT {
-			br.Joins[step].LeftKeys = append(br.Joins[step].LeftKeys, lc.Index)
-			br.Joins[step].RightKeys = append(br.Joins[step].RightKeys, rc.Index-b.offsets[maxT])
+		if lt != rt {
+			e := plan.EquiEdge{
+				LTab: lt, LCol: lc.Index - b.offsets[lt],
+				RTab: rt, RCol: rc.Index - b.offsets[rt],
+			}
+			if e.LTab > e.RTab {
+				e.LTab, e.LCol, e.RTab, e.RCol = e.RTab, e.RCol, e.LTab, e.LCol
+			}
+			br.Body.Edges = append(br.Body.Edges, e)
 			return nil
 		}
 	}
-	br.Joins[step].Residual = append(br.Joins[step].Residual, cmp)
+	tlist := make([]int, 0, len(tabs))
+	for t := range tabs {
+		tlist = append(tlist, t)
+	}
+	sort.Ints(tlist)
+	br.Body.Residuals = append(br.Body.Residuals, plan.ResidualPred{Cmp: cmp, Tables: tlist})
 	return nil
 }
 

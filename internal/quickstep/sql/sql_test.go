@@ -96,10 +96,18 @@ func TestParseSimpleSelect(t *testing.T) {
 func TestParseJoinWithKeys(t *testing.T) {
 	q := mustSelect(t, "SELECT t.x AS x, a.y AS y FROM tc_delta AS t, arc AS a WHERE t.y = a.x")
 	b := q.Branches[0]
-	if len(b.Joins) != 1 {
-		t.Fatalf("joins = %d", len(b.Joins))
+	if len(b.Body.Edges) != 1 {
+		t.Fatalf("edges = %d", len(b.Body.Edges))
 	}
-	j := b.Joins[0]
+	e := b.Body.Edges[0]
+	if e != (plan.EquiEdge{LTab: 0, LCol: 1, RTab: 1, RCol: 0}) {
+		t.Fatalf("edge = %+v", e)
+	}
+	if len(b.Body.Residuals) != 0 {
+		t.Fatalf("unexpected residuals: %v", b.Body.Residuals)
+	}
+	// Compiled for the textual order, the edge becomes step-0 hash keys.
+	j := plan.OrderSteps(b, plan.IdentityOrder(2)).Steps[0]
 	if len(j.LeftKeys) != 1 || j.LeftKeys[0] != 1 || j.RightKeys[0] != 0 {
 		t.Fatalf("join keys = %v/%v", j.LeftKeys, j.RightKeys)
 	}
@@ -109,11 +117,11 @@ func TestParseJoinWithKeys(t *testing.T) {
 }
 
 func TestParseJoinKeyOrderIrrelevant(t *testing.T) {
-	// a.x = t.y (reversed) must produce the same keys.
+	// a.x = t.y (reversed) must produce the same edge.
 	q := mustSelect(t, "SELECT t.x AS x, a.y AS y FROM tc_delta AS t, arc AS a WHERE a.x = t.y")
-	j := q.Branches[0].Joins[0]
-	if len(j.LeftKeys) != 1 || j.LeftKeys[0] != 1 || j.RightKeys[0] != 0 {
-		t.Fatalf("join keys = %v/%v", j.LeftKeys, j.RightKeys)
+	e := q.Branches[0].Body.Edges[0]
+	if e != (plan.EquiEdge{LTab: 0, LCol: 1, RTab: 1, RCol: 0}) {
+		t.Fatalf("edge = %+v", e)
 	}
 }
 
@@ -131,11 +139,19 @@ func TestParseSingleTablePredicatePushdown(t *testing.T) {
 func TestParseResidualPredicate(t *testing.T) {
 	q := mustSelect(t, "SELECT a.y AS a, b.y AS b FROM arc AS a, arc AS b WHERE a.x = b.x AND a.y <> b.y")
 	b := q.Branches[0]
-	if len(b.Joins[0].Residual) != 1 {
-		t.Fatalf("residual = %v", b.Joins[0].Residual)
+	if len(b.Body.Residuals) != 1 {
+		t.Fatalf("residuals = %v", b.Body.Residuals)
 	}
-	if b.Joins[0].Residual[0].Op != expr.NE {
-		t.Fatalf("residual op = %v", b.Joins[0].Residual[0].Op)
+	res := b.Body.Residuals[0]
+	if res.Cmp.Op != expr.NE {
+		t.Fatalf("residual op = %v", res.Cmp.Op)
+	}
+	if len(res.Tables) != 2 || res.Tables[0] != 0 || res.Tables[1] != 1 {
+		t.Fatalf("residual tables = %v", res.Tables)
+	}
+	j := plan.OrderSteps(b, plan.IdentityOrder(2)).Steps[0]
+	if len(j.Residual) != 1 || j.Residual[0].Op != expr.NE {
+		t.Fatalf("compiled residual = %v", j.Residual)
 	}
 }
 

@@ -1,0 +1,193 @@
+package recstep
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"recstep/internal/core"
+	"recstep/internal/programs"
+)
+
+// The join-ordering pass and the leapfrog WCOJ are physical rewrites only:
+// for every benchmark program, every derived relation must be identical to
+// the textual-order pairwise reference under every flag combination at every
+// radix fan-out.
+func TestJoinOrderAndWCOJMatchTextualAcrossPrograms(t *testing.T) {
+	names := make([]string, 0, len(programs.ByName))
+	for name := range programs.ByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			prog, err := programs.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edbs := fuseTestEDBs(name)
+
+			run := func(joinOrder, wcoj bool, parts int) map[string][]int32 {
+				t.Helper()
+				opts := core.DefaultOptions()
+				opts.Workers = 4
+				opts.JoinOrder = joinOrder
+				opts.WCOJ = wcoj
+				opts.Partitions = parts
+				res, err := core.New(opts).Run(prog, edbs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make(map[string][]int32, len(res.Relations))
+				for rel, r := range res.Relations {
+					out[rel] = r.SortedRows()
+				}
+				return out
+			}
+
+			want := run(false, false, 1) // textual pairwise, unpartitioned: the reference
+			for _, joinOrder := range []bool{true, false} {
+				for _, wcoj := range []bool{true, false} {
+					for _, parts := range []int{1, 16, 64} {
+						got := run(joinOrder, wcoj, parts)
+						for rel, rows := range want {
+							if !reflect.DeepEqual(got[rel], rows) {
+								t.Fatalf("join-order=%v wcoj=%v parts=%d: %s (%d rows) diverges from textual serial (%d rows)",
+									joinOrder, wcoj, parts, rel, len(got[rel])/2, len(rows)/2)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Arms seeded from an empty ∆ must be skipped before planning, the skips
+// must surface both per iteration (IterHook) and in the run totals, and the
+// chosen orders must be visible per rule arm.
+func TestArmSkippingAndPlanStats(t *testing.T) {
+	prog := programs.MustParse(programs.CSPA)
+	edbs := fuseTestEDBs("cspa")
+	opts := core.DefaultOptions()
+	opts.Workers = 4
+	var hookSkips int64
+	opts.IterHook = func(ii core.IterInfo) { hookSkips += int64(ii.ArmsSkipped) }
+	res, err := core.New(opts).Run(prog, edbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ArmsSkipped == 0 {
+		t.Fatal("CSPA fixpoint skipped no arms; the empty-∆ filter is not firing")
+	}
+	if hookSkips != res.Stats.ArmsSkipped {
+		t.Fatalf("IterHook saw %d skips, Stats %d", hookSkips, res.Stats.ArmsSkipped)
+	}
+	if len(res.Stats.JoinOrdersByRule) == 0 {
+		t.Fatal("no plan choices recorded")
+	}
+	var greedy int
+	for name, pc := range res.Stats.JoinOrdersByRule {
+		if len(pc.Order) != len(pc.Tables) || pc.Count <= 0 {
+			t.Fatalf("%s: malformed plan choice %+v", name, pc)
+		}
+		if pc.Strategy == "greedy" {
+			greedy++
+		}
+	}
+	if greedy == 0 {
+		t.Fatal("no rule arm recorded the greedy strategy")
+	}
+
+	// The textual ablation must record no greedy choices; the empty-∆ arm
+	// filter is a bugfix, not an ablation arm, so skipping still happens.
+	opts = core.DefaultOptions()
+	opts.Workers = 4
+	opts.JoinOrder = false
+	res, err = core.New(opts).Run(prog, edbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ArmsSkipped == 0 {
+		t.Fatal("empty-∆ arm skipping must stay active under -join-order=false")
+	}
+	for name, pc := range res.Stats.JoinOrdersByRule {
+		if pc.Strategy == "greedy" {
+			t.Fatalf("%s chose greedy under -join-order=false", name)
+		}
+	}
+}
+
+// The triangle program must route through the leapfrog join when enabled —
+// with zero materialized pairwise intermediates — and fall back to the
+// pairwise chain (with a nonzero peak) when disabled, deriving the same
+// relations either way.
+func TestWCOJSelectedForTriangleProgram(t *testing.T) {
+	prog := programs.MustParse(programs.Tri)
+	edbs := fuseTestEDBs("tri")
+
+	run := func(wcoj bool) core.Result {
+		opts := core.DefaultOptions()
+		opts.Workers = 4
+		opts.WCOJ = wcoj
+		res, err := core.New(opts).Run(prog, edbs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *res
+	}
+	on := run(true)
+	off := run(false)
+
+	if len(on.Stats.WCOJRules) == 0 {
+		t.Fatal("triangle rule did not route to the leapfrog join")
+	}
+	for _, name := range on.Stats.WCOJRules {
+		if !strings.HasPrefix(name, "tri") {
+			t.Fatalf("unexpected wcoj rule %q", name)
+		}
+	}
+	if on.Stats.PeakJoinIntermediate != 0 {
+		t.Fatalf("wcoj run materialized a %d-row pairwise intermediate, want none",
+			on.Stats.PeakJoinIntermediate)
+	}
+	if off.Stats.PeakJoinIntermediate == 0 {
+		t.Fatal("pairwise run reports zero peak intermediate; the gauge is not measuring")
+	}
+	if len(off.Stats.WCOJRules) != 0 {
+		t.Fatalf("wcoj rules recorded under -wcoj=false: %v", off.Stats.WCOJRules)
+	}
+	for rel, r := range on.Relations {
+		if !reflect.DeepEqual(r.SortedRows(), off.Relations[rel].SortedRows()) {
+			t.Fatalf("%s diverges between wcoj and pairwise", rel)
+		}
+	}
+	if on.Relations["tri"].NumTuples() == 0 {
+		t.Fatal("no triangles derived; fixture graph too sparse to test anything")
+	}
+}
+
+// Early termination: an arm whose intermediate comes back empty must not
+// change results. The sg program's init rule (arc ⋈ arc with x != y) over a
+// graph with no shared parents exercises the empty-intermediate path.
+func TestEarlyExitEmptyIntermediate(t *testing.T) {
+	// A chain graph: every parent has exactly one child, so sg's seed join
+	// arc(p,x) ⋈ arc(p,y), x != y produces rows then filters them all; the
+	// recursive arm's intermediates start and stay empty.
+	prog := programs.MustParse(programs.SG)
+	edbs := fuseTestEDBs("tc") // plain GnP arcs
+	for _, joinOrder := range []bool{true, false} {
+		opts := core.DefaultOptions()
+		opts.Workers = 4
+		opts.JoinOrder = joinOrder
+		res, err := core.New(opts).Run(prog, edbs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Relations["sg"] == nil {
+			t.Fatalf("join-order=%v: sg missing", joinOrder)
+		}
+	}
+}

@@ -10,6 +10,11 @@
 // non-empty doc comment counts). Test files can carry the comment for
 // white-box test helpers, but external-test packages ("foo_test") are not
 // required to have one.
+//
+// It also gates the benchmark workload suite: every programs/*.datalog file
+// must be documented in README.md's benchmark-programs table (referenced as
+// `name`), so a new benchmark cannot ship without a row saying what it
+// computes and what it exercises.
 package main
 
 import (
@@ -83,5 +88,51 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("checkdocs: %d packages documented\n", len(pkgDoc))
+
+	undocumented, total, err := checkPrograms(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(2)
+	}
+	if len(undocumented) > 0 {
+		fmt.Fprintln(os.Stderr, "checkdocs: benchmark programs missing a README.md table row (reference them as `name`):")
+		for _, m := range undocumented {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("checkdocs: %d packages documented, %d benchmark programs documented\n", len(pkgDoc), total)
+}
+
+// checkPrograms verifies every programs/*.datalog benchmark appears (as a
+// `name` code span) in README.md. The andersen.datalog file is registered
+// under the paper's short name "aa" (see internal/programs).
+func checkPrograms(root string) (undocumented []string, total int, err error) {
+	entries, err := os.ReadDir(filepath.Join(root, "programs"))
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, e := range entries {
+		file := e.Name()
+		if e.IsDir() || !strings.HasSuffix(file, ".datalog") {
+			continue
+		}
+		total++
+		name := strings.TrimSuffix(file, ".datalog")
+		if name == "andersen" {
+			name = "aa"
+		}
+		if !strings.Contains(string(readme), "`"+name+"`") {
+			undocumented = append(undocumented, fmt.Sprintf("programs/%s (no `%s` in README.md)", file, name))
+		}
+	}
+	sort.Strings(undocumented)
+	return undocumented, total, nil
 }
