@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"recstep/internal/experiments"
+	"recstep/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,10 @@ func main() {
 		benchOut    = flag.String("bench-out", "BENCH_PR5.json", "path the benchjson experiment writes its machine-readable report to")
 		batchOut    = flag.String("batch-out", "BENCH_PR6.json", "path the benchbatch experiment writes its machine-readable report to")
 		joinOut     = flag.String("joinorder-out", "BENCH_PR7.json", "path the benchjoinorder experiment writes its machine-readable report to")
+		obsOut      = flag.String("obs-out", "BENCH_PR8.json", "path the benchobs experiment writes its machine-readable report to")
+		obsLimit    = flag.Float64("obs-threshold", 2.0, "benchobs fails when metrics-on overhead exceeds this percentage (min-of-trials; <0 disables the assertion)")
+		enableObs   = flag.Bool("obs", true, "collect metrics and phase timers in engine runs; false is the zero-instrumentation ablation")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /statusz and /debug/pprof on this address while experiments run (e.g. :9090)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile covering the selected experiments to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile after the selected experiments to this file")
 	)
@@ -53,8 +58,20 @@ func main() {
 		NoJoinOrder:        !*joinOrder,
 		NoWCOJ:             !*wcoj,
 		ManagedBudgetBytes: *memBudget,
+		NoObs:              !*enableObs,
 		CPUProfile:         *cpuProfile,
 		MemProfile:         *memProfile,
+	}
+	if *metricsAddr != "" {
+		// One registry for the whole process; each engine run re-binds its
+		// series, so the listener always shows the experiment in flight.
+		ob := obs.New()
+		cfg.Obs = ob
+		addr, err := obs.Serve(*metricsAddr, ob.Reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving /metrics, /statusz and /debug/pprof on http://%s", addr)
 	}
 	stopProfiles, err := cfg.StartProfiles()
 	if err != nil {
@@ -90,7 +107,7 @@ func main() {
 	order := []string{
 		"table1", "table3", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table4",
-		"copies", "peakmem", "benchjson", "benchbatch", "benchjoinorder",
+		"copies", "peakmem", "benchjson", "benchbatch", "benchjoinorder", "benchobs",
 	}
 
 	args := flag.Args()
@@ -127,6 +144,21 @@ func main() {
 			}
 			fmt.Println(experiments.BenchJoinOrderTable(rep))
 			log.Printf("wrote %s", *joinOut)
+			continue
+		}
+		if name == "benchobs" {
+			rep, err := experiments.BenchObs(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.WriteBenchObsReport(*obsOut, rep); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(experiments.BenchObsTable(rep))
+			log.Printf("wrote %s", *obsOut)
+			if *obsLimit >= 0 && rep.OverheadPct > *obsLimit {
+				log.Fatalf("benchobs: metrics-on overhead %.2f%% exceeds %.2f%% threshold", rep.OverheadPct, *obsLimit)
+			}
 			continue
 		}
 		if name == "fig4" {

@@ -7,7 +7,8 @@
 //	recstep -program tc.datalog -facts arc=arc.tsv -out results/ \
 //	        [-workers N] [-naive] [-no-uie] [-oof selective|none|full] \
 //	        [-dsd dynamic|opsd|tpsd] [-dedup gscht|lockmap|sort] [-no-eost] \
-//	        [-partitions N] [-build-serial] [-fuse-delta=false]
+//	        [-partitions N] [-build-serial] [-fuse-delta=false] \
+//	        [-metrics-addr :9090] [-trace out.json] [-obs=false]
 package main
 
 import (
@@ -18,10 +19,12 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"recstep/internal/core"
 	"recstep/internal/datalog/parser"
 	"recstep/internal/experiments"
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/stats"
 	"recstep/internal/quickstep/storage"
@@ -66,6 +69,9 @@ func main() {
 		wcoj        = flag.Bool("wcoj", true, "leapfrog worst-case-optimal join for cyclic rule bodies of >=3 atoms; false routes them through the pairwise hash-join chain")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /statusz and /debug/pprof on this address for the life of the process (e.g. :9090)")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the fixpoint (per-phase spans; open in Perfetto) to this file")
+		enableObs   = flag.Bool("obs", true, "collect metrics and phase timers; false is the zero-instrumentation ablation")
 		verbose     = flag.Bool("v", false, "log per-iteration deltas")
 	)
 	facts := factFlags{}
@@ -142,12 +148,34 @@ func main() {
 	opts.JoinOrder = *joinOrder
 	opts.WCOJ = *wcoj
 	opts.MemBudgetBytes = *memBudget
+
+	// One Observer outlives the Run so the HTTP listener keeps serving its
+	// registry mid-fixpoint and after. -trace and -metrics-addr need the
+	// collection machinery, so either overrides -obs=false.
+	var ob *obs.Observer
+	if *enableObs || *tracePath != "" || *metricsAddr != "" {
+		ob = obs.New()
+		if *tracePath != "" {
+			ob.WithTracer(obs.DefaultMaxEvents)
+		}
+		opts.Obs = ob
+	} else {
+		opts.DisableObs = true
+	}
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr, ob.Reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving /metrics, /statusz and /debug/pprof on http://%s", addr)
+	}
+
 	if *verbose {
 		opts.IterHook = func(ii core.IterInfo) {
-			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) armsSkipped=%d scattered=%d (sec=%d) adopted=%d flat=%d buildsInPlace=%d buildScatters=%d",
+			log.Printf("stratum %d iter %d %s: tmp=%d delta=%d (%s) armsSkipped=%d scattered=%d (sec=%d) adopted=%d flat=%d buildsInPlace=%d buildScatters=%d phases=[%s]",
 				ii.Stratum, ii.Iteration, ii.Pred, ii.TmpTuples, ii.Delta, ii.Algo, ii.ArmsSkipped,
 				ii.Copy.Scattered, ii.Copy.SecondaryScattered, ii.Copy.Adopted, ii.Copy.FlatMats,
-				ii.Copy.BuildScattersAvoided, ii.Copy.BuildScatters)
+				ii.Copy.BuildScattersAvoided, ii.Copy.BuildScatters, phaseString(ii.Phase))
 		}
 	}
 
@@ -186,13 +214,55 @@ func main() {
 	log.Printf("memory: peak pool %d bytes, %d/%d block allocs recycled, %d spills / %d faults",
 		res.Stats.Mem.PeakLive, res.Stats.Mem.PoolHits, res.Stats.Mem.PoolHits+res.Stats.Mem.PoolMisses,
 		res.Stats.Mem.Spills, res.Stats.Mem.Faults)
+	if *verbose {
+		if len(res.Stats.PhaseDurations) > 0 {
+			log.Printf("phases (worker-time, overlaps): [%s]", phaseMapString(res.Stats.PhaseDurations))
+		}
+		for i, d := range res.Stats.StratumDurations {
+			log.Printf("stratum %d: %v", i, d.Round(1e5))
+		}
+	}
+	if *tracePath != "" {
+		tr := ob.Tracer
+		if err := tr.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace: %d events written to %s (%d dropped)", len(tr.Events()), *tracePath, tr.Dropped())
+	}
+	writeRelations(res, *outDir)
+}
+
+// phaseString formats a per-step phase snapshot as "build=1.2ms probe=800µs",
+// in phase declaration order, omitting zero phases.
+func phaseString(ph obs.PhaseSnapshot) string {
+	var parts []string
+	for _, p := range obs.Phases() {
+		if d := ph[p]; d != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", p, d.Round(1e4)))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// phaseMapString formats Stats.PhaseDurations in phase declaration order.
+func phaseMapString(m map[string]time.Duration) string {
+	var parts []string
+	for _, p := range obs.Phases() {
+		if d, ok := m[p.String()]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%v", p, d.Round(1e5)))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func writeRelations(res *core.Result, outDir string) {
 	for name, rel := range res.Relations {
 		log.Printf("%s: %d tuples", name, rel.NumTuples())
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				log.Fatal(err)
 			}
-			path := filepath.Join(*outDir, name+".tsv")
+			path := filepath.Join(outDir, name+".tsv")
 			if err := relio.WriteTSVFile(path, rel); err != nil {
 				log.Fatal(err)
 			}

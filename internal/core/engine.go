@@ -24,6 +24,7 @@ import (
 	"recstep/internal/datalog/analysis"
 	"recstep/internal/datalog/ast"
 	"recstep/internal/datalog/querygen"
+	"recstep/internal/obs"
 	"recstep/internal/quickstep"
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/memory"
@@ -130,10 +131,28 @@ type Options struct {
 	// SpillDir and DisableIO control the simulated write-back target.
 	SpillDir  string
 	DisableIO bool
-	// IterHook, when set, observes every (stratum, iteration, IDB) step.
+	// Obs is the run's observability attach point: its registry backs the
+	// /metrics and /statusz endpoints, its exec metrics receive the pool's
+	// phase timers and histograms, and its tracer (if any) collects the
+	// per-phase trace. Nil makes the engine create a private Observer, so
+	// Stats.PhaseDurations and the histograms are populated even without a
+	// caller-supplied one; set DisableObs to suppress that (the overhead
+	// ablation). A long-lived Observer may be reused across Runs — engine
+	// registrations replace their prior bindings by metric name.
+	Obs *obs.Observer
+	// DisableObs turns off all metrics and phase-timer collection when Obs
+	// is nil (the -obs=false ablation: phase closures collapse to no-ops on
+	// the hot path).
+	DisableObs bool
+	// IterHook, when set, is called synchronously after every (stratum,
+	// iteration, IDB) evaluation step with that step's IterInfo. It runs on
+	// the engine goroutine between steps — a scrape-friendly point to copy
+	// counters out, but work done here extends the fixpoint's wall time.
 	IterHook func(IterInfo)
-	// OnDB, when set, receives the database right after it opens (metrics
-	// samplers attach here).
+	// OnDB, when set, receives the database right after it opens and before
+	// any evaluation. Use it to attach samplers that need the *Database
+	// itself (catalog walks, memory snapshots); metrics that the engine
+	// already exports ride Obs instead.
 	OnDB func(*quickstep.Database)
 }
 
@@ -175,6 +194,10 @@ type IterInfo struct {
 	// ArmsSkipped counts the UNION ALL arms this step dropped before
 	// planning because their seeding ∆ relation was empty.
 	ArmsSkipped int
+	// Phase attributes this step's wall time to fixpoint phases (scatter,
+	// build, probe, delta, …) — the per-step delta of the run's phase
+	// timers. All zeros when observability is disabled.
+	Phase obs.PhaseSnapshot
 }
 
 // Stats aggregates counters over one Run.
@@ -225,6 +248,15 @@ type Stats struct {
 	// observability the paper's memory figures (3, 11, 14) rely on.
 	Mem      memory.Snapshot
 	Duration time.Duration
+	// StratumDurations holds each stratum's fixpoint wall time, in stratum
+	// order.
+	StratumDurations []time.Duration
+	// PhaseDurations attributes the run's wall time to fixpoint phases
+	// (scatter, build, probe, delta, aggregate, spill, fault, leapfrog),
+	// keyed by phase name; zero phases are omitted. Empty when
+	// observability is disabled. Phases overlap across pool workers, so the
+	// sum can exceed Duration.
+	PhaseDurations map[string]time.Duration
 }
 
 // Result is the outcome of evaluating a program.
@@ -260,6 +292,16 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		}
 	}
 
+	// A caller-supplied Observer survives the Run (cmd/recstep serves it
+	// over HTTP for the whole process); otherwise the engine makes a
+	// private one so phase timers and Stats.PhaseDurations work out of the
+	// box. DisableObs suppresses even that — the zero-instrumentation
+	// ablation the benchobs experiment compares against.
+	ob := e.opts.Obs
+	if ob == nil && !e.opts.DisableObs {
+		ob = obs.New()
+	}
+
 	db, err := quickstep.Open(quickstep.Options{
 		Workers:        e.opts.Workers,
 		Dedup:          e.opts.Dedup,
@@ -274,6 +316,7 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		Columnar:       e.opts.Columnar,
 		JoinOrder:      e.opts.JoinOrder,
 		WCOJ:           e.opts.WCOJ,
+		Obs:            ob,
 	})
 	if err != nil {
 		return nil, err
@@ -289,6 +332,17 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		res:    res,
 		gen:    querygen.New(res),
 		start:  time.Now(),
+		ob:     ob,
+	}
+	if ob != nil {
+		if ob.Exec != nil {
+			run.phaseBase = ob.Exec.Phase.Snapshot()
+			run.lastPhase = run.phaseBase
+		}
+		if ob.Reg != nil {
+			run.em = &engineMetrics{}
+			run.em.register(ob.Reg)
+		}
 	}
 	if err := run.loadEDBs(edbs); err != nil {
 		return nil, err
@@ -338,8 +392,47 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 	sort.Strings(run.stats.WCOJRules)
 	run.stats.PeakJoinIntermediate = db.PeakJoinIntermediate()
 	run.stats.Duration = time.Since(run.start)
+	if ob != nil && ob.Exec != nil {
+		// Attribute only this Run's share: a reused Observer's timers carry
+		// earlier runs too.
+		run.stats.PhaseDurations = ob.Exec.Phase.Snapshot().Sub(run.phaseBase).Map()
+	}
 	out.Stats = run.stats
 	return out, nil
+}
+
+// engineMetrics are the fixpoint-loop counters and gauges the engine itself
+// exports (the substrate's counters register from database.Open). Counters
+// and gauges are atomics, so the HTTP scraper reads them mid-fixpoint
+// without synchronizing with the engine goroutine.
+type engineMetrics struct {
+	iterations  obs.Counter
+	tmpTuples   obs.Counter
+	deltaTuples obs.Counter
+	armsSkipped obs.Counter
+	diffOPSD    obs.Counter
+	diffTPSD    obs.Counter
+	stratum     obs.Gauge
+	iteration   obs.Gauge
+}
+
+func (m *engineMetrics) register(reg *obs.Registry) {
+	reg.RegisterCounter("recstep_iterations_total",
+		"Fixpoint iterations completed across all strata.", &m.iterations)
+	reg.RegisterCounter("recstep_tmp_tuples_total",
+		"Duplicate-inclusive tuples materialized into tmp tables by uieval.", &m.tmpTuples)
+	reg.RegisterCounter("recstep_delta_tuples_total",
+		"Genuinely new tuples admitted into ∆ relations.", &m.deltaTuples)
+	reg.RegisterCounter("recstep_arms_skipped_total",
+		"UNION ALL arms dropped before planning because their seeding ∆ was empty.", &m.armsSkipped)
+	reg.RegisterCounter("recstep_diff_opsd_total",
+		"Set-difference steps run with the one-phase algorithm.", &m.diffOPSD)
+	reg.RegisterCounter("recstep_diff_tpsd_total",
+		"Set-difference steps run with the two-phase algorithm.", &m.diffTPSD)
+	reg.RegisterGauge("recstep_current_stratum",
+		"Stratum index the fixpoint loop is currently evaluating.", &m.stratum)
+	reg.RegisterGauge("recstep_current_iteration",
+		"Iteration number within the current stratum.", &m.iteration)
 }
 
 // runState carries the per-Run evaluation context.
@@ -350,6 +443,23 @@ type runState struct {
 	gen    *querygen.Generator
 	stats  Stats
 	start  time.Time
+	// ob is the run's observer (possibly engine-private); em holds the
+	// engine-level registry instruments, nil when no registry is attached.
+	ob *obs.Observer
+	em *engineMetrics
+	// phaseBase is the phase-timer reading at Run start (a reused Observer
+	// carries earlier runs' time); lastPhase is the reading after the
+	// previous evaluation step, for IterInfo's per-step attribution.
+	phaseBase obs.PhaseSnapshot
+	lastPhase obs.PhaseSnapshot
+}
+
+// tracer returns the run's tracer; nil (inert) when tracing is off.
+func (r *runState) tracer() *obs.Tracer {
+	if r.ob == nil {
+		return nil
+	}
+	return r.ob.Tracer
 }
 
 func (r *runState) opts() Options { return r.engine.opts }
@@ -407,6 +517,17 @@ func (r *runState) createIDBs() error {
 
 // evalStratum runs Algorithm 1's inner loop for one stratum.
 func (r *runState) evalStratum(s analysis.Stratum) error {
+	stratumStart := time.Now()
+	if r.em != nil {
+		r.em.stratum.Set(int64(s.Index))
+		r.em.iteration.Set(0)
+	}
+	endStratum := r.tracer().Span("stratum", 0, obs.Step{Stratum: s.Index}, -1)
+	defer func() {
+		endStratum()
+		r.stats.StratumDurations = append(r.stats.StratumDurations, time.Since(stratumStart))
+	}()
+
 	queries, err := r.gen.StratumQueries(s)
 	if err != nil {
 		return err
@@ -475,6 +596,11 @@ func (r *runState) evalStratum(s analysis.Stratum) error {
 			return fmt.Errorf("core: stratum %d exceeded %d iterations", s.Index, r.opts().MaxIterations)
 		}
 		r.stats.Iterations++
+		if r.em != nil {
+			r.em.iterations.Add(1)
+			r.em.iteration.Set(int64(iter))
+		}
+		endIter := r.tracer().Span("iteration", 0, obs.Step{Stratum: s.Index, Iteration: iter}, -1)
 		anyDelta := false
 		for i := range queries {
 			q := &queries[i]
@@ -498,6 +624,7 @@ func (r *runState) evalStratum(s analysis.Stratum) error {
 		// Epoch boundary: recycle retired view copies, advance the spill LRU
 		// clock and reclaim any budget overshoot while no query is in flight.
 		r.db.EndIteration()
+		endIter()
 		if !s.Recursive || !anyDelta {
 			break
 		}
@@ -552,6 +679,10 @@ type idbState struct {
 // the delta size.
 func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit querygen.UnitQueries) (int, error) {
 	q := st.q
+	// Publish the step context: worker phase spans and the memory manager's
+	// spill/fault spans stamp whatever step is current when they fire.
+	r.db.SetStep(s.Index, iter, q.Pred)
+	defer r.tracer().Span(q.Pred, 0, obs.Step{Stratum: s.Index, Iteration: iter, Pred: q.Pred}, -1)()
 	copyBase := r.db.CopySnapshot()
 	// Early-exit arm filter: a semi-naive arm seeded by an empty ∆ relation
 	// can only produce zero tuples, so it is dropped before any planning or
@@ -563,6 +694,9 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 		return !ok || d.NumTuples() > 0
 	})
 	r.stats.ArmsSkipped += int64(skipped)
+	if r.em != nil {
+		r.em.armsSkipped.Add(int64(skipped))
+	}
 	if unit.Subqueries == 0 {
 		// Nothing fires this phase; the delta is empty.
 		if err := r.db.InstallReplacing(storage.NewRelation(q.Delta, storage.NumberedColumns(q.Arity))); err != nil {
@@ -648,6 +782,9 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	}
 	defer r.dropTmp(q)
 	r.stats.TmpTuples += int64(tmp.NumTuples())
+	if r.em != nil {
+		r.em.tmpTuples.Add(int64(tmp.NumTuples()))
+	}
 	st.lastTmp = tmp.NumTuples()
 
 	// analyze(Rt): OOF collects per-iteration statistics; OOF-NA refreshes
@@ -707,6 +844,13 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 		} else {
 			r.stats.DiffTPSD++
 		}
+		if r.em != nil {
+			if algo == exec.OPSD {
+				r.em.diffOPSD.Add(1)
+			} else {
+				r.em.diffTPSD.Add(1)
+			}
+		}
 		if err := r.db.AppendTo(q.Pred, delta); err != nil {
 			return 0, err
 		}
@@ -727,6 +871,9 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 	}
 	n := delta.NumTuples()
 	r.stats.DeltaTuples += int64(n)
+	if r.em != nil {
+		r.em.deltaTuples.Add(int64(n))
+	}
 	r.hook(s, iter, q.Pred, tmp.NumTuples(), n, algo, r.db.CopySnapshot().Sub(copyBase), skipped)
 	return n, nil
 }
@@ -863,8 +1010,14 @@ func (r *runState) aggNeedsFullRebuild(s analysis.Stratum, pred string) bool {
 }
 
 func (r *runState) hook(s analysis.Stratum, iter int, pred string, tmp, delta int, algo exec.DiffAlgorithm, copies exec.CopySnapshot, skipped int) {
+	var ph obs.PhaseSnapshot
+	if r.ob != nil && r.ob.Exec != nil {
+		cur := r.ob.Exec.Phase.Snapshot()
+		ph = cur.Sub(r.lastPhase)
+		r.lastPhase = cur
+	}
 	if h := r.opts().IterHook; h != nil {
-		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo, Copy: copies, Mem: r.db.MemSnapshot(), ArmsSkipped: skipped})
+		h(IterInfo{Stratum: s.Index, Iteration: iter, Pred: pred, TmpTuples: tmp, Delta: delta, Algo: algo, Copy: copies, Mem: r.db.MemSnapshot(), ArmsSkipped: skipped, Phase: ph})
 	}
 }
 

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"recstep/internal/obs"
+	"recstep/internal/obs/obstest"
+	"recstep/internal/quickstep/storage"
+)
+
+const tcProgram = `
+tc(x, y) :- arc(x, y).
+tc(x, y) :- tc(x, z), arc(z, y).
+`
+
+// TestObservabilityMidFixpointScrape runs the full stack the -metrics-addr
+// flag assembles — Observer, engine registration, HTTP listener — and
+// scrapes /metrics from inside an IterHook, i.e. genuinely mid-fixpoint.
+func TestObservabilityMidFixpointScrape(t *testing.T) {
+	ob := obs.New()
+	addr, err := obs.Serve("127.0.0.1:0", ob.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var midScrape string
+	opts := DefaultOptions()
+	opts.Workers = 2
+	opts.Obs = ob
+	opts.IterHook = func(ii IterInfo) {
+		if midScrape != "" || ii.Iteration < 2 {
+			return
+		}
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Errorf("mid-fixpoint scrape: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Errorf("mid-fixpoint scrape read: %v", err)
+			return
+		}
+		midScrape = string(body)
+	}
+
+	edges := randomEdges(80, 500, 11)
+	res := runProg(t, opts, tcProgram, map[string]*storage.Relation{"arc": arcRel(edges)})
+
+	if midScrape == "" {
+		t.Fatal("IterHook never scraped (fixpoint converged before iteration 2?)")
+	}
+	obstest.CheckPrometheusText(t, midScrape)
+	obstest.RequireFamilies(t, midScrape,
+		// copy accounting
+		"recstep_tuples_scattered_total", "recstep_tuples_adopted_total",
+		// memory
+		"recstep_mem_live_bytes", "recstep_mem_peak_live_bytes", "recstep_mem_spills_total",
+		// phase durations and histograms
+		"recstep_phase_seconds_total", "recstep_batch_rows", "recstep_gscht_chain_length",
+		"recstep_delta_partition_rows",
+		// engine loop
+		"recstep_iterations_total", "recstep_delta_tuples_total", "recstep_current_iteration",
+		"recstep_queries_total",
+	)
+
+	// The snapshot views must still agree with themselves: the run's Stats
+	// land where they always did.
+	if res.Stats.Iterations == 0 || res.Stats.DeltaTuples == 0 {
+		t.Errorf("Stats not populated: %+v", res.Stats)
+	}
+	if len(res.Stats.StratumDurations) != 1 {
+		t.Errorf("StratumDurations = %v, want one stratum", res.Stats.StratumDurations)
+	}
+	if len(res.Stats.PhaseDurations) == 0 {
+		t.Error("PhaseDurations empty with observability on")
+	}
+}
+
+// TestTraceFromEngineRun checks the trace a real fixpoint emits: valid JSON,
+// monotonic timestamps, and a properly nested engine lane
+// (stratum ⊃ iteration ⊃ step).
+func TestTraceFromEngineRun(t *testing.T) {
+	ob := obs.New().WithTracer(0)
+	opts := DefaultOptions()
+	opts.Workers = 2
+	opts.Obs = ob
+
+	edges := randomEdges(60, 300, 3)
+	runProg(t, opts, tcProgram, map[string]*storage.Relation{"arc": arcRel(edges)})
+
+	events := ob.Tracer.Events()
+	if len(events) == 0 {
+		t.Fatal("engine run emitted no trace events")
+	}
+	data, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round []obs.TraceEvent
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("events do not round-trip as JSON: %v", err)
+	}
+
+	prev := -1.0
+	names := map[string]int{}
+	for _, ev := range events {
+		if ev.TS < prev {
+			t.Fatalf("timestamps not monotonic: %v after %v", ev.TS, prev)
+		}
+		prev = ev.TS
+		names[ev.Name]++
+	}
+	for _, want := range []string{"stratum", "iteration", "tc", "delta"} {
+		if names[want] == 0 {
+			t.Errorf("no %q spans in %v", want, names)
+		}
+	}
+
+	// Engine-lane nesting: spans either contain one another or are disjoint.
+	const slack = 50.0 // µs: defer-ordering skew between parent and child ends
+	var stack []obs.TraceEvent
+	for _, ev := range events {
+		if ev.TID != 0 {
+			continue
+		}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if ev.TS+slack >= top.TS+top.Dur {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if ev.TS+ev.Dur > top.TS+top.Dur+slack {
+				t.Errorf("engine-lane span %q [%.0f,%.0f] partially overlaps %q [%.0f,%.0f]",
+					ev.Name, ev.TS, ev.TS+ev.Dur, top.Name, top.TS, top.TS+top.Dur)
+			}
+			break
+		}
+		stack = append(stack, ev)
+	}
+}
+
+// TestDisableObs checks the ablation: no registry, no phase durations, and
+// the run still produces the right answer.
+func TestDisableObs(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 2
+	opts.DisableObs = true
+	edges := randomEdges(50, 200, 5)
+	res := runProg(t, opts, tcProgram, map[string]*storage.Relation{"arc": arcRel(edges)})
+	if len(res.Stats.PhaseDurations) != 0 {
+		t.Errorf("PhaseDurations = %v with observability disabled", res.Stats.PhaseDurations)
+	}
+	want := runProg(t, DefaultOptions(), tcProgram, map[string]*storage.Relation{"arc": arcRel(edges)})
+	if got, exp := relPairs(res.Relations["tc"]), relPairs(want.Relations["tc"]); len(got) != len(exp) {
+		t.Errorf("ablation changed the answer: %d vs %d tuples", len(got), len(exp))
+	}
+}

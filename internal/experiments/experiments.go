@@ -19,6 +19,7 @@ import (
 	"recstep/internal/bitmatrix"
 	"recstep/internal/core"
 	"recstep/internal/metrics"
+	"recstep/internal/obs"
 	"recstep/internal/programs"
 	"recstep/internal/quickstep"
 	"recstep/internal/quickstep/exec"
@@ -114,6 +115,15 @@ type Config struct {
 	// relations. Distinct from MemBudgetBytes, which models the *simulated*
 	// capacity at which the paper's comparison systems OOM.
 	ManagedBudgetBytes int64
+	// Obs, when set, attaches this Observer to every engine run the
+	// experiments make; successive runs re-bind the registry's series, so a
+	// benchrunner -metrics-addr listener always shows the run in flight.
+	Obs *obs.Observer
+	// NoObs disables metrics and phase-timer collection in the engine (the
+	// -obs=false ablation; zero value keeps observability on — the engine
+	// then makes a private Observer per run). The benchobs experiment
+	// measures the difference.
+	NoObs bool
 	// CPUProfile and MemProfile name files to receive pprof profiles of the
 	// run (the -cpuprofile/-memprofile flags); empty disables profiling.
 	CPUProfile string
@@ -336,6 +346,8 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.JoinOrder = !cfg.NoJoinOrder
 		opts.WCOJ = !cfg.NoWCOJ
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
+		opts.Obs = cfg.Obs
+		opts.DisableObs = cfg.NoObs
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }
 		}
@@ -352,6 +364,8 @@ func evaluateWithSampler(engine Engine, w Workload, cfg Config, sampler *metrics
 		opts.JoinOrder = !cfg.NoJoinOrder
 		opts.WCOJ = !cfg.NoWCOJ
 		opts.MemBudgetBytes = cfg.ManagedBudgetBytes
+		opts.Obs = cfg.Obs
+		opts.DisableObs = cfg.NoObs
 		opts.Naive = true
 		if sampler != nil {
 			opts.OnDB = func(db *quickstep.Database) { sampler.AttachPool(db.Pool()) }

@@ -142,3 +142,29 @@ func TestAblationConfigsCount(t *testing.T) {
 		t.Fatal("ablation order must start at RecStep and end at NO-OP")
 	}
 }
+
+func TestBenchObsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchobs runs several fixpoints")
+	}
+	rep, err := BenchObs(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.On.Tuples == 0 || rep.On.Tuples != rep.Off.Tuples {
+		t.Fatalf("arms disagree or empty: %+v vs %+v", rep.On, rep.Off)
+	}
+	if len(rep.On.TrialNs) != rep.Trials || len(rep.Off.TrialNs) != rep.Trials {
+		t.Fatalf("trial counts: %d/%d, want %d", len(rep.On.TrialNs), len(rep.Off.TrialNs), rep.Trials)
+	}
+	if len(rep.PhaseMs) == 0 {
+		t.Error("instrumented arm collected no phase durations")
+	}
+	if rep.MetricLines == 0 {
+		t.Error("registry exported no metrics")
+	}
+	tbl := BenchObsTable(rep)
+	if !strings.Contains(tbl.String(), "obs-on") {
+		t.Errorf("table rendering missing arms:\n%s", tbl.String())
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability mux: /metrics (Prometheus text),
+// /statusz (JSON snapshot of the registry), and /debug/pprof/*.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("obs: /metrics write: %v", err)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := struct {
+			Time    time.Time      `json:"time"`
+			Metrics map[string]any `json:"metrics"`
+		}{Time: time.Now(), Metrics: reg.Snapshot()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			log.Printf("obs: /statusz write: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr in a background goroutine
+// and returns the bound address (useful with a ":0" addr in tests). The
+// listener lives for the remainder of the process — the CLIs treat it as a
+// daemon-style side channel, not something to tear down mid-run.
+func Serve(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("obs: metrics server: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

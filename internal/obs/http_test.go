@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"recstep/internal/obs/obstest"
+)
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http_test_total", "Endpoint test counter.").Add(3)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, body := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "http_test_total 3\n") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+	obstest.CheckPrometheusText(t, body)
+
+	resp, body = get(t, srv.URL+"/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statusz status %d", resp.StatusCode)
+	}
+	var snap struct {
+		Time    time.Time      `json:"time"`
+		Metrics map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/statusz is not JSON: %v", err)
+	}
+	if snap.Time.IsZero() {
+		t.Error("/statusz time missing")
+	}
+	if v, ok := snap.Metrics["http_test_total"].(float64); !ok || v != 3 {
+		t.Errorf("/statusz metrics = %v", snap.Metrics)
+	}
+
+	resp, _ = get(t, srv.URL+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("serve_test", "Serve test gauge.").Set(9)
+	addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, "http://"+addr+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "serve_test 9\n") {
+		t.Errorf("body missing gauge:\n%s", body)
+	}
+}

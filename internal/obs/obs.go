@@ -1,0 +1,335 @@
+// Package obs is the engine's unified observability layer: a low-overhead
+// metrics registry (atomic counters, gauges, power-of-two-bucket histograms)
+// exported in Prometheus text format, a per-phase fixpoint tracer that emits
+// Chrome trace-event JSON, and an HTTP handler serving /metrics,
+// /debug/pprof/*, and a /statusz JSON snapshot of the live registry.
+//
+// The package is a pure-stdlib leaf so every layer (exec, memory, gscht,
+// quickstep, core, the CLIs) can import it without cycles. Hot-path updates
+// are single atomic adds; none of the types allocate after registration.
+// core.Stats and core.IterInfo remain the end-of-run snapshot views, but the
+// counters behind them now live here so a scrape mid-fixpoint sees the same
+// numbers the run will report at the end.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. It embeds atomic.Int64 so
+// existing call sites that did `field.Add(n)` / `field.Load()` on a raw
+// atomic keep compiling unchanged after a field-type migration.
+type Counter struct {
+	atomic.Int64
+}
+
+// Gauge is a metric that can go up and down (set or added to).
+type Gauge struct {
+	atomic.Int64
+}
+
+// Set stores v as the current gauge value.
+func (g *Gauge) Set(v int64) { g.Store(v) }
+
+// histBuckets is the number of power-of-two buckets: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. upper bound 2^i - 1 for i > 0
+// and exactly 0 for i == 0. 64 buckets cover the full uint64 range.
+const histBuckets = 64
+
+// Histogram counts observations into power-of-two buckets. Observe is a
+// single atomic add per bucket plus count/sum upkeep — cheap enough for
+// per-block call sites, though not for per-tuple ones.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one observation of value v (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the upper bound of the highest non-empty bucket (0 if empty).
+func (h *Histogram) Max() int64 {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.buckets[i].Load() != 0 {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return math.MaxInt64
+			}
+			return (1 << i) - 1
+		}
+	}
+	return 0
+}
+
+// LabelPair is one label on a metric sample, e.g. {"phase", "probe"}.
+type LabelPair struct{ Key, Value string }
+
+// Sample is one labeled value produced by a SampleFunc at scrape time.
+type Sample struct {
+	Labels []LabelPair
+	Value  float64
+}
+
+// metricKind tags how a registry entry renders in the Prometheus exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindSampleFunc
+)
+
+type metric struct {
+	name string
+	help string
+	typ  string // Prometheus TYPE line: "counter", "gauge", "histogram"
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+	samples func() []Sample
+}
+
+// Registry holds named metrics and renders them as Prometheus text or a JSON
+// snapshot. Registration replaces any prior metric of the same name, so one
+// long-lived registry (e.g. behind -metrics-addr) can be re-bound across
+// multiple engine runs without duplicate-registration panics.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []*metric
+	byName  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[m.name]; ok {
+		r.metrics[i] = m
+		return
+	}
+	r.byName[m.name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers (or re-binds) a counter and returns it.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, help, c)
+	return c
+}
+
+// RegisterCounter exposes an existing Counter under name. This is how the
+// engine's pre-existing atomic counters (copy accounting, pool stats) join
+// the registry without changing their update sites.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	r.add(&metric{name: name, help: help, typ: "counter", kind: kindCounter, counter: c})
+}
+
+// Gauge registers (or re-binds) a gauge and returns it.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.RegisterGauge(name, help, g)
+	return g
+}
+
+// RegisterGauge exposes an existing Gauge under name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
+	r.add(&metric{name: name, help: help, typ: "gauge", kind: kindGauge, gauge: g})
+}
+
+// RegisterGaugeFunc exposes a value computed at scrape time, for sources that
+// already maintain their own atomics (e.g. memory.Manager's live-byte total).
+func (r *Registry) RegisterGaugeFunc(name, help string, fn func() float64) {
+	r.add(&metric{name: name, help: help, typ: "gauge", kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram registers (or re-binds) a power-of-two histogram and returns it.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.RegisterHistogram(name, help, h)
+	return h
+}
+
+// RegisterHistogram exposes an existing Histogram under name.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.add(&metric{name: name, help: help, typ: "histogram", kind: kindHistogram, hist: h})
+}
+
+// RegisterSampleFunc exposes a labeled metric family whose samples are
+// produced at scrape time, for low-cardinality label sets like per-phase
+// durations or per-keyset join-build counts. typ is "counter" or "gauge".
+func (r *Registry) RegisterSampleFunc(name, help, typ string, fn func() []Sample) {
+	r.add(&metric{name: name, help: help, typ: typ, kind: kindSampleFunc, samples: fn})
+}
+
+// snapshotMetrics copies the metric list under the read lock so rendering
+// can run without holding it.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, m := range r.snapshotMetrics() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Load())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Load())
+		case kindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.fn()))
+		case kindHistogram:
+			writeHistogram(&b, m.name, m.hist)
+		case kindSampleFunc:
+			for _, s := range m.samples() {
+				fmt.Fprintf(&b, "%s%s %s\n", m.name, formatLabels(s.Labels), formatValue(s.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits cumulative le-buckets up to the highest non-empty
+// power of two, then +Inf, _sum, and _count, per the Prometheus convention.
+func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	top := 0
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.buckets[i].Load() != 0 {
+			top = i
+			break
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += h.buckets[i].Load()
+		var le string
+		if i == 0 {
+			le = "0"
+		} else if i >= 63 {
+			continue // folded into +Inf
+		} else {
+			le = fmt.Sprintf("%d", (int64(1)<<i)-1)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
+	fmt.Fprintf(b, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(b, "%s_count %d\n", name, h.count.Load())
+}
+
+// formatValue renders a float without exponent noise for integral values.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func formatLabels(labels []LabelPair) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	// %q already escapes quotes and backslashes; strip raw newlines first.
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// Snapshot returns a JSON-marshalable view of the registry for /statusz:
+// counters and gauges as numbers, sample funcs as label-string→value maps,
+// histograms as {count, sum, max} summaries.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Load()
+		case kindGauge:
+			out[m.name] = m.gauge.Load()
+		case kindGaugeFunc:
+			out[m.name] = m.fn()
+		case kindHistogram:
+			out[m.name] = map[string]int64{
+				"count": m.hist.Count(),
+				"sum":   m.hist.Sum(),
+				"max":   m.hist.Max(),
+			}
+		case kindSampleFunc:
+			sub := make(map[string]float64)
+			for _, s := range m.samples() {
+				key := formatLabels(s.Labels)
+				if key == "" {
+					key = "total"
+				}
+				sub[key] = s.Value
+			}
+			out[m.name] = sub
+		}
+	}
+	return out
+}
+
+// SortSamples orders samples by their label string for deterministic output.
+func SortSamples(samples []Sample) []Sample {
+	sort.Slice(samples, func(i, j int) bool {
+		return formatLabels(samples[i].Labels) < formatLabels(samples[j].Labels)
+	})
+	return samples
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"recstep/internal/obs/obstest"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenRegistry builds a registry with one metric of every kind and fixed
+// values, so its Prometheus rendering is byte-for-byte deterministic.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests handled since start.")
+	c.Add(42)
+	g := reg.Gauge("test_live_bytes", "Bytes currently live.")
+	g.Set(1 << 20)
+	reg.RegisterGaugeFunc("test_budget_ratio", "Fraction of the budget in use.", func() float64 { return 0.25 })
+	h := reg.Histogram("test_batch_rows", "Rows per batch.")
+	for _, v := range []int64{0, 1, 1, 5, 900, 1023, 1024, -3} {
+		h.Observe(v)
+	}
+	reg.RegisterSampleFunc("test_phase_seconds_total", "Per-phase seconds.", "counter", func() []Sample {
+		return SortSamples([]Sample{
+			{Labels: []LabelPair{{Key: "phase", Value: "probe"}}, Value: 0.25},
+			{Labels: []LabelPair{{Key: "phase", Value: "build"}}, Value: 1.5},
+		})
+	})
+	return reg
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus output drifted from golden (rerun with -update to accept):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPrometheusTextWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	obstest.CheckPrometheusText(t, buf.String())
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 10 {
+		t.Errorf("Count = %d, want 10", got)
+	}
+	// -5 clamps to 0.
+	if got := h.Sum(); got != 0+1+2+3+4+7+8+1023+1024 {
+		t.Errorf("Sum = %d", got)
+	}
+	if got := h.Max(); got != 2047 {
+		t.Errorf("Max = %d, want 2047 (1024 lands in the le=2047 bucket)", got)
+	}
+	var empty Histogram
+	if empty.Max() != 0 || empty.Count() != 0 {
+		t.Errorf("empty histogram: Max=%d Count=%d", empty.Max(), empty.Count())
+	}
+	var big Histogram
+	big.Observe(math.MaxInt64)
+	if got := big.Max(); got != math.MaxInt64 {
+		t.Errorf("Max after MaxInt64 observe = %d", got)
+	}
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	reg.RegisterHistogram("h", "h.", &h)
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`h_bucket{le="0"} 2`,     // 0 and clamped -5
+		`h_bucket{le="1"} 3`,     // +1
+		`h_bucket{le="3"} 5`,     // +2,3
+		`h_bucket{le="7"} 7`,     // +4,7
+		`h_bucket{le="15"} 8`,    // +8
+		`h_bucket{le="1023"} 9`,  // +1023
+		`h_bucket{le="2047"} 10`, // +1024
+		`h_bucket{le="+Inf"} 10`,
+		"h_sum 2072",
+		"h_count 10",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryReplacesByName(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("dup_total", "First binding.")
+	c1.Add(5)
+	c2 := reg.Counter("dup_total", "Second binding.")
+	c2.Add(7)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE dup_total") != 1 {
+		t.Errorf("replacement produced duplicate families:\n%s", out)
+	}
+	if !strings.Contains(out, "dup_total 7\n") {
+		t.Errorf("latest binding should win:\n%s", out)
+	}
+}
+
+// TestRegistryConcurrent hammers every update path while two scrapers render
+// continuously; run under -race this is the registry's thread-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("conc_total", "c.")
+	g := reg.Gauge("conc_gauge", "g.")
+	h := reg.Histogram("conc_hist", "h.")
+	reg.RegisterGaugeFunc("conc_fn", "fn.", func() float64 { return float64(c.Load()) })
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				g.Set(int64(i))
+				h.Observe(int64(i % 4096))
+				if i%500 == 0 {
+					// Concurrent re-registration must not race rendering.
+					reg.RegisterGauge("conc_gauge", "g.", g)
+				}
+			}
+		}(w)
+	}
+	var scr sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scr.Add(1)
+		go func() {
+			defer scr.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := reg.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scr.Wait()
+
+	if got := c.Load(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestPhaseTimersAndSnapshot(t *testing.T) {
+	var pt PhaseTimers
+	pt.Add(PhaseBuild, 100)
+	pt.Add(PhaseProbe, 250)
+	pt.Add(PhaseBuild, 50)
+	pt.Add(Phase(-1), 999) // out of range: ignored
+	s := pt.Snapshot()
+	if s[PhaseBuild] != 150 || s[PhaseProbe] != 250 {
+		t.Errorf("snapshot = %v", s)
+	}
+	if s.Total() != 400 {
+		t.Errorf("Total = %v", s.Total())
+	}
+	base := s
+	pt.Add(PhaseProbe, 100)
+	d := pt.Snapshot().Sub(base)
+	if d[PhaseProbe] != 100 || d[PhaseBuild] != 0 {
+		t.Errorf("Sub = %v", d)
+	}
+	m := d.Map()
+	if len(m) != 1 || m["probe"] != 100 {
+		t.Errorf("Map = %v", m)
+	}
+}
+
+func TestObserverDefaults(t *testing.T) {
+	o := New()
+	if o.Reg == nil || o.Exec == nil {
+		t.Fatal("New left Reg/Exec nil")
+	}
+	if o.Tracer.Enabled() {
+		t.Error("tracer should default off")
+	}
+	o.WithTracer(16)
+	if !o.Tracer.Enabled() {
+		t.Error("WithTracer should enable tracing")
+	}
+	var buf bytes.Buffer
+	if err := o.Reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"recstep_phase_seconds_total", "recstep_batch_rows", "recstep_gscht_chain_length", "recstep_delta_partition_rows"} {
+		if !strings.Contains(buf.String(), "# TYPE "+fam) {
+			t.Errorf("exec metrics missing family %s", fam)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package obstest holds test assertions over observability output, shared by
+// the obs unit tests and the engine integration tests. It deliberately does
+// not import package obs, so in-package obs tests can use it without an
+// import cycle.
+package obstest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// metricLine matches one Prometheus 0.0.4 sample line:
+// name{label="value",...} value
+var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$`)
+
+// CheckPrometheusText asserts every line of a text exposition is either a
+// well-formed # HELP / # TYPE comment or a well-formed sample line.
+func CheckPrometheusText(t testing.TB, text string) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !metricLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+// RequireFamilies asserts that the exposition declares a # TYPE line for
+// every named metric family.
+func RequireFamilies(t testing.TB, text string, families ...string) {
+	t.Helper()
+	for _, fam := range families {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("exposition is missing metric family %s", fam)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"time"
+)
+
+// Phase names the work categories inside a fixpoint step that the tracer and
+// the phase timers attribute wall time to — the same decomposition the
+// paper's iteration-time breakdowns use.
+type Phase int
+
+const (
+	// PhaseScatter is radix-partitioning a relation by join keys.
+	PhaseScatter Phase = iota
+	// PhaseBuild is building per-partition hash tables for a join.
+	PhaseBuild
+	// PhaseProbe is streaming probe blocks through the hash tables.
+	PhaseProbe
+	// PhaseDelta is diff/dedup: the fused delta step or the staged
+	// dedup+set-difference pipeline that turns tmp into ∆.
+	PhaseDelta
+	// PhaseAggregate is grouped aggregation over join output.
+	PhaseAggregate
+	// PhaseSpill is writing cold partitions out under memory pressure.
+	PhaseSpill
+	// PhaseFault is reading spilled partitions back in on demand.
+	PhaseFault
+	// PhaseLeapfrog is the worst-case-optimal join for cyclic rule bodies.
+	PhaseLeapfrog
+
+	numPhases int = iota
+)
+
+var phaseNames = [numPhases]string{
+	"scatter", "build", "probe", "delta", "aggregate", "spill", "fault", "leapfrog",
+}
+
+// String returns the lower-case phase name used in metric labels and traces.
+func (p Phase) String() string {
+	if p < 0 || int(p) >= numPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// Phases lists all phases in declaration order.
+func Phases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// PhaseTimers accumulates nanoseconds per phase. Adds are single atomic
+// increments, so pool workers on different partitions update concurrently
+// without contention beyond the cache line.
+type PhaseTimers struct {
+	nanos [numPhases]Counter
+}
+
+// Add attributes d of wall time to phase p.
+func (t *PhaseTimers) Add(p Phase, d time.Duration) {
+	if p < 0 || int(p) >= numPhases {
+		return
+	}
+	t.nanos[p].Add(int64(d))
+}
+
+// PhaseSnapshot is a point-in-time copy of accumulated per-phase durations.
+type PhaseSnapshot [numPhases]time.Duration
+
+// Snapshot copies the current per-phase totals.
+func (t *PhaseTimers) Snapshot() PhaseSnapshot {
+	var s PhaseSnapshot
+	for i := range s {
+		s[i] = time.Duration(t.nanos[i].Load())
+	}
+	return s
+}
+
+// Sub returns the per-phase difference s - prev (for per-step attribution).
+func (s PhaseSnapshot) Sub(prev PhaseSnapshot) PhaseSnapshot {
+	var out PhaseSnapshot
+	for i := range s {
+		out[i] = s[i] - prev[i]
+	}
+	return out
+}
+
+// Total sums all phases.
+func (s PhaseSnapshot) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	return sum
+}
+
+// Map returns the snapshot keyed by phase name, omitting zero phases.
+func (s PhaseSnapshot) Map() map[string]time.Duration {
+	out := make(map[string]time.Duration, numPhases)
+	for i, d := range s {
+		if d != 0 {
+			out[Phase(i).String()] = d
+		}
+	}
+	return out
+}
+
+// register exposes the timers as a labeled seconds-counter family.
+func (t *PhaseTimers) register(reg *Registry) {
+	reg.RegisterSampleFunc("recstep_phase_seconds_total",
+		"Wall time attributed to each fixpoint phase across all pool workers.",
+		"counter", func() []Sample {
+			out := make([]Sample, 0, numPhases)
+			for i := 0; i < numPhases; i++ {
+				out = append(out, Sample{
+					Labels: []LabelPair{{Key: "phase", Value: Phase(i).String()}},
+					Value:  time.Duration(t.nanos[i].Load()).Seconds(),
+				})
+			}
+			return out
+		})
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Step identifies where in the fixpoint a span happened. The engine updates
+// it before each evaluation step; worker spans copy the current value.
+type Step struct {
+	Stratum   int
+	Iteration int
+	Pred      string
+}
+
+// TraceEvent is one Chrome trace-event ("X" complete event). Timestamps and
+// durations are microseconds, per the trace-event format consumed by
+// Perfetto and chrome://tracing.
+type TraceEvent struct {
+	Name string    `json:"name"`
+	Cat  string    `json:"cat,omitempty"`
+	Ph   string    `json:"ph"`
+	TS   float64   `json:"ts"`
+	Dur  float64   `json:"dur"`
+	PID  int       `json:"pid"`
+	TID  int       `json:"tid"`
+	Args traceArgs `json:"args"`
+}
+
+type traceArgs struct {
+	Stratum   int    `json:"stratum"`
+	Iteration int    `json:"iteration"`
+	Pred      string `json:"pred,omitempty"`
+	Partition int    `json:"partition"`
+}
+
+// DefaultMaxEvents bounds a trace buffer; past it new events are dropped and
+// counted, so a pathological fixpoint cannot eat the heap.
+const DefaultMaxEvents = 1 << 20
+
+// Tracer collects complete-events for a run. A nil *Tracer is inert: every
+// method is safe to call and does nothing, so call sites don't need guards.
+//
+// Lane (tid) convention: tid 0 is the engine lane, carrying stratum /
+// iteration / step spans the engine emits serially (so they nest properly);
+// tid 1+p is partition lane p, carrying the per-partition phase spans pool
+// workers emit concurrently.
+type Tracer struct {
+	start   time.Time
+	max     int
+	dropped atomic.Int64
+
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTracer returns a tracer buffering at most maxEvents events
+// (DefaultMaxEvents if maxEvents <= 0).
+func NewTracer(maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Tracer{start: time.Now(), max: maxEvents}
+}
+
+// Enabled reports whether spans should be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Dropped returns how many events were discarded after the buffer filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Complete records a finished span that started at t0 and ran for d.
+func (t *Tracer) Complete(name string, tid int, t0 time.Time, d time.Duration, step Step, part int) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{
+		Name: name,
+		Cat:  "fixpoint",
+		Ph:   "X",
+		TS:   float64(t0.Sub(t.start)) / float64(time.Microsecond),
+		Dur:  float64(d) / float64(time.Microsecond),
+		PID:  1,
+		TID:  tid,
+		Args: traceArgs{Stratum: step.Stratum, Iteration: step.Iteration, Pred: step.Pred, Partition: part},
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Span starts a span and returns the func that ends and records it.
+func (t *Tracer) Span(name string, tid int, step Step, part int) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { t.Complete(name, tid, t0, time.Since(t0), step, part) }
+}
+
+// Events returns a copy of the recorded events sorted by start time (ties:
+// longer span first, so a parent precedes the children it encloses).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Dur > out[j].Dur
+	})
+	return out
+}
+
+// Write emits the trace as a JSON object with a traceEvents array — the
+// Chrome trace-event format Perfetto loads directly.
+func (t *Tracer) Write(w io.Writer) error {
+	doc := struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		Meta        struct {
+			Dropped int64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}{TraceEvents: t.Events()}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []TraceEvent{}
+	}
+	doc.Meta.Dropped = t.Dropped()
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteFile writes the trace JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Complete("x", 0, time.Now(), time.Millisecond, Step{}, -1)
+	tr.Span("y", 1, Step{}, 0)()
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer recorded something")
+	}
+}
+
+func TestTracerDropsPastMax(t *testing.T) {
+	tr := NewTracer(2)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		tr.Complete("e", 0, base, time.Millisecond, Step{}, -1)
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Errorf("kept %d events, want 2", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+}
+
+// TestTraceWellFormed builds an engine-lane hierarchy the way the fixpoint
+// emits it (stratum ⊃ iteration ⊃ step ⊃ phase) plus concurrent partition-
+// lane spans, then asserts the written JSON parses, timestamps come out
+// monotonic, and the engine lane nests properly.
+func TestTraceWellFormed(t *testing.T) {
+	tr := NewTracer(0)
+	base := time.Now()
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	step := Step{Stratum: 0, Iteration: 1, Pred: "tc"}
+
+	// Emitted out of order on purpose: Events() must sort them back.
+	tr.Complete("probe", 0, at(12), ms(3), step, -1)
+	tr.Complete("stratum", 0, at(0), ms(40), Step{Stratum: 0}, -1)
+	tr.Complete("iteration", 0, at(10), ms(25), Step{Stratum: 0, Iteration: 1}, -1)
+	tr.Complete("tc", 0, at(11), ms(20), step, -1)
+	tr.Complete("delta", 0, at(16), ms(10), step, -1)
+	// Partition lanes overlap each other freely.
+	tr.Complete("delta", 1, at(16), ms(9), step, 0)
+	tr.Complete("delta", 2, at(16), ms(8), step, 1)
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		Other       struct {
+			Dropped int64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("got %d events, want 7", len(doc.TraceEvents))
+	}
+
+	prev := -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has ph %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS < prev {
+			t.Errorf("timestamps not monotonic at %q: %v < %v", ev.Name, ev.TS, prev)
+		}
+		prev = ev.TS
+		if ev.Dur < 0 {
+			t.Errorf("negative duration on %q", ev.Name)
+		}
+	}
+
+	// Engine lane (tid 0) must nest: each span either fits inside the open
+	// span or starts after it ends — never partially overlaps.
+	const slack = 1.0 // µs: float round-off headroom
+	var stack []TraceEvent
+	for _, ev := range doc.TraceEvents {
+		if ev.TID != 0 {
+			continue
+		}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if ev.TS+slack >= top.TS+top.Dur {
+				stack = stack[:len(stack)-1] // sibling after top closed
+				continue
+			}
+			if ev.TS+ev.Dur > top.TS+top.Dur+slack {
+				t.Errorf("engine-lane span %q [%v,%v] partially overlaps %q [%v,%v]",
+					ev.Name, ev.TS, ev.TS+ev.Dur, top.Name, top.TS, top.TS+top.Dur)
+			}
+			break
+		}
+		stack = append(stack, ev)
+	}
+
+	// Args carry the fixpoint coordinates Perfetto shows on click.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "tc" && ev.TID == 0 {
+			found = true
+			if ev.Args.Stratum != 0 || ev.Args.Iteration != 1 || ev.Args.Pred != "tc" || ev.Args.Partition != -1 {
+				t.Errorf("step span args = %+v", ev.Args)
+			}
+		}
+	}
+	if !found {
+		t.Error("step span missing")
+	}
+}
+
+func TestTraceWriteFileEmpty(t *testing.T) {
+	tr := NewTracer(0)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Errorf("traceEvents should be an empty array, got %v", doc["traceEvents"])
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(0)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				tr.Span("delta", 1+w, Step{Iteration: i}, w)()
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := len(tr.Events()); got != 2000 {
+		t.Errorf("recorded %d events, want 2000", got)
+	}
+}

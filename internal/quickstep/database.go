@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/expr"
 	"recstep/internal/quickstep/memory"
@@ -83,6 +84,11 @@ type Options struct {
 	// leapfrog worst-case-optimal multi-way join instead of any pairwise
 	// chain. False is the -wcoj=false ablation.
 	WCOJ bool
+	// Obs, when set, wires the database's counters (copy accounting, memory
+	// gauges, query/peak gauges) onto the observer's registry and installs
+	// its exec metrics + tracer on the worker pool and memory manager. Nil
+	// disables per-phase attribution entirely (the -obs=false ablation).
+	Obs *obs.Observer
 }
 
 // PlanChoice records the join plan the optimizer picked for one branch: the
@@ -192,6 +198,20 @@ func Open(opts Options) (*Database, error) {
 	}
 	db.pool.SetAlloc(db.mem)
 	db.pool.SetBatch(opts.Columnar)
+	if ob := opts.Obs; ob != nil {
+		db.pool.SetObs(ob.Exec, ob.Tracer)
+		db.mem.SetObs(ob.Exec, ob.Tracer, db.pool.CurrentStep)
+		if ob.Reg != nil {
+			db.pool.Copy.Register(ob.Reg)
+			db.mem.RegisterMetrics(ob.Reg)
+			ob.Reg.RegisterGaugeFunc("recstep_queries_total",
+				"SQL-equivalent queries issued against the database.",
+				func() float64 { return float64(db.queries.Load()) })
+			ob.Reg.RegisterGaugeFunc("recstep_peak_join_intermediate_rows",
+				"Largest non-final join-intermediate cardinality materialized so far.",
+				func() float64 { return float64(db.PeakJoinIntermediate()) })
+		}
+	}
 	if !opts.DisableIO {
 		m, err := txn.NewManager(opts.EOST, opts.SpillDir)
 		if err != nil {
@@ -218,6 +238,18 @@ func (db *Database) Catalog() *storage.Catalog { return db.cat }
 
 // Pool exposes the worker pool (metrics sampling reads busy counts from it).
 func (db *Database) Pool() *exec.Pool { return db.pool }
+
+// Observer returns the observer wired at Open (nil when observability is
+// off). OnDB consumers use it to reach the same registry and tracer the
+// engine's own counters live on.
+func (db *Database) Observer() *obs.Observer { return db.opts.Obs }
+
+// SetStep publishes the fixpoint position (stratum, iteration, predicate)
+// that subsequent phase spans — pool workers and spill/fault passes — are
+// attributed to. The engine calls it before each evaluation step.
+func (db *Database) SetStep(stratum, iteration int, pred string) {
+	db.pool.SetStep(stratum, iteration, pred)
+}
 
 // Mem exposes the memory manager owning all tuple-block storage.
 func (db *Database) Mem() *memory.Manager { return db.mem }

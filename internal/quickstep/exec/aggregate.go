@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/expr"
 	"recstep/internal/quickstep/storage"
 )
@@ -161,6 +162,7 @@ func HashAggregate(pool *Pool, in *storage.Relation, groupBy []int, aggs []AggSp
 	if len(aggs) == 0 {
 		panic("exec: HashAggregate requires at least one aggregate")
 	}
+	defer pool.phase(obs.PhaseAggregate, -1)()
 	blocks := in.Blocks()
 	workers := pool.Workers()
 	partials := make([]map[string]*groupState, workers)
@@ -222,6 +224,7 @@ func HashAggregatePartitioned(pool *Pool, in *storage.Relation, groupBy []int, a
 	view := PartitionRelation(pool, in, groupBy, parts)
 	col := newCollector(pool, storage.CatIntermediate, len(groupBy)+len(aggs), parts)
 	pool.RunPartitions(parts, func(p int) {
+		defer pool.phase(obs.PhaseAggregate, p)()
 		local := make(map[string]*groupState)
 		keyBuf := make([]byte, 4*len(groupBy))
 		accumulateBlocks(view.Blocks(p), groupBy, aggs, local, keyBuf)

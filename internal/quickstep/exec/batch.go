@@ -292,7 +292,7 @@ func batchIntersect(bset, inter *tupleSet, blocks []*storage.Block, arity int, a
 // one partition: deltaPartition's semantics, kernel-at-a-time. lc is the
 // pass-private lifecycle (a per-worker magazine under a managed pool), emit
 // receives row-major runs of accepted ∆R rows.
-func deltaPartitionBatch(lc storage.Lifecycle, tmpBlocks, rBlocks []*storage.Block, tmpRows, rRows int, algo DiffAlgorithm, arity, estDistinct int, emit func(rows []int32)) {
+func deltaPartitionBatch(pool *Pool, lc storage.Lifecycle, tmpBlocks, rBlocks []*storage.Block, tmpRows, rRows int, algo DiffAlgorithm, arity, estDistinct int, emit func(rows []int32)) {
 	if tmpRows == 0 {
 		return
 	}
@@ -303,6 +303,7 @@ func deltaPartitionBatch(lc storage.Lifecycle, tmpBlocks, rBlocks []*storage.Blo
 		// Nothing to subtract: the pass degenerates to pure dedup.
 		set := newTupleSet(lc, arity, estDistinct)
 		batchInsertBlocks(set, tmpBlocks, arity, &ar, true, false, buf, emit)
+		pool.observeChains(set)
 		set.release()
 		return
 	}
@@ -316,6 +317,7 @@ func deltaPartitionBatch(lc storage.Lifecycle, tmpBlocks, rBlocks []*storage.Blo
 		})
 		inter := newTupleSet(lc, arity, min(len(cand)/arity, rRows))
 		batchIntersect(dset, inter, rBlocks, arity, &ar, true, true, buf)
+		pool.observeChains(dset)
 		dset.release()
 		batchAntiProbeRows(inter, cand, arity, buf, emit)
 		inter.release()
@@ -328,6 +330,7 @@ func deltaPartitionBatch(lc storage.Lifecycle, tmpBlocks, rBlocks []*storage.Blo
 	set := newTupleSet(lc, arity, rRows+estDistinct)
 	batchBuildBlocks(set, rBlocks, arity, &ar, true, buf)
 	batchInsertBlocks(set, tmpBlocks, arity, &ar, true, false, buf, emit)
+	pool.observeChains(set)
 	set.release()
 }
 
@@ -359,6 +362,7 @@ func deltaSharedBatch(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorith
 	case rRows == 0:
 		set := newTupleSet(pool.alloc, arity, estDistinct)
 		out := dedupEmit(set)
+		pool.observeChains(set)
 		set.release()
 		return out
 	case algo == TPSD && tmpRows < rRows:
@@ -379,6 +383,7 @@ func deltaSharedBatch(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorith
 			var ar setArena
 			batchIntersect(dset, inter, rBlocks[task:task+1], arity, &ar, local, true, buf)
 		})
+		pool.observeChains(dset)
 		dset.release()
 		out := antiProbe(pool, cand, inter, outName)
 		inter.release()
@@ -400,6 +405,7 @@ func deltaSharedBatch(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorith
 			}
 		})
 		out := dedupEmit(set)
+		pool.observeChains(set)
 		set.release()
 		return out
 	}
@@ -469,6 +475,7 @@ func batchSelectProject(pool *Pool, col *collector, blocks []*storage.Block, pre
 		if n == 0 {
 			return
 		}
+		pool.observeBatch(n)
 		projCols := buf.cols[:0]
 		for _, c := range idx {
 			projCols = append(projCols, b.Col(c))

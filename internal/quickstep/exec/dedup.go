@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/gscht"
 	"recstep/internal/quickstep/storage"
 )
@@ -83,6 +84,28 @@ func (s *tupleSet) release() {
 	}
 }
 
+// chainSampleBuckets caps how many buckets a chain-length observation scans
+// per table, and chainSampleEvery thins the releases that get scanned at
+// all. Both exist for the same reason: a chain scan is a dependent-load walk
+// over the node arena, and with hundreds of per-partition releases per
+// iteration an every-release scan alone blows the ≤2% observability budget
+// benchobs enforces.
+const (
+	chainSampleBuckets = 1024
+	chainSampleEvery   = 16
+)
+
+// observeChains samples the set's GSCHT bucket chain lengths into h. Called
+// at release time (quiescent table); generic-map sets have no chains.
+func (s *tupleSet) observeChains(h *obs.Histogram) {
+	switch {
+	case s.t64 != nil:
+		s.t64.ObserveChains(chainSampleBuckets, func(n int) { h.Observe(int64(n)) })
+	case s.t128 != nil:
+		s.t128.ObserveChains(chainSampleBuckets, func(n int) { h.Observe(int64(n)) })
+	}
+}
+
 func (s *tupleSet) insert(row []int32, ar *setArena) bool {
 	switch {
 	case s.t64 != nil:
@@ -151,6 +174,7 @@ func Dedup(pool *Pool, in *storage.Relation, strategy DedupStrategy, estDistinct
 			batchInsertBlocks(set, blocks[task:task+1], arity, &ar, false, false, buf, col.sinkBulk(task))
 		})
 		out := col.into(outName, in.ColNames())
+		pool.observeChains(set)
 		set.release()
 		return out
 	}
@@ -167,6 +191,7 @@ func Dedup(pool *Pool, in *storage.Relation, strategy DedupStrategy, estDistinct
 		}
 	})
 	out := col.into(outName, in.ColNames())
+	pool.observeChains(set)
 	set.release()
 	return out
 }

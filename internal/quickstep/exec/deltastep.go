@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/storage"
 )
 
@@ -102,11 +103,19 @@ func deltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, part
 	}
 	batch := pool.batch && arity <= 4
 	pool.RunPartitions(parts, func(p int) {
+		defer pool.phase(obs.PhaseDelta, p)()
 		if batch {
 			// Batch route: kernel-at-a-time pass with a pass-private magazine
 			// lifecycle and bulk ∆R emission.
 			lc, done := pool.passAlloc()
 			emitBulk := col.sinkPartBulk(p, p)
+			if pool.om != nil {
+				// Count accepted ∆ rows for the per-partition skew histogram.
+				prim := emitBulk
+				accepted := 0
+				emitBulk = func(rows []int32) { accepted += len(rows) / arity; prim(rows) }
+				defer func() { pool.om.DeltaPartRows.Observe(int64(accepted)) }()
+			}
 			if useSec {
 				// Dual route: the accepted run lands in its primary partition
 				// block in bulk, then each row routes through a pass-private
@@ -121,13 +130,19 @@ func deltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, part
 				}
 				defer func() { secOut[p] = w.out }()
 			}
-			deltaPartitionBatch(lc, tv.Blocks(p), rv.Blocks(p), tv.Rows(p), rv.Rows(p),
+			deltaPartitionBatch(pool, lc, tv.Blocks(p), rv.Blocks(p), tv.Rows(p), rv.Rows(p),
 				algo, arity, estPart, emitBulk)
 			done()
 			rv.Cool(p)
 			return
 		}
 		emit := col.sinkPart(p, p)
+		if pool.om != nil {
+			prim := emit
+			accepted := 0
+			emit = func(row []int32) { accepted++; prim(row) }
+			defer func() { pool.om.DeltaPartRows.Observe(int64(accepted)) }()
+		}
 		if useSec {
 			// Dual route: the same accepted row lands in its primary
 			// partition block and, via a pass-private writer, in its
@@ -175,6 +190,7 @@ func deltaStep(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, part
 // parallelism off — the staged pipeline this replaces ran its dedup and
 // anti-probe concurrently, so the fused fallback does too.
 func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, arity, estDistinct int, outName string) *storage.Relation {
+	defer pool.phase(obs.PhaseDelta, -1)()
 	if pool.batch && arity <= 4 {
 		return deltaSharedBatch(pool, tmp, full, algo, arity, estDistinct, outName)
 	}
@@ -207,6 +223,7 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 	case rRows == 0:
 		set := newTupleSet(pool.alloc, arity, estDistinct)
 		out := dedupEmit(set)
+		pool.observeChains(set)
 		set.release()
 		return out
 	case algo == TPSD && tmpRows < rRows:
@@ -241,6 +258,7 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 				}
 			}
 		})
+		pool.observeChains(dset)
 		dset.release()
 		out := antiProbe(pool, cand, inter, outName)
 		inter.release()
@@ -260,6 +278,7 @@ func deltaShared(pool *Pool, tmp, full *storage.Relation, algo DiffAlgorithm, ar
 			}
 		})
 		out := dedupEmit(set)
+		pool.observeChains(set)
 		set.release()
 		return out
 	}
@@ -285,6 +304,7 @@ func deltaPartition(pool *Pool, tmpBlocks, rBlocks []*storage.Block, tmpRows, rR
 				}
 			}
 		}
+		pool.observeChains(set)
 		set.release()
 		return
 	}
@@ -310,6 +330,7 @@ func deltaPartition(pool *Pool, tmpBlocks, rBlocks []*storage.Block, tmpRows, rR
 				}
 			}
 		}
+		pool.observeChains(dset)
 		dset.release()
 		for off := 0; off < len(cand); off += arity {
 			row := cand[off : off+arity]
@@ -337,5 +358,6 @@ func deltaPartition(pool *Pool, tmpBlocks, rBlocks []*storage.Block, tmpRows, rR
 			}
 		}
 	}
+	pool.observeChains(set)
 	set.release()
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/expr"
 	"recstep/internal/quickstep/gscht"
 	"recstep/internal/quickstep/storage"
@@ -214,6 +215,7 @@ type joinTable struct {
 func buildJoinTable(pool *Pool, r *storage.Relation, keys []int, parts int, serial bool) *joinTable {
 	parts = storage.NormalizePartitions(parts)
 	if serial || parts <= 1 {
+		defer pool.phase(obs.PhaseBuild, -1)()
 		return &joinTable{parts: 1, single: buildHash(r, keys)}
 	}
 	view, scattered := partitionRelation(pool, r, keys, parts, false)
@@ -226,6 +228,7 @@ func buildJoinTable(pool *Pool, r *storage.Relation, keys []int, parts int, seri
 	jt := &joinTable{parts: parts, tables: make([]*buildTable, parts)}
 	arity := r.Arity()
 	pool.RunPartitions(parts, func(p int) {
+		defer pool.phase(obs.PhaseBuild, p)()
 		jt.tables[p] = buildHashBlocks(view.Blocks(p), arity, view.Rows(p), keys)
 	})
 	return jt
@@ -270,7 +273,9 @@ func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage
 	blocks := probe.Blocks()
 	col := outCollector(pool, spec.OutPartitioning, len(spec.Projs), len(blocks))
 	batchProbe := pool.batch && len(probeKeys) <= 4
+	endProbe := pool.phase(obs.PhaseProbe, -1)
 	scatterRun(pool, col, blocks, func(b *storage.Block, emit func(row []int32)) {
+		pool.observeBatch(b.Rows())
 		combined := make([]int32, la+ra)
 		outRow := make([]int32, len(spec.Projs))
 		// expand materializes one probe row's matches: probe half laid in
@@ -320,6 +325,7 @@ func HashJoin(pool *Pool, left, right *storage.Relation, spec JoinSpec) *storage
 			expand(pr, bt, matches)
 		}
 	})
+	endProbe()
 	return col.into(spec.OutName, spec.OutCols)
 }
 
@@ -363,6 +369,7 @@ func AntiJoin(pool *Pool, left, right *storage.Relation, leftKeys, rightKeys []i
 	jt := buildJoinTable(pool, right, rightKeys, parts, false)
 	blocks := left.Blocks()
 	col := newCollector(pool, storage.CatIntermediate, len(projs), len(blocks))
+	endProbe := pool.phase(obs.PhaseProbe, -1)
 	pool.Run(len(blocks), func(task int) {
 		b := blocks[task]
 		emit := col.sink(task)
@@ -383,5 +390,6 @@ func AntiJoin(pool *Pool, left, right *storage.Relation, leftKeys, rightKeys []i
 			emit(outRow)
 		}
 	})
+	endProbe()
 	return col.into(outName, outCols)
 }

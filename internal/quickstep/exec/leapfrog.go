@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/expr"
 	"recstep/internal/quickstep/storage"
 )
@@ -232,6 +233,7 @@ func (r *lfRun) enumerate(d int, minX, maxX int64) {
 // variable's value range across workers; each worker enumerates its slice
 // with private range stacks over the shared read-only indexes.
 func LeapfrogJoin(pool *Pool, spec LeapfrogSpec) *storage.Relation {
+	defer pool.phase(obs.PhaseLeapfrog, -1)()
 	numVars := len(spec.VarOrder)
 	depthOf := make(map[int]int, numVars)
 	for d, v := range spec.VarOrder {

@@ -3,6 +3,7 @@ package exec
 import (
 	"sync/atomic"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/storage"
 )
 
@@ -67,6 +68,7 @@ func partitionRelation(pool *Pool, r *storage.Relation, keyCols []int, parts int
 // mutation generation observed *before* the snapshot, for the gen-guarded
 // store protocols.
 func scatterView(pool *Pool, r *storage.Relation, keyCols []int, parts int) (*storage.PartitionedView, uint64) {
+	defer pool.phase(obs.PhaseScatter, -1)()
 	gen := r.Generation()
 	arity := r.Arity()
 	blocks := r.Blocks()

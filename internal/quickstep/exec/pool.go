@@ -9,9 +9,12 @@ package exec
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/storage"
 )
 
@@ -20,32 +23,35 @@ import (
 // refactor's win (fewer materializations per fixpoint iteration) is directly
 // measurable. One instance lives on each Pool; operators update it with
 // per-operator totals (never per-tuple atomics).
+// The fields are obs.Counter (which embeds atomic.Int64, so update sites
+// are unchanged) and can be registered on a metrics registry via Register,
+// making the same atomics scrapeable mid-fixpoint.
 type CopyCounters struct {
 	// Scattered counts tuples copied into radix-partition blocks — by the
 	// standalone scatter (PartitionRelation) or by an operator emitting its
 	// output pre-partitioned for the next consumer.
-	Scattered atomic.Int64
+	Scattered obs.Counter
 	// Adopted counts tuples installed into a destination relation by block
 	// adoption, without copying tuple data.
-	Adopted atomic.Int64
+	Adopted obs.Counter
 	// FlatMats counts flat (unpartitioned) materializations of delta-pipeline
 	// intermediates: a dedup output (rdelta) or a tmp table whose producer
 	// could not honour the requested output partitioning. The fused pipeline
 	// drives this to zero.
-	FlatMats atomic.Int64
+	FlatMats obs.Counter
 	// BuildScatters counts hash-join build sides that had to be scattered
 	// into radix partitions because no carried or cached view matched the
 	// join keys — the per-join re-partition pass the join-key-carried
 	// partitionings exist to eliminate.
-	BuildScatters atomic.Int64
+	BuildScatters obs.Counter
 	// BuildScattersAvoided counts hash-join builds served directly from a
 	// carried or cached partitioned view — zero tuples moved.
-	BuildScattersAvoided atomic.Int64
+	BuildScattersAvoided obs.Counter
 	// SecondaryScattered counts the subset of Scattered copied into
 	// *secondary* carried views — the extra per-iteration copy a
 	// conflicting-keyset predicate pays so both of its join shapes build
 	// scatter-free.
-	SecondaryScattered atomic.Int64
+	SecondaryScattered obs.Counter
 
 	// buildDetail breaks the build counters down by (relation, keyset) so
 	// the copy-accounting experiments can show exactly which predicate and
@@ -142,6 +148,44 @@ func (s CopySnapshot) Sub(o CopySnapshot) CopySnapshot {
 	return d
 }
 
+// Register exposes the copy-accounting counters on reg, including a labeled
+// breakdown of hash builds by (relation, keyset). Registration replaces any
+// prior binding, so re-opening a database against a long-lived registry
+// simply re-points the series at the new run's counters.
+func (c *CopyCounters) Register(reg *obs.Registry) {
+	reg.RegisterCounter("recstep_tuples_scattered_total",
+		"Tuples copied into radix-partition blocks by scatters and fused operator emits.", &c.Scattered)
+	reg.RegisterCounter("recstep_tuples_adopted_total",
+		"Tuples installed into destination relations by block adoption (no copy).", &c.Adopted)
+	reg.RegisterCounter("recstep_flat_materializations_total",
+		"Flat (unpartitioned) materializations of delta-pipeline intermediates.", &c.FlatMats)
+	reg.RegisterCounter("recstep_join_build_scatters_total",
+		"Hash-join builds that paid a scatter pass (no carried/cached view matched).", &c.BuildScatters)
+	reg.RegisterCounter("recstep_join_build_scatters_avoided_total",
+		"Hash-join builds served in place from a carried or cached partitioned view.", &c.BuildScattersAvoided)
+	reg.RegisterCounter("recstep_secondary_tuples_scattered_total",
+		"Tuples copied into secondary carried views for conflicting-keyset predicates.", &c.SecondaryScattered)
+	reg.RegisterSampleFunc("recstep_join_builds_total",
+		"Partitioned hash builds by (relation,keyset) build key and kind (scatter vs in_place).",
+		"counter", func() []obs.Sample {
+			c.mu.Lock()
+			keys := make([]string, 0, len(c.buildDetail))
+			for k := range c.buildDetail {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			out := make([]obs.Sample, 0, 2*len(keys))
+			for _, k := range keys {
+				bc := c.buildDetail[k]
+				out = append(out,
+					obs.Sample{Labels: []obs.LabelPair{{Key: "build", Value: k}, {Key: "kind", Value: "scatter"}}, Value: float64(bc.Scatters)},
+					obs.Sample{Labels: []obs.LabelPair{{Key: "build", Value: k}, {Key: "kind", Value: "in_place"}}, Value: float64(bc.InPlace)})
+			}
+			c.mu.Unlock()
+			return out
+		})
+}
+
 // Pool is a bounded worker pool for block-parallel operator execution. It
 // tracks how many workers are busy so the metrics sampler can report CPU
 // utilization the way the paper's Figures 7 and 16 do, and carries the
@@ -161,6 +205,18 @@ type Pool struct {
 	// batched GSCHT inserts/probes, bulk block emission, per-worker
 	// magazines). Off is the tuple-at-a-time row-layout ablation.
 	batch bool
+
+	// om/tracer, when set, receive per-phase wall-time attribution and
+	// distribution histograms from the operators running on this pool. Both
+	// nil (the -obs=false ablation) makes every phase() span a shared no-op.
+	om     *obs.ExecMetrics
+	tracer *obs.Tracer
+	// step is the engine-published fixpoint position (stratum, iteration,
+	// predicate) stamped onto trace spans recorded by pool workers.
+	step atomic.Pointer[obs.Step]
+	// chainTick throttles chain-length sampling to every
+	// chainSampleEvery-th dedup-set release.
+	chainTick atomic.Int64
 }
 
 // NewPool returns a pool with the given degree of parallelism; workers <= 0
@@ -188,6 +244,85 @@ func (p *Pool) SetBatch(on bool) { p.batch = on }
 
 // Batch reports whether batch kernels are enabled.
 func (p *Pool) Batch() bool { return p.batch }
+
+// SetObs installs the exec metrics and (optional) tracer the pool's phase
+// spans report to. Pass nil, nil to disable phase attribution entirely.
+func (p *Pool) SetObs(m *obs.ExecMetrics, t *obs.Tracer) {
+	p.om = m
+	p.tracer = t
+}
+
+// Obs returns the installed exec metrics (nil when observability is off).
+func (p *Pool) Obs() *obs.ExecMetrics { return p.om }
+
+// SetStep publishes the fixpoint position subsequent phase spans are
+// attributed to. The engine calls this before each evaluation step.
+func (p *Pool) SetStep(stratum, iteration int, pred string) {
+	p.step.Store(&obs.Step{Stratum: stratum, Iteration: iteration, Pred: pred})
+}
+
+// CurrentStep returns the last-published fixpoint position (zero before the
+// first SetStep). The memory manager uses it to stamp spill/fault spans.
+func (p *Pool) CurrentStep() obs.Step {
+	if s := p.step.Load(); s != nil {
+		return *s
+	}
+	return obs.Step{}
+}
+
+// noopEnd is the shared span terminator returned when observability is off,
+// so disabled spans cost one nil check and no closure allocation.
+var noopEnd = func() {}
+
+// phase opens a wall-time span attributed to ph. part >= 0 places the trace
+// span on that partition's lane (tid 1+part); part < 0 marks a whole-operator
+// span on the engine lane (tid 0). The returned func ends the span.
+func (p *Pool) phase(ph obs.Phase, part int) func() {
+	m, tr := p.om, p.tracer
+	if m == nil && tr == nil {
+		return noopEnd
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		if m != nil {
+			m.Phase.Add(ph, d)
+		}
+		if tr != nil {
+			var step obs.Step
+			if s := p.step.Load(); s != nil {
+				step = *s
+			}
+			tid := 0
+			if part >= 0 {
+				tid = 1 + part
+			}
+			tr.Complete(ph.String(), tid, t0, d, step, part)
+		}
+	}
+}
+
+// observeChains samples the released dedup set's hash-chain lengths into the
+// chain-length histogram (a no-op when observability is off). Call just
+// before releasing a GSCHT-backed tupleSet. Scans chase pointers across the
+// node arena, so only every chainSampleEvery-th release is scanned — the
+// benchobs budget (≤2% whole-fixpoint overhead) is the constraint here.
+func (p *Pool) observeChains(set *tupleSet) {
+	if p.om == nil || set == nil {
+		return
+	}
+	if p.chainTick.Add(1)%chainSampleEvery != 1 {
+		return
+	}
+	set.observeChains(&p.om.ChainLen)
+}
+
+// observeBatch records one batch kernel block of n rows.
+func (p *Pool) observeBatch(n int) {
+	if p.om != nil {
+		p.om.BatchRows.Observe(int64(n))
+	}
+}
 
 // passAlloc returns the lifecycle a pass-private structure (dedup table,
 // GSCHT node slabs) should allocate through, plus a release hook to call

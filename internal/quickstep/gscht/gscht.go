@@ -334,6 +334,40 @@ func (t *Table64) Release() {
 	t.mask = 0
 }
 
+// ObserveChains samples up to maxBuckets bucket chain lengths (stride
+// sampling over the bucket array) and reports each sampled length — empty
+// buckets included — through observe. The table must be quiescent (call at
+// release time, not mid-insert). Sampling keeps the cost bounded no matter
+// how large the table grew.
+func (t *Table64) ObserveChains(maxBuckets int, observe func(chainLen int)) {
+	stride := chainStride(len(t.buckets), maxBuckets)
+	if stride == 0 {
+		return
+	}
+	sp := t.spine()
+	for i := 0; i < len(t.buckets); i += stride {
+		n := t.buckets[i]
+		length := 0
+		for ; n != 0; length++ {
+			chunk, off := nodeAt64(sp, n-1)
+			n = chunk[off+2]
+		}
+		observe(length)
+	}
+}
+
+// chainStride picks the bucket-scan stride so at most maxBuckets buckets are
+// visited; 0 means nothing to scan.
+func chainStride(buckets, maxBuckets int) int {
+	if buckets == 0 {
+		return 0
+	}
+	if maxBuckets <= 0 || buckets <= maxBuckets {
+		return 1
+	}
+	return (buckets + maxBuckets - 1) / maxBuckets
+}
+
 // Arena128 is the per-worker allocation cursor for 128-bit chain nodes.
 type Arena128 struct {
 	owner *Table128
@@ -433,6 +467,23 @@ func (t *Table128) Contains(key Key128) bool {
 
 // Len returns the number of distinct keys inserted.
 func (t *Table128) Len() int { return int(t.size.Load()) }
+
+// ObserveChains is Table64.ObserveChains for 128-bit tables.
+func (t *Table128) ObserveChains(maxBuckets int, observe func(chainLen int)) {
+	stride := chainStride(len(t.buckets), maxBuckets)
+	if stride == 0 {
+		return
+	}
+	for i := 0; i < len(t.buckets); i += stride {
+		n := t.buckets[i]
+		length := 0
+		for ; n != 0; length++ {
+			chunk, off := t.node(n - 1)
+			n = chunk[off+4]
+		}
+		observe(length)
+	}
+}
 
 // Release returns the table's arrays to its lifecycle pool.
 func (t *Table128) Release() {

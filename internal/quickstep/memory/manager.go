@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"recstep/internal/obs"
 	"recstep/internal/quickstep/storage"
 	"recstep/internal/relio"
 )
@@ -40,30 +42,39 @@ type Manager struct {
 	shards [numShards]shard
 	rr     atomic.Uint32
 
+	// Gauges and counters use the obs types (which embed atomic.Int64, so
+	// every update site is a plain atomic op) and can be registered on a
+	// metrics registry via RegisterMetrics.
 	live      [storage.NumCategories]atomic.Int64
-	liveTotal atomic.Int64
-	peak      atomic.Int64
+	liveTotal obs.Gauge
+	peak      obs.Gauge
 
-	poolHits   atomic.Int64
-	poolMisses atomic.Int64
-	frees      atomic.Int64
+	poolHits   obs.Counter
+	poolMisses obs.Counter
+	frees      obs.Counter
 
 	// Shard-traffic and magazine counters. shardGets/shardPuts count free-list
 	// lock acquisitions (the contention the magazines exist to reduce);
 	// magHits counts allocations served from a magazine without touching a
 	// shard, magRefills the batched shard visits that restock them.
-	shardGets  atomic.Int64
-	shardPuts  atomic.Int64
-	magHits    atomic.Int64
-	magRefills atomic.Int64
+	shardGets  obs.Counter
+	shardPuts  obs.Counter
+	magHits    obs.Counter
+	magRefills obs.Counter
 
 	epoch          atomic.Int64
-	spills         atomic.Int64
-	faults         atomic.Int64
-	secondaryDrops atomic.Int64
-	spilledBytes   atomic.Int64
-	spilledNow     atomic.Int64
+	spills         obs.Counter
+	faults         obs.Counter
+	secondaryDrops obs.Counter
+	spilledBytes   obs.Counter
+	spilledNow     obs.Gauge
 	fileSeq        atomic.Int64
+
+	// obsExec/obsTracer/obsStep feed spill/fault phase attribution; all nil
+	// when observability is off.
+	obsExec   *obs.ExecMetrics
+	obsTracer *obs.Tracer
+	obsStep   func() obs.Step
 
 	dirOnce sync.Once
 	dirErr  error
@@ -96,6 +107,68 @@ func NewManager(cfg Config) *Manager {
 
 // Budget returns the configured byte budget (0 = unlimited).
 func (m *Manager) Budget() int64 { return m.budget }
+
+// SetObs installs the exec metrics and tracer spill/fault passes report to,
+// plus the step provider that stamps trace spans with the current fixpoint
+// position (all may be nil).
+func (m *Manager) SetObs(em *obs.ExecMetrics, tr *obs.Tracer, step func() obs.Step) {
+	m.obsExec = em
+	m.obsTracer = tr
+	m.obsStep = step
+}
+
+// phase opens a wall-time span for a spill or fault pass.
+func (m *Manager) phase(ph obs.Phase) func() {
+	em, tr := m.obsExec, m.obsTracer
+	if em == nil && tr == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		if em != nil {
+			em.Phase.Add(ph, d)
+		}
+		if tr != nil {
+			var step obs.Step
+			if m.obsStep != nil {
+				step = m.obsStep()
+			}
+			tr.Complete(ph.String(), 0, t0, d, step, -1)
+		}
+	}
+}
+
+// RegisterMetrics exposes the manager's gauges and counters on reg. Live
+// bytes are additionally broken down by block category.
+func (m *Manager) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterGauge("recstep_mem_live_bytes", "Live (allocated, unreleased) pool bytes across all categories.", &m.liveTotal)
+	reg.RegisterGauge("recstep_mem_peak_live_bytes", "Peak live pool bytes observed so far.", &m.peak)
+	reg.RegisterGaugeFunc("recstep_mem_budget_bytes", "Configured live-byte budget (0 = unlimited).", func() float64 { return float64(m.budget) })
+	reg.RegisterSampleFunc("recstep_mem_live_bytes_by_category", "Live pool bytes per block category.", "gauge", func() []obs.Sample {
+		out := make([]obs.Sample, 0, storage.NumCategories)
+		for c := range m.live {
+			out = append(out, obs.Sample{
+				Labels: []obs.LabelPair{{Key: "category", Value: storage.Category(c).String()}},
+				Value:  float64(m.live[c].Load()),
+			})
+		}
+		return out
+	})
+	reg.RegisterCounter("recstep_mem_pool_hits_total", "Block-array allocations served from the recycling pool.", &m.poolHits)
+	reg.RegisterCounter("recstep_mem_pool_misses_total", "Block-array allocations that fell through to the heap.", &m.poolMisses)
+	reg.RegisterCounter("recstep_mem_frees_total", "Block arrays returned to the pool.", &m.frees)
+	reg.RegisterCounter("recstep_mem_shard_gets_total", "Free-list shard lock acquisitions on the alloc path.", &m.shardGets)
+	reg.RegisterCounter("recstep_mem_shard_puts_total", "Free-list shard lock acquisitions on the free path.", &m.shardPuts)
+	reg.RegisterCounter("recstep_mem_magazine_hits_total", "Allocations served by a per-worker magazine with no shard traffic.", &m.magHits)
+	reg.RegisterCounter("recstep_mem_magazine_refills_total", "Batched shard visits that restocked or flushed a magazine.", &m.magRefills)
+	reg.RegisterCounter("recstep_mem_spills_total", "Cold partitions spilled to disk under budget pressure.", &m.spills)
+	reg.RegisterCounter("recstep_mem_faults_total", "Spilled partitions faulted back in on demand.", &m.faults)
+	reg.RegisterCounter("recstep_mem_secondary_drops_total", "Secondary carried views dropped under budget pressure.", &m.secondaryDrops)
+	reg.RegisterCounter("recstep_mem_spilled_bytes_total", "Cumulative bytes written to spill files.", &m.spilledBytes)
+	reg.RegisterGauge("recstep_mem_spilled_now_bytes", "Bytes currently held in spill files on disk.", &m.spilledNow)
+	reg.RegisterGaugeFunc("recstep_mem_epoch", "Current reclamation epoch (fixpoint iteration count).", func() float64 { return float64(m.epoch.Load()) })
+}
 
 // Headroom returns how many bytes remain under the budget; negative when
 // over, and a very large value when no budget is configured. The optimizer
@@ -321,6 +394,7 @@ func (m *Manager) reclaimTo(target int64) {
 // SpillBlocks implements storage.Pager: persist one partition's blocks to a
 // spill file.
 func (m *Manager) SpillBlocks(arity int, blocks []*storage.Block) (any, int64, error) {
+	defer m.phase(obs.PhaseSpill)()
 	dir, err := m.spillDir()
 	if err != nil {
 		return nil, 0, err
@@ -340,6 +414,7 @@ func (m *Manager) SpillBlocks(arity int, blocks []*storage.Block) (any, int64, e
 // FaultBlocks implements storage.Pager: restore a spilled partition,
 // allocating through lc, and discard the file.
 func (m *Manager) FaultBlocks(token any, lc storage.Lifecycle, cat storage.Category, arity int) ([]*storage.Block, error) {
+	defer m.phase(obs.PhaseFault)()
 	path := token.(string)
 	blocks, err := relio.ReadBlocksFile(path, lc, cat, arity)
 	if err != nil {
