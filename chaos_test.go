@@ -1,0 +1,231 @@
+package recstep
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"recstep/internal/core"
+	"recstep/internal/experiments"
+	"recstep/internal/faultinject"
+	"recstep/internal/programs"
+	"recstep/internal/quickstep/storage"
+)
+
+// chaosOpts is the shared configuration of the chaos suite: a real worker
+// pool, radix partitioning, and a budget tiny enough that every program
+// generates spill and fault traffic for the injector to bite on.
+func chaosOpts() core.Options {
+	opts := core.DefaultOptions()
+	opts.Workers = 4
+	opts.Partitions = 16
+	opts.MemBudgetBytes = 1 << 14
+	return opts
+}
+
+// chaosRun evaluates prog under opts and enforces the suite's global
+// invariants: the process never crashes (a panic escaping RunContext fails
+// the test), an aborted run still returns partial Stats, and teardown always
+// ends with zero live pooled bytes — no leaked blocks under any fault.
+func chaosRun(t *testing.T, opts core.Options, name string, edbs map[string]*storage.Relation) (*core.Result, error) {
+	t.Helper()
+	prog, err := programs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rerr := core.New(opts).RunContext(context.Background(), prog, edbs)
+	if rerr != nil {
+		if res == nil {
+			t.Fatalf("aborted run returned a nil Result alongside %v", rerr)
+		}
+		if res.Stats.Mem.LiveTotal != 0 {
+			t.Fatalf("aborted run leaked %d live pooled bytes (err: %v)", res.Stats.Mem.LiveTotal, rerr)
+		}
+	}
+	return res, rerr
+}
+
+// sortedOutputs flattens a result into comparable per-relation sorted rows.
+func sortedOutputs(res *core.Result) map[string][]int32 {
+	out := make(map[string][]int32, len(res.Relations))
+	for rel, r := range res.Relations {
+		out[rel] = r.SortedRows()
+	}
+	return out
+}
+
+// The chaos suite: every benchmark program is run under each fault scenario
+// with a spill-forcing budget. A scenario either completes with exactly the
+// clean run's tuples or returns an error — never a crash, never silent
+// corruption, never a leaked block.
+func TestChaosAcrossPrograms(t *testing.T) {
+	names := make([]string, 0, len(programs.ByName))
+	for name := range programs.ByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type scenario struct {
+		name string
+		inj  func() *faultinject.Injector
+		// mustFail marks scenarios whose fault, once fired, is fatal by
+		// design; they may still complete cleanly when the trigger is
+		// never reached (no spill traffic, short runs).
+		fatalSite faultinject.Site
+	}
+	scenarios := []scenario{
+		{
+			// Two transient write failures: absorbed by the retry loop, so
+			// the run MUST complete with correct results.
+			name: "spill-write-transient",
+			inj: func() *faultinject.Injector {
+				return faultinject.New(7).FailEvery(faultinject.SpillWrite, 2).Limit(faultinject.SpillWrite, 2)
+			},
+		},
+		{
+			// Every spill write fails: spilling parks and the engine
+			// degrades to in-memory operation — still correct results.
+			name: "spill-write-persistent",
+			inj: func() *faultinject.Injector {
+				return faultinject.New(7).FailEvery(faultinject.SpillWrite, 1)
+			},
+		},
+		{
+			name: "fault-read",
+			inj: func() *faultinject.Injector {
+				return faultinject.New(7).FailEvery(faultinject.FaultRead, 1)
+			},
+			fatalSite: faultinject.FaultRead,
+		},
+		{
+			name: "alloc",
+			inj: func() *faultinject.Injector {
+				return faultinject.New(7).FailNth(faultinject.Alloc, 100)
+			},
+			fatalSite: faultinject.Alloc,
+		},
+		{
+			name: "worker-panic",
+			inj: func() *faultinject.Injector {
+				return faultinject.New(7).FailNth(faultinject.WorkerPanic, 20)
+			},
+			fatalSite: faultinject.WorkerPanic,
+		},
+	}
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			edbs := experiments.PeakMemEDBs(name, 40)
+
+			clean := chaosOpts()
+			ref, err := chaosRun(t, clean, name, edbs)
+			if err != nil {
+				t.Fatalf("clean budgeted run failed: %v", err)
+			}
+			want := sortedOutputs(ref)
+
+			for _, sc := range scenarios {
+				t.Run(sc.name, func(t *testing.T) {
+					inj := sc.inj()
+					opts := chaosOpts()
+					opts.FaultInject = inj
+					res, rerr := chaosRun(t, opts, name, edbs)
+					if rerr == nil {
+						// Completed: results must be exactly the clean run's.
+						got := sortedOutputs(res)
+						for rel, rows := range want {
+							if !reflect.DeepEqual(got[rel], rows) {
+								t.Fatalf("%s completed under faults with wrong tuples in %s (%d vs %d rows)",
+									sc.name, rel, len(got[rel])/2, len(rows)/2)
+							}
+						}
+						// A fatal-site scenario may only complete cleanly if
+						// its trigger never fired.
+						if sc.fatalSite != "" && inj.Fires(sc.fatalSite) > 0 {
+							t.Fatalf("%s fired %d times yet the run reported success",
+								sc.fatalSite, inj.Fires(sc.fatalSite))
+						}
+						return
+					}
+					// Aborted: the error must carry the injected cause.
+					if sc.fatalSite == "" {
+						t.Fatalf("recoverable scenario aborted the run: %v", rerr)
+					}
+					if !errors.Is(rerr, faultinject.ErrInjected) {
+						t.Fatalf("abort error %v does not wrap the injected fault", rerr)
+					}
+					if sc.fatalSite == faultinject.WorkerPanic && !strings.Contains(rerr.Error(), "panic") {
+						t.Fatalf("worker-panic abort error does not mention the panic: %v", rerr)
+					}
+				})
+			}
+		})
+	}
+}
+
+// Cancelling a running TC fixpoint from an iteration hook must abort within
+// one iteration boundary, return the context error plus partial Stats, and
+// tear down to zero live pooled bytes.
+func TestCancelMidFixpointReleasesEverything(t *testing.T) {
+	arc := cycleGraph(300)
+	prog := programs.MustParse(programs.TC)
+	edbs := map[string]*storage.Relation{"arc": arc}
+
+	const cancelAt = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := chaosOpts()
+	opts.IterHook = func(ii core.IterInfo) {
+		if ii.Iteration == cancelAt {
+			cancel()
+		}
+	}
+	res, err := core.New(opts).RunContext(ctx, prog, edbs)
+	if err == nil {
+		t.Fatal("cancelled fixpoint completed without error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v is not context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial Result")
+	}
+	// A 300-node cycle needs ~300 TC iterations; cancellation at iteration
+	// 5 must stop the fixpoint at the next iteration boundary.
+	if res.Stats.Iterations < cancelAt || res.Stats.Iterations > cancelAt+1 {
+		t.Fatalf("cancelled at iteration %d but run recorded %d iterations", cancelAt, res.Stats.Iterations)
+	}
+	if res.Stats.Mem.LiveTotal != 0 {
+		t.Fatalf("cancelled run left %d live pooled bytes", res.Stats.Mem.LiveTotal)
+	}
+	if res.Stats.Queries == 0 {
+		t.Fatal("partial Stats lost the pre-cancellation query count")
+	}
+}
+
+// An already-expired deadline aborts before any iteration completes, with
+// the same clean-teardown guarantees.
+func TestDeadlineExceededAbortsRun(t *testing.T) {
+	arc := cycleGraph(300)
+	prog := programs.MustParse(programs.TC)
+	edbs := map[string]*storage.Relation{"arc": arc}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	res, err := core.New(chaosOpts()).RunContext(ctx, prog, edbs)
+	if err == nil {
+		t.Fatal("run with an expired deadline completed without error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v is not context.DeadlineExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("timed-out run returned no partial Result")
+	}
+	if res.Stats.Mem.LiveTotal != 0 {
+		t.Fatalf("timed-out run left %d live pooled bytes", res.Stats.Mem.LiveTotal)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"recstep/internal/experiments"
 	"recstep/internal/obs"
@@ -81,6 +83,19 @@ func main() {
 		if err := stopProfiles(); err != nil {
 			log.Fatal(err)
 		}
+	}()
+
+	// Graceful interrupt: flush any in-progress profiles before exiting, so
+	// a ctrl-C mid-experiment still leaves a readable pprof file.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("received %v; flushing profiles and exiting", s)
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+		os.Exit(130)
 	}()
 
 	type runner func(experiments.Config) experiments.Table

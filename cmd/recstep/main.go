@@ -8,17 +8,24 @@
 //	        [-workers N] [-naive] [-no-uie] [-oof selective|none|full] \
 //	        [-dsd dynamic|opsd|tpsd] [-dedup gscht|lockmap|sort] [-no-eost] \
 //	        [-partitions N] [-build-serial] [-fuse-delta=false] \
-//	        [-metrics-addr :9090] [-trace out.json] [-obs=false]
+//	        [-timeout 30s] [-metrics-addr :9090] [-trace out.json] [-obs=false]
+//
+// SIGINT/SIGTERM (and -timeout) cancel the run context: the fixpoint aborts
+// at the next iteration boundary, partial stats are printed, the -trace file
+// is flushed, and the process exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"recstep/internal/core"
@@ -67,6 +74,7 @@ func main() {
 		columnar    = flag.Bool("columnar", true, "batch-at-a-time kernels over columnar block slabs with per-worker pool magazines; false selects the row-layout tuple-at-a-time ablation")
 		joinOrder   = flag.Bool("join-order", true, "connectivity-driven greedy join ordering per rule arm, re-planned each iteration from live ∆ cardinalities; false selects the textual FROM-order ablation")
 		wcoj        = flag.Bool("wcoj", true, "leapfrog worst-case-optimal join for cyclic rule bodies of >=3 atoms; false routes them through the pairwise hash-join chain")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline); partial stats are still printed")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /statusz and /debug/pprof on this address for the life of the process (e.g. :9090)")
@@ -184,11 +192,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := core.New(opts).Run(prog, edbs)
+	// SIGINT/SIGTERM cancel the run context; the fixpoint aborts at its next
+	// iteration boundary and the partial-stats/trace path below still runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := core.New(opts).RunContext(ctx, prog, edbs)
 	if perr := stopProfiles(); perr != nil {
 		log.Fatal(perr)
 	}
 	if err != nil {
+		// An aborted run still reports what it did: partial stats (with the
+		// post-teardown memory reading — zero live bytes) and the trace
+		// collected so far.
+		if res != nil {
+			log.Printf("aborted after %v (%d iterations, %d SQL queries)",
+				res.Stats.Duration.Round(1e6), res.Stats.Iterations, res.Stats.Queries)
+			log.Printf("memory at teardown: %d live pooled bytes (peak %d), %d spills / %d faults",
+				res.Stats.Mem.LiveTotal, res.Stats.Mem.PeakLive, res.Stats.Mem.Spills, res.Stats.Mem.Faults)
+		}
+		writeTrace(ob, *tracePath)
 		log.Fatal(err)
 	}
 	log.Printf("fixpoint in %v (%d iterations, %d SQL queries)",
@@ -222,14 +250,22 @@ func main() {
 			log.Printf("stratum %d: %v", i, d.Round(1e5))
 		}
 	}
-	if *tracePath != "" {
-		tr := ob.Tracer
-		if err := tr.WriteFile(*tracePath); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("trace: %d events written to %s (%d dropped)", len(tr.Events()), *tracePath, tr.Dropped())
-	}
+	writeTrace(ob, *tracePath)
 	writeRelations(res, *outDir)
+}
+
+// writeTrace flushes the collected trace to path; no-op without -trace. Both
+// the success and abort paths call it, so an interrupted run keeps the spans
+// it collected.
+func writeTrace(ob *obs.Observer, path string) {
+	if path == "" {
+		return
+	}
+	tr := ob.Tracer
+	if err := tr.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trace: %d events written to %s (%d dropped)", len(tr.Events()), path, tr.Dropped())
 }
 
 // phaseString formats a per-step phase snapshot as "build=1.2ms probe=800µs",

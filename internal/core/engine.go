@@ -16,7 +16,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -24,6 +27,7 @@ import (
 	"recstep/internal/datalog/analysis"
 	"recstep/internal/datalog/ast"
 	"recstep/internal/datalog/querygen"
+	"recstep/internal/faultinject"
 	"recstep/internal/obs"
 	"recstep/internal/quickstep"
 	"recstep/internal/quickstep/exec"
@@ -154,6 +158,10 @@ type Options struct {
 	// itself (catalog walks, memory snapshots); metrics that the engine
 	// already exports ride Obs instead.
 	OnDB func(*quickstep.Database)
+	// FaultInject installs chaos-test fault triggers (spill writes, fault
+	// reads, allocation accounting, worker panics) throughout the substrate.
+	// Nil — the production default — leaves every trigger point inert.
+	FaultInject *faultinject.Injector
 }
 
 // DefaultOptions returns the all-optimizations-on configuration the paper
@@ -282,6 +290,18 @@ func New(opts Options) *Engine {
 // Run analyzes and evaluates a program. edbs supplies input relations by
 // predicate name (inline program facts are added on top).
 func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Result, error) {
+	return e.RunContext(context.Background(), prog, edbs)
+}
+
+// RunContext is Run with a cancellation context threaded through every worker
+// loop: cancellation (or a deadline) aborts the fixpoint at the next
+// task/partition boundary — within one iteration at the engine level. An
+// aborted run returns the context's error together with a non-nil *Result
+// whose Stats cover the partial run; every cataloged relation is released
+// first, so the caller observes zero live pooled bytes. The same teardown
+// serves runs aborted by a contained worker panic or a fatal memory-manager
+// failure (failed allocation, unreadable spill file).
+func (e *Engine) RunContext(ctx context.Context, prog *ast.Program, edbs map[string]*storage.Relation) (*Result, error) {
 	res, err := analysis.Analyze(prog)
 	if err != nil {
 		return nil, err
@@ -317,11 +337,13 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		JoinOrder:      e.opts.JoinOrder,
 		WCOJ:           e.opts.WCOJ,
 		Obs:            ob,
+		FaultInject:    e.opts.FaultInject,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer db.Close()
+	db.SetContext(ctx)
 	if e.opts.OnDB != nil {
 		e.opts.OnDB(db)
 	}
@@ -344,19 +366,36 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 			run.em.register(ob.Reg)
 		}
 	}
-	if err := run.loadEDBs(edbs); err != nil {
-		return nil, err
-	}
-	if err := run.createIDBs(); err != nil {
-		return nil, err
-	}
-	for _, s := range res.Strata {
-		if err := run.evalStratum(s); err != nil {
-			return nil, err
+	evalErr := func() (err error) {
+		// Last-resort containment: the pool's worker guard and runQuery's
+		// branch recover catch panics on their goroutines, but the engine
+		// goroutine itself runs serial operator paths too. A panic here
+		// becomes an error so the process survives and tears down cleanly.
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("core: evaluation panic: %v\n%s", v, debug.Stack())
+			}
+		}()
+		if err := run.loadEDBs(edbs); err != nil {
+			return err
 		}
+		if err := run.createIDBs(); err != nil {
+			return err
+		}
+		for _, s := range res.Strata {
+			if err := run.evalStratum(s); err != nil {
+				return err
+			}
+		}
+		return db.FinalCommit()
+	}()
+	if evalErr == nil {
+		// An abort recorded after the last boundary check (or surfaced by a
+		// kernel call that returns no error) must not pass for success.
+		evalErr = db.Err()
 	}
-	if err := db.FinalCommit(); err != nil {
-		return nil, err
+	if evalErr != nil {
+		return run.abort(evalErr), evalErr
 	}
 
 	// Snapshot the manager before result delivery: Stats.Mem reports the
@@ -373,6 +412,12 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 		rel := db.Catalog().MustGet(name)
 		rel.Restore()
 		out.Relations[name] = rel
+	}
+	// Restoring results is itself fallible I/O: a fault failure here is
+	// recorded as the run error, and delivering partially-restored relations
+	// as success would be silent corruption.
+	if err := db.Err(); err != nil {
+		return run.abort(err), err
 	}
 	run.stats.Queries = db.QueriesIssued()
 	copySnap := db.CopySnapshot()
@@ -401,6 +446,26 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 	return out, nil
 }
 
+// abort is the failed-run teardown: it releases every cataloged relation (and
+// with them all pooled blocks and spill files), classifies the cause for the
+// cancellation counter, and packages the partial run's Stats. The memory
+// snapshot is taken *after* the release, so Stats.Mem.LiveTotal reads zero —
+// the "no leaked blocks" guarantee the chaos suite asserts.
+func (r *runState) abort(cause error) *Result {
+	if r.em != nil && (errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded)) {
+		r.em.cancelled.Add(1)
+	}
+	r.db.ReleaseAll()
+	r.stats.Mem = r.db.MemSnapshot()
+	r.stats.Queries = r.db.QueriesIssued()
+	r.stats.PeakJoinIntermediate = r.db.PeakJoinIntermediate()
+	r.stats.Duration = time.Since(r.start)
+	if r.ob != nil && r.ob.Exec != nil {
+		r.stats.PhaseDurations = r.ob.Exec.Phase.Snapshot().Sub(r.phaseBase).Map()
+	}
+	return &Result{Stats: r.stats}
+}
+
 // engineMetrics are the fixpoint-loop counters and gauges the engine itself
 // exports (the substrate's counters register from database.Open). Counters
 // and gauges are atomics, so the HTTP scraper reads them mid-fixpoint
@@ -412,6 +477,7 @@ type engineMetrics struct {
 	armsSkipped obs.Counter
 	diffOPSD    obs.Counter
 	diffTPSD    obs.Counter
+	cancelled   obs.Counter
 	stratum     obs.Gauge
 	iteration   obs.Gauge
 }
@@ -429,6 +495,8 @@ func (m *engineMetrics) register(reg *obs.Registry) {
 		"Set-difference steps run with the one-phase algorithm.", &m.diffOPSD)
 	reg.RegisterCounter("recstep_diff_tpsd_total",
 		"Set-difference steps run with the two-phase algorithm.", &m.diffTPSD)
+	reg.RegisterCounter("recstep_fixpoint_cancelled_total",
+		"Fixpoint runs aborted by context cancellation or deadline.", &m.cancelled)
 	reg.RegisterGauge("recstep_current_stratum",
 		"Stratum index the fixpoint loop is currently evaluating.", &m.stratum)
 	reg.RegisterGauge("recstep_current_iteration",
@@ -625,6 +693,12 @@ func (r *runState) evalStratum(s analysis.Stratum) error {
 		// clock and reclaim any budget overshoot while no query is in flight.
 		r.db.EndIteration()
 		endIter()
+		// Iteration-boundary abort check: cancellation, a contained worker
+		// panic or a fatal manager failure ends the fixpoint here at the
+		// latest, so an abort costs at most one iteration of extra work.
+		if err := r.db.Err(); err != nil {
+			return err
+		}
 		if !s.Recursive || !anyDelta {
 			break
 		}
@@ -875,6 +949,13 @@ func (r *runState) evalIDB(s analysis.Stratum, iter int, st *idbState, unit quer
 		r.em.deltaTuples.Add(int64(n))
 	}
 	r.hook(s, iter, q.Pred, tmp.NumTuples(), n, algo, r.db.CopySnapshot().Sub(copyBase), skipped)
+	// The SQL path surfaces aborts through ExecSQL; the direct kernel calls
+	// (fused delta step, aggregate merge) drain silently with partial output.
+	// Check here so a step that aborted mid-kernel fails the iteration
+	// instead of feeding a truncated ∆R forward.
+	if err := r.db.Err(); err != nil {
+		return 0, err
+	}
 	return n, nil
 }
 

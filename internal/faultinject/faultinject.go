@@ -1,0 +1,181 @@
+// Package faultinject is the chaos-testing harness of the hardened fixpoint
+// path: deterministic, site-addressed fault triggers compiled into the memory
+// manager, the pager and the worker pool behind an Options.FaultInject hook
+// that is nil in production. A trigger point calls Fail(site) at the moment
+// the real failure would occur — just before a spill write, a fault read, a
+// pool allocation or a worker task — and receives either nil or an injected
+// error to surface exactly the way the genuine failure would be surfaced.
+//
+// Two trigger shapes cover the chaos suite's needs: nth-call rules
+// (deterministic "the 3rd spill write fails") and probabilistic rules
+// (seeded "0.5% of fault reads fail"), optionally capped by a fire limit so
+// a transient-failure scenario recovers after the retry budget is spent.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Site names one compiled-in trigger point.
+type Site string
+
+// The trigger points wired through the engine.
+const (
+	// SpillWrite fires inside Manager.SpillBlocks, before the spill file is
+	// written. Injected errors are retriable (transient I/O failure).
+	SpillWrite Site = "spill.write"
+	// FaultRead fires inside Manager.FaultBlocks, before the spill file is
+	// read back. Injected errors are retriable.
+	FaultRead Site = "fault.read"
+	// Alloc fires inside the memory manager's allocation accounting, before
+	// any array is handed out. An injected alloc failure is query-fatal: the
+	// manager records it as the run error and the fixpoint aborts at the next
+	// boundary check — the engine's model of a failed allocation.
+	Alloc Site = "alloc"
+	// WorkerPanic fires in the pool's worker task loops, between tasks. The
+	// pool panics with the injected error, exercising the worker recover()
+	// containment path at a point where no operator state is held.
+	WorkerPanic Site = "worker.panic"
+)
+
+// ErrInjected is the sentinel every injected error wraps; retry policies and
+// tests match it with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// rule is the trigger configuration of one site.
+type rule struct {
+	nth   int64   // fire on exactly this 1-based call, once
+	every int64   // fire on every n-th call
+	prob  float64 // fire with this per-call probability
+	limit int64   // max fires (0 = unlimited)
+
+	calls int64
+	fires int64
+}
+
+// Injector holds per-site trigger rules. A nil *Injector is inert: every
+// method is a cheap no-op, so production call sites pay one pointer test.
+// All methods are safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   uint64
+	rules map[Site]*rule
+}
+
+// New returns an empty injector whose probabilistic rules draw from a
+// deterministic stream seeded with seed.
+func New(seed int64) *Injector {
+	rng := uint64(seed)
+	if rng == 0 {
+		rng = 0x9e3779b97f4a7c15
+	}
+	return &Injector{rng: rng, rules: make(map[Site]*rule)}
+}
+
+func (in *Injector) ruleFor(site Site) *rule {
+	r := in.rules[site]
+	if r == nil {
+		r = &rule{}
+		in.rules[site] = r
+	}
+	return r
+}
+
+// FailNth arranges for exactly the n-th call to site (1-based) to fail.
+func (in *Injector) FailNth(site Site, n int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ruleFor(site).nth = int64(n)
+	return in
+}
+
+// FailEvery arranges for every n-th call to site to fail.
+func (in *Injector) FailEvery(site Site, n int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ruleFor(site).every = int64(n)
+	return in
+}
+
+// FailProb arranges for each call to site to fail with probability p.
+func (in *Injector) FailProb(site Site, p float64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ruleFor(site).prob = p
+	return in
+}
+
+// Limit caps the total number of failures site may inject; 0 removes the
+// cap. A transient-failure scenario sets a limit below the retry budget so
+// the operation succeeds after retries.
+func (in *Injector) Limit(site Site, max int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ruleFor(site).limit = int64(max)
+	return in
+}
+
+// next steps the xorshift64* stream; callers hold in.mu.
+func (in *Injector) next() uint64 {
+	x := in.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	in.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Fail counts one call to site and returns an injected error when a trigger
+// rule elects this call, nil otherwise. Safe on a nil receiver.
+func (in *Injector) Fail(site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rules[site]
+	if r == nil {
+		return nil
+	}
+	r.calls++
+	if r.limit > 0 && r.fires >= r.limit {
+		return nil
+	}
+	fire := (r.nth > 0 && r.calls == r.nth) ||
+		(r.every > 0 && r.calls%r.every == 0) ||
+		(r.prob > 0 && float64(in.next()>>11)/float64(1<<53) < r.prob)
+	if !fire {
+		return nil
+	}
+	r.fires++
+	return fmt.Errorf("%w at %s (call %d)", ErrInjected, site, r.calls)
+}
+
+// Calls reports how many times site's trigger point has been reached. Safe
+// on a nil receiver.
+func (in *Injector) Calls(site Site) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r := in.rules[site]; r != nil {
+		return r.calls
+	}
+	return 0
+}
+
+// Fires reports how many errors site has injected. Safe on a nil receiver.
+func (in *Injector) Fires(site Site) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r := in.rules[site]; r != nil {
+		return r.fires
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	for i := 0; i < 100; i++ {
+		if err := inj.Fail(SpillWrite); err != nil {
+			t.Fatalf("nil injector fired: %v", err)
+		}
+	}
+	if inj.Calls(SpillWrite) != 0 || inj.Fires(SpillWrite) != 0 {
+		t.Fatalf("nil injector counted calls/fires: %d/%d", inj.Calls(SpillWrite), inj.Fires(SpillWrite))
+	}
+}
+
+func TestFailNthFiresExactlyOnce(t *testing.T) {
+	inj := New(1).FailNth(FaultRead, 3)
+	var errs []error
+	for i := 0; i < 10; i++ {
+		errs = append(errs, inj.Fail(FaultRead))
+	}
+	for i, err := range errs {
+		want := i == 2 // third call, zero-indexed
+		if (err != nil) != want {
+			t.Fatalf("call %d: err=%v, want fire=%v", i+1, err, want)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: error %v does not wrap ErrInjected", i+1, err)
+		}
+	}
+	if got := inj.Calls(FaultRead); got != 10 {
+		t.Fatalf("Calls = %d, want 10", got)
+	}
+	if got := inj.Fires(FaultRead); got != 1 {
+		t.Fatalf("Fires = %d, want 1", got)
+	}
+}
+
+func TestFailEveryIsPeriodic(t *testing.T) {
+	inj := New(1).FailEvery(SpillWrite, 2)
+	fired := 0
+	for i := 1; i <= 8; i++ {
+		err := inj.Fail(SpillWrite)
+		if (err != nil) != (i%2 == 0) {
+			t.Fatalf("call %d: err=%v, want fire=%v", i, err, i%2 == 0)
+		}
+		if err != nil {
+			fired++
+		}
+	}
+	if fired != 4 || inj.Fires(SpillWrite) != 4 {
+		t.Fatalf("fired %d (reported %d), want 4", fired, inj.Fires(SpillWrite))
+	}
+}
+
+func TestLimitCapsFires(t *testing.T) {
+	inj := New(1).FailEvery(SpillWrite, 1).Limit(SpillWrite, 2)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if inj.Fail(SpillWrite) != nil {
+			fired++
+		}
+	}
+	if fired != 2 || inj.Fires(SpillWrite) != 2 {
+		t.Fatalf("fired %d (reported %d), want 2", fired, inj.Fires(SpillWrite))
+	}
+}
+
+func TestFailProbIsDeterministicPerSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		inj := New(seed).FailProb(Alloc, 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Fail(Alloc) != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; expected a mix", fired, len(a))
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	inj := New(1).FailEvery(SpillWrite, 1)
+	if err := inj.Fail(FaultRead); err != nil {
+		t.Fatalf("unconfigured site fired: %v", err)
+	}
+	if err := inj.Fail(SpillWrite); err == nil {
+		t.Fatal("configured site did not fire")
+	}
+}

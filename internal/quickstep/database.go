@@ -6,11 +6,14 @@
 package quickstep
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"recstep/internal/faultinject"
 	"recstep/internal/obs"
 	"recstep/internal/quickstep/exec"
 	"recstep/internal/quickstep/expr"
@@ -89,6 +92,11 @@ type Options struct {
 	// its exec metrics + tracer on the worker pool and memory manager. Nil
 	// disables per-phase attribution entirely (the -obs=false ablation).
 	Obs *obs.Observer
+	// FaultInject installs chaos-test fault triggers in the memory manager
+	// (spill writes, fault reads, allocation accounting) and the worker pool
+	// (injected worker panics). Nil — the production default — leaves every
+	// trigger point inert.
+	FaultInject *faultinject.Injector
 }
 
 // PlanChoice records the join plan the optimizer picked for one branch: the
@@ -194,15 +202,21 @@ func Open(opts Options) (*Database, error) {
 		cat:   storage.NewCatalog(),
 		stats: stats.NewCatalog(opts.StatsBudgetTuples),
 		pool:  exec.NewPool(opts.Workers),
-		mem:   memory.NewManager(memory.Config{BudgetBytes: opts.MemBudgetBytes, SpillDir: opts.SpillDir}),
+		mem:   memory.NewManager(memory.Config{BudgetBytes: opts.MemBudgetBytes, SpillDir: opts.SpillDir, FaultInject: opts.FaultInject}),
 	}
 	db.pool.SetAlloc(db.mem)
 	db.pool.SetBatch(opts.Columnar)
+	db.pool.SetFaultInjector(opts.FaultInject)
+	// Fatal manager failures (a failed allocation, an unreadable spill file)
+	// become the pool's run error, so every worker loop drains at its next
+	// boundary check instead of computing on unreachable data.
+	db.mem.SetFailHandler(db.pool.Fail)
 	if ob := opts.Obs; ob != nil {
 		db.pool.SetObs(ob.Exec, ob.Tracer)
 		db.mem.SetObs(ob.Exec, ob.Tracer, db.pool.CurrentStep)
 		if ob.Reg != nil {
 			db.pool.Copy.Register(ob.Reg)
+			db.pool.RegisterMetrics(ob.Reg)
 			db.mem.RegisterMetrics(ob.Reg)
 			ob.Reg.RegisterGaugeFunc("recstep_queries_total",
 				"SQL-equivalent queries issued against the database.",
@@ -317,6 +331,35 @@ func (db *Database) EndIteration() {
 	db.mem.EndEpoch()
 }
 
+// SetContext installs the cancellation context the worker loops poll at
+// task/partition boundaries. The engine threads its run context through here;
+// nil detaches (queries run uncancellable, the pre-context behaviour).
+func (db *Database) SetContext(ctx context.Context) { db.pool.SetContext(ctx) }
+
+// Err reports why the current run must abort, nil while it is healthy:
+// a contained worker panic or injected fault first, then a fatal memory-
+// manager failure (failed allocation, unreadable spill file), then the run
+// context's cancellation.
+func (db *Database) Err() error {
+	if err := db.pool.Err(); err != nil {
+		return err
+	}
+	return db.mem.RunError()
+}
+
+// ReleaseAll releases every cataloged relation — blocks, retired view copies
+// and spill files — without committing anything. The engine's abort path
+// calls it so a cancelled or failed run tears down to zero live pooled bytes.
+func (db *Database) ReleaseAll() {
+	for _, name := range db.cat.Names() {
+		if r, ok := db.cat.Get(name); ok {
+			db.cat.Drop(name)
+			r.Release()
+			r.ReclaimRetired()
+		}
+	}
+}
+
 // Txn exposes the transaction manager, or nil with DisableIO.
 func (db *Database) Txn() *txn.Manager { return db.txn }
 
@@ -382,7 +425,20 @@ func (db *Database) ExecSQL(q string) (*storage.Relation, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execStatement(st)
+	res, err := db.execStatement(st)
+	if err == nil {
+		// A statement can "succeed" operationally while the run underneath it
+		// is aborting (cancelled context, contained worker panic, fatal
+		// manager failure): operators drain early and return partial results.
+		// Surface the abort here so no caller acts on those results.
+		if aerr := db.Err(); aerr != nil {
+			if res != nil {
+				res.Release()
+			}
+			return nil, aerr
+		}
+	}
+	return res, err
 }
 
 // ExecScript executes a semicolon-separated list of statements.
@@ -491,12 +547,29 @@ func (db *Database) runQuery(q *plan.Query, name string, part *storage.Partition
 		wg.Add(1)
 		go func(i int, br *plan.Branch) {
 			defer wg.Done()
+			// Branch goroutines run outside the pool's worker guard, so a
+			// panic here (operator state corrupted by an aborting run) would
+			// crash the process; contain it as this branch's error.
+			defer func() {
+				if v := recover(); v != nil {
+					err := fmt.Errorf("quickstep: query branch panic: %v\n%s", v, debug.Stack())
+					db.pool.Fail(err)
+					errs[i] = err
+				}
+			}()
 			results[i], errs[i] = db.runBranch(br, fmt.Sprintf("%s_b%d", name, i), part)
 		}(i, br)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			// Sibling branches may have completed; release their results so a
+			// failed query leaks nothing.
+			for _, r := range results {
+				if r != nil {
+					r.Release()
+				}
+			}
 			return nil, err
 		}
 	}

@@ -174,7 +174,7 @@ func HashAggregate(pool *Pool, in *storage.Relation, groupBy []int, aggs []AggSp
 		keyBuf := make([]byte, 4*len(groupBy))
 		for {
 			t := int(nextBlock.Add(1)) - 1
-			if t >= len(blocks) {
+			if t >= len(blocks) || pool.Aborted() {
 				return
 			}
 			accumulateBlocks(blocks[t:t+1], groupBy, aggs, local, keyBuf)

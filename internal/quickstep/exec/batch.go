@@ -524,7 +524,7 @@ func batchSelectProject(pool *Pool, col *collector, blocks []*storage.Block, pre
 		}
 		for {
 			t := int(next.Add(1)) - 1
-			if t >= len(blocks) {
+			if t >= len(blocks) || pool.Aborted() {
 				return
 			}
 			scan(blocks[t], buf, emitBulk)

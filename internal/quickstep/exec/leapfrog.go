@@ -349,9 +349,10 @@ func LeapfrogJoin(pool *Pool, spec LeapfrogSpec) *storage.Relation {
 			}
 			for {
 				c := int(next.Add(1)) - 1
-				if c >= numChunks {
+				if c >= numChunks || pool.Aborted() {
 					return
 				}
+				pool.checkInject()
 				lo := c * len(vals) / numChunks
 				hi := (c + 1) * len(vals) / numChunks
 				if lo >= hi {

@@ -93,7 +93,7 @@ func scatterView(pool *Pool, r *storage.Relation, keyCols []int, parts int) (*st
 		}
 		for {
 			t := int(nextBlock.Add(1)) - 1
-			if t >= len(blocks) {
+			if t >= len(blocks) || pool.Aborted() {
 				break
 			}
 			b := blocks[t]

@@ -7,13 +7,16 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"recstep/internal/faultinject"
 	"recstep/internal/obs"
 	"recstep/internal/quickstep/storage"
 )
@@ -217,7 +220,25 @@ type Pool struct {
 	// chainTick throttles chain-length sampling to every
 	// chainSampleEvery-th dedup-set release.
 	chainTick atomic.Int64
+
+	// ctx/ctxDone carry the run's cancellation signal into the worker task
+	// loops; failed/fail hold the first-error-wins run failure (a recovered
+	// worker panic or a fatal injected fault). failed is the one-atomic-load
+	// fast path Aborted() reads per task — the loops check at block/partition
+	// granularity, never per tuple, to stay inside the benchobs budget.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+	failed  atomic.Bool
+	fail    atomic.Pointer[runFailure]
+	// panics counts worker panics converted to errors by the recover barrier.
+	panics obs.Counter
+	// inject is the chaos-test fault injector (nil in production); its
+	// worker.panic site fires between tasks in the worker loops.
+	inject *faultinject.Injector
 }
+
+// runFailure is the first-error-wins record of a failed run.
+type runFailure struct{ err error }
 
 // NewPool returns a pool with the given degree of parallelism; workers <= 0
 // selects GOMAXPROCS.
@@ -355,6 +376,106 @@ func (p *Pool) newBlock(arity int, cat storage.Category, rowHint int) *storage.B
 // BusyWorkers returns how many workers are currently executing tasks.
 func (p *Pool) BusyWorkers() int { return int(p.busy.Load()) }
 
+// SetContext installs the run's cancellation context. Worker task loops poll
+// its Done channel at task boundaries, so a cancel or deadline drains every
+// in-flight operator within one block/partition of work. Nil clears it.
+func (p *Pool) SetContext(ctx context.Context) {
+	p.ctx = ctx
+	if ctx != nil {
+		p.ctxDone = ctx.Done()
+	} else {
+		p.ctxDone = nil
+	}
+}
+
+// SetFaultInjector installs the chaos-test fault injector whose worker.panic
+// site fires in the task loops. Nil (the production default) keeps the loops
+// trigger-free.
+func (p *Pool) SetFaultInjector(in *faultinject.Injector) { p.inject = in }
+
+// RegisterMetrics exposes the pool's failure-containment counters on reg.
+func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("recstep_worker_panics_total",
+		"Pool worker panics converted into per-run errors by the recover barrier.", &p.panics)
+}
+
+// Aborted reports whether the current run should stop: a worker panic or
+// fatal fault was recorded, or the run context was cancelled. Operator loops
+// call it once per task/partition — one atomic load plus (with a context
+// installed) one non-blocking channel poll.
+func (p *Pool) Aborted() bool {
+	if p.failed.Load() {
+		return true
+	}
+	if d := p.ctxDone; d != nil {
+		select {
+		case <-d:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// Fail records err as the run's failure — first error wins — and flips the
+// abort flag every worker loop polls, so remaining workers drain at their
+// next task boundary. The memory manager routes fatal alloc/fault errors
+// here; the recover barrier routes worker panics.
+func (p *Pool) Fail(err error) {
+	if err == nil {
+		return
+	}
+	p.fail.CompareAndSwap(nil, &runFailure{err: err})
+	p.failed.Store(true)
+}
+
+// Err returns the run's failure: a recorded worker panic or fatal fault
+// first, else the context's cancellation error, else nil.
+func (p *Pool) Err() error {
+	if f := p.fail.Load(); f != nil {
+		return f.err
+	}
+	if ctx := p.ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Panics reports how many worker panics the recover barrier has contained.
+func (p *Pool) Panics() int64 { return p.panics.Load() }
+
+// guard runs fn on the calling goroutine, converting a panic into the run
+// failure (stack captured into the error) instead of letting it unwind past
+// the pool — the containment barrier every worker body runs under.
+func (p *Pool) guard(fn func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.panics.Add(1)
+			// Panicking with an error value keeps its chain intact so
+			// callers can still errors.Is the root cause.
+			if err, ok := v.(error); ok {
+				p.Fail(fmt.Errorf("exec: worker panic: %w\n%s", err, debug.Stack()))
+			} else {
+				p.Fail(fmt.Errorf("exec: worker panic: %v\n%s", v, debug.Stack()))
+			}
+		}
+	}()
+	fn()
+}
+
+// checkInject fires the chaos injector's worker.panic site. It sits between
+// tasks — no operator state is held — so the injected panic exercises the
+// recover barrier without leaking pass-private allocations.
+func (p *Pool) checkInject() {
+	if p.inject != nil {
+		if err := p.inject.Fail(faultinject.WorkerPanic); err != nil {
+			panic(err)
+		}
+	}
+}
+
 // Run executes fn(task) for every task in [0, numTasks), using up to
 // Workers() goroutines pulling tasks from a shared counter.
 func (p *Pool) Run(numTasks int, fn func(task int)) {
@@ -367,10 +488,16 @@ func (p *Pool) Run(numTasks int, fn func(task int)) {
 	}
 	if n == 1 {
 		p.busy.Add(1)
-		for i := 0; i < numTasks; i++ {
-			fn(i)
-		}
-		p.busy.Add(-1)
+		defer p.busy.Add(-1)
+		p.guard(func() {
+			for i := 0; i < numTasks; i++ {
+				if p.Aborted() {
+					return
+				}
+				p.checkInject()
+				fn(i)
+			}
+		})
 		return
 	}
 	var next atomic.Int64
@@ -381,13 +508,16 @@ func (p *Pool) Run(numTasks int, fn func(task int)) {
 			defer wg.Done()
 			p.busy.Add(1)
 			defer p.busy.Add(-1)
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= numTasks {
-					return
+			p.guard(func() {
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= numTasks || p.Aborted() {
+						return
+					}
+					p.checkInject()
+					fn(t)
 				}
-				fn(t)
-			}
+			})
 		}()
 	}
 	wg.Wait()
@@ -415,10 +545,16 @@ func (p *Pool) RunPartitions(parts int, fn func(part int)) {
 	}
 	if n == 1 {
 		p.busy.Add(1)
-		for q := 0; q < parts; q++ {
-			fn(q)
-		}
-		p.busy.Add(-1)
+		defer p.busy.Add(-1)
+		p.guard(func() {
+			for q := 0; q < parts; q++ {
+				if p.Aborted() {
+					return
+				}
+				p.checkInject()
+				fn(q)
+			}
+		})
 		return
 	}
 	claimed := make([]atomic.Bool, parts)
@@ -429,20 +565,30 @@ func (p *Pool) RunPartitions(parts int, fn func(part int)) {
 			defer wg.Done()
 			p.busy.Add(1)
 			defer p.busy.Add(-1)
-			// Own stripe first — the sticky assignment.
-			for q := w; q < parts; q += n {
-				if claimed[q].CompareAndSwap(false, true) {
-					fn(q)
+			p.guard(func() {
+				// Own stripe first — the sticky assignment.
+				for q := w; q < parts; q += n {
+					if p.Aborted() {
+						return
+					}
+					if claimed[q].CompareAndSwap(false, true) {
+						p.checkInject()
+						fn(q)
+					}
 				}
-			}
-			// Stripe drained: steal whatever is still unclaimed, scanning
-			// from the next stripe over so thieves spread out.
-			for i := 0; i < parts; i++ {
-				q := (w + 1 + i) % parts
-				if claimed[q].CompareAndSwap(false, true) {
-					fn(q)
+				// Stripe drained: steal whatever is still unclaimed, scanning
+				// from the next stripe over so thieves spread out.
+				for i := 0; i < parts; i++ {
+					if p.Aborted() {
+						return
+					}
+					q := (w + 1 + i) % parts
+					if claimed[q].CompareAndSwap(false, true) {
+						p.checkInject()
+						fn(q)
+					}
 				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -458,8 +604,8 @@ func (p *Pool) RunWorkers(maxWorkers int, fn func(worker, numWorkers int)) {
 	}
 	if n <= 1 {
 		p.busy.Add(1)
-		fn(0, 1)
-		p.busy.Add(-1)
+		defer p.busy.Add(-1)
+		p.guard(func() { fn(0, 1) })
 		return
 	}
 	var wg sync.WaitGroup
@@ -469,7 +615,7 @@ func (p *Pool) RunWorkers(maxWorkers int, fn func(worker, numWorkers int)) {
 			defer wg.Done()
 			p.busy.Add(1)
 			defer p.busy.Add(-1)
-			fn(w, n)
+			p.guard(func() { fn(w, n) })
 		}(w)
 	}
 	wg.Wait()
@@ -609,9 +755,10 @@ func scatterRun(pool *Pool, col *collector, blocks []*storage.Block, fn func(b *
 		emit := col.sink(worker)
 		for {
 			t := int(next.Add(1)) - 1
-			if t >= len(blocks) {
+			if t >= len(blocks) || pool.Aborted() {
 				return
 			}
+			pool.checkInject()
 			fn(blocks[t], emit)
 		}
 	})

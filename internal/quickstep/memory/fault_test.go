@@ -1,0 +1,327 @@
+package memory
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"recstep/internal/faultinject"
+	"recstep/internal/quickstep/storage"
+	"recstep/internal/relio"
+)
+
+// spillOneBlock allocates one 2-column block of n rows through m, spills it,
+// and returns the token (the spill-file path), the file path, and the rows
+// that went in.
+func spillOneBlock(t *testing.T, m *Manager, n int) (tok any, path string, want []int32) {
+	t.Helper()
+	b := storage.NewBlockIn(m, storage.CatIDB, 2, n)
+	for i := 0; i < n; i++ {
+		row := []int32{int32(i), int32(i * 3)}
+		b.Append(row)
+		want = append(want, row...)
+	}
+	tok, bytes, err := m.SpillBlocks(2, []*storage.Block{b})
+	if err != nil {
+		t.Fatalf("SpillBlocks: %v", err)
+	}
+	if bytes <= 0 {
+		t.Fatalf("SpillBlocks reported %d bytes", bytes)
+	}
+	b.Release()
+	return tok, tok.(string), want
+}
+
+func faultedRows(t *testing.T, m *Manager, tok any) []int32 {
+	t.Helper()
+	blocks, err := m.FaultBlocks(tok, m, storage.CatIDB, 2)
+	if err != nil {
+		t.Fatalf("FaultBlocks: %v", err)
+	}
+	var got []int32
+	for _, b := range blocks {
+		got = append(got, b.Data()...)
+		b.Release()
+	}
+	return got
+}
+
+// A truncated or bit-flipped spill file must surface as a descriptive
+// relio.ErrCorrupt without retries, record the fatal run error, and leave
+// the file and token valid so the slot survives; repairing the file makes
+// the same token readable again.
+func TestFaultBlocksDetectsCorruption(t *testing.T) {
+	corrupt := map[string]func([]byte) []byte{
+		"truncate": func(b []byte) []byte { return b[:len(b)/2] },
+		"bitflip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40 // payload byte: caught by the CRC trailer
+			return c
+		},
+	}
+	for name, mutate := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			m := NewManager(Config{SpillDir: t.TempDir()})
+			defer m.Close()
+			var handled error
+			m.SetFailHandler(func(err error) { handled = err })
+
+			tok, path, want := spillOneBlock(t, m, 300)
+			orig, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading spill file: %v", err)
+			}
+			if err := os.WriteFile(path, mutate(orig), 0o644); err != nil {
+				t.Fatalf("corrupting spill file: %v", err)
+			}
+
+			_, ferr := m.FaultBlocks(tok, m, storage.CatIDB, 2)
+			if ferr == nil {
+				t.Fatal("FaultBlocks succeeded on a corrupt file")
+			}
+			if !errors.Is(ferr, relio.ErrCorrupt) {
+				t.Fatalf("error %v does not wrap relio.ErrCorrupt", ferr)
+			}
+			if !strings.Contains(ferr.Error(), path) {
+				t.Fatalf("error %v does not name the spill file", ferr)
+			}
+			if m.RunError() == nil {
+				t.Fatal("failed fault not recorded as the run error")
+			}
+			if handled == nil {
+				t.Fatal("fail handler not invoked")
+			}
+			if s := m.Snapshot(); s.SpillRetries != 0 {
+				t.Fatalf("corruption was retried %d times; must fail immediately", s.SpillRetries)
+			}
+
+			// The file and token survive the failure: repair the bytes and
+			// the same token faults back the original tuples.
+			if err := os.WriteFile(path, orig, 0o644); err != nil {
+				t.Fatalf("repairing spill file: %v", err)
+			}
+			if got := faultedRows(t, m, tok); !reflect.DeepEqual(got, want) {
+				t.Fatal("repaired file returned different tuples than were spilled")
+			}
+		})
+	}
+}
+
+// A corrupt spilled partition must not take down the relation: the failed
+// partition reports the sticky fault error, while resident partitions stay
+// fully readable and later reads do not panic.
+func TestCorruptSpillLeavesResidentPartitionsUsable(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(Config{BudgetBytes: 1, SpillDir: dir})
+	defer m.Close()
+	const parts, rows = 4, 200
+	r, _ := buildCarried(m, parts, rows)
+	m.Register(r)
+	m.EndEpoch()
+	m.EndEpoch()
+	if r.SpilledPartitions() != parts {
+		t.Fatalf("expected all %d partitions spilled, got %d", parts, r.SpilledPartitions())
+	}
+
+	v, ok := r.CarriedView(storage.AllCols(2), parts)
+	if !ok {
+		t.Fatal("carried view lost")
+	}
+	// Fault partitions 0 and 1 back in; their files are consumed.
+	readPart := func(p int) []int32 {
+		var got []int32
+		for _, b := range v.Blocks(p) {
+			got = append(got, b.Data()...)
+		}
+		return got
+	}
+	for p := 0; p < 2; p++ {
+		if got := readPart(p); len(got) != rows*2 {
+			t.Fatalf("partition %d: %d ints faulted back, want %d", p, len(got), rows*2)
+		}
+	}
+
+	// Corrupt the files still on disk (partitions 2 and 3).
+	files, err := filepath.Glob(filepath.Join(dir, "part-*.spill"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no remaining spill files (err=%v)", err)
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("reading %s: %v", f, err)
+		}
+		if err := os.WriteFile(f, b[:len(b)/2], 0o644); err != nil {
+			t.Fatalf("truncating %s: %v", f, err)
+		}
+	}
+
+	// The corrupt partition yields no tuples and records the sticky error.
+	if got := readPart(2); len(got) != 0 {
+		t.Fatalf("corrupt partition returned %d ints", len(got))
+	}
+	if ferr := r.FaultError(); ferr == nil {
+		t.Fatal("relation did not record the fault error")
+	} else if !errors.Is(ferr, relio.ErrCorrupt) {
+		t.Fatalf("relation fault error %v does not wrap relio.ErrCorrupt", ferr)
+	}
+	if rerr := m.RunError(); rerr == nil || !errors.Is(rerr, relio.ErrCorrupt) {
+		t.Fatalf("manager run error = %v, want a corruption error", rerr)
+	}
+
+	// Resident partitions stay byte-identical, and re-reading the broken
+	// ones neither panics nor re-attempts the read.
+	for p := 0; p < 2; p++ {
+		got := readPart(p)
+		if len(got) != rows*2 {
+			t.Fatalf("resident partition %d unreadable after fault failure", p)
+		}
+		for i := 0; i < len(got); i += 2 {
+			if got[i] != int32(p) {
+				t.Fatalf("resident partition %d returned foreign tuple %v", p, got[i:i+2])
+			}
+		}
+	}
+	if got := readPart(3); len(got) != 0 {
+		t.Fatalf("second broken partition returned %d ints", len(got))
+	}
+}
+
+// A transient injected spill-write failure is absorbed by the retry loop:
+// the spill succeeds, the retry is counted, and spilling is not parked.
+func TestSpillWriteTransientFailureIsRetried(t *testing.T) {
+	inj := faultinject.New(1).FailNth(faultinject.SpillWrite, 1)
+	m := NewManager(Config{SpillDir: t.TempDir(), FaultInject: inj})
+	defer m.Close()
+
+	tok, _, want := spillOneBlock(t, m, 200)
+	s := m.Snapshot()
+	if s.SpillRetries < 1 {
+		t.Fatalf("SpillRetries = %d, want >= 1", s.SpillRetries)
+	}
+	if s.SpillsParked || m.SpillsParked() {
+		t.Fatal("transient failure parked spilling")
+	}
+	if m.RunError() != nil {
+		t.Fatalf("transient failure recorded as fatal: %v", m.RunError())
+	}
+	if got := faultedRows(t, m, tok); !reflect.DeepEqual(got, want) {
+		t.Fatal("retried spill did not round-trip")
+	}
+}
+
+// A transient injected fault-read failure is likewise retried to success.
+func TestFaultReadTransientFailureIsRetried(t *testing.T) {
+	inj := faultinject.New(1).FailNth(faultinject.FaultRead, 1)
+	m := NewManager(Config{SpillDir: t.TempDir(), FaultInject: inj})
+	defer m.Close()
+
+	tok, _, want := spillOneBlock(t, m, 200)
+	if got := faultedRows(t, m, tok); !reflect.DeepEqual(got, want) {
+		t.Fatal("retried fault did not round-trip")
+	}
+	if s := m.Snapshot(); s.SpillRetries < 1 {
+		t.Fatalf("SpillRetries = %d, want >= 1", s.SpillRetries)
+	}
+	if m.RunError() != nil {
+		t.Fatalf("transient failure recorded as fatal: %v", m.RunError())
+	}
+}
+
+// A persistent spill-write failure parks spilling: the write errors out
+// after the retry budget, the engine is NOT aborted (degraded in-memory
+// operation), the effective budget tightens, and later spill attempts fail
+// fast without touching the injector again.
+func TestPersistentSpillWriteParksSpilling(t *testing.T) {
+	inj := faultinject.New(1).FailEvery(faultinject.SpillWrite, 1)
+	const budget = 1 << 20
+	m := NewManager(Config{BudgetBytes: budget, SpillDir: t.TempDir(), FaultInject: inj})
+	defer m.Close()
+	before := m.Headroom()
+
+	b := storage.NewBlockIn(m, storage.CatIDB, 2, 100)
+	b.Append([]int32{1, 2})
+	_, _, err := m.SpillBlocks(2, []*storage.Block{b})
+	if err == nil {
+		t.Fatal("SpillBlocks succeeded under a persistent write fault")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error %v does not wrap the injected fault", err)
+	}
+	if !m.SpillsParked() {
+		t.Fatal("persistent failure did not park spilling")
+	}
+	if m.RunError() != nil {
+		t.Fatalf("parking recorded as fatal run error: %v", m.RunError())
+	}
+	if s := m.Snapshot(); !s.SpillsParked || s.SpillRetries != ioAttempts-1 {
+		t.Fatalf("snapshot %+v: want SpillsParked and %d retries", s, ioAttempts-1)
+	}
+	if after := m.Headroom(); before-after < budget/4 {
+		t.Fatalf("parked headroom %d not tightened from %d by budget/4", after, before)
+	}
+
+	calls := inj.Calls(faultinject.SpillWrite)
+	if _, _, err := m.SpillBlocks(2, []*storage.Block{b}); err == nil {
+		t.Fatal("parked SpillBlocks succeeded")
+	}
+	if inj.Calls(faultinject.SpillWrite) != calls {
+		t.Fatal("parked SpillBlocks reached the write path instead of failing fast")
+	}
+	b.Release()
+}
+
+// An unwritable spill directory parks spilling on first use instead of
+// failing the run.
+func TestUnwritableSpillDirParksSpilling(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{SpillDir: filepath.Join(file, "spill")})
+	defer m.Close()
+
+	b := storage.NewBlockIn(m, storage.CatIDB, 2, 10)
+	b.Append([]int32{1, 2})
+	defer b.Release()
+	if _, _, err := m.SpillBlocks(2, []*storage.Block{b}); err == nil {
+		t.Fatal("SpillBlocks succeeded with an unwritable spill dir")
+	}
+	if !m.SpillsParked() {
+		t.Fatal("unwritable spill dir did not park spilling")
+	}
+	if m.RunError() != nil {
+		t.Fatalf("degraded mode recorded as fatal: %v", m.RunError())
+	}
+}
+
+// An injected allocation failure is the engine's model of allocation
+// pressure: the allocation itself still succeeds (no unwinding mid-operator,
+// so no pooled state leaks) but the run error is recorded and forwarded, so
+// the engine aborts at the next boundary.
+func TestAllocInjectionIsFatalWithoutUnwinding(t *testing.T) {
+	inj := faultinject.New(1).FailNth(faultinject.Alloc, 1)
+	m := NewManager(Config{FaultInject: inj})
+	defer m.Close()
+	var handled error
+	m.SetFailHandler(func(err error) { handled = err })
+
+	data := m.AllocData(storage.CatDelta, 128)
+	if data == nil || cap(data) < 128 {
+		t.Fatalf("injected alloc failure broke the allocation itself: %v", data)
+	}
+	err := m.RunError()
+	if err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("RunError = %v, want injected alloc failure", err)
+	}
+	if handled == nil {
+		t.Fatal("fail handler not invoked for injected alloc failure")
+	}
+	m.FreeData(storage.CatDelta, data)
+	if s := m.Snapshot(); s.LiveTotal != 0 {
+		t.Fatalf("LiveTotal = %d after free, want 0", s.LiveTotal)
+	}
+}

@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"recstep/internal/faultinject"
 	"recstep/internal/obs"
 	"recstep/internal/quickstep/storage"
 	"recstep/internal/relio"
@@ -25,7 +27,27 @@ type Config struct {
 	// PoolBytes caps how many bytes the recycling free lists may retain.
 	// 0 selects BudgetBytes/4 when a budget is set, 256 MiB otherwise.
 	PoolBytes int64
+	// FaultInject is the chaos-test fault injector (nil in production). Its
+	// spill.write / fault.read sites fire inside SpillBlocks / FaultBlocks
+	// ahead of the real I/O; its alloc site fires in the allocation
+	// accounting choke point, where an injected failure is recorded as the
+	// fatal run error (the engine's model of a failed allocation: the query
+	// aborts, the process survives).
+	FaultInject *faultinject.Injector
 }
+
+// Spill-path retry policy: a transient I/O failure (full page cache, a
+// momentary EINTR/ENOSPC blip, an injected chaos fault) is retried with
+// exponential backoff before the manager gives up. Corruption
+// (relio.ErrCorrupt) is never retried — bad bytes do not get better.
+const (
+	ioAttempts    = 4
+	ioBackoffBase = 200 * time.Microsecond
+)
+
+// errSpillParked is returned by SpillBlocks while spilling is parked after a
+// persistent write failure; the engine keeps running in-memory.
+var errSpillParked = errors.New("memory: spilling parked after persistent spill-write failure")
 
 // Manager owns all tuple-block memory of one database instance: it is the
 // storage.Lifecycle every operator allocates through, the accountant that
@@ -85,7 +107,24 @@ type Manager struct {
 	spillables []*storage.Relation
 
 	closed atomic.Bool
+
+	// Failure containment. spillRetries counts retried spill/fault I/O
+	// attempts; parked flips when spill writes keep failing past the retry
+	// budget (graceful degradation: the engine continues in-memory with a
+	// tightened effective budget). runErr holds the first fatal error of the
+	// run — an unreadable spilled partition or an injected alloc failure —
+	// and onFail forwards it to the pool's abort flag so worker loops drain.
+	spillRetries obs.Counter
+	parked       atomic.Bool
+	runErr       atomic.Pointer[runError]
+	onFail       func(error)
+	// inject is the chaos-test fault injector from Config (nil in
+	// production); all its methods are nil-safe.
+	inject *faultinject.Injector
 }
+
+// runError is the first-error-wins record of a fatal manager failure.
+type runError struct{ err error }
 
 // NewManager creates a manager.
 func NewManager(cfg Config) *Manager {
@@ -102,6 +141,58 @@ func NewManager(cfg Config) *Manager {
 		poolCap:   pool,
 		perShard:  pool/numShards + 1,
 		spillBase: cfg.SpillDir,
+		inject:    cfg.FaultInject,
+	}
+}
+
+// SetFailHandler installs the callback fatal run errors are forwarded to
+// (the database wires it to the pool's abort flag). Call before evaluation;
+// the handler fires at most once.
+func (m *Manager) SetFailHandler(fn func(error)) { m.onFail = fn }
+
+// RunError returns the first fatal error recorded by the manager — an
+// unreadable spilled partition or an injected allocation failure — or nil.
+// The engine polls it at query and iteration boundaries.
+func (m *Manager) RunError() error {
+	if e := m.runErr.Load(); e != nil {
+		return e.err
+	}
+	return nil
+}
+
+// noteRunErr records err as the run's fatal error (first error wins) and
+// forwards it to the fail handler so the pool drains its worker loops.
+func (m *Manager) noteRunErr(err error) {
+	if m.runErr.CompareAndSwap(nil, &runError{err: err}) {
+		if m.onFail != nil {
+			m.onFail(err)
+		}
+	}
+}
+
+// SpillsParked reports whether spilling is parked after a persistent
+// spill-write failure (the engine is running in-memory degraded mode).
+func (m *Manager) SpillsParked() bool { return m.parked.Load() }
+
+// parkSpilling permanently disables spill writes after a persistent failure.
+// Not fatal: the engine keeps evaluating in memory, Headroom() tightens the
+// effective budget so fan-out choosers shed harder, and the parked gauge
+// records the degradation for operators to see.
+func (m *Manager) parkSpilling() { m.parked.Store(true) }
+
+// withRetry runs op up to ioAttempts times with exponential backoff,
+// counting each retry. Corruption errors are returned immediately.
+func (m *Manager) withRetry(op func() error) error {
+	backoff := ioBackoffBase
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || errors.Is(err, relio.ErrCorrupt) || attempt == ioAttempts-1 {
+			return err
+		}
+		m.spillRetries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 }
 
@@ -167,17 +258,31 @@ func (m *Manager) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("recstep_mem_secondary_drops_total", "Secondary carried views dropped under budget pressure.", &m.secondaryDrops)
 	reg.RegisterCounter("recstep_mem_spilled_bytes_total", "Cumulative bytes written to spill files.", &m.spilledBytes)
 	reg.RegisterGauge("recstep_mem_spilled_now_bytes", "Bytes currently held in spill files on disk.", &m.spilledNow)
+	reg.RegisterCounter("recstep_mem_spill_retries_total", "Retried spill-write and fault-read I/O attempts (transient failures, backed off exponentially).", &m.spillRetries)
+	reg.RegisterGaugeFunc("recstep_mem_spills_parked", "1 while spilling is parked after a persistent spill-write failure (in-memory degraded mode), else 0.", func() float64 {
+		if m.parked.Load() {
+			return 1
+		}
+		return 0
+	})
 	reg.RegisterGaugeFunc("recstep_mem_epoch", "Current reclamation epoch (fixpoint iteration count).", func() float64 { return float64(m.epoch.Load()) })
 }
 
 // Headroom returns how many bytes remain under the budget; negative when
 // over, and a very large value when no budget is configured. The optimizer
-// consults it to shrink radix fan-out under pressure.
+// consults it to shrink radix fan-out under pressure. While spilling is
+// parked (persistent spill-write failure) the effective budget is tightened
+// by a quarter: with eviction unavailable, the only remaining pressure valve
+// is making the fan-out and secondary-carry choosers shed earlier.
 func (m *Manager) Headroom() int64 {
 	if m.budget <= 0 {
 		return 1 << 62
 	}
-	return m.budget - m.liveTotal.Load()
+	b := m.budget
+	if m.parked.Load() {
+		b -= b / 4
+	}
+	return b - m.liveTotal.Load()
 }
 
 // AllocData implements storage.Lifecycle: hand out a zero-length array with
@@ -219,8 +324,18 @@ func (m *Manager) AllocData(cat storage.Category, capInt32s int) []int32 {
 }
 
 // accountAlloc charges an allocation to the live gauges and records the
-// peak. Shared by the direct path and the per-worker magazines.
+// peak. Shared by the direct path and the per-worker magazines. It is also
+// the alloc fault-injection choke point: an injected allocation failure is
+// recorded as the fatal run error — the allocation itself still succeeds
+// (no mid-kernel unwind, so no pass-private state leaks) and the fixpoint
+// aborts at its next boundary check, the way a real engine turns OOM into a
+// query error rather than a crash.
 func (m *Manager) accountAlloc(cat storage.Category, bytes int64) {
+	if m.inject != nil {
+		if err := m.inject.Fail(faultinject.Alloc); err != nil {
+			m.noteRunErr(fmt.Errorf("memory: block allocation failed: %w", err))
+		}
+	}
 	m.live[cat].Add(bytes)
 	total := m.liveTotal.Add(bytes)
 	for {
@@ -360,6 +475,12 @@ func (m *Manager) reclaimTo(target int64) {
 	// of cold data, so retry briefly before concluding nothing is evictable.
 	misses := 0
 	for m.liveTotal.Load() > target {
+		if m.parked.Load() {
+			// Spill writes keep failing: secondary drops above were the last
+			// reclaim lever. The allocation proceeds over budget — degraded
+			// but correct.
+			return
+		}
 		m.regMu.Lock()
 		rels := append([]*storage.Relation(nil), m.spillables...)
 		m.regMu.Unlock()
@@ -392,18 +513,37 @@ func (m *Manager) reclaimTo(target int64) {
 }
 
 // SpillBlocks implements storage.Pager: persist one partition's blocks to a
-// spill file.
+// spill file, retrying transient write failures with backoff. A write that
+// keeps failing past the retry budget — or an unwritable spill directory —
+// parks spilling for the rest of the run: the partition stays resident, the
+// engine keeps evaluating in memory, and Headroom() tightens the effective
+// budget. Spill failures are never fatal; no data has left memory yet.
 func (m *Manager) SpillBlocks(arity int, blocks []*storage.Block) (any, int64, error) {
 	defer m.phase(obs.PhaseSpill)()
+	if m.parked.Load() {
+		return nil, 0, errSpillParked
+	}
 	dir, err := m.spillDir()
 	if err != nil {
-		return nil, 0, err
+		m.parkSpilling()
+		return nil, 0, fmt.Errorf("memory: spill directory unavailable (spilling parked, continuing in-memory): %w", err)
 	}
 	path := filepath.Join(dir, fmt.Sprintf("part-%06d.spill", m.fileSeq.Add(1)))
-	bytes, err := relio.WriteBlocksFile(path, arity, blocks)
+	var bytes int64
+	err = m.withRetry(func() error {
+		if ierr := m.inject.Fail(faultinject.SpillWrite); ierr != nil {
+			return ierr
+		}
+		var werr error
+		bytes, werr = relio.WriteBlocksFile(path, arity, blocks)
+		if werr != nil {
+			os.Remove(path)
+		}
+		return werr
+	})
 	if err != nil {
-		os.Remove(path)
-		return nil, 0, err
+		m.parkSpilling()
+		return nil, 0, fmt.Errorf("memory: spill write failed after %d attempts (spilling parked, continuing in-memory): %w", ioAttempts, err)
 	}
 	m.spills.Add(1)
 	m.spilledBytes.Add(bytes)
@@ -412,12 +552,28 @@ func (m *Manager) SpillBlocks(arity int, blocks []*storage.Block) (any, int64, e
 }
 
 // FaultBlocks implements storage.Pager: restore a spilled partition,
-// allocating through lc, and discard the file.
+// allocating through lc, and discard the file. Transient read failures are
+// retried with backoff; corruption (relio.ErrCorrupt — truncated or
+// bit-flipped file) is not retried. A fault that ultimately fails is fatal
+// for the run — the partition's tuples are unavailable, so continuing would
+// compute wrong results — and is recorded as the run error; the file and the
+// caller's token stay valid, so the relation keeps the slot and unspilled
+// partitions remain fully usable.
 func (m *Manager) FaultBlocks(token any, lc storage.Lifecycle, cat storage.Category, arity int) ([]*storage.Block, error) {
 	defer m.phase(obs.PhaseFault)()
 	path := token.(string)
-	blocks, err := relio.ReadBlocksFile(path, lc, cat, arity)
+	var blocks []*storage.Block
+	err := m.withRetry(func() error {
+		if ierr := m.inject.Fail(faultinject.FaultRead); ierr != nil {
+			return ierr
+		}
+		var rerr error
+		blocks, rerr = relio.ReadBlocksFile(path, lc, cat, arity)
+		return rerr
+	})
 	if err != nil {
+		err = fmt.Errorf("memory: faulting spilled partition %s: %w", path, err)
+		m.noteRunErr(err)
 		return nil, err
 	}
 	var sz int64
@@ -494,6 +650,11 @@ type Snapshot struct {
 	// SecondaryDrops counts secondary carried views dropped under budget
 	// pressure — the eviction step that runs before any partition spills.
 	SecondaryDrops int64
+	// SpillRetries counts retried spill-write/fault-read I/O attempts;
+	// SpillsParked reports in-memory degraded mode after a persistent
+	// spill-write failure.
+	SpillRetries int64
+	SpillsParked bool
 	// Epoch is the current reclamation epoch (fixpoint iteration count).
 	Epoch int64
 }
@@ -514,6 +675,8 @@ func (m *Manager) Snapshot() Snapshot {
 		Spills:          m.spills.Load(),
 		Faults:          m.faults.Load(),
 		SecondaryDrops:  m.secondaryDrops.Load(),
+		SpillRetries:    m.spillRetries.Load(),
+		SpillsParked:    m.parked.Load(),
 		SpilledBytes:    m.spilledBytes.Load(),
 		SpilledNowBytes: m.spilledNow.Load(),
 		Epoch:           m.epoch.Load(),
@@ -538,6 +701,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.Spills -= o.Spills
 	d.Faults -= o.Faults
 	d.SecondaryDrops -= o.SecondaryDrops
+	d.SpillRetries -= o.SpillRetries
 	d.SpilledBytes -= o.SpilledBytes
 	return d
 }

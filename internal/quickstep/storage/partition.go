@@ -386,7 +386,21 @@ func (r *Relation) retireViewBlocksLocked(v *PartitionedView) {
 // next quiescent ReclaimRetired.
 func (r *Relation) invalidatePartitionsLocked() {
 	if len(r.slots) != 0 {
-		panic(fmt.Sprintf("storage: invalidating partitions of %q with spilled data", r.name))
+		if r.faultErr == nil {
+			// No fault failure on record: leftover spilled data here is a
+			// protocol violation (the mutation path forgot faultAllLocked),
+			// not an environmental problem — keep panicking.
+			panic(fmt.Sprintf("storage: invalidating partitions of %q with spilled data", r.name))
+		}
+		// faultAllLocked stopped early on a fault-read failure; the run is
+		// aborting. Discard the unreachable slots and drop their tuples from
+		// the row count so the relation stays internally consistent for
+		// whatever teardown code still touches it.
+		for _, slot := range r.slots {
+			r.pager.DropSpill(slot.token)
+			r.rows -= slot.rows
+		}
+		r.slots = nil
 	}
 	r.retired = append(r.retired, r.ownedView...)
 	r.ownedView = nil

@@ -70,6 +70,10 @@ type Relation struct {
 	pager Pager
 	slots map[int]*spillSlot
 	touch []int64
+	// faultErr is the first fault-read failure (first-wins, sticky): the
+	// failed partition's data is unreachable, so the run must abort, but the
+	// relation stays usable for its resident partitions in the meantime.
+	faultErr error
 }
 
 // NewRelation creates an empty relation. colNames fixes the arity; names are

@@ -1,5 +1,7 @@
 package storage
 
+import "fmt"
+
 // Cold-partition spilling. When the memory manager's budget is exceeded, it
 // evicts partitions of relations that carry a live partitioned view — the
 // full recursive relations R of the fixpoint loop — to temp files, LRU by
@@ -91,6 +93,12 @@ func (r *Relation) partitionBlocks(v *PartitionedView, p int) []*Block {
 		if !ok {
 			break
 		}
+		if r.faultErr != nil {
+			// A fault already failed on this relation: the run is aborting
+			// (the pager reported the failure as the run error), so don't
+			// keep re-reading a broken spill file. Serve resident blocks.
+			break
+		}
 		if slot.faulting {
 			// Another reader is restoring this partition; wait for it.
 			ch := slot.done
@@ -109,8 +117,16 @@ func (r *Relation) partitionBlocks(v *PartitionedView, p int) []*Block {
 		blocks, err := r.pager.FaultBlocks(slot.token, r.lc, r.cat, len(r.colNames))
 		r.mu.Lock()
 		if err != nil {
-			r.mu.Unlock()
-			panic("storage: faulting spilled partition of " + r.name + ": " + err.Error())
+			// Environmental failure, not an invariant violation: record it
+			// (first-wins), roll the slot back to "spilled, idle" so waiters
+			// are not stranded, and serve the resident blocks. The pager has
+			// already escalated the error to the run; the partition's data
+			// stays on disk, and the relation's *other* partitions remain
+			// fully usable.
+			r.noteFaultErrLocked(err)
+			slot.faulting = false
+			close(slot.done)
+			break
 		}
 		delete(r.slots, p)
 		// r.live may have been merge-replaced meanwhile; partition indexing
@@ -145,6 +161,13 @@ func (r *Relation) faultAllLocked() {
 		r.touch[i] = now
 	}
 	for len(r.slots) > 0 {
+		if r.faultErr != nil {
+			// A fault already failed: don't keep hammering a broken spill
+			// path. The remaining slots stay on disk; the flat mutation that
+			// follows disposes of them through invalidatePartitionsLocked's
+			// fault-error branch, and the run is aborting regardless.
+			return
+		}
 		var inFlight chan struct{}
 		for _, slot := range r.slots {
 			if slot.faulting {
@@ -161,13 +184,34 @@ func (r *Relation) faultAllLocked() {
 		for p, slot := range r.slots {
 			blocks, err := r.pager.FaultBlocks(slot.token, r.lc, r.cat, len(r.colNames))
 			if err != nil {
-				panic("storage: faulting spilled partition of " + r.name + ": " + err.Error())
+				// Record and stop; the failed slot stays spilled. See the
+				// identical branch in partitionBlocks.
+				r.noteFaultErrLocked(err)
+				return
 			}
 			delete(r.slots, p)
 			r.live.blocks[p] = append(blocks, r.live.blocks[p]...)
 			r.blocks = append(r.blocks, blocks...)
 		}
 	}
+}
+
+// noteFaultErrLocked records the first fault-read failure (first-wins).
+// Callers hold r.mu.
+func (r *Relation) noteFaultErrLocked(err error) {
+	if r.faultErr == nil {
+		r.faultErr = fmt.Errorf("storage: faulting spilled partition of %q: %w", r.name, err)
+	}
+}
+
+// FaultError reports the first fault-read failure recorded on this relation,
+// nil if none. A relation with a fault error still serves every resident
+// partition; only the partitions whose spill files could not be restored are
+// unreachable.
+func (r *Relation) FaultError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faultErr
 }
 
 // Cool marks partition p of a carried view evictable again: the reader that

@@ -5,7 +5,9 @@ package relio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strconv"
@@ -104,8 +106,16 @@ func WriteTSVFile(path string, rel *storage.Relation) error {
 // evict cold partitions. Layout mirrors storage's table format — a small
 // header (magic, arity, row count) followed by little-endian row-major int32
 // data — but reads reconstruct pool-allocated blocks instead of a Relation.
+// A CRC-32 (IEEE) of the data bytes trails the file, so on-disk corruption
+// (a truncated or bit-flipped partition file) surfaces as a descriptive
+// ErrCorrupt instead of silently faulting garbage tuples into the relation.
 
 const spillMagic = uint32(0x5350494C) // "SPIL"
+
+// ErrCorrupt marks a spill file whose contents fail validation — bad magic,
+// mismatched arity, truncated data or a checksum mismatch. Corruption is not
+// transient: the fault path's retry/backoff loop gives up immediately on it.
+var ErrCorrupt = errors.New("corrupt spill file")
 
 // WriteBlocksFile persists a partition's blocks to path.
 func WriteBlocksFile(path string, arity int, blocks []*storage.Block) (int64, error) {
@@ -131,6 +141,7 @@ func WriteBlocksFile(path string, arity int, blocks []*storage.Block) (int64, er
 	// would dominate.
 	var enc []byte
 	written := int64(len(hdr))
+	sum := crc32.NewIEEE()
 	for _, b := range blocks {
 		data := b.Data()
 		if need := 4 * len(data); cap(enc) < need {
@@ -140,12 +151,20 @@ func WriteBlocksFile(path string, arity int, blocks []*storage.Block) (int64, er
 		for i, v := range data {
 			binary.LittleEndian.PutUint32(enc[i*4:], uint32(v))
 		}
+		sum.Write(enc)
 		if _, err := bw.Write(enc); err != nil {
 			f.Close()
 			return 0, err
 		}
 		written += int64(len(enc))
 	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		f.Close()
+		return 0, err
+	}
+	written += int64(len(tail))
 	if err := bw.Flush(); err != nil {
 		f.Close()
 		return 0, err
@@ -164,16 +183,25 @@ func ReadBlocksFile(path string, lc storage.Lifecycle, cat storage.Category, ari
 	br := bufio.NewReader(f)
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("relio: reading spill header: %w", err)
+		return nil, fmt.Errorf("relio: %w: reading header of %s: %v", ErrCorrupt, path, err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != spillMagic {
-		return nil, fmt.Errorf("relio: bad spill magic in %s", path)
+		return nil, fmt.Errorf("relio: %w: bad magic in %s", ErrCorrupt, path)
 	}
 	if got := int(binary.LittleEndian.Uint32(hdr[4:])); got != arity {
-		return nil, fmt.Errorf("relio: spill arity %d, want %d", got, arity)
+		return nil, fmt.Errorf("relio: %w: arity %d in %s, want %d", ErrCorrupt, got, path, arity)
 	}
 	rows := int(binary.LittleEndian.Uint32(hdr[8:]))
+	// Restored blocks are released on any validation failure below, so a
+	// corrupt file cannot leak pool allocations.
 	var blocks []*storage.Block
+	fail := func(err error) ([]*storage.Block, error) {
+		for _, b := range blocks {
+			b.Release()
+		}
+		return nil, err
+	}
+	sum := crc32.NewIEEE()
 	chunk := make([]int32, arity*storage.DefaultBlockRows)
 	raw := make([]byte, 4*len(chunk))
 	for read := 0; read < rows; {
@@ -185,8 +213,9 @@ func ReadBlocksFile(path string, lc storage.Lifecycle, cat storage.Category, ari
 		// operator, so per-value reads are not acceptable there.
 		rb := raw[:4*n*arity]
 		if _, err := io.ReadFull(br, rb); err != nil {
-			return nil, fmt.Errorf("relio: reading spill data: %w", err)
+			return fail(fmt.Errorf("relio: %w: truncated data in %s: %v", ErrCorrupt, path, err))
 		}
+		sum.Write(rb)
 		cb := chunk[:n*arity]
 		for i := range cb {
 			cb[i] = int32(binary.LittleEndian.Uint32(rb[i*4:]))
@@ -195,6 +224,13 @@ func ReadBlocksFile(path string, lc storage.Lifecycle, cat storage.Category, ari
 		b.AppendBulk(cb)
 		blocks = append(blocks, b)
 		read += n
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return fail(fmt.Errorf("relio: %w: missing checksum in %s: %v", ErrCorrupt, path, err))
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sum.Sum32() {
+		return fail(fmt.Errorf("relio: %w: checksum mismatch in %s (%08x != %08x)", ErrCorrupt, path, got, sum.Sum32()))
 	}
 	return blocks, nil
 }
