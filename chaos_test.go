@@ -206,6 +206,248 @@ func TestCancelMidFixpointReleasesEverything(t *testing.T) {
 	}
 }
 
+// disarmInjector neutralizes every armed site without removing the rules
+// (removing them would reset call accounting): the trigger thresholds are
+// pushed beyond any reachable call count.
+func disarmInjector(in *faultinject.Injector, sites ...faultinject.Site) {
+	for _, s := range sites {
+		in.FailNth(s, 1<<40)
+		in.FailEvery(s, 1<<40)
+	}
+}
+
+// unpackRows splits a flat sorted-rows slice back into tuples.
+func unpackRows(flat []int32, arity int) [][]int32 {
+	rows := make([][]int32, 0, len(flat)/arity)
+	for i := 0; i+arity <= len(flat); i += arity {
+		rows = append(rows, flat[i:i+arity])
+	}
+	return rows
+}
+
+// Fault scenarios during incremental updates: a resident database is built
+// cleanly, the injector is armed, and one mixed insert+delete ApplyDelta runs
+// under the fault. The update either completes with exactly the from-scratch
+// tuples or fails carrying the injected cause — and a failed update must
+// leave the database dirty but readable, and fully recoverable via Rederive.
+// Teardown always ends with zero live pooled bytes.
+func TestChaosApplyDelta(t *testing.T) {
+	prog := programs.MustParse(programs.TC)
+	baseRel := experiments.PeakMemEDBs("tc", 40)["arc"]
+	arity := map[string]int{"arc": 2}
+	base := map[string][][]int32{}
+	baseRel.ForEach(func(tuple []int32) {
+		base["arc"] = append(base["arc"], append([]int32(nil), tuple...))
+	})
+
+	// One mixed update: drop three existing edges, add four new ones.
+	step := deltaStep{
+		rel: "arc",
+		ins: [][]int32{{41, 0}, {17, 41}, {41, 41}, {3, 17}},
+		del: [][]int32{base["arc"][0], base["arc"][3], base["arc"][7]},
+	}
+
+	type scenario struct {
+		name      string
+		arm       func(in *faultinject.Injector)
+		sites     []faultinject.Site
+		fatalSite faultinject.Site
+	}
+	scenarios := []scenario{
+		{
+			// Every spill write fails: spilling parks, the update degrades
+			// to in-memory operation and MUST still complete correctly.
+			name:  "spill-write-persistent",
+			arm:   func(in *faultinject.Injector) { in.FailEvery(faultinject.SpillWrite, 1) },
+			sites: []faultinject.Site{faultinject.SpillWrite},
+		},
+		{
+			name:      "fault-read",
+			arm:       func(in *faultinject.Injector) { in.FailEvery(faultinject.FaultRead, 1) },
+			sites:     []faultinject.Site{faultinject.FaultRead},
+			fatalSite: faultinject.FaultRead,
+		},
+		{
+			name:      "alloc",
+			arm:       func(in *faultinject.Injector) { in.FailNth(faultinject.Alloc, 10) },
+			sites:     []faultinject.Site{faultinject.Alloc},
+			fatalSite: faultinject.Alloc,
+		},
+		{
+			name:      "worker-panic",
+			arm:       func(in *faultinject.Injector) { in.FailNth(faultinject.WorkerPanic, 3) },
+			sites:     []faultinject.Site{faultinject.WorkerPanic},
+			fatalSite: faultinject.WorkerPanic,
+		},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			inj := faultinject.New(11)
+			opts := chaosOpts()
+			opts.FaultInject = inj
+			d, err := core.New(opts).RunIncremental(context.Background(), prog, relsFrom(base, arity))
+			if err != nil {
+				t.Fatalf("clean resident build failed: %v", err)
+			}
+			sc.arm(inj)
+			_, uerr := d.ApplyDelta(step.rel, step.ins, step.del)
+			disarmInjector(inj, sc.sites...)
+
+			if uerr != nil {
+				if !errors.Is(uerr, faultinject.ErrInjected) {
+					t.Fatalf("update error %v does not wrap the injected fault", uerr)
+				}
+				if sc.fatalSite == "" {
+					t.Fatalf("recoverable scenario aborted the update: %v", uerr)
+				}
+				if !d.Dirty() {
+					t.Fatal("failed update did not mark the database dirty")
+				}
+				// Still readable: every IDB must be reachable and scannable.
+				for _, idb := range d.IDBNames() {
+					rel, ok := d.Relation(idb)
+					if !ok {
+						t.Fatalf("relation %s unreachable after failed update", idb)
+					}
+					_ = rel.SortedRows()
+				}
+				if err := d.Rederive(); err != nil {
+					t.Fatalf("rederive after failed update: %v", err)
+				}
+				if d.Dirty() {
+					t.Fatal("database still dirty after successful rederive")
+				}
+			} else if sc.fatalSite != "" && inj.Fires(sc.fatalSite) > 0 {
+				t.Fatalf("%s fired %d times yet the update reported success",
+					sc.fatalSite, inj.Fires(sc.fatalSite))
+			}
+
+			// Whether the update completed or was re-derived after a partial
+			// failure, every IDB must bit-match a from-scratch fixpoint over
+			// the EDB state that actually survived.
+			arc, ok := d.Relation("arc")
+			if !ok {
+				t.Fatal("arc unreachable")
+			}
+			survived := map[string][][]int32{"arc": unpackRows(arc.SortedRows(), 2)}
+			ref, err := core.New(chaosOpts()).Run(prog, relsFrom(survived, arity))
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			want := sortedOutputs(ref)
+			for _, idb := range d.IDBNames() {
+				rel, _ := d.Relation(idb)
+				if got := rel.SortedRows(); !reflect.DeepEqual(got, want[idb]) {
+					t.Fatalf("%s: %s diverged from scratch after recovery (%d vs %d values)",
+						sc.name, idb, len(got), len(want[idb]))
+				}
+			}
+			if uerr == nil {
+				// A completed update must also reflect the full requested
+				// delta, not some partially-applied EDB state.
+				wantState := cloneRows(base)
+				applyToMirror(wantState, step)
+				wantArc := relsFrom(wantState, arity)["arc"].SortedRows()
+				if !reflect.DeepEqual(arc.SortedRows(), wantArc) {
+					t.Fatalf("%s: completed update left %d arc rows, want %d",
+						sc.name, len(survived["arc"]), len(wantArc)/2)
+				}
+			}
+
+			snap, err := d.Close()
+			if err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if snap.LiveTotal != 0 {
+				t.Fatalf("%s leaked %d live pooled bytes at close", sc.name, snap.LiveTotal)
+			}
+		})
+	}
+}
+
+// Cancelling mid-update: a resident TC database over a long path graph gets
+// the cycle-closing edge inserted, and the update's propagation fixpoint is
+// cancelled from the iteration hook. The update must fail with the context
+// error, leave the database dirty but intact, and Rederive (which runs on the
+// database's base context, not the cancelled one) must restore a consistent
+// state.
+func TestCancelMidApplyDelta(t *testing.T) {
+	const n = 120
+	arc := storage.NewRelation("arc", []string{"x", "y"})
+	rows := make([][]int32, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		arc.Append([]int32{int32(i), int32(i + 1)})
+		rows = append(rows, []int32{int32(i), int32(i + 1)})
+	}
+	base := map[string][][]int32{"arc": rows}
+	arity := map[string]int{"arc": 2}
+
+	const cancelAt = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	armed := false
+	opts := core.DefaultOptions()
+	opts.Workers = 4
+	opts.IterHook = func(ii core.IterInfo) {
+		if armed && ii.Iteration == cancelAt {
+			cancel()
+		}
+	}
+	prog := programs.MustParse(programs.TC)
+	d, err := core.New(opts).RunIncremental(context.Background(), prog, map[string]*storage.Relation{"arc": arc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Closing the cycle makes the seeded propagation run ~n iterations; the
+	// hook cancels it at iteration 5.
+	armed = true
+	_, uerr := d.ApplyDeltaContext(ctx, "arc", [][]int32{{n - 1, 0}}, nil)
+	armed = false
+	if uerr == nil {
+		t.Fatal("cancelled update completed without error")
+	}
+	if !errors.Is(uerr, context.Canceled) {
+		t.Fatalf("update error %v is not context.Canceled", uerr)
+	}
+	if !d.Dirty() {
+		t.Fatal("cancelled update did not mark the database dirty")
+	}
+	if err := d.Rederive(); err != nil {
+		t.Fatalf("rederive after cancelled update: %v", err)
+	}
+
+	// The re-derived state must match a from-scratch run over the surviving
+	// EDB rows (the new edge was already physically applied when the
+	// propagation was cancelled, and rederivation keeps it).
+	rel, ok := d.Relation("arc")
+	if !ok {
+		t.Fatal("arc unreachable after rederive")
+	}
+	survived := map[string][][]int32{"arc": unpackRows(rel.SortedRows(), 2)}
+	ref, err := core.New(core.DefaultOptions()).Run(prog, relsFrom(survived, arity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedOutputs(ref)
+	for _, idb := range d.IDBNames() {
+		r, _ := d.Relation(idb)
+		if got := r.SortedRows(); !reflect.DeepEqual(got, want[idb]) {
+			t.Fatalf("%s diverged after cancel+rederive (%d vs %d values)", idb, len(got), len(want[idb]))
+		}
+	}
+	_ = base
+
+	snap, err := d.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if snap.LiveTotal != 0 {
+		t.Fatalf("leaked %d live pooled bytes at close", snap.LiveTotal)
+	}
+}
+
 // An already-expired deadline aborts before any iteration completes, with
 // the same clean-teardown guarantees.
 func TestDeadlineExceededAbortsRun(t *testing.T) {

@@ -41,6 +41,8 @@ func main() {
 		joinOut     = flag.String("joinorder-out", "BENCH_PR7.json", "path the benchjoinorder experiment writes its machine-readable report to")
 		obsOut      = flag.String("obs-out", "BENCH_PR8.json", "path the benchobs experiment writes its machine-readable report to")
 		obsLimit    = flag.Float64("obs-threshold", 2.0, "benchobs fails when metrics-on overhead exceeds this percentage (min-of-trials; <0 disables the assertion)")
+		incrOut     = flag.String("incr-out", "BENCH_PR10.json", "path the benchincr experiment writes its machine-readable report to")
+		incrLimit   = flag.Float64("incr-threshold", 10.0, "benchincr fails when any workload's ApplyDelta speedup over a from-scratch rerun falls below this factor (<0 disables the assertion)")
 		enableObs   = flag.Bool("obs", true, "collect metrics and phase timers in engine runs; false is the zero-instrumentation ablation")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /statusz and /debug/pprof on this address while experiments run (e.g. :9090)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile covering the selected experiments to this file")
@@ -123,6 +125,7 @@ func main() {
 		"table1", "table3", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table4",
 		"copies", "peakmem", "benchjson", "benchbatch", "benchjoinorder", "benchobs",
+		"benchincr",
 	}
 
 	args := flag.Args()
@@ -173,6 +176,21 @@ func main() {
 			log.Printf("wrote %s", *obsOut)
 			if *obsLimit >= 0 && rep.OverheadPct > *obsLimit {
 				log.Fatalf("benchobs: metrics-on overhead %.2f%% exceeds %.2f%% threshold", rep.OverheadPct, *obsLimit)
+			}
+			continue
+		}
+		if name == "benchincr" {
+			rep, err := experiments.BenchIncr(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.WriteBenchIncrReport(*incrOut, rep); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(experiments.BenchIncrTable(rep))
+			log.Printf("wrote %s", *incrOut)
+			if *incrLimit >= 0 && rep.MinSpeedup < *incrLimit {
+				log.Fatalf("benchincr: minimum ApplyDelta speedup %.1f× is below the %.1f× threshold", rep.MinSpeedup, *incrLimit)
 			}
 			continue
 		}

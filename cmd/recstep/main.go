@@ -16,19 +16,23 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"recstep/internal/core"
+	"recstep/internal/datalog/ast"
 	"recstep/internal/datalog/parser"
 	"recstep/internal/experiments"
 	"recstep/internal/obs"
@@ -80,6 +84,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /statusz and /debug/pprof on this address for the life of the process (e.g. :9090)")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the fixpoint (per-phase spans; open in Perfetto) to this file")
 		enableObs   = flag.Bool("obs", true, "collect metrics and phase timers; false is the zero-instrumentation ablation")
+		incremental = flag.String("incremental", "", "update-script path ('-' for stdin): after the initial fixpoint the database stays resident and each staged batch of '+pred v1 v2…' inserts / '-pred v1 v2…' deletes (flushed by an 'apply' line or EOF) is maintained incrementally via ApplyDelta")
 		verbose     = flag.Bool("v", false, "log per-iteration deltas")
 	)
 	facts := factFlags{}
@@ -202,6 +207,18 @@ func main() {
 		defer cancel()
 	}
 
+	if *incremental != "" {
+		uerr := runIncremental(ctx, opts, prog, edbs, *incremental, *outDir)
+		if perr := stopProfiles(); perr != nil {
+			log.Fatal(perr)
+		}
+		writeTrace(ob, *tracePath)
+		if uerr != nil {
+			log.Fatal(uerr)
+		}
+		return
+	}
+
 	res, err := core.New(opts).RunContext(ctx, prog, edbs)
 	if perr := stopProfiles(); perr != nil {
 		log.Fatal(perr)
@@ -289,6 +306,146 @@ func phaseMapString(m map[string]time.Duration) string {
 		}
 	}
 	return strings.Join(parts, " ")
+}
+
+// runIncremental evaluates the initial fixpoint with a resident database,
+// then replays an update script against it. Script grammar, one command per
+// line ('#' starts a comment, blank lines are skipped):
+//
+//	+pred v1 v2 ...   stage an insertion into EDB pred
+//	-pred v1 v2 ...   stage a deletion from EDB pred
+//	apply             apply the staged batch incrementally
+//
+// EOF applies any still-staged rows. A batch touching several relations is
+// applied as one ApplyDelta per relation in sorted name order (each a
+// consistent update of its own). After the script finishes, the IDB relations
+// are written exactly like a from-scratch run and the database is torn down
+// with its zero-leak accounting printed.
+func runIncremental(ctx context.Context, opts core.Options, prog *ast.Program, edbs map[string]*storage.Relation, scriptPath, outDir string) error {
+	d, err := core.New(opts).RunIncremental(ctx, prog, edbs)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			d.Close()
+		}
+	}()
+	st := d.Stats()
+	log.Printf("initial fixpoint in %v (%d iterations, %d SQL queries); database resident",
+		st.Duration.Round(1e6), st.Iterations, st.Queries)
+
+	var in io.Reader = os.Stdin
+	src := "<stdin>"
+	if scriptPath != "-" {
+		f, err := os.Open(scriptPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, src = f, scriptPath
+	}
+
+	ins := map[string][][]int32{}
+	del := map[string][][]int32{}
+	applied := 0
+	flush := func() error {
+		rels := make([]string, 0, len(ins)+len(del))
+		seen := map[string]bool{}
+		for _, m := range []map[string][][]int32{ins, del} {
+			for r := range m {
+				if !seen[r] {
+					seen[r] = true
+					rels = append(rels, r)
+				}
+			}
+		}
+		sort.Strings(rels)
+		for _, r := range rels {
+			us, err := d.ApplyDeltaContext(ctx, r, ins[r], del[r])
+			if err != nil {
+				return fmt.Errorf("update %d (%s): %w", applied+1, r, err)
+			}
+			applied++
+			log.Printf("update %d %s: +%d -%d tuples (overdeleted %d, rescued %d, fallback strata %d) in %v",
+				applied, r, us.Inserted, us.Deleted, us.OverDeleted, us.Rescued, us.FallbackStrata,
+				us.Duration.Round(1e4))
+		}
+		ins = map[string][][]int32{}
+		del = map[string][][]int32{}
+		return nil
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "apply" {
+			if err := flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		op := line[0]
+		if op != '+' && op != '-' {
+			return fmt.Errorf("%s:%d: want '+pred v…', '-pred v…' or 'apply', got %q", src, lineNo, line)
+		}
+		fields := strings.Fields(line[1:])
+		if len(fields) < 2 {
+			return fmt.Errorf("%s:%d: want '%cpred v1 v2 …', got %q", src, lineNo, op, line)
+		}
+		row := make([]int32, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad value %q: %v", src, lineNo, f, err)
+			}
+			row[i] = int32(v)
+		}
+		if op == '+' {
+			ins[fields[0]] = append(ins[fields[0]], row)
+		} else {
+			del[fields[0]] = append(del[fields[0]], row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading %s: %v", src, err)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	log.Printf("%d incremental updates applied", applied)
+
+	names := d.IDBNames()
+	sort.Strings(names)
+	for _, name := range names {
+		rel, ok := d.Relation(name)
+		if !ok {
+			continue
+		}
+		log.Printf("%s: %d tuples", name, rel.NumTuples())
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			if err := relio.WriteTSVFile(filepath.Join(outDir, name+".tsv"), rel); err != nil {
+				return err
+			}
+		}
+	}
+	closed = true
+	mem, err := d.Close()
+	if err != nil {
+		return err
+	}
+	log.Printf("memory at teardown: %d live pooled bytes (peak %d)", mem.LiveTotal, mem.PeakLive)
+	return nil
 }
 
 func writeRelations(res *core.Result, outDir string) {

@@ -302,6 +302,45 @@ func (e *Engine) Run(prog *ast.Program, edbs map[string]*storage.Relation) (*Res
 // serves runs aborted by a contained worker panic or a fatal memory-manager
 // failure (failed allocation, unreadable spill file).
 func (e *Engine) RunContext(ctx context.Context, prog *ast.Program, edbs map[string]*storage.Relation) (*Result, error) {
+	run, err := e.prepare(ctx, prog)
+	if err != nil {
+		return nil, err
+	}
+	defer run.db.Close()
+	if evalErr := run.evaluate(edbs); evalErr != nil {
+		return run.abort(evalErr), evalErr
+	}
+
+	// Snapshot the manager before result delivery: Stats.Mem reports the
+	// *evaluation* footprint, and restoring spilled results for the caller
+	// necessarily re-materializes all of R.
+	run.stats.Mem = run.db.MemSnapshot()
+
+	out := &Result{Relations: make(map[string]*storage.Relation)}
+	// Result relations outlive the database (and its spill directory): seal
+	// eviction — restoring one result must not re-spill another — then fault
+	// every cold partition back in before Close removes the files.
+	run.db.Mem().StopSpilling()
+	for _, name := range run.res.IDBNames() {
+		rel := run.db.Catalog().MustGet(name)
+		rel.Restore()
+		out.Relations[name] = rel
+	}
+	// Restoring results is itself fallible I/O: a fault failure here is
+	// recorded as the run error, and delivering partially-restored relations
+	// as success would be silent corruption.
+	if err := run.db.Err(); err != nil {
+		return run.abort(err), err
+	}
+	run.collectStats()
+	out.Stats = run.stats
+	return out, nil
+}
+
+// prepare analyzes the program, opens the substrate database and assembles
+// the runState shared by RunContext and RunIncremental. On success the
+// caller owns run.db and is responsible for closing it.
+func (e *Engine) prepare(ctx context.Context, prog *ast.Program) (*runState, error) {
 	res, err := analysis.Analyze(prog)
 	if err != nil {
 		return nil, err
@@ -309,6 +348,11 @@ func (e *Engine) RunContext(ctx context.Context, prog *ast.Program, edbs map[str
 	for name := range res.Preds {
 		if strings.HasSuffix(name, querygen.DeltaSuffix) || strings.HasSuffix(name, querygen.TmpSuffix) {
 			return nil, fmt.Errorf("core: predicate name %q collides with engine table suffixes", name)
+		}
+		for _, suf := range querygen.UpdateSuffixes {
+			if strings.HasSuffix(name, suf) {
+				return nil, fmt.Errorf("core: predicate name %q collides with incremental-update table suffixes", name)
+			}
 		}
 	}
 
@@ -342,7 +386,6 @@ func (e *Engine) RunContext(ctx context.Context, prog *ast.Program, edbs map[str
 	if err != nil {
 		return nil, err
 	}
-	defer db.Close()
 	db.SetContext(ctx)
 	if e.opts.OnDB != nil {
 		e.opts.OnDB(db)
@@ -366,6 +409,12 @@ func (e *Engine) RunContext(ctx context.Context, prog *ast.Program, edbs map[str
 			run.em.register(ob.Reg)
 		}
 	}
+	return run, nil
+}
+
+// evaluate runs the full from-scratch fixpoint — EDB load, IDB creation,
+// every stratum, final commit — with engine-goroutine panic containment.
+func (r *runState) evaluate(edbs map[string]*storage.Relation) error {
 	evalErr := func() (err error) {
 		// Last-resort containment: the pool's worker guard and runQuery's
 		// branch recover catch panics on their goroutines, but the engine
@@ -376,74 +425,53 @@ func (e *Engine) RunContext(ctx context.Context, prog *ast.Program, edbs map[str
 				err = fmt.Errorf("core: evaluation panic: %v\n%s", v, debug.Stack())
 			}
 		}()
-		if err := run.loadEDBs(edbs); err != nil {
+		if err := r.loadEDBs(edbs); err != nil {
 			return err
 		}
-		if err := run.createIDBs(); err != nil {
+		if err := r.createIDBs(); err != nil {
 			return err
 		}
-		for _, s := range res.Strata {
-			if err := run.evalStratum(s); err != nil {
+		for _, s := range r.res.Strata {
+			if err := r.evalStratum(s); err != nil {
 				return err
 			}
 		}
-		return db.FinalCommit()
+		return r.db.FinalCommit()
 	}()
 	if evalErr == nil {
 		// An abort recorded after the last boundary check (or surfaced by a
 		// kernel call that returns no error) must not pass for success.
-		evalErr = db.Err()
+		evalErr = r.db.Err()
 	}
-	if evalErr != nil {
-		return run.abort(evalErr), evalErr
-	}
+	return evalErr
+}
 
-	// Snapshot the manager before result delivery: Stats.Mem reports the
-	// *evaluation* footprint, and restoring spilled results for the caller
-	// necessarily re-materializes all of R.
-	run.stats.Mem = db.MemSnapshot()
-
-	out := &Result{Relations: make(map[string]*storage.Relation)}
-	// Result relations outlive the database (and its spill directory): seal
-	// eviction — restoring one result must not re-spill another — then fault
-	// every cold partition back in before Close removes the files.
-	db.Mem().StopSpilling()
-	for _, name := range res.IDBNames() {
-		rel := db.Catalog().MustGet(name)
-		rel.Restore()
-		out.Relations[name] = rel
-	}
-	// Restoring results is itself fallible I/O: a fault failure here is
-	// recorded as the run error, and delivering partially-restored relations
-	// as success would be silent corruption.
-	if err := db.Err(); err != nil {
-		return run.abort(err), err
-	}
-	run.stats.Queries = db.QueriesIssued()
-	copySnap := db.CopySnapshot()
-	run.stats.TuplesScattered = copySnap.Scattered
-	run.stats.TuplesAdopted = copySnap.Adopted
-	run.stats.FlatMaterializations = copySnap.FlatMats
-	run.stats.JoinBuildScatters = copySnap.BuildScatters
-	run.stats.JoinBuildScattersAvoided = copySnap.BuildScattersAvoided
-	run.stats.SecondaryScattered = copySnap.SecondaryScattered
-	run.stats.JoinBuildsByKeyset = copySnap.BuildDetail
-	run.stats.JoinOrdersByRule = db.PlanChoices()
-	for name, pc := range run.stats.JoinOrdersByRule {
+// collectStats fills the counter-derived Stats fields from the database's
+// accounting. Called once per Run on the success path.
+func (r *runState) collectStats() {
+	r.stats.Queries = r.db.QueriesIssued()
+	copySnap := r.db.CopySnapshot()
+	r.stats.TuplesScattered = copySnap.Scattered
+	r.stats.TuplesAdopted = copySnap.Adopted
+	r.stats.FlatMaterializations = copySnap.FlatMats
+	r.stats.JoinBuildScatters = copySnap.BuildScatters
+	r.stats.JoinBuildScattersAvoided = copySnap.BuildScattersAvoided
+	r.stats.SecondaryScattered = copySnap.SecondaryScattered
+	r.stats.JoinBuildsByKeyset = copySnap.BuildDetail
+	r.stats.JoinOrdersByRule = r.db.PlanChoices()
+	for name, pc := range r.stats.JoinOrdersByRule {
 		if pc.Strategy == "wcoj" {
-			run.stats.WCOJRules = append(run.stats.WCOJRules, name)
+			r.stats.WCOJRules = append(r.stats.WCOJRules, name)
 		}
 	}
-	sort.Strings(run.stats.WCOJRules)
-	run.stats.PeakJoinIntermediate = db.PeakJoinIntermediate()
-	run.stats.Duration = time.Since(run.start)
-	if ob != nil && ob.Exec != nil {
+	sort.Strings(r.stats.WCOJRules)
+	r.stats.PeakJoinIntermediate = r.db.PeakJoinIntermediate()
+	r.stats.Duration = time.Since(r.start)
+	if r.ob != nil && r.ob.Exec != nil {
 		// Attribute only this Run's share: a reused Observer's timers carry
 		// earlier runs too.
-		run.stats.PhaseDurations = ob.Exec.Phase.Snapshot().Sub(run.phaseBase).Map()
+		r.stats.PhaseDurations = r.ob.Exec.Phase.Snapshot().Sub(r.phaseBase).Map()
 	}
-	out.Stats = run.stats
-	return out, nil
 }
 
 // abort is the failed-run teardown: it releases every cataloged relation (and
@@ -520,6 +548,10 @@ type runState struct {
 	// previous evaluation step, for IterInfo's per-step attribution.
 	phaseBase obs.PhaseSnapshot
 	lastPhase obs.PhaseSnapshot
+	// incremental marks ApplyDelta evaluation: delta partitioning mirrors
+	// each full relation's carried layout instead of re-deriving a fan-out
+	// from (tiny) update cardinalities.
+	incremental bool
 }
 
 // tracer returns the run's tracer; nil (inert) when tracing is off.
@@ -585,6 +617,17 @@ func (r *runState) createIDBs() error {
 
 // evalStratum runs Algorithm 1's inner loop for one stratum.
 func (r *runState) evalStratum(s analysis.Stratum) error {
+	return r.evalStratumWith(s, nil, nil)
+}
+
+// evalStratumWith is evalStratum with two incremental-maintenance hooks:
+// seed, when non-nil, replaces iteration 1's Init unit per IDB (ApplyDelta's
+// insertion phase starts from the injected ∆ instead of ⊥ — absent entries
+// evaluate nothing, converging immediately for unaffected predicates), and
+// onDelta fires after every non-empty installed ∆ so the update can
+// accumulate the net insertions. Iterations past the first run the ordinary
+// Rec units either way.
+func (r *runState) evalStratumWith(s analysis.Stratum, seed map[string]querygen.UnitQueries, onDelta func(pred string, delta *storage.Relation) error) error {
 	stratumStart := time.Now()
 	if r.em != nil {
 		r.em.stratum.Set(int64(s.Index))
@@ -674,10 +717,21 @@ func (r *runState) evalStratum(s analysis.Stratum) error {
 			q := &queries[i]
 			var unit querygen.UnitQueries
 			switch {
-			case r.opts().Naive:
+			case r.opts().Naive && seed == nil:
 				unit = q.Full
 			case iter == 1:
-				unit = q.Init
+				if seed != nil {
+					// Seed arms plus the ordinary Rec arms: within an
+					// iteration deltas install in predicate order, so a
+					// predicate evaluated after a producer sees the
+					// producer's iteration-1 ∆ only during iteration 1 —
+					// by iteration 2 it has been replaced. (From-scratch
+					// runs don't need this: Init arms read no deltas and
+					// every tuple lands in some later ∆.)
+					unit = querygen.MergeUnits(q.Tmp, seed[q.Pred], q.Rec)
+				} else {
+					unit = q.Init
+				}
 			default:
 				unit = q.Rec
 			}
@@ -687,6 +741,11 @@ func (r *runState) evalStratum(s analysis.Stratum) error {
 			}
 			if delta > 0 {
 				anyDelta = true
+				if onDelta != nil {
+					if err := onDelta(q.Pred, r.db.Catalog().MustGet(q.Delta)); err != nil {
+						return err
+					}
+				}
 			}
 		}
 		// Epoch boundary: recycle retired view copies, advance the spill LRU
@@ -989,6 +1048,14 @@ const secondaryRebuildCooldown = 4
 // iteration's hash builds). The fan-out may shift with cardinality; the
 // keyset is stratum-stable.
 func (r *runState) deltaPartitioning(st *idbState, full *storage.Relation) storage.Partitioning {
+	if r.incremental && r.opts().Partitions <= 0 {
+		// Update deltas must land on R's carried layout exactly (key columns
+		// and fan-out): a mismatched ∆ degrades R ⊎ ∆R to a flat-mutation
+		// rebuild of the full relation on every update.
+		carried, ok := full.Partitioning()
+		return optimizer.ChooseUpdateDeltaPartitioning(carried, ok,
+			full.NumTuples(), st.lastTmp, r.db.Pool().Workers(), r.db.Headroom(), st.q.Arity)
+	}
 	parts := 0
 	if p := r.opts().Partitions; p > 0 {
 		parts = storage.NormalizePartitions(p)

@@ -69,6 +69,24 @@ func FilterArms(tmp string, u UnitQueries, keep func(delta string) bool) (UnitQu
 	return assemble(tmp, kept), len(u.Subs) - len(kept)
 }
 
+// MergeUnits concatenates the arms of two unit queries targeting the same
+// tmp table into one reassembled unit. The incremental-update phases use it
+// to run their seed arms *and* the ordinary propagation arms in the first
+// iteration: deltas install in predicate order within an iteration, so a
+// predicate evaluated after a producer must consume the producer's
+// first-iteration ∆ in that same iteration — by the next one it has been
+// replaced.
+func MergeUnits(tmp string, a, b UnitQueries) UnitQueries {
+	merged := make([]armSub, 0, len(a.Subs)+len(b.Subs))
+	for i, s := range a.Subs {
+		merged = append(merged, armSub{sql: s, delta: a.DeltaTables[i]})
+	}
+	for i, s := range b.Subs {
+		merged = append(merged, armSub{sql: s, delta: b.DeltaTables[i]})
+	}
+	return assemble(tmp, merged)
+}
+
 // IDBQueries bundles everything the interpreter needs per IDB per stratum.
 type IDBQueries struct {
 	Pred  string
@@ -208,6 +226,20 @@ func (g *Generator) sameStratumPositions(rule ast.Rule, stratum int) []int {
 // table for that body-atom occurrence (semi-naive rewriting); -1 uses full
 // relations throughout.
 func (g *Generator) subquery(rule ast.Rule, deltaPos int) (string, error) {
+	var overrides map[int]string
+	if deltaPos >= 0 {
+		overrides = map[int]string{deltaPos: DeltaTable(rule.Body[deltaPos].Pred)}
+	}
+	return g.subqueryWith(rule, overrides, "")
+}
+
+// subqueryWith is the general arm renderer behind both the semi-naive
+// rewriting and the incremental-update queries: overrides substitutes a side
+// table for any body-atom occurrence (position → table name), and restrict,
+// when non-empty, joins that table against the rule's head terms — the
+// head-restriction DRed's rescue phase uses to re-derive only over-deleted
+// tuples.
+func (g *Generator) subqueryWith(rule ast.Rule, overrides map[int]string, restrict string) (string, error) {
 	binding := make(map[string]string) // variable → alias.column
 	var from, where []string
 	aliasNum := 0
@@ -218,8 +250,8 @@ func (g *Generator) subquery(rule ast.Rule, deltaPos int) (string, error) {
 		alias := fmt.Sprintf("t%d", aliasNum)
 		aliasNum++
 		table := a.Pred
-		if i == deltaPos {
-			table = DeltaTable(a.Pred)
+		if t, ok := overrides[i]; ok {
+			table = t
 		}
 		from = append(from, fmt.Sprintf("%s AS %s", table, alias))
 		for j, term := range a.Args {
@@ -267,6 +299,9 @@ func (g *Generator) subquery(rule ast.Rule, deltaPos int) (string, error) {
 	var selects []string
 	var groupBy []string
 	hasAgg := rule.HasAggregate()
+	if restrict != "" && hasAgg {
+		return "", fmt.Errorf("querygen: head restriction on aggregate rule for %q", rule.HeadPred)
+	}
 	for pos, h := range rule.HeadTerms {
 		e, err := renderExpr(h.Expr, binding)
 		if err != nil {
@@ -285,6 +320,12 @@ func (g *Generator) subquery(rule ast.Rule, deltaPos int) (string, error) {
 			groupBy = append(groupBy, e)
 		}
 		selects = append(selects, fmt.Sprintf("%s AS c%d", e, pos))
+		if restrict != "" {
+			where = append(where, fmt.Sprintf("hr.c%d = %s", pos, e))
+		}
+	}
+	if restrict != "" {
+		from = append(from, restrict+" AS hr")
 	}
 
 	var b strings.Builder

@@ -347,6 +347,18 @@ func (db *Database) Err() error {
 	return db.mem.RunError()
 }
 
+// ResetErr clears a prior failure's sticky abort state — the pool's
+// recorded error/abort flag and the memory manager's fatal run error — so a
+// resident database can evaluate again after a failed incremental update
+// has been rolled back. The caller must be quiescent (no query in flight)
+// and must have already released or re-derived any state the failed run
+// left behind. Relation-level fault errors (unreadable spill files) are
+// not cleared: that data genuinely remains unreachable.
+func (db *Database) ResetErr() {
+	db.pool.ResetErr()
+	db.mem.ResetRunError()
+}
+
 // ReleaseAll releases every cataloged relation — blocks, retired view copies
 // and spill files — without committing anything. The engine's abort path
 // calls it so a cancelled or failed run tears down to zero live pooled bytes.
@@ -1193,6 +1205,75 @@ func (db *Database) AppendTo(dst string, src *storage.Relation) error {
 	d.AppendRelation(src)
 	db.pool.Copy.Adopted.Add(int64(src.NumTuples()))
 	return db.afterMutation(dst)
+}
+
+// DropTable removes a table from the catalog directly, releasing its blocks
+// — the teardown path for incremental-update side tables. Unlike a DROP
+// TABLE statement it bypasses the planner and pool entirely, so it works
+// even while the pool carries a recorded failure (a failed update must still
+// tear its temporaries down). Dropping an unknown table is a no-op.
+func (db *Database) DropTable(name string) {
+	r, ok := db.cat.Get(name)
+	if !ok {
+		return
+	}
+	db.cat.Drop(name)
+	db.stats.Drop(name)
+	if db.txn != nil {
+		db.txn.Forget(name)
+	}
+	r.Release()
+	r.ReclaimRetired()
+}
+
+// AppendRowsTo appends raw tuples to a cataloged relation — the plus side of
+// an EDB update. Rows land through the normal append path (cached partition
+// views invalidate; base EDBs carry none, so nothing rescatters).
+func (db *Database) AppendRowsTo(table string, rows [][]int32) error {
+	r, ok := db.cat.Get(table)
+	if !ok {
+		return fmt.Errorf("quickstep: append rows to unknown table %q", table)
+	}
+	for _, row := range rows {
+		r.Append(row)
+	}
+	return db.afterMutation(table)
+}
+
+// DeleteFrom removes the given tuples from a cataloged relation in place —
+// DRed's physical deletion. Tuples not present are ignored; the count of
+// rows actually removed is returned. The relation's carried partitioned
+// view survives (only affected partitions compact); a sticky fault error on
+// the relation aborts the call without mutating anything.
+func (db *Database) DeleteFrom(table string, rows [][]int32) (int, error) {
+	r, ok := db.cat.Get(table)
+	if !ok {
+		return 0, fmt.Errorf("quickstep: delete from unknown table %q", table)
+	}
+	n, err := r.DeleteRows(rows)
+	if err != nil {
+		return n, err
+	}
+	return n, db.afterMutation(table)
+}
+
+// BuildMembership hashes a cataloged relation into a reusable tuple-
+// membership index (see exec.Membership). The caller releases it; the
+// relation must stay unmutated while the handle is live. DRed builds one
+// per deletion-affected stratum and probes it every over-delete round.
+func (db *Database) BuildMembership(table string) (*exec.Membership, error) {
+	r, ok := db.cat.Get(table)
+	if !ok {
+		return nil, fmt.Errorf("quickstep: membership over unknown table %q", table)
+	}
+	return exec.BuildMembership(db.pool, r), nil
+}
+
+// SemiProbe emits the rows of probe present in m — the semi-join companion
+// of the set difference, used by DRed to keep only over-delete candidates
+// actually present in R.
+func (db *Database) SemiProbe(probe *storage.Relation, m *exec.Membership, outName string) *storage.Relation {
+	return exec.SemiProbe(db.pool, probe, m, outName)
 }
 
 // FinalCommit persists all dirty tables (fixpoint reached).

@@ -443,6 +443,15 @@ func (p *Pool) Err() error {
 	return nil
 }
 
+// ResetErr clears the recorded run failure and the abort flag, so a
+// resident database can accept new work after a failed operation's state
+// has been torn down. Callers must be quiescent: no worker tasks in flight,
+// or a draining worker could re-record the stale failure.
+func (p *Pool) ResetErr() {
+	p.fail.Store(nil)
+	p.failed.Store(false)
+}
+
 // Panics reports how many worker panics the recover barrier has contained.
 func (p *Pool) Panics() int64 { return p.panics.Load() }
 

@@ -170,6 +170,12 @@ func (m *Manager) noteRunErr(err error) {
 	}
 }
 
+// ResetRunError clears the recorded fatal run error so a resident database
+// can accept new work after a failed incremental update was rolled back.
+// Spill parking is deliberately not reset — a persistently failing spill
+// path does not heal because an update was retried.
+func (m *Manager) ResetRunError() { m.runErr.Store(nil) }
+
 // SpillsParked reports whether spilling is parked after a persistent
 // spill-write failure (the engine is running in-memory degraded mode).
 func (m *Manager) SpillsParked() bool { return m.parked.Load() }

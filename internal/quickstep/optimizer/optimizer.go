@@ -146,6 +146,22 @@ func ChooseDeltaPartitionsBudget(rTuples, prevTmpTuples, workers int, headroom i
 	return capFanout(parts, headroom)
 }
 
+// ChooseUpdateDeltaPartitioning picks the delta layout for incremental
+// update evaluation. Update deltas are tiny relative to R, so the batch
+// cardinality tiers would usually run them flat — but an incremental delta
+// whose partitioning differs from R's carried view forces AppendRelation
+// into a flat-mutation rebuild of the *full* relation on every update,
+// which dwarfs any scatter savings on the delta itself. So when the full
+// relation carries a partitioned view, mirror it exactly (key columns and
+// fan-out both); only an uncarried R falls back to the batch heuristic.
+func ChooseUpdateDeltaPartitioning(carried storage.Partitioning, hasCarried bool, rTuples, prevTmpTuples, workers int, headroom int64, arity int) storage.Partitioning {
+	if hasCarried {
+		return carried
+	}
+	parts := ChooseDeltaPartitionsBudget(rTuples, prevTmpTuples, workers, headroom)
+	return storage.Partitioning{KeyCols: storage.AllCols(arity), Parts: parts}
+}
+
 // ChooseJoinKeyCols reconciles the delta pipeline's partitioning keyset with
 // the join builds of the coming iterations: given the join-key column sets
 // under which a recursive predicate's relations (∆R and R) enter hash

@@ -15,6 +15,12 @@
 // must be documented in README.md's benchmark-programs table (referenced as
 // `name`), so a new benchmark cannot ship without a row saying what it
 // computes and what it exercises.
+//
+// Finally it gates the issue archive: ISSUE.md is rewritten every PR, so its
+// history only survives as snapshots under docs/issues/ISSUE-NN.md. The
+// snapshots must be contiguous from ISSUE-01, each must open with its own
+// "# ISSUE N" heading, and the newest must be byte-identical to the working
+// tree's ISSUE.md — archiving the current issue is part of landing it.
 package main
 
 import (
@@ -101,7 +107,20 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("checkdocs: %d packages documented, %d benchmark programs documented\n", len(pkgDoc), total)
+	archiveProblems, snapshots, err := checkIssueArchive(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(2)
+	}
+	if len(archiveProblems) > 0 {
+		fmt.Fprintln(os.Stderr, "checkdocs: issue archive (docs/issues/) out of date:")
+		for _, m := range archiveProblems {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("checkdocs: %d packages documented, %d benchmark programs documented, %d issue snapshots archived\n",
+		len(pkgDoc), total, snapshots)
 }
 
 // checkPrograms verifies every programs/*.datalog benchmark appears (as a
@@ -135,4 +154,68 @@ func checkPrograms(root string) (undocumented []string, total int, err error) {
 	}
 	sort.Strings(undocumented)
 	return undocumented, total, nil
+}
+
+// checkIssueArchive verifies docs/issues/ holds a contiguous ISSUE-NN.md
+// snapshot series starting at 01, that each snapshot opens with its own
+// "# ISSUE N" heading, and that the newest snapshot is byte-identical to the
+// repository's current ISSUE.md (when one exists) — i.e. the archive was
+// refreshed when the issue was.
+func checkIssueArchive(root string) (problems []string, snapshots int, err error) {
+	dir := filepath.Join(root, "docs", "issues")
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		if _, serr := os.Stat(filepath.Join(root, "ISSUE.md")); serr == nil {
+			return []string{"docs/issues/ does not exist; archive ISSUE.md as docs/issues/ISSUE-01.md"}, 0, nil
+		}
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	nums := make(map[int]string)
+	highest := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "ISSUE-") || !strings.HasSuffix(name, ".md") {
+			continue
+		}
+		var n int
+		if _, serr := fmt.Sscanf(name, "ISSUE-%d.md", &n); serr != nil || n < 1 {
+			problems = append(problems, fmt.Sprintf("docs/issues/%s: name is not ISSUE-NN.md", name))
+			continue
+		}
+		nums[n] = name
+		if n > highest {
+			highest = n
+		}
+	}
+	for n := 1; n <= highest; n++ {
+		name, ok := nums[n]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("gap in the series: docs/issues/ISSUE-%02d.md missing", n))
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, name))
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		first, _, _ := strings.Cut(string(data), "\n")
+		if !strings.HasPrefix(first, fmt.Sprintf("# ISSUE %d ", n)) && first != fmt.Sprintf("# ISSUE %d", n) {
+			problems = append(problems, fmt.Sprintf("docs/issues/%s: first line %q does not declare ISSUE %d", name, first, n))
+		}
+		if n == highest {
+			current, cerr := os.ReadFile(filepath.Join(root, "ISSUE.md"))
+			if cerr == nil && string(current) != string(data) {
+				problems = append(problems, fmt.Sprintf("docs/issues/%s differs from ISSUE.md: re-archive the current issue", name))
+			}
+		}
+	}
+	if highest == 0 {
+		if _, serr := os.Stat(filepath.Join(root, "ISSUE.md")); serr == nil {
+			problems = append(problems, "docs/issues/ holds no ISSUE-NN.md snapshots; archive ISSUE.md as docs/issues/ISSUE-01.md")
+		}
+	}
+	sort.Strings(problems)
+	return problems, highest, nil
 }
